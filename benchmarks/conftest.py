@@ -1,0 +1,89 @@
+"""Shared infrastructure for the table-regeneration benchmarks.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``   — suite scale factor (default 0.01: adaptec1 ≈
+  2.1k cells).  Raise toward 1.0 to approach contest sizes (slow!).
+* ``REPRO_BENCH_DESIGNS`` — comma-separated subset of design names.
+* ``REPRO_BENCH_DP_PASSES`` — detailed-placement passes (default 1).
+
+Each table module accumulates its rows in a :class:`TableCollector`; the
+assembled tables are printed at session end, mirroring the paper's
+layout so they can be compared side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+DP_PASSES = int(os.environ.get("REPRO_BENCH_DP_PASSES", "1"))
+_DESIGN_FILTER = {
+    d.strip()
+    for d in os.environ.get("REPRO_BENCH_DESIGNS", "").split(",")
+    if d.strip()
+}
+
+
+def design_subset(names):
+    """Apply the REPRO_BENCH_DESIGNS filter to a suite's design list."""
+    if not _DESIGN_FILTER:
+        return list(names)
+    return [n for n in names if n in _DESIGN_FILTER]
+
+
+class TableCollector:
+    """Accumulates formatted rows and prints one table at session end."""
+
+    _registry: List["TableCollector"] = []
+
+    def __init__(self, title: str, header: str) -> None:
+        self.title = title
+        self.header = header
+        self.rows: List[str] = []
+        self.footer: List[str] = []
+        TableCollector._registry.append(self)
+
+    def add(self, row: str) -> None:
+        self.rows.append(row)
+
+    def add_footer(self, row: str) -> None:
+        self.footer.append(row)
+
+    def render(self) -> str:
+        width = max(
+            [len(self.header)]
+            + [len(r) for r in self.rows + self.footer]
+            + [len(self.title)]
+        )
+        lines = ["", "=" * width, self.title, "-" * width, self.header]
+        lines += self.rows
+        if self.footer:
+            lines.append("-" * width)
+            lines += self.footer
+        lines.append("=" * width)
+        return "\n".join(lines)
+
+    @classmethod
+    def flush_all(cls, printer) -> None:
+        for collector in cls._registry:
+            if collector.rows:
+                printer(collector.render())
+        cls._registry.clear()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    import sys
+
+    TableCollector.flush_all(lambda text: print(text, file=sys.stderr))
+
+
+@pytest.fixture(scope="session")
+def guidance_model():
+    """The cached FNO guidance model (trains once per machine)."""
+    from repro.nn import get_pretrained_model
+
+    return get_pretrained_model(verbose=True)

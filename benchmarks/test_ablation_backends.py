@@ -1,0 +1,106 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* legalizer: Abacus (cluster-optimal) vs Tetris (greedy) — displacement
+  and post-LG HPWL;
+* optimizer: ePlace Nesterov vs Adam — iterations to convergence and
+  final quality;
+* detailed placement operators: contribution of each DP pass operator.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, TableCollector
+from repro.benchgen import make_design
+from repro.core import PlacementParams, XPlacer
+from repro.detail import DetailedPlacer
+from repro.legalize import AbacusLegalizer, TetrisLegalizer, check_legal
+from repro.wirelength import hpwl
+
+_lg_table = TableCollector(
+    "Ablation: legalizer choice (Abacus vs Tetris)",
+    f"{'legalizer':<10} {'avg disp':>10} {'post-LG HPWL':>14} {'legal':>6}",
+)
+_opt_table = TableCollector(
+    "Ablation: GP optimizer (Nesterov vs Adam)",
+    f"{'optimizer':<10} {'HPWL':>12} {'overflow':>9} {'iters':>6} {'GP/s':>7}",
+)
+_dp_table = TableCollector(
+    "Ablation: detailed-placement operator contributions",
+    f"{'operators':<24} {'HPWL gain':>10} {'moves':>7}",
+)
+
+
+@pytest.fixture(scope="module")
+def gp_solution():
+    netlist = make_design("adaptec2", scale=SCALE)
+    result = XPlacer(netlist, PlacementParams()).run()
+    return netlist, result
+
+
+def test_legalizer_ablation(benchmark, gp_solution):
+    netlist, gp = gp_solution
+    mov = netlist.movable_index
+    rows = {}
+    lx, ly = benchmark.pedantic(
+        lambda: AbacusLegalizer(netlist).legalize(gp.x, gp.y),
+        rounds=1,
+        iterations=1,
+    )
+    rows["abacus"] = (lx, ly)
+    rows["tetris"] = TetrisLegalizer(netlist).legalize(gp.x, gp.y)
+    stats = {}
+    for name, (x, y) in rows.items():
+        report = check_legal(netlist, x, y)
+        assert report.legal
+        disp = float(
+            np.mean(np.abs(x[mov] - gp.x[mov]) + np.abs(y[mov] - gp.y[mov]))
+        )
+        stats[name] = disp
+        _lg_table.add(
+            f"{name:<10} {disp:>10.2f} {hpwl(netlist, x, y):>14.4g} "
+            f"{str(report.legal):>6}"
+        )
+    # Abacus's cluster optimality must show up as lower displacement.
+    assert stats["abacus"] <= stats["tetris"] * 1.05
+
+
+def test_optimizer_ablation(benchmark, gp_solution):
+    netlist, nesterov = gp_solution
+    benchmark.pedantic(
+        lambda: XPlacer(
+            netlist, PlacementParams(optimizer="adam", max_iterations=600)
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    adam = XPlacer(
+        netlist, PlacementParams(optimizer="adam", max_iterations=600)
+    ).run()
+    for name, res in (("nesterov", nesterov), ("adam", adam)):
+        _opt_table.add(
+            f"{name:<10} {res.hpwl:>12.4g} {res.overflow:>9.3f} "
+            f"{res.iterations:>6} {res.gp_seconds:>7.2f}"
+        )
+    # Nesterov is the production choice: it must spread at least as well.
+    assert nesterov.overflow <= adam.overflow + 0.05
+
+
+def test_dp_operator_ablation(benchmark, gp_solution):
+    netlist, gp = gp_solution
+    lx, ly = AbacusLegalizer(netlist).legalize(gp.x, gp.y)
+    base_hpwl = hpwl(netlist, lx, ly)
+
+    def run_dp(**kw):
+        return DetailedPlacer(netlist, max_passes=1, **kw).place(lx, ly)
+
+    full = benchmark.pedantic(run_dp, rounds=1, iterations=1)
+    reorder_only = run_dp(swap_candidates=0, ism_batch=2)
+    for name, res in (
+        ("reorder only", reorder_only),
+        ("reorder+swap+ism (full)", full),
+    ):
+        gain = (base_hpwl - res.hpwl_after) / base_hpwl
+        _dp_table.add(f"{name:<24} {gain:>10.3%} {res.moves_applied:>7}")
+        assert res.hpwl_after <= base_hpwl + 1e-6
+    assert full.hpwl_after <= reorder_only.hpwl_after + 1e-6

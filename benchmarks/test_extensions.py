@@ -1,0 +1,83 @@
+"""Benches for the future-work extensions (Section 5 of the paper):
+fence-region constrained placement and routability-driven placement."""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, TableCollector
+from repro.benchgen import CircuitSpec, generate_circuit, make_design
+from repro.core import PlacementParams
+from repro.flow import run_flow
+from repro.legalize import check_legal
+from repro.route import GlobalRouter, RoutabilityDrivenPlacer
+
+_fence_table = TableCollector(
+    "Extension: fence-region constrained flow (future work of the paper)",
+    f"{'design':<14} {'#fences':>8} {'fenced':>7} {'HPWL':>12} "
+    f"{'HPWL free':>12} {'cost':>7} {'legal':>6}",
+)
+_rd_table = TableCollector(
+    "Extension: routability-driven placement (future work of the paper)",
+    f"{'design':<14} {'top5 rd':>8} {'top5 plain':>11} {'HPWL rd':>12} "
+    f"{'HPWL plain':>12}",
+)
+
+
+@pytest.mark.parametrize("cells", [600, 1200])
+def test_fence_flow(benchmark, cells):
+    fenced = generate_circuit(
+        CircuitSpec(
+            f"fence{cells}",
+            num_cells=cells,
+            num_macros=2,
+            num_fences=2,
+            utilization=0.5,
+        )
+    )
+    free = generate_circuit(
+        CircuitSpec(
+            f"fence{cells}",
+            num_cells=cells,
+            num_macros=2,
+            num_fences=0,
+            utilization=0.5,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_flow(fenced, placer="xplace", dp_passes=1),
+        rounds=1,
+        iterations=1,
+    )
+    unconstrained = run_flow(free, placer="xplace", dp_passes=1)
+    report = check_legal(fenced, result.x, result.y)
+    assert report.legal, report.summary()
+    # Constraints cost wirelength, but only moderately.
+    cost = result.final_hpwl / unconstrained.final_hpwl
+    assert cost < 1.5
+    members = int(np.sum(fenced.cell_fence >= 0))
+    _fence_table.add(
+        f"{fenced.name:<14} {len(fenced.fences):>8} {members:>7} "
+        f"{result.final_hpwl:>12.4g} {unconstrained.final_hpwl:>12.4g} "
+        f"{cost:>7.3f} {str(report.legal):>6}"
+    )
+
+
+@pytest.mark.parametrize("design", ["fft_2", "matrix_mult_b"])
+def test_routability_driven(benchmark, design):
+    netlist = make_design(design, scale=SCALE)
+    params = PlacementParams()
+    driven = benchmark.pedantic(
+        lambda: RoutabilityDrivenPlacer(netlist, params, rounds=3).run(),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.core import XPlacer
+
+    plain = XPlacer(netlist, params).run()
+    plain_routing = GlobalRouter(netlist, grid_m=32).route(plain.x, plain.y)
+    assert driven.top5_overflow <= plain_routing.top5_overflow + 1e-9
+    _rd_table.add(
+        f"{design:<14} {driven.top5_overflow:>8.2f} "
+        f"{plain_routing.top5_overflow:>11.2f} {driven.hpwl:>12.4g} "
+        f"{plain.hpwl:>12.4g}"
+    )

@@ -1,0 +1,79 @@
+"""Section 4.3 support: guidance-model accuracy and inference cost.
+
+Checks the trained FNO against the numerical solver on held-out random
+maps, on a *real placement* density map (the paper's test protocol), and
+at a resolution it was never trained on (the resolution-independence
+claim).  The benchmarked quantity is one field inference.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, TableCollector
+from repro.benchgen import make_design
+from repro.core import PlacementParams, XPlacer
+from repro.nn import predict_fields, random_density_dataset
+
+_table = TableCollector(
+    "FNO field accuracy (relative L2; 0 = exact, 1 = zero-field baseline)",
+    f"{'test set':<28} {'rel. error':>10}",
+)
+
+
+def _relative_error(model, density, field_x):
+    fx, __ = predict_fields(model, density)
+    return float(np.linalg.norm(fx - field_x) / np.linalg.norm(field_x))
+
+
+def test_heldout_accuracy(benchmark, guidance_model):
+    test = random_density_dataset(8, m=32, rng=np.random.default_rng(321))
+    benchmark.pedantic(
+        lambda: predict_fields(guidance_model, test[0].density),
+        rounds=3,
+        iterations=1,
+    )
+    errors = [_relative_error(guidance_model, s.density, s.field_x) for s in test]
+    error = float(np.mean(errors))
+    assert error < 0.5
+    _table.add(f"{'held-out 32x32 maps':<28} {error:>10.3f}")
+
+
+def test_resolution_transfer(benchmark, guidance_model):
+    """Trained at 32x32; must generalize to 64x64 (paper Section 3.3.1)."""
+    test = random_density_dataset(4, m=64, rng=np.random.default_rng(654))
+    benchmark.pedantic(
+        lambda: predict_fields(guidance_model, test[0].density),
+        rounds=1,
+        iterations=1,
+    )
+    errors = [_relative_error(guidance_model, s.density, s.field_x) for s in test]
+    error = float(np.mean(errors))
+    assert error < 0.6
+    _table.add(f"{'resolution transfer 64x64':<28} {error:>10.3f}")
+
+
+def test_real_placement_map(benchmark, guidance_model):
+    """Accuracy on a genuine mid-placement density map."""
+    netlist = make_design("adaptec1", scale=SCALE)
+    placer = XPlacer(
+        netlist,
+        PlacementParams(max_iterations=60, min_iterations=60, stop_overflow=1e-12),
+    )
+    placer.run()
+    density_map = placer.engine._cache.density_map
+    benchmark.pedantic(
+        lambda: predict_fields(guidance_model, density_map), rounds=1, iterations=1
+    )
+    solution = placer.density.solver.solve(density_map)
+    fx, __ = predict_fields(guidance_model, density_map)
+    fx = fx * netlist.region.width
+    error = float(
+        np.linalg.norm(fx - solution.field_x) / np.linalg.norm(solution.field_x)
+    )
+    cosine = float(
+        np.sum(fx * solution.field_x)
+        / (np.linalg.norm(fx) * np.linalg.norm(solution.field_x))
+    )
+    assert cosine > 0.8
+    _table.add(f"{'real GP map (adaptec1)':<28} {error:>10.3f}")
+    _table.add(f"{'  (direction cosine)':<28} {cosine:>10.3f}")

@@ -1,0 +1,47 @@
+"""Section 3.2: the stage indicator ω traverses its three regimes.
+
+Verifies, on real runs, the behaviour the stage-aware schedule is built
+on: ω starts < 0.05 (wirelength-dominated), crosses into the spreading
+band, and overflow falls fastest while ω is rising.  Also compares
+final HPWL with and without the stage-aware slowdown (Algorithm 1).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, TableCollector, design_subset
+from repro.benchgen import ISPD2005_LIKE, make_design
+from repro.core import PlacementParams, XPlacer
+
+_table = TableCollector(
+    "Stage indicator omega and Algorithm-1 effect",
+    f"{'design':<10} {'omega@0':>9} {'omega@end':>10} {'HPWL aware':>12} "
+    f"{'HPWL naive':>12} {'delta':>8}",
+)
+
+_DESIGNS = design_subset(ISPD2005_LIKE)[:4]
+
+
+@pytest.mark.parametrize("design", _DESIGNS)
+def test_omega_stages(benchmark, design):
+    netlist = make_design(design, scale=SCALE)
+    aware = benchmark.pedantic(
+        lambda: XPlacer(netlist, PlacementParams()).run(), rounds=1, iterations=1
+    )
+    naive = XPlacer(
+        netlist, PlacementParams(stage_aware_schedule=False)
+    ).run()
+
+    omega = aware.recorder.trace("omega")
+    assert omega[0] < 0.05          # wirelength-dominated start
+    assert omega[-1] > 0.3          # well into / past the spreading stage
+    assert np.all(np.diff(omega) > -1e-9)  # monotone non-decreasing
+
+    delta = (aware.hpwl - naive.hpwl) / naive.hpwl
+    # Algorithm 1 is a quality technique: it must not cost more than a
+    # few percent and typically helps.
+    assert delta < 0.03
+    _table.add(
+        f"{design:<10} {omega[0]:>9.4f} {omega[-1]:>10.4f} "
+        f"{aware.hpwl:>12.4g} {naive.hpwl:>12.4g} {delta:>+8.3%}"
+    )

@@ -1,0 +1,84 @@
+"""Operator micro-benchmarks: the techniques of Section 3.1 in isolation.
+
+Times the fused vs split wirelength operator, the extracted vs fused
+density evaluation, and the autograd-vs-closed-form gradient — the
+per-operator view that Table 3 aggregates per iteration.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import SCALE, TableCollector
+from repro.benchgen import make_design
+from repro.density import DensitySystem
+from repro.ops import use_profiler
+from repro.wirelength import WirelengthOp
+from repro.wirelength.wa_autograd import AutogradWirelengthOp
+
+_table = TableCollector(
+    "Operator microbenchmarks (one evaluation each)",
+    f"{'operator':<36} {'launches':>9}",
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    netlist = make_design("adaptec3", scale=SCALE)
+    rng = np.random.default_rng(0)
+    region = netlist.region
+    x = rng.uniform(region.xl, region.xh, netlist.num_cells)
+    y = rng.uniform(region.yl, region.yh, netlist.num_cells)
+    return netlist, x, y
+
+
+def test_wirelength_combined(benchmark, workload):
+    netlist, x, y = workload
+    op = WirelengthOp(netlist, combined=True)
+    benchmark(lambda: op(x, y, 2.0))
+    with use_profiler() as profiler:
+        op(x, y, 2.0)
+    _table.add(f"{'WA combined (OC on)':<36} {profiler.total:>9}")
+
+
+def test_wirelength_split(benchmark, workload):
+    netlist, x, y = workload
+    op = WirelengthOp(netlist, combined=False)
+    benchmark(lambda: op(x, y, 2.0))
+    with use_profiler() as profiler:
+        op(x, y, 2.0)
+    _table.add(f"{'WA split (OC off)':<36} {profiler.total:>9}")
+
+
+def test_wirelength_autograd(benchmark, workload):
+    netlist, x, y = workload
+    op = AutogradWirelengthOp(netlist)
+    benchmark(lambda: op(x, y, 2.0))
+    with use_profiler() as profiler:
+        op(x, y, 2.0)
+    _table.add(f"{'WA autograd (OR off)':<36} {profiler.total:>9}")
+
+    # Parity: the tape computes the same objective and gradient.
+    fused = WirelengthOp(netlist)(x, y, 2.0)
+    taped = op(x, y, 2.0)
+    assert taped.wa == pytest.approx(fused.wa, rel=1e-9)
+    np.testing.assert_allclose(taped.grad_x, fused.grad_x, atol=1e-9)
+
+
+def test_density_extracted(benchmark, workload):
+    netlist, x, y = workload
+    system = DensitySystem(netlist, 0.9, extraction=True,
+                           rng=np.random.default_rng(1))
+    benchmark(lambda: system.evaluate(x, y))
+    with use_profiler() as profiler:
+        system.evaluate(x, y)
+    _table.add(f"{'density extracted (OE on)':<36} {profiler.total:>9}")
+
+
+def test_density_fused(benchmark, workload):
+    netlist, x, y = workload
+    system = DensitySystem(netlist, 0.9, extraction=False,
+                           rng=np.random.default_rng(1))
+    benchmark(lambda: system.evaluate(x, y))
+    with use_profiler() as profiler:
+        system.evaluate(x, y)
+    _table.add(f"{'density fused (OE off)':<36} {profiler.total:>9}")

@@ -1,0 +1,56 @@
+"""Intro-claim bench: quadratic vs non-linear global placement.
+
+Section 1 of the paper: "Although quadratic placers show fast run time
+to converge, their solution qualities are limited by the low modeling
+order of the wirelength.  [...] non-linear placers produce higher
+solution quality while the running time overhead is huge."  This bench
+reproduces that trade-off with the B2B quadratic placer vs Xplace,
+through the identical LG+DP back end.
+"""
+
+import pytest
+
+from conftest import SCALE, TableCollector, design_subset
+from repro.benchgen import ISPD2005_LIKE, make_design
+from repro.core import PlacementParams, XPlacer
+from repro.detail import DetailedPlacer
+from repro.legalize import AbacusLegalizer, check_legal
+from repro.quadratic import QuadraticPlacer
+from repro.wirelength import hpwl
+
+_table = TableCollector(
+    "Intro claim: quadratic (B2B) vs non-linear (Xplace) placement",
+    f"{'design':<10} | {'quad HPWL':>11} {'GP/s':>6} | {'Xp HPWL':>11} "
+    f"{'GP/s':>6} | {'quality gap':>11}",
+)
+
+_DESIGNS = design_subset(ISPD2005_LIKE)[:4]
+
+
+def _finish(netlist, gp_x, gp_y):
+    lx, ly = AbacusLegalizer(netlist).legalize(gp_x, gp_y)
+    dp = DetailedPlacer(netlist, max_passes=1).place(lx, ly)
+    assert check_legal(netlist, dp.x, dp.y).legal
+    return dp.hpwl_after
+
+
+@pytest.mark.parametrize("design", _DESIGNS)
+def test_quadratic_vs_nonlinear(benchmark, design):
+    netlist = make_design(design, scale=SCALE)
+
+    quad = benchmark.pedantic(
+        lambda: QuadraticPlacer(netlist).run(), rounds=1, iterations=1
+    )
+    quad_hpwl = _finish(netlist, quad.x, quad.y)
+
+    nonlinear = XPlacer(netlist, PlacementParams()).run()
+    nonlinear_hpwl = _finish(netlist, nonlinear.x, nonlinear.y)
+
+    gap = quad_hpwl / nonlinear_hpwl
+    # The claim: the non-linear placer wins on quality.
+    assert gap > 1.0
+    _table.add(
+        f"{design:<10} | {quad_hpwl:>11.4g} {quad.gp_seconds:>6.2f} | "
+        f"{nonlinear_hpwl:>11.4g} {nonlinear.gp_seconds:>6.2f} | "
+        f"{gap:>10.2f}x"
+    )

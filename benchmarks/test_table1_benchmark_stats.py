@@ -1,0 +1,47 @@
+"""Table 1: benchmark statistics (#cells, #nets) of both suites.
+
+Regenerates the statistics table for the synthetic ISPD-2005-like and
+ISPD-2015-like suites at the configured scale.  The benchmarked quantity
+is circuit generation itself (netlist construction throughput).
+"""
+
+import pytest
+
+from conftest import SCALE, TableCollector, design_subset
+from repro.benchgen import (
+    ISPD2005_LIKE,
+    ISPD2015_LIKE,
+    generate_circuit,
+    ispd2005_like_suite,
+    ispd2015_like_suite,
+)
+from repro.netlist import compute_stats
+
+_SUITES = {"ISPD 2005": ispd2005_like_suite(SCALE), "ISPD 2015": ispd2015_like_suite(SCALE)}
+
+_table = TableCollector(
+    f"Table 1: Benchmarks Statistics (scale={SCALE})",
+    f"{'suite':<10} {'design':<16} {'#cells':>8} {'#nets':>8} {'#pins':>9} "
+    f"{'util':>6} {'avg deg':>8}",
+)
+
+_CASES = [
+    ("ISPD 2005", name) for name in design_subset(ISPD2005_LIKE)
+] + [("ISPD 2015", name) for name in design_subset(ISPD2015_LIKE)]
+
+
+@pytest.mark.parametrize("suite,design", _CASES, ids=[c[1] for c in _CASES])
+def test_table1_design_stats(benchmark, suite, design):
+    spec = _SUITES[suite][design]
+    netlist = benchmark.pedantic(generate_circuit, args=(spec,), rounds=1,
+                                 iterations=1)
+    stats = compute_stats(netlist)
+    # Invariants the suites guarantee (what makes them contest-like).
+    assert stats.num_movable == spec.num_cells
+    assert 2.0 < stats.avg_net_degree < 6.0
+    assert 0.05 < stats.utilization < 1.0
+    _table.add(
+        f"{suite:<10} {design:<16} {stats.num_cells:>8} {stats.num_nets:>8} "
+        f"{stats.num_pins:>9} {stats.utilization:>6.2f} "
+        f"{stats.avg_net_degree:>8.2f}"
+    )

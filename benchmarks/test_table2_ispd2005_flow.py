@@ -1,0 +1,89 @@
+"""Table 2: HPWL and runtime on the ISPD-2005-like suite.
+
+For every design, runs the full GP→LG→DP flow for DREAMPlace-style
+baseline, Xplace, and Xplace-NN (the same LG/DP back end for all three,
+per the paper's protocol) and reports post-DP HPWL, GP seconds and DP
+seconds.  The benchmarked callable is the Xplace GP run.
+
+Expected shape vs the paper: Xplace reaches the same-or-slightly-better
+HPWL than the baseline at a 1.3–3x GP-time speedup; Xplace-NN nudges
+HPWL down another fraction of a percent at extra GP cost.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import DP_PASSES, SCALE, TableCollector, design_subset
+from repro.benchgen import ISPD2005_LIKE, make_design
+from repro.core import PlacementParams, XPlacer
+from repro.flow import run_flow
+from repro.nn import make_field_predictor
+
+_table = TableCollector(
+    f"Table 2: ISPD-2005-like HPWL(x1e3) and runtime seconds (scale={SCALE})",
+    f"{'design':<10} | {'base HPWL':>10} {'GP/s':>6} {'DP/s':>6} | "
+    f"{'Xp HPWL':>10} {'GP/s':>6} {'DP/s':>6} | "
+    f"{'XpNN HPWL':>10} {'GP/s':>6} {'DP/s':>6}",
+)
+_sums = {
+    "base": [0.0, 0.0, 0.0],
+    "xp": [0.0, 0.0, 0.0],
+    "nn": [0.0, 0.0, 0.0],
+}
+_designs = design_subset(ISPD2005_LIKE)
+
+
+@pytest.mark.parametrize("design", _designs)
+def test_table2_design(benchmark, design, guidance_model):
+    netlist = make_design(design, scale=SCALE)
+    params = PlacementParams()
+
+    base = run_flow(netlist, placer="baseline", params=params, dp_passes=DP_PASSES)
+    assert base.legal
+
+    # Benchmark the headline quantity: Xplace global placement.
+    gp = benchmark.pedantic(
+        lambda: XPlacer(netlist, params).run(), rounds=1, iterations=1
+    )
+    xplace = run_flow(netlist, placer="xplace", params=params, dp_passes=DP_PASSES)
+    assert xplace.legal
+    # The benchmarked GP and the flow GP are the same configuration.
+    assert gp.hpwl == pytest.approx(xplace.gp_hpwl, rel=1e-9)
+
+    predictor = make_field_predictor(guidance_model, netlist.region)
+    nn = run_flow(
+        netlist,
+        placer="xplace-nn",
+        params=params,
+        field_predictor=predictor,
+        dp_passes=DP_PASSES,
+    )
+    assert nn.legal
+
+    # Shape assertions (see module docstring).
+    assert xplace.final_hpwl < 1.03 * base.final_hpwl
+    assert nn.final_hpwl < 1.03 * base.final_hpwl
+
+    for key, res in (("base", base), ("xp", xplace), ("nn", nn)):
+        _sums[key][0] += res.final_hpwl
+        _sums[key][1] += res.gp_seconds
+        _sums[key][2] += res.dp_seconds
+    _table.add(
+        f"{design:<10} | {base.final_hpwl/1e3:>10.1f} {base.gp_seconds:>6.2f} "
+        f"{base.dp_seconds:>6.1f} | {xplace.final_hpwl/1e3:>10.1f} "
+        f"{xplace.gp_seconds:>6.2f} {xplace.dp_seconds:>6.1f} | "
+        f"{nn.final_hpwl/1e3:>10.1f} {nn.gp_seconds:>6.2f} {nn.dp_seconds:>6.1f}"
+    )
+    if design == _designs[-1]:
+        b, x, n = _sums["base"], _sums["xp"], _sums["nn"]
+        _table.add_footer(
+            f"{'Sum':<10} | {b[0]/1e3:>10.1f} {b[1]:>6.2f} {b[2]:>6.1f} | "
+            f"{x[0]/1e3:>10.1f} {x[1]:>6.2f} {x[2]:>6.1f} | "
+            f"{n[0]/1e3:>10.1f} {n[1]:>6.2f} {n[2]:>6.1f}"
+        )
+        if x[0] > 0:
+            _table.add_footer(
+                f"{'Ratio':<10} | {b[0]/x[0]:>10.3f} {b[1]/x[1]:>6.2f} "
+                f"{b[2]/x[2]:>6.2f} | {1.0:>10.3f} {1.0:>6.2f} {1.0:>6.2f} | "
+                f"{n[0]/x[0]:>10.3f} {n[1]/x[1]:>6.2f} {n[2]/x[2]:>6.2f}"
+            )

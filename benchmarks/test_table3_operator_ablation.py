@@ -1,0 +1,101 @@
+"""Table 3: ablation of the operator-level optimization techniques.
+
+Measures per-GP-iteration time for the cumulative configurations
+{none} → {OR} → {OR,OC} → {OR,OC,OE} → {OR,OC,OE,OS} (= Xplace) and for
+the DREAMPlace-style baseline, on every ISPD-2005-like design.  Reported
+as percentages of the Xplace per-iteration time, like the paper.
+
+Expected shape: each added technique is monotonically non-hurting, the
+"none" row sits well above 100 %, and the baseline sits above "none".
+All configurations run the same mathematics — the techniques only change
+operator dispatch — so their HPWL trajectories coincide (asserted for
+the OC/OE rows, which are bit-identical by construction).
+"""
+
+import time
+
+import pytest
+
+from conftest import SCALE, TableCollector, design_subset
+from repro.baseline import DreamPlaceStyleBaseline
+from repro.benchgen import ISPD2005_LIKE, make_design
+from repro.core import PlacementParams, XPlacer
+
+_ITERATIONS = 80
+
+_CONFIGS = [
+    ("none", dict(operator_reduction=False, combined_wirelength=False,
+                  density_extraction=False, operator_skipping=False)),
+    ("OR", dict(combined_wirelength=False, density_extraction=False,
+                operator_skipping=False)),
+    ("OR+OC", dict(density_extraction=False, operator_skipping=False)),
+    ("OR+OC+OE", dict(operator_skipping=False)),
+    ("Xplace", dict()),
+]
+
+_table = TableCollector(
+    f"Table 3: per-GP-iteration time, % of Xplace (scale={SCALE}, "
+    f"{_ITERATIONS} iterations)",
+    f"{'design':<10} " + " ".join(f"{name:>10}" for name, __ in _CONFIGS)
+    + f" {'DREAMPlace':>11} {'Xplace ms':>10}",
+)
+
+
+def _per_iteration_seconds(factory) -> float:
+    placer = factory()
+    start = time.perf_counter()
+    result = placer.run()
+    return (time.perf_counter() - start) / result.iterations, result
+
+
+@pytest.mark.parametrize("design", design_subset(ISPD2005_LIKE))
+def test_table3_ablation(benchmark, design):
+    netlist = make_design(design, scale=SCALE)
+
+    def fixed_params(**kw):
+        return PlacementParams(
+            max_iterations=_ITERATIONS,
+            min_iterations=_ITERATIONS,
+            stop_overflow=1e-12,
+            **kw,
+        )
+
+    times = {}
+    hpwls = {}
+    for name, flags in _CONFIGS:
+        if name == "Xplace":
+            # The benchmarked callable: one full Xplace GP segment.
+            result = benchmark.pedantic(
+                lambda: XPlacer(netlist, fixed_params()).run(),
+                rounds=1,
+                iterations=1,
+            )
+            seconds = benchmark.stats.stats.mean
+        else:
+            seconds, result = _per_iteration_seconds(
+                lambda flags=flags: XPlacer(netlist, fixed_params(**flags))
+            )
+            seconds *= result.iterations
+        times[name] = seconds / result.iterations
+        hpwls[name] = result.hpwl
+
+    base_seconds, base_result = _per_iteration_seconds(
+        lambda: DreamPlaceStyleBaseline(netlist, fixed_params())
+    )
+    times["DREAMPlace"] = base_seconds
+
+    # OC and OE are pure dispatch changes: identical HPWL trajectories.
+    assert hpwls["OR"] == pytest.approx(hpwls["OR+OC"], rel=1e-9)
+    assert hpwls["OR+OC"] == pytest.approx(hpwls["OR+OC+OE"], rel=1e-9)
+    # The full stack must not be slower than the bare configuration.
+    assert times["Xplace"] <= times["none"] * 1.05
+    assert times["DREAMPlace"] >= times["Xplace"]
+
+    xplace_time = times["Xplace"]
+    row = f"{design:<10} "
+    row += " ".join(
+        f"{100 * times[name] / xplace_time:>9.0f}%" for name, __ in _CONFIGS
+    )
+    row += f" {100 * times['DREAMPlace'] / xplace_time:>10.0f}%"
+    row += f" {1000 * xplace_time:>10.3f}"
+    _table.add(row)

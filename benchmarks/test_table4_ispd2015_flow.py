@@ -1,0 +1,74 @@
+"""Table 4: HPWL, top5 overflow and runtime on the ISPD-2015-like suite.
+
+Runs baseline and Xplace through GP→LG→DP→GR on all twenty designs
+(fence regions removed by construction, like the † rows of the paper)
+and reports post-DP HPWL, the router's top-5 %-g-cell overflow, and GP /
+DP seconds.
+
+Expected shape: Xplace HPWL ≤ ~baseline with clearly faster GP and
+comparable OVFL-5 (routability is dominated by the shared density
+target, not by which placer reached it).
+"""
+
+import pytest
+
+from conftest import DP_PASSES, SCALE, TableCollector, design_subset
+from repro.benchgen import ISPD2015_LIKE, make_design
+from repro.core import PlacementParams, XPlacer
+from repro.flow import run_flow
+
+_table = TableCollector(
+    f"Table 4: ISPD-2015-like HPWL(x1e3), OVFL-5 and runtime (scale={SCALE})",
+    f"{'design':<16} | {'base HPWL':>10} {'OVFL5':>6} {'GP/s':>6} {'DP/s':>6} | "
+    f"{'Xp HPWL':>10} {'OVFL5':>6} {'GP/s':>6} {'DP/s':>6}",
+)
+_sums = {"base": [0.0] * 4, "xp": [0.0] * 4}
+_designs = design_subset(ISPD2015_LIKE)
+
+
+@pytest.mark.parametrize("design", _designs)
+def test_table4_design(benchmark, design):
+    netlist = make_design(design, scale=SCALE)
+    params = PlacementParams()
+
+    base = run_flow(
+        netlist, placer="baseline", params=params, dp_passes=DP_PASSES, route=True
+    )
+    assert base.legal
+
+    benchmark.pedantic(
+        lambda: XPlacer(netlist, params).run(), rounds=1, iterations=1
+    )
+    xplace = run_flow(
+        netlist, placer="xplace", params=params, dp_passes=DP_PASSES, route=True
+    )
+    assert xplace.legal
+
+    # Shape: comparable quality, comparable routability.
+    assert xplace.final_hpwl < 1.05 * base.final_hpwl
+    assert xplace.top5_overflow < 1.5 * base.top5_overflow + 1.0
+
+    for key, res in (("base", base), ("xp", xplace)):
+        _sums[key][0] += res.final_hpwl
+        _sums[key][1] += res.top5_overflow
+        _sums[key][2] += res.gp_seconds
+        _sums[key][3] += res.dp_seconds
+    _table.add(
+        f"{design:<16} | {base.final_hpwl/1e3:>10.1f} {base.top5_overflow:>6.2f} "
+        f"{base.gp_seconds:>6.2f} {base.dp_seconds:>6.1f} | "
+        f"{xplace.final_hpwl/1e3:>10.1f} {xplace.top5_overflow:>6.2f} "
+        f"{xplace.gp_seconds:>6.2f} {xplace.dp_seconds:>6.1f}"
+    )
+    if design == _designs[-1]:
+        b, x = _sums["base"], _sums["xp"]
+        _table.add_footer(
+            f"{'Sum':<16} | {b[0]/1e3:>10.1f} {b[1]:>6.1f} {b[2]:>6.2f} "
+            f"{b[3]:>6.1f} | {x[0]/1e3:>10.1f} {x[1]:>6.1f} {x[2]:>6.2f} "
+            f"{x[3]:>6.1f}"
+        )
+        if x[0] > 0:
+            _table.add_footer(
+                f"{'Ratio (base/Xp)':<16} | {b[0]/x[0]:>10.3f} "
+                f"{b[1]/max(x[1],1e-9):>6.2f} {b[2]/x[2]:>6.2f} "
+                f"{b[3]/x[3]:>6.2f} |"
+            )

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Bookshelf interchange: write, re-read and place a benchmark directory.
+
+Demonstrates the ISPD-2005 interchange path: a synthetic design is
+persisted as a full bookshelf benchmark (.aux/.nodes/.nets/.pl/.scl/.wts),
+read back, placed, and the placement is written to a .pl file — the same
+artifact the contest flows exchange with legalizers like NTUPlace3.
+
+    python examples/bookshelf_roundtrip.py [directory]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import PlacementParams, XPlacer, make_design
+from repro.bookshelf import read_bookshelf, write_bookshelf, write_pl
+
+
+def main() -> None:
+    directory = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="bookshelf_"
+    )
+    original = make_design("bigblue1", num_cells=800)
+
+    aux = write_bookshelf(original, directory)
+    print(f"wrote benchmark: {aux}")
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        print(f"  {name:<20} {os.path.getsize(path):>8} bytes")
+
+    netlist = read_bookshelf(aux)
+    print(
+        f"\nre-read {netlist.name}: {netlist.num_cells} cells, "
+        f"{netlist.num_nets} nets, {netlist.num_pins} pins"
+    )
+    assert netlist.num_cells == original.num_cells
+
+    result = XPlacer(netlist, PlacementParams()).run()
+    print(f"placed: HPWL {result.hpwl:.4g} in {result.gp_seconds:.2f}s")
+
+    pl_path = os.path.join(directory, f"{netlist.name}.gp.pl")
+    write_pl(netlist, pl_path, x=result.x, y=result.y)
+    print(f"wrote placement: {pl_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Table-2-style comparison on one ISPD-2005-like design.
+
+Runs the DREAMPlace-style baseline and Xplace through the identical
+LG+DP back end (the paper's fair-comparison protocol) and prints the
+HPWL / GP time / DP time row for each.
+
+    python examples/ispd2005_flow.py [design] [scale]
+"""
+
+import sys
+
+from repro import make_design, run_flow
+from repro.netlist import compute_stats
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else "adaptec1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+    netlist = make_design(design, scale=scale)
+    stats = compute_stats(netlist)
+    print(f"{stats.design}: {stats.num_cells} cells, {stats.num_nets} nets\n")
+
+    print(f"{'placer':<10} {'HPWL':>12} {'GP/s':>8} {'DP/s':>8} {'legal':>6}")
+    results = {}
+    for placer in ("baseline", "xplace"):
+        result = run_flow(netlist, placer=placer, dp_passes=1)
+        results[placer] = result
+        print(
+            f"{placer:<10} {result.final_hpwl:>12.4g} {result.gp_seconds:>8.2f} "
+            f"{result.dp_seconds:>8.2f} {str(result.legal):>6}"
+        )
+
+    base = results["baseline"]
+    ours = results["xplace"]
+    print(
+        f"\nXplace vs baseline: GP speedup {base.gp_seconds / ours.gp_seconds:.2f}x, "
+        f"HPWL ratio {base.final_hpwl / ours.final_hpwl:.4f} "
+        f"(>1 means Xplace is better)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""ISPD-2015-style routability flow (the Table 4 protocol).
+
+Places an ISPD-2015-like design (fence regions removed, as in the
+paper), legalizes, refines, then runs the global router and reports the
+top5 overflow routability metric alongside HPWL and runtimes.
+
+    python examples/routability_flow.py [design] [scale]
+"""
+
+import sys
+
+from repro import make_design, run_flow
+from repro.netlist import compute_stats
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else "fft_1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+    netlist = make_design(design, scale=scale)
+    stats = compute_stats(netlist)
+    print(f"{stats.design}: {stats.num_cells} cells, {stats.num_nets} nets\n")
+
+    header = f"{'placer':<10} {'HPWL':>12} {'OVFL-5':>8} {'GP/s':>7} {'DP/s':>7} {'GR/s':>7}"
+    print(header)
+    for placer in ("baseline", "xplace"):
+        result = run_flow(netlist, placer=placer, dp_passes=1, route=True)
+        print(
+            f"{placer:<10} {result.final_hpwl:>12.4g} "
+            f"{result.top5_overflow:>8.2f} {result.gp_seconds:>7.2f} "
+            f"{result.dp_seconds:>7.2f} {result.gr_seconds:>7.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

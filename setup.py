@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work offline
+(the sandbox lacks the `wheel` package PEP 517 editable builds require)."""
+from setuptools import setup
+
+setup()

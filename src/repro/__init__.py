@@ -1,0 +1,70 @@
+"""repro — a pure-Python reproduction of Xplace (DAC 2022).
+
+Xplace is a fast, extensible GPU-accelerated analytical global placement
+framework; this package re-implements it (and every substrate its
+evaluation depends on) on NumPy/SciPy.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import make_design, run_flow
+    result = run_flow(make_design("adaptec1"), placer="xplace")
+    print(result.final_hpwl, result.gp_seconds)
+"""
+
+from repro.netlist import (
+    FenceRegion,
+    Netlist,
+    NetlistBuilder,
+    PlacementRegion,
+    compute_stats,
+)
+from repro.benchgen import CircuitSpec, generate_circuit, make_design
+from repro.core import PlacementParams, PlacementResult, XPlacer
+from repro.baseline import DreamPlaceStyleBaseline
+from repro.legalize import (
+    AbacusLegalizer,
+    FenceAwareLegalizer,
+    TetrisLegalizer,
+    check_legal,
+)
+from repro.detail import DetailedPlacer
+from repro.route import GlobalRouter, RoutabilityDrivenPlacer
+from repro.quadratic import QuadraticPlacer
+from repro.wirelength import hpwl
+from repro.flow import FlowResult, run_flow
+from repro.flow_mixed import MixedSizeResult, run_mixed_size_flow
+from repro.timing import TimingDrivenPlacer, TimingGraph, run_sta
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Netlist",
+    "NetlistBuilder",
+    "PlacementRegion",
+    "compute_stats",
+    "CircuitSpec",
+    "generate_circuit",
+    "make_design",
+    "PlacementParams",
+    "PlacementResult",
+    "XPlacer",
+    "DreamPlaceStyleBaseline",
+    "AbacusLegalizer",
+    "FenceAwareLegalizer",
+    "TetrisLegalizer",
+    "check_legal",
+    "DetailedPlacer",
+    "GlobalRouter",
+    "RoutabilityDrivenPlacer",
+    "QuadraticPlacer",
+    "FenceRegion",
+    "hpwl",
+    "FlowResult",
+    "run_flow",
+    "MixedSizeResult",
+    "run_mixed_size_flow",
+    "TimingDrivenPlacer",
+    "TimingGraph",
+    "run_sta",
+]

@@ -1,0 +1,39 @@
+"""A small reverse-mode automatic differentiation engine over NumPy.
+
+This package plays the role PyTorch plays in the paper: a tape-based
+autograd engine whose per-operator dispatch overhead is exactly what
+Xplace's operator-reduction technique avoids (Section 3.1.3).  The
+DREAMPlace-style baseline placer routes its objective through this tape;
+Xplace computes closed-form gradients directly and, as Figure 2(b) shows,
+can still *combine* a user-defined autograd loss with its numerical
+gradients via :func:`hybrid_gradient`.
+
+Every ``Function`` application reports a forward kernel launch to the
+active :class:`~repro.ops.KernelProfiler`, and every backward node
+reports a backward launch, so launch accounting reflects the
+"autograd almost doubles the operator count" observation.
+"""
+
+from repro.autograd.tensor import Function, Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops as _ops  # registers Tensor methods
+from repro.autograd.segment import gather_cells, segment_sum
+from repro.autograd.spectral import irfft2, rfft2, spectral_low_pass
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.hybrid import hybrid_gradient
+
+tensor = Tensor.as_tensor
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "gather_cells",
+    "segment_sum",
+    "rfft2",
+    "irfft2",
+    "spectral_low_pass",
+    "gradcheck",
+    "hybrid_gradient",
+]

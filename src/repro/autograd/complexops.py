@@ -1,0 +1,58 @@
+"""Complex-tensor operators specific to the Fourier neural operator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor
+
+
+class ModeMix(Function):
+    """Per-mode channel mixing of FNO: ``out[o,k,l] = Σ_i W[o,i,k,l]·x[i,k,l]``.
+
+    This is the linear transformation W of Eq. 11, applied independently
+    at every kept frequency.  Gradients follow the conjugate convention
+    (g = dL/dRe + i·dL/dIm): g_x = Σ_o conj(W)·g_out, g_W = g_out·conj(x).
+    """
+
+    @staticmethod
+    def forward(ctx, weight, x):
+        ctx.save(weight, x)
+        return np.einsum("oikl,ikl->okl", weight, x)
+
+    @staticmethod
+    def backward(ctx, grad):
+        weight, x = ctx.saved
+        gx = np.einsum("oikl,okl->ikl", np.conj(weight), grad)
+        gw = np.einsum("okl,ikl->oikl", grad, np.conj(x))
+        return gw, gx
+
+
+class EmbedBlock(Function):
+    """Write a block into a zero array of ``shape`` at ``slices``.
+
+    The low-pass structure of the FNO keeps only corner mode blocks; this
+    op places a processed block back into the full (otherwise zero)
+    spectrum before the inverse FFT.  Backward extracts the same block.
+    """
+
+    @staticmethod
+    def forward(ctx, block, shape, slices):
+        ctx.meta["slices"] = slices
+        out = np.zeros(shape, dtype=block.dtype)
+        out[slices] = block
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad[ctx.meta["slices"]], None, None
+
+
+def mode_mix(weight: Tensor, x: Tensor) -> Tensor:
+    """Differentiable per-mode channel mixing."""
+    return ModeMix.apply(weight, x)
+
+
+def embed_block(block: Tensor, shape: tuple, slices: tuple) -> Tensor:
+    """Differentiable block embedding into a zero spectrum."""
+    return EmbedBlock.apply(block, shape, slices)

@@ -1,0 +1,47 @@
+"""Hybrid gradients: autograd loss + externally computed numerical grad.
+
+This is the extensibility hook of Figure 2(b): Xplace skips the autograd
+engine for its own wirelength/density gradients, but a user-defined loss
+written against the tape can still contribute — its backward gradient is
+accumulated with the numerically computed gradient before the optimizer
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def hybrid_gradient(
+    x: np.ndarray,
+    y: np.ndarray,
+    numerical_grad_x: np.ndarray,
+    numerical_grad_y: np.ndarray,
+    user_loss: Optional[Callable[[Tensor, Tensor], Tensor]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Accumulate a user-defined autograd loss into numerical gradients.
+
+    Parameters
+    ----------
+    x, y : current cell positions (plain arrays)
+    numerical_grad_x/y : the directly computed Xplace gradients
+    user_loss : optional callable building a scalar loss Tensor from
+        position Tensors; its backward gradient is added on top.
+
+    Returns the combined (grad_x, grad_y).
+    """
+    if user_loss is None:
+        return numerical_grad_x, numerical_grad_y
+    tx = Tensor(x.copy(), requires_grad=True)
+    ty = Tensor(y.copy(), requires_grad=True)
+    loss = user_loss(tx, ty)
+    if loss.size != 1:
+        raise ValueError("user_loss must return a scalar Tensor")
+    loss.backward()
+    gx = tx.grad if tx.grad is not None else 0.0
+    gy = ty.grad if ty.grad is not None else 0.0
+    return numerical_grad_x + gx, numerical_grad_y + gy

@@ -1,0 +1,397 @@
+"""Elementwise, reduction and shape operators for the autograd tape.
+
+Importing this module attaches the Python arithmetic protocol to
+:class:`~repro.autograd.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import special
+
+from repro.autograd.tensor import Context, Function, Tensor
+
+Number = Union[int, float]
+
+
+def _conj(x: np.ndarray) -> np.ndarray:
+    return np.conj(x) if np.iscomplexobj(x) else x
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+class Add(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        return a + b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad, grad
+
+
+class Sub(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        return a - b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad, -grad
+
+
+class Mul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        # Conjugation makes the rule valid for complex factors under the
+        # dL/dRe + i·dL/dIm gradient convention.
+        return grad * _conj(b), grad * _conj(a)
+
+
+class Div(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        ga = grad / _conj(b)
+        gb = -grad * _conj(a) / _conj(b * b)
+        return ga, gb
+
+
+class Neg(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return -a
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (-grad,)
+
+
+class PowConst(Function):
+    @staticmethod
+    def forward(ctx, a, exponent):
+        ctx.save(a, exponent)
+        return a**exponent
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, exponent = ctx.saved
+        return grad * exponent * a ** (exponent - 1), None
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+class Exp(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (a,) = ctx.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.sqrt(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * 0.5 / out,)
+
+
+class Tanh(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.tanh(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * (1 - out * out),)
+
+
+class Sigmoid(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * out * (1 - out),)
+
+
+class ReLU(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a > 0)
+        return np.maximum(a, 0)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        return (grad * mask,)
+
+
+_SQRT2 = np.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+
+class GELU(Function):
+    """Exact (erf-based) GELU, the activation of Eq. 12."""
+
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(a)
+        return 0.5 * a * (1.0 + special.erf(a / _SQRT2))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (a,) = ctx.saved
+        cdf = 0.5 * (1.0 + special.erf(a / _SQRT2))
+        pdf = _INV_SQRT_2PI * np.exp(-0.5 * a * a)
+        return (grad * (cdf + a * pdf),)
+
+
+class Abs(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save(np.sign(a))
+        return np.abs(a)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (sign,) = ctx.saved
+        return (grad * sign,)
+
+
+# ----------------------------------------------------------------------
+# Reductions and shape ops
+# ----------------------------------------------------------------------
+class Sum(Function):
+    @staticmethod
+    def forward(ctx, a, axis, keepdims):
+        ctx.meta["shape"] = a.shape
+        ctx.meta["axis"] = axis
+        ctx.meta["keepdims"] = keepdims
+        return np.sum(a, axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        shape = ctx.meta["shape"]
+        axis = ctx.meta["axis"]
+        keepdims = ctx.meta["keepdims"]
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        return np.broadcast_to(grad, shape).copy(), None, None
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx, a, axis, keepdims):
+        ctx.meta["shape"] = a.shape
+        ctx.meta["axis"] = axis
+        ctx.meta["keepdims"] = keepdims
+        return np.mean(a, axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        shape = ctx.meta["shape"]
+        axis = ctx.meta["axis"]
+        keepdims = ctx.meta["keepdims"]
+        count = (
+            np.prod(shape)
+            if axis is None
+            else np.prod([shape[i] for i in np.atleast_1d(axis)])
+        )
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        return np.broadcast_to(grad, shape) / count, None, None
+
+
+class Reshape(Function):
+    @staticmethod
+    def forward(ctx, a, shape):
+        ctx.meta["shape"] = a.shape
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad.reshape(ctx.meta["shape"]), None
+
+
+class Transpose(Function):
+    @staticmethod
+    def forward(ctx, a, axes):
+        ctx.meta["axes"] = axes
+        return np.transpose(a, axes)
+
+    @staticmethod
+    def backward(ctx, grad):
+        axes = ctx.meta["axes"]
+        inverse = np.argsort(axes) if axes is not None else None
+        return np.transpose(grad, inverse), None
+
+
+class MatMul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        return grad @ _conj(np.swapaxes(b, -1, -2)), _conj(np.swapaxes(a, -1, -2)) @ grad
+
+
+class ChannelLinear(Function):
+    """Per-pixel linear layer over channel maps (the FC / 1×1 conv of the
+    FNO): ``out[o,h,w] = Σ_i W[o,i] x[i,h,w] + b[o]``."""
+
+    @staticmethod
+    def forward(ctx, x, weight, bias):
+        ctx.save(x, weight)
+        out = np.einsum("oi,ihw->ohw", weight, x)
+        if bias is not None:
+            out = out + bias[:, None, None]
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        x, weight = ctx.saved
+        gx = np.einsum("oi,ohw->ihw", weight, grad)
+        gw = np.einsum("ohw,ihw->oi", grad, x)
+        gb = grad.sum(axis=(1, 2))
+        return gx, gw, gb
+
+
+class Concat(Function):
+    @staticmethod
+    def forward(ctx, *arrays_and_axis):
+        *arrays, axis = arrays_and_axis
+        ctx.meta["axis"] = axis
+        ctx.meta["sizes"] = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx, grad):
+        axis = ctx.meta["axis"]
+        sizes = ctx.meta["sizes"]
+        splits = np.cumsum(sizes)[:-1]
+        pieces = np.split(grad, splits, axis=axis)
+        return tuple(pieces) + (None,)
+
+
+class GetItem(Function):
+    """Advanced/simple indexing with scatter-add backward."""
+
+    @staticmethod
+    def forward(ctx, a, index):
+        ctx.meta["shape"] = a.shape
+        ctx.meta["index"] = index
+        ctx.meta["dtype"] = a.dtype
+        return a[index]
+
+    @staticmethod
+    def backward(ctx, grad):
+        out = np.zeros(ctx.meta["shape"], dtype=np.result_type(ctx.meta["dtype"], grad.dtype))
+        np.add.at(out, ctx.meta["index"], grad)
+        return out, None
+
+
+# ----------------------------------------------------------------------
+# Python-protocol wiring
+# ----------------------------------------------------------------------
+def _binary(op):
+    def method(self, other):
+        return op.apply(self, Tensor.as_tensor(other))
+
+    return method
+
+
+def _rbinary(op):
+    def method(self, other):
+        return op.apply(Tensor.as_tensor(other), self)
+
+    return method
+
+
+Tensor.__add__ = _binary(Add)
+Tensor.__radd__ = _rbinary(Add)
+Tensor.__sub__ = _binary(Sub)
+Tensor.__rsub__ = _rbinary(Sub)
+Tensor.__mul__ = _binary(Mul)
+Tensor.__rmul__ = _rbinary(Mul)
+Tensor.__truediv__ = _binary(Div)
+Tensor.__rtruediv__ = _rbinary(Div)
+Tensor.__neg__ = lambda self: Neg.apply(self)
+Tensor.__pow__ = lambda self, e: PowConst.apply(self, float(e))
+Tensor.__matmul__ = _binary(MatMul)
+Tensor.__getitem__ = lambda self, index: GetItem.apply(self, index)
+
+Tensor.exp = lambda self: Exp.apply(self)
+Tensor.log = lambda self: Log.apply(self)
+Tensor.sqrt = lambda self: Sqrt.apply(self)
+Tensor.tanh = lambda self: Tanh.apply(self)
+Tensor.sigmoid = lambda self: Sigmoid.apply(self)
+Tensor.relu = lambda self: ReLU.apply(self)
+Tensor.gelu = lambda self: GELU.apply(self)
+Tensor.abs = lambda self: Abs.apply(self)
+Tensor.sum = lambda self, axis=None, keepdims=False: Sum.apply(self, axis, keepdims)
+Tensor.mean = lambda self, axis=None, keepdims=False: Mean.apply(self, axis, keepdims)
+Tensor.reshape = lambda self, *shape: Reshape.apply(
+    self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+)
+Tensor.transpose = lambda self, axes=None: Transpose.apply(self, axes)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation."""
+    return Concat.apply(*tensors, axis)
+
+
+def channel_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Per-pixel channel mixing (FC lift / 1×1 convolution)."""
+    if bias is None:
+        return ChannelLinear.apply(x, weight, None)
+    return ChannelLinear.apply(x, weight, bias)

@@ -1,0 +1,61 @@
+"""Netlist-shaped autograd operators: pin gather and per-net reduction.
+
+These are the building blocks the DREAMPlace-style baseline uses to spell
+the WA wirelength as a graph of small autograd ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor
+from repro.wirelength.segments import segment_sum as _np_segment_sum
+
+
+class GatherCells(Function):
+    """``pin_values = cell_values[pin2cell] (+ offset)``; backward is the
+    scatter-add of pin gradients onto cells."""
+
+    @staticmethod
+    def forward(ctx, cell_values, pin2cell, offset):
+        ctx.meta["pin2cell"] = pin2cell
+        ctx.meta["num_cells"] = cell_values.shape[0]
+        out = cell_values[pin2cell]
+        if offset is not None:
+            out = out + offset
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        gcells = np.bincount(
+            ctx.meta["pin2cell"], weights=grad, minlength=ctx.meta["num_cells"]
+        )
+        return gcells, None, None
+
+
+class SegmentSum(Function):
+    """Per-net sum over the pin-grouped CSR layout; backward broadcasts
+    each net's gradient back to its pins."""
+
+    @staticmethod
+    def forward(ctx, pin_values, net_start):
+        ctx.meta["net_start"] = net_start
+        return _np_segment_sum(pin_values, net_start)
+
+    @staticmethod
+    def backward(ctx, grad):
+        net_start = ctx.meta["net_start"]
+        degrees = np.diff(net_start)
+        return np.repeat(grad, degrees), None
+
+
+def gather_cells(
+    cell_values: Tensor, pin2cell: np.ndarray, offset: np.ndarray = None
+) -> Tensor:
+    """Differentiable ``cell_values[pin2cell] + offset``."""
+    return GatherCells.apply(cell_values, pin2cell, offset)
+
+
+def segment_sum(pin_values: Tensor, net_start: np.ndarray) -> Tensor:
+    """Differentiable per-net sum."""
+    return SegmentSum.apply(pin_values, net_start)

@@ -1,0 +1,256 @@
+"""Tensor and Function: the reverse-mode tape.
+
+Design follows the PyTorch v0 architecture: ``Function.apply`` records a
+node holding the context and input tensors; ``Tensor.backward`` walks the
+graph in reverse topological order, calling each node's ``backward`` and
+accumulating gradients on leaves.  Broadcasting is supported; gradients
+of broadcast inputs are summed back to the input shape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ops import profiled
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph recording inside the block (inference mode)."""
+    previous = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = previous
+
+
+class Context:
+    """Per-application scratch space for saved values."""
+
+    __slots__ = ("saved", "meta")
+
+    def __init__(self) -> None:
+        self.saved: Tuple[Any, ...] = ()
+        self.meta: dict = {}
+
+    def save(self, *values: Any) -> None:
+        self.saved = values
+
+
+class _Node:
+    """One recorded operation in the tape."""
+
+    __slots__ = ("function", "ctx", "inputs")
+
+    def __init__(self, function: type, ctx: Context, inputs: Tuple["Tensor", ...]):
+        self.function = function
+        self.ctx = ctx
+        self.inputs = inputs
+
+
+class Tensor:
+    """NumPy array wrapper carrying gradient metadata.
+
+    ``data`` may be real or complex; gradients of complex tensors follow
+    the convention ``grad = dL/dRe + i·dL/dIm`` (what PyTorch calls the
+    conjugate Wirtinger derivative), which makes gradient descent on the
+    underlying real/imag parameters work directly.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_node")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._node: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def as_tensor(value: Union["Tensor", np.ndarray, float, int]) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def item(self) -> float:
+        return self.data.item()
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new leaf sharing data, cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{flag})"
+
+    # Arithmetic operators are attached by repro.autograd.ops at import
+    # time to avoid a circular import here.
+
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (default seed: ones)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad)
+
+        order = _topological_order(self)
+        grads: dict = {id(self): grad}
+        tensors: dict = {id(self): self}
+        for t in order:
+            tensors.setdefault(id(t), t)
+
+        for t in order:
+            g = grads.pop(id(t), None)
+            if g is None:
+                continue
+            if t.requires_grad and t._node is None:
+                t.grad = g if t.grad is None else t.grad + g
+            node = t._node
+            if node is None:
+                continue
+            profiled(f"bwd.{node.function.__name__}")
+            input_grads = node.function.backward(node.ctx, g)
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            if len(input_grads) != len(node.inputs):
+                raise RuntimeError(
+                    f"{node.function.__name__}.backward returned "
+                    f"{len(input_grads)} grads for {len(node.inputs)} inputs"
+                )
+            for inp, ig in zip(node.inputs, input_grads):
+                if ig is None or not (inp.requires_grad or inp._node is not None):
+                    continue
+                ig = _unbroadcast(np.asarray(ig), inp.data.shape)
+                key = id(inp)
+                if key in grads:
+                    grads[key] = grads[key] + ig
+                else:
+                    grads[key] = ig
+        # Flush gradients that accumulated onto leaves discovered late.
+        for key, g in grads.items():
+            t = tensors.get(key)
+            if t is not None and t.requires_grad and t._node is None:
+                t.grad = g if t.grad is None else t.grad + g
+
+
+def _topological_order(root: Tensor) -> List[Tensor]:
+    """Tensors in reverse-topological (output-first) order."""
+    order: List[Tensor] = []
+    visited = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        tensor, processed = stack.pop()
+        if processed:
+            order.append(tensor)
+            continue
+        if id(tensor) in visited:
+            continue
+        visited.add(id(tensor))
+        stack.append((tensor, True))
+        if tensor._node is not None:
+            for child in tensor._node.inputs:
+                if id(child) not in visited:
+                    stack.append((child, False))
+    order.reverse()
+    return order
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Differentiable operation.  Subclasses implement ``forward`` and
+    ``backward`` as static methods over raw NumPy arrays."""
+
+    @staticmethod
+    def forward(ctx: Context, *args: Any) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any) -> Tensor:
+        """Run forward, record the tape node if gradients are enabled."""
+        profiled(f"fwd.{cls.__name__}")
+        ctx = Context()
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = cls.forward(ctx, *raw)
+        tensor_inputs = tuple(a for a in args if isinstance(a, Tensor))
+        needs_grad = is_grad_enabled() and any(
+            t.requires_grad or t._node is not None for t in tensor_inputs
+        )
+        out = Tensor(out_data, requires_grad=False)
+        if needs_grad:
+            # Record only tensor inputs; backward must return one grad per
+            # *argument*, with None for non-tensor slots filtered below.
+            grads_template = tuple(args)
+            node_inputs = tensor_inputs
+            ctx.meta.setdefault("arg_is_tensor", [isinstance(a, Tensor) for a in args])
+            out._node = _Node(_wrap_backward(cls, ctx), ctx, node_inputs)
+        return out
+
+
+def _wrap_backward(cls: type, ctx: Context) -> type:
+    """Adapt ``cls.backward`` so it returns grads for tensor inputs only."""
+    mask = ctx.meta["arg_is_tensor"]
+
+    class _Adapted:
+        __name__ = cls.__name__
+
+        @staticmethod
+        def backward(ctx_inner: Context, grad: np.ndarray):
+            result = cls.backward(ctx_inner, grad)
+            if not isinstance(result, tuple):
+                result = (result,)
+            if len(result) == len(mask):
+                return tuple(g for g, is_t in zip(result, mask) if is_t)
+            return result
+
+    return _Adapted

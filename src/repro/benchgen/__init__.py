@@ -1,0 +1,30 @@
+"""Synthetic contest-like benchmark generation.
+
+The ISPD 2005/2015 contest benchmark data is not redistributable here, so
+the evaluation runs on deterministic synthetic circuits that reproduce the
+statistical properties global placement is sensitive to: Rent's-rule
+locality of connectivity, contest-like net-degree distributions, mixed
+standard-cell/macro area, row structure and target utilisation.  Each
+named design (``adaptec1`` … ``superblue16_a``) maps to a fixed seed, so
+every run of the harness sees the same circuit.
+"""
+
+from repro.benchgen.spec import CircuitSpec
+from repro.benchgen.generator import generate_circuit
+from repro.benchgen.suites import (
+    ISPD2005_LIKE,
+    ISPD2015_LIKE,
+    ispd2005_like_suite,
+    ispd2015_like_suite,
+    make_design,
+)
+
+__all__ = [
+    "CircuitSpec",
+    "generate_circuit",
+    "ISPD2005_LIKE",
+    "ISPD2015_LIKE",
+    "ispd2005_like_suite",
+    "ispd2015_like_suite",
+    "make_design",
+]

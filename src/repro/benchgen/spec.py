@@ -1,0 +1,78 @@
+"""Parameter record describing one synthetic circuit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Everything :func:`repro.benchgen.generate_circuit` needs.
+
+    Attributes
+    ----------
+    name : design name (doubles as the per-design RNG seed salt)
+    num_cells : movable standard cells
+    net_cell_ratio : nets per movable cell (ISPD designs sit near 1.0)
+    utilization : movable area / free row area after macros
+    macro_fraction : fraction of total cell area owned by fixed macros
+    num_macros : fixed macro count (0 disables macros)
+    num_pads : fixed IO terminals on the die periphery
+    row_height : standard-cell row height in database units
+    aspect : die height / width
+    locality : Rent-style locality; higher → more short local nets
+    seed : base RNG seed (combined with the name hash)
+    """
+
+    name: str
+    num_cells: int
+    net_cell_ratio: float = 1.02
+    utilization: float = 0.7
+    macro_fraction: float = 0.12
+    num_macros: int = 8
+    num_pads: int = 64
+    row_height: float = 12.0
+    aspect: float = 1.0
+    locality: float = 0.75
+    seed: int = 2022
+    # Fence regions (0 = none, the paper's evaluation setting; the ISPD
+    # 2015 contest data carries them and repro supports them as the
+    # paper's stated future work).
+    num_fences: int = 0
+    fence_cell_fraction: float = 0.15
+    fence_utilization: float = 0.55
+    # Movable macros (mixed-size placement, ePlace-MS lineage): count and
+    # their share of total movable area.
+    num_movable_macros: int = 0
+    movable_macro_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 10:
+            raise ValueError("num_cells must be >= 10")
+        if not 0.05 <= self.utilization <= 0.98:
+            raise ValueError("utilization out of sensible range (0.05..0.98)")
+        if not 0.0 <= self.macro_fraction < 0.9:
+            raise ValueError("macro_fraction out of range [0, 0.9)")
+        if self.net_cell_ratio <= 0:
+            raise ValueError("net_cell_ratio must be positive")
+        if not 0.0 < self.locality < 1.0:
+            raise ValueError("locality must be in (0, 1)")
+        if self.num_fences < 0:
+            raise ValueError("num_fences must be >= 0")
+        if not 0.0 < self.fence_cell_fraction < 0.8:
+            raise ValueError("fence_cell_fraction out of range (0, 0.8)")
+        if not 0.1 <= self.fence_utilization <= 0.9:
+            raise ValueError("fence_utilization out of range [0.1, 0.9]")
+        if self.num_movable_macros < 0:
+            raise ValueError("num_movable_macros must be >= 0")
+        if not 0.0 < self.movable_macro_fraction < 0.6:
+            raise ValueError("movable_macro_fraction out of range (0, 0.6)")
+
+    @property
+    def num_nets(self) -> int:
+        return max(1, int(round(self.num_cells * self.net_cell_ratio)))
+
+    def rng_seed(self) -> int:
+        """Deterministic seed derived from the base seed and the name."""
+        salt = sum((i + 1) * ord(c) for i, c in enumerate(self.name)) % 100003
+        return (self.seed * 100003 + salt) % (2**31 - 1)

@@ -1,0 +1,118 @@
+"""Named contest-like suites.
+
+Each entry mirrors one design of the paper's Table 1 (ISPD 2005 and ISPD
+2015 suites), scaled down by ``scale`` so a pure-Python flow completes on
+a CPU.  The default ``scale=0.01`` maps e.g. adaptec1's 211k cells to
+~2.1k while preserving the relative size ordering and the per-design
+characteristics that matter (utilisation, macros, net/cell ratio).
+
+ISPD 2015 designs carry fence-region constraints in the contest data; the
+paper removes them (designs marked †) and so does this generator — no
+fence regions are emitted at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.benchgen.spec import CircuitSpec
+from repro.benchgen.generator import generate_circuit
+from repro.netlist import Netlist
+
+_MIN_CELLS = 600
+
+# (cells in the real contest design, utilization, macro_fraction, num_macros)
+_ISPD2005 = {
+    "adaptec1": (211_000, 0.75, 0.18, 12),
+    "adaptec2": (255_000, 0.78, 0.22, 14),
+    "adaptec3": (452_000, 0.74, 0.25, 16),
+    "adaptec4": (496_000, 0.62, 0.25, 16),
+    "bigblue1": (278_000, 0.54, 0.10, 8),
+    "bigblue2": (558_000, 0.61, 0.18, 20),
+    "bigblue3": (1_097_000, 0.56, 0.22, 24),
+    "bigblue4": (2_177_000, 0.65, 0.15, 24),
+}
+
+_ISPD2015 = {
+    "fft_1": (35_000, 0.83, 0.0, 0),
+    "fft_2": (35_000, 0.50, 0.0, 0),
+    "fft_a": (34_000, 0.25, 0.12, 6),
+    "fft_b": (34_000, 0.30, 0.12, 6),
+    "matrix_mult_1": (160_000, 0.80, 0.0, 0),
+    "matrix_mult_2": (160_000, 0.79, 0.0, 0),
+    "matrix_mult_a": (154_000, 0.42, 0.10, 5),
+    "superblue12": (1_293_000, 0.55, 0.20, 30),
+    "superblue14": (634_000, 0.56, 0.20, 24),
+    "superblue19": (522_000, 0.53, 0.18, 20),
+    "des_perf_1": (113_000, 0.90, 0.0, 0),
+    "des_perf_a": (108_000, 0.43, 0.12, 4),
+    "des_perf_b": (113_000, 0.50, 0.12, 4),
+    "edit_dist_a": (127_000, 0.46, 0.12, 6),
+    "matrix_mult_b": (146_000, 0.31, 0.10, 5),
+    "matrix_mult_c": (146_000, 0.30, 0.10, 5),
+    "pci_bridge32_a": (30_000, 0.38, 0.10, 4),
+    "pci_bridge32_b": (29_000, 0.14, 0.15, 6),
+    "superblue11_a": (926_000, 0.43, 0.20, 28),
+    "superblue16_a": (680_000, 0.45, 0.18, 22),
+}
+
+
+def _suite(
+    table: Dict[str, tuple], scale: float, seed: int
+) -> Dict[str, CircuitSpec]:
+    specs: Dict[str, CircuitSpec] = {}
+    for name, (cells, util, macro_frac, n_macros) in table.items():
+        specs[name] = CircuitSpec(
+            name=name,
+            num_cells=max(_MIN_CELLS, int(round(cells * scale))),
+            utilization=util,
+            macro_fraction=macro_frac,
+            num_macros=n_macros,
+            num_pads=64,
+            seed=seed,
+        )
+    return specs
+
+
+def ispd2005_like_suite(scale: float = 0.01, seed: int = 2022) -> Dict[str, CircuitSpec]:
+    """Scaled-down ISPD-2005-like suite (8 adaptec/bigblue designs)."""
+    return _suite(_ISPD2005, scale, seed)
+
+
+def ispd2015_like_suite(scale: float = 0.01, seed: int = 2022) -> Dict[str, CircuitSpec]:
+    """Scaled-down ISPD-2015-like suite (20 designs, fence-free)."""
+    return _suite(_ISPD2015, scale, seed)
+
+
+ISPD2005_LIKE = tuple(_ISPD2005)
+ISPD2015_LIKE = tuple(_ISPD2015)
+
+
+def make_design(
+    name: str, scale: float = 0.01, seed: int = 2022, num_cells: Optional[int] = None
+) -> Netlist:
+    """Generate one named design from either suite.
+
+    ``num_cells`` overrides the scaled size (handy for quick tests).
+    """
+    if name in _ISPD2005:
+        spec = ispd2005_like_suite(scale, seed)[name]
+    elif name in _ISPD2015:
+        spec = ispd2015_like_suite(scale, seed)[name]
+    else:
+        raise KeyError(f"unknown design {name!r}")
+    if num_cells is not None:
+        spec = CircuitSpec(
+            name=spec.name,
+            num_cells=num_cells,
+            net_cell_ratio=spec.net_cell_ratio,
+            utilization=spec.utilization,
+            macro_fraction=spec.macro_fraction,
+            num_macros=spec.num_macros,
+            num_pads=spec.num_pads,
+            row_height=spec.row_height,
+            aspect=spec.aspect,
+            locality=spec.locality,
+            seed=spec.seed,
+        )
+    return generate_circuit(spec)

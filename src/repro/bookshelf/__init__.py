@@ -1,0 +1,12 @@
+"""GSRC bookshelf format reader/writer (.aux/.nodes/.nets/.pl/.scl/.wts).
+
+This is the interchange format of the ISPD 2005 contest benchmarks the
+paper evaluates on.  The reader produces a :class:`repro.netlist.Netlist`;
+the writer emits a complete benchmark directory, which is also how the
+synthetic suite can be persisted and re-read (round-trip tested).
+"""
+
+from repro.bookshelf.reader import read_aux, read_bookshelf
+from repro.bookshelf.writer import write_bookshelf, write_pl
+
+__all__ = ["read_aux", "read_bookshelf", "write_bookshelf", "write_pl"]

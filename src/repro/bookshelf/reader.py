@@ -1,0 +1,247 @@
+"""Bookshelf parser.
+
+Supports the subset of the UCLA bookshelf dialect used by the ISPD 2005
+contest benchmarks: ``.aux`` manifests, ``.nodes`` (with ``terminal``
+attributes), ``.nets`` (pin offsets measured from cell centers), ``.pl``
+(lower-left corners, ``/FIXED`` markers), ``.scl`` core rows and optional
+``.wts`` net weights.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist import NetlistBuilder, Netlist, PlacementRegion, Row
+
+
+class BookshelfError(ValueError):
+    """Raised on malformed bookshelf input."""
+
+
+def _content_lines(path: str) -> Iterator[str]:
+    """Yield logical lines: comments (#) and blank lines stripped."""
+    with open(path, "r") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                yield line
+
+
+def _skip_header(lines: Iterator[str], kind: str) -> Iterator[str]:
+    """Consume the ``UCLA <kind> 1.0`` header if present."""
+    first = next(lines, None)
+    if first is None:
+        return lines
+    if not first.upper().startswith("UCLA"):
+        # No header — push the line back by chaining.
+        import itertools
+
+        return itertools.chain([first], lines)
+    return lines
+
+
+def read_aux(aux_path: str) -> Dict[str, str]:
+    """Parse an ``.aux`` manifest into ``{extension: absolute path}``."""
+    directory = os.path.dirname(os.path.abspath(aux_path))
+    files: Dict[str, str] = {}
+    for line in _content_lines(aux_path):
+        if ":" not in line:
+            continue
+        __, rhs = line.split(":", 1)
+        for token in rhs.split():
+            ext = token.rsplit(".", 1)[-1].lower()
+            files[ext] = os.path.join(directory, token)
+    required = {"nodes", "nets", "pl", "scl"}
+    missing = required - files.keys()
+    if missing:
+        raise BookshelfError(f"aux file {aux_path} missing entries: {sorted(missing)}")
+    return files
+
+
+def read_bookshelf(aux_path: str, name: Optional[str] = None) -> Netlist:
+    """Read a full bookshelf benchmark and return a :class:`Netlist`."""
+    files = read_aux(aux_path)
+    rows = _read_scl(files["scl"])
+    region = _region_from_rows(rows)
+    builder = NetlistBuilder(name or os.path.splitext(os.path.basename(aux_path))[0])
+    builder.set_region(region)
+    sizes, terminals = _read_nodes(files["nodes"])
+    positions, fixed_names = _read_pl(files["pl"])
+    for cell, (w, h) in sizes.items():
+        is_terminal = cell in terminals or cell in fixed_names
+        x, y = positions.get(cell, (np.nan, np.nan))
+        # .pl stores lower-left corners; the netlist stores centers.
+        cx = x + 0.5 * w if not np.isnan(x) else np.nan
+        cy = y + 0.5 * h if not np.isnan(y) else np.nan
+        builder.add_cell(cell, w, h, movable=not is_terminal, x=cx, y=cy)
+    weights = _read_wts(files.get("wts"))
+    for net_name, pins in _read_nets(files["nets"]):
+        builder.add_net(net_name, pins, weight=weights.get(net_name, 1.0))
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Individual file parsers
+# ----------------------------------------------------------------------
+def _read_nodes(path: str):
+    """Return ({cell: (w, h)}, {terminal names})."""
+    sizes: Dict[str, Tuple[float, float]] = {}
+    terminals = set()
+    lines = _skip_header(_content_lines(path), "nodes")
+    for line in lines:
+        lowered = line.lower()
+        if lowered.startswith("numnodes") or lowered.startswith("numterminals"):
+            continue
+        tokens = line.split()
+        if len(tokens) < 3:
+            raise BookshelfError(f"{path}: bad node line {line!r}")
+        cell, w, h = tokens[0], float(tokens[1]), float(tokens[2])
+        sizes[cell] = (w, h)
+        if len(tokens) > 3 and tokens[3].lower().startswith("terminal"):
+            terminals.add(cell)
+    return sizes, terminals
+
+
+def _read_nets(path: str):
+    """Yield ``(net_name, [(cell, dx, dy), ...])`` tuples."""
+    lines = _skip_header(_content_lines(path), "nets")
+    current_name: Optional[str] = None
+    current_pins: List[Tuple[str, float, float]] = []
+    expected = 0
+    auto_index = 0
+    for line in lines:
+        lowered = line.lower()
+        if lowered.startswith("numnets") or lowered.startswith("numpins"):
+            continue
+        if lowered.startswith("netdegree"):
+            if current_name is not None:
+                if len(current_pins) != expected:
+                    raise BookshelfError(
+                        f"{path}: net {current_name} declared {expected} pins, "
+                        f"got {len(current_pins)}"
+                    )
+                yield current_name, current_pins
+            tokens = line.split()
+            # "NetDegree : <d> [name]"
+            try:
+                expected = int(tokens[2])
+            except (IndexError, ValueError):
+                raise BookshelfError(f"{path}: bad NetDegree line {line!r}")
+            if len(tokens) > 3:
+                current_name = tokens[3]
+            else:
+                current_name = f"n{auto_index}"
+            auto_index += 1
+            current_pins = []
+        else:
+            tokens = line.split()
+            if not tokens:
+                continue
+            cell = tokens[0]
+            dx = dy = 0.0
+            if ":" in tokens:
+                colon = tokens.index(":")
+                coords = tokens[colon + 1 :]
+                if len(coords) >= 2:
+                    dx, dy = float(coords[0]), float(coords[1])
+            current_pins.append((cell, dx, dy))
+    if current_name is not None:
+        if len(current_pins) != expected:
+            raise BookshelfError(
+                f"{path}: net {current_name} declared {expected} pins, "
+                f"got {len(current_pins)}"
+            )
+        yield current_name, current_pins
+
+
+def _read_pl(path: str):
+    """Return ({cell: (x_lowleft, y_lowleft)}, {fixed cell names})."""
+    positions: Dict[str, Tuple[float, float]] = {}
+    fixed = set()
+    lines = _skip_header(_content_lines(path), "pl")
+    for line in lines:
+        tokens = line.split()
+        if len(tokens) < 3:
+            continue
+        cell = tokens[0]
+        try:
+            x, y = float(tokens[1]), float(tokens[2])
+        except ValueError:
+            continue
+        positions[cell] = (x, y)
+        if "/fixed" in line.lower():
+            fixed.add(cell)
+    return positions, fixed
+
+
+def _read_scl(path: str) -> List[Row]:
+    rows: List[Row] = []
+    lines = _skip_header(_content_lines(path), "scl")
+    in_row = False
+    attrs: Dict[str, float] = {}
+    for line in lines:
+        lowered = line.lower()
+        if lowered.startswith("numrows"):
+            continue
+        if lowered.startswith("corerow"):
+            in_row = True
+            attrs = {}
+            continue
+        if lowered.startswith("end"):
+            if in_row:
+                rows.append(_row_from_attrs(attrs, path))
+            in_row = False
+            continue
+        if not in_row:
+            continue
+        # Attribute lines may pack several "Key : value" pairs.
+        for key, value in re.findall(r"(\w+)\s*:\s*(-?[\d.eE+]+)", line):
+            attrs[key.lower()] = float(value)
+    if not rows:
+        raise BookshelfError(f"{path}: no CoreRow found")
+    return rows
+
+
+def _row_from_attrs(attrs: Dict[str, float], path: str) -> Row:
+    try:
+        y = attrs["coordinate"]
+        height = attrs["height"]
+        origin = attrs["subroworigin"]
+        num_sites = attrs["numsites"]
+    except KeyError as exc:
+        raise BookshelfError(f"{path}: CoreRow missing attribute {exc}") from None
+    spacing = attrs.get("sitespacing", attrs.get("sitewidth", 1.0))
+    return Row(
+        y=y,
+        height=height,
+        xl=origin,
+        xh=origin + num_sites * spacing,
+        site_width=spacing,
+    )
+
+
+def _read_wts(path: Optional[str]) -> Dict[str, float]:
+    weights: Dict[str, float] = {}
+    if path is None or not os.path.exists(path):
+        return weights
+    lines = _skip_header(_content_lines(path), "wts")
+    for line in lines:
+        tokens = line.split()
+        if len(tokens) >= 2:
+            try:
+                weights[tokens[0]] = float(tokens[1])
+            except ValueError:
+                continue
+    return weights
+
+
+def _region_from_rows(rows: List[Row]) -> PlacementRegion:
+    xl = min(r.xl for r in rows)
+    xh = max(r.xh for r in rows)
+    yl = min(r.y for r in rows)
+    yh = max(r.y + r.height for r in rows)
+    return PlacementRegion(xl, yl, xh, yh, rows)

@@ -1,0 +1,112 @@
+"""Bookshelf writer: persist a netlist (+ positions) as a benchmark dir."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist import Netlist
+
+
+def write_bookshelf(
+    netlist: Netlist,
+    directory: str,
+    design: Optional[str] = None,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> str:
+    """Write ``<design>.{aux,nodes,nets,pl,scl,wts}`` under ``directory``.
+
+    ``x, y`` are cell-center positions; when omitted, the netlist's stored
+    positions are used (fixed cells placed, movables possibly NaN →
+    written as 0).  Returns the ``.aux`` path.
+    """
+    design = design or netlist.name
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, design)
+    _write_nodes(netlist, base + ".nodes")
+    _write_nets(netlist, base + ".nets")
+    write_pl(netlist, base + ".pl", x=x, y=y)
+    _write_scl(netlist, base + ".scl")
+    _write_wts(netlist, base + ".wts")
+    aux_path = base + ".aux"
+    with open(aux_path, "w") as handle:
+        handle.write(
+            "RowBasedPlacement : "
+            f"{design}.nodes {design}.nets {design}.wts {design}.pl {design}.scl\n"
+        )
+    return aux_path
+
+
+def write_pl(
+    netlist: Netlist,
+    path: str,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> None:
+    """Write a ``.pl`` placement file (lower-left corners)."""
+    if x is None or y is None:
+        x, y = netlist.initial_positions()
+    llx = np.where(np.isnan(x), 0.0, x - 0.5 * netlist.cell_w)
+    lly = np.where(np.isnan(y), 0.0, y - 0.5 * netlist.cell_h)
+    with open(path, "w") as handle:
+        handle.write("UCLA pl 1.0\n\n")
+        for i, name in enumerate(netlist.cell_name):
+            suffix = "" if netlist.movable[i] else " /FIXED"
+            handle.write(f"{name} {llx[i]:.10g} {lly[i]:.10g} : N{suffix}\n")
+
+
+def _write_nodes(netlist: Netlist, path: str) -> None:
+    num_terminals = netlist.num_cells - netlist.num_movable
+    with open(path, "w") as handle:
+        handle.write("UCLA nodes 1.0\n\n")
+        handle.write(f"NumNodes : {netlist.num_cells}\n")
+        handle.write(f"NumTerminals : {num_terminals}\n")
+        for i, name in enumerate(netlist.cell_name):
+            suffix = "" if netlist.movable[i] else " terminal"
+            handle.write(
+                f"{name} {netlist.cell_w[i]:.10g} {netlist.cell_h[i]:.10g}{suffix}\n"
+            )
+
+
+def _write_nets(netlist: Netlist, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write("UCLA nets 1.0\n\n")
+        handle.write(f"NumNets : {netlist.num_nets}\n")
+        handle.write(f"NumPins : {netlist.num_pins}\n")
+        for e, net in enumerate(netlist.net_name):
+            start, stop = netlist.net_start[e], netlist.net_start[e + 1]
+            handle.write(f"NetDegree : {stop - start} {net}\n")
+            for p in range(start, stop):
+                cell = netlist.cell_name[netlist.pin2cell[p]]
+                handle.write(
+                    f"  {cell} I : {netlist.pin_dx[p]:.10g} {netlist.pin_dy[p]:.10g}\n"
+                )
+
+
+def _write_scl(netlist: Netlist, path: str) -> None:
+    rows = netlist.region.rows
+    with open(path, "w") as handle:
+        handle.write("UCLA scl 1.0\n\n")
+        handle.write(f"NumRows : {len(rows)}\n")
+        for row in rows:
+            handle.write("CoreRow Horizontal\n")
+            handle.write(f"  Coordinate : {row.y:.10g}\n")
+            handle.write(f"  Height : {row.height:.10g}\n")
+            handle.write(f"  Sitewidth : {row.site_width:.10g}\n")
+            handle.write(f"  Sitespacing : {row.site_width:.10g}\n")
+            handle.write("  Siteorient : 1\n")
+            handle.write("  Sitesymmetry : 1\n")
+            handle.write(
+                f"  SubrowOrigin : {row.xl:.10g} NumSites : {row.num_sites}\n"
+            )
+            handle.write("End\n")
+
+
+def _write_wts(netlist: Netlist, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write("UCLA wts 1.0\n\n")
+        for e, net in enumerate(netlist.net_name):
+            handle.write(f"{net} {netlist.net_weight[e]:.10g}\n")

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``place``     run a placement flow on a bookshelf benchmark or a named
+              synthetic design and write the result as a ``.pl`` file
+``stats``     print Table-1-style statistics for a design
+``generate``  write a synthetic design as a bookshelf benchmark directory
+``train-fno`` train (and cache) the neural guidance model
+
+Every command accepts either a ``.aux`` path or a named design from the
+ISPD-like suites (``adaptec1`` … ``superblue16_a``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.benchgen import ISPD2005_LIKE, ISPD2015_LIKE, make_design
+from repro.netlist import Netlist, compute_stats
+
+
+def _load_design(target: str, scale: float, cells: Optional[int]) -> Netlist:
+    """Resolve a CLI design argument: .aux file path or suite name."""
+    if target.endswith(".aux") or os.path.exists(target):
+        from repro.bookshelf import read_bookshelf
+
+        return read_bookshelf(target)
+    if target in ISPD2005_LIKE or target in ISPD2015_LIKE:
+        return make_design(target, scale=scale, num_cells=cells)
+    raise SystemExit(
+        f"error: {target!r} is neither an existing .aux file nor a known "
+        f"design name"
+    )
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro.core import PlacementParams
+    from repro.flow import run_flow
+
+    netlist = _load_design(args.design, args.scale, args.cells)
+    params = PlacementParams(
+        target_density=args.target_density,
+        max_iterations=args.max_iterations,
+        verbose=args.verbose,
+        seed=args.seed,
+    )
+    predictor = None
+    if args.placer == "quadratic":
+        from repro.legalize import FenceAwareLegalizer, check_legal
+        from repro.detail import DetailedPlacer
+        from repro.quadratic import QuadraticPlacer
+        from repro.wirelength import hpwl as hpwl_fn
+        import time as _time
+
+        gp = QuadraticPlacer(netlist, seed=args.seed).run()
+        t0 = _time.perf_counter()
+        lx, ly = FenceAwareLegalizer(netlist).legalize(gp.x, gp.y)
+        dp = DetailedPlacer(netlist, max_passes=args.dp_passes).place(lx, ly)
+        report = check_legal(netlist, dp.x, dp.y)
+        print(
+            f"{netlist.name}: HPWL {dp.hpwl_after:.6g} "
+            f"(quadratic GP {gp.hpwl:.6g} in {gp.gp_seconds:.2f}s, "
+            f"LG+DP {_time.perf_counter() - t0:.2f}s, legal={report.legal})"
+        )
+        if args.out:
+            from repro.bookshelf import write_pl
+
+            write_pl(netlist, args.out, x=dp.x, y=dp.y)
+            print(f"wrote {args.out}")
+        if args.svg:
+            from repro.viz import placement_svg
+
+            placement_svg(netlist, dp.x, dp.y, path=args.svg)
+            print(f"wrote {args.svg}")
+        return 0 if report.legal else 1
+    if args.placer == "xplace-nn":
+        from repro.nn import get_pretrained_model, make_field_predictor
+
+        model = get_pretrained_model(verbose=args.verbose)
+        predictor = make_field_predictor(model, netlist.region)
+
+    result = run_flow(
+        netlist,
+        placer=args.placer,
+        params=params,
+        field_predictor=predictor,
+        dp_passes=args.dp_passes,
+        route=args.route,
+    )
+    print(
+        f"{netlist.name}: HPWL {result.final_hpwl:.6g} "
+        f"(GP {result.gp_hpwl:.6g} in {result.gp_seconds:.2f}s / "
+        f"{result.gp_iterations} iters, LG+DP {result.dp_seconds:.2f}s, "
+        f"legal={result.legal})"
+    )
+    if args.route:
+        print(f"top5 overflow: {result.top5_overflow:.2f} "
+              f"(GR {result.gr_seconds:.2f}s)")
+    if args.out:
+        from repro.bookshelf import write_pl
+
+        write_pl(netlist, args.out, x=result.x, y=result.y)
+        print(f"wrote {args.out}")
+    if args.svg:
+        from repro.viz import placement_svg
+
+        placement_svg(netlist, result.x, result.y, path=args.svg)
+        print(f"wrote {args.svg}")
+    return 0 if result.legal else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    netlist = _load_design(args.design, args.scale, args.cells)
+    stats = compute_stats(netlist)
+    print(f"design       : {stats.design}")
+    print(f"cells        : {stats.num_cells} "
+          f"({stats.num_movable} movable, {stats.num_fixed} fixed)")
+    print(f"nets         : {stats.num_nets}")
+    print(f"pins         : {stats.num_pins}")
+    print(f"avg net deg  : {stats.avg_net_degree:.2f} "
+          f"(max {stats.max_net_degree})")
+    print(f"utilization  : {stats.utilization:.3f}")
+    region = netlist.region
+    print(f"die          : ({region.xl:.0f},{region.yl:.0f})-"
+          f"({region.xh:.0f},{region.yh:.0f}), {len(region.rows)} rows")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bookshelf import write_bookshelf
+
+    netlist = _load_design(args.design, args.scale, args.cells)
+    aux = write_bookshelf(netlist, args.out)
+    print(f"wrote {aux}")
+    return 0
+
+
+def _cmd_train_fno(args: argparse.Namespace) -> int:
+    from repro.nn import get_pretrained_model
+
+    model = get_pretrained_model(cache_path=args.cache, verbose=True)
+    print(f"guidance model ready ({model.num_parameters()} parameters)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Xplace reproduction: analytical global placement flows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_design_args(p):
+        p.add_argument("design", help=".aux path or suite design name")
+        p.add_argument("--scale", type=float, default=0.01,
+                       help="suite scale factor (default 0.01)")
+        p.add_argument("--cells", type=int, default=None,
+                       help="override the movable cell count")
+
+    place = sub.add_parser("place", help="run a placement flow")
+    add_design_args(place)
+    place.add_argument("--placer", default="xplace",
+                       choices=["xplace", "baseline", "xplace-nn", "quadratic"])
+    place.add_argument("--out", default=None, help="output .pl path")
+    place.add_argument("--svg", default=None,
+                       help="write the placement as an SVG image")
+    place.add_argument("--dp-passes", type=int, default=1)
+    place.add_argument("--route", action="store_true",
+                       help="also run global routing (top5 overflow)")
+    place.add_argument("--target-density", type=float, default=0.9)
+    place.add_argument("--max-iterations", type=int, default=1000)
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--verbose", action="store_true")
+    place.set_defaults(handler=_cmd_place)
+
+    stats = sub.add_parser("stats", help="print design statistics")
+    add_design_args(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    generate = sub.add_parser("generate", help="write a bookshelf benchmark")
+    add_design_args(generate)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    train = sub.add_parser("train-fno", help="train/cache the guidance model")
+    train.add_argument("--cache", default=None, help="weights cache path")
+    train.set_defaults(handler=_cmd_train_fno)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

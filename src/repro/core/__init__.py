@@ -1,0 +1,36 @@
+"""The Xplace placement core engine (Figure 1 of the paper).
+
+The engine is split exactly along the paper's architecture so each part
+can be replaced independently:
+
+* :class:`GradientEngine` — cell positions + parameters → cell gradient
+  (fused wirelength operator, extracted density operators, optional
+  neural guidance, density-operator skipping);
+* the optimizer (``repro.optim``) — gradient → position update;
+* :class:`Evaluator` — solution metrics (HPWL, overflow);
+* :class:`Recorder` — per-iteration metric traces;
+* :class:`Scheduler` — γ/λ updates, the placement-stage-aware slowdown
+  (Algorithm 1) and the stopping decision;
+* :class:`XPlacer` — the loop tying them together.
+"""
+
+from repro.core.params import PlacementParams
+from repro.core.initializer import initial_positions
+from repro.core.recorder import IterationRecord, Recorder
+from repro.core.evaluator import Evaluator
+from repro.core.scheduler import Scheduler
+from repro.core.gradient_engine import GradientEngine, GradientResult
+from repro.core.placer import PlacementResult, XPlacer
+
+__all__ = [
+    "PlacementParams",
+    "initial_positions",
+    "IterationRecord",
+    "Recorder",
+    "Evaluator",
+    "Scheduler",
+    "GradientEngine",
+    "GradientResult",
+    "PlacementResult",
+    "XPlacer",
+]

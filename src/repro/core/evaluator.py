@@ -1,0 +1,49 @@
+"""Placement solution evaluation (the Evaluator block of Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.density import DensitySystem
+from repro.netlist import Netlist
+from repro.wirelength import hpwl as hpwl_fn
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Quality metrics of one placement solution."""
+
+    hpwl: float
+    overflow: float
+    max_density: float
+
+
+class Evaluator:
+    """Computes solution metrics independently of the gradient engine, so
+    reported numbers never depend on which operator fusions are active."""
+
+    def __init__(self, netlist: Netlist, density: DensitySystem) -> None:
+        self.netlist = netlist
+        self.density = density
+
+    def hpwl(self, x: np.ndarray, y: np.ndarray) -> float:
+        return hpwl_fn(self.netlist, x, y)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Evaluation:
+        density_map = self.density.density_map_only(x, y)
+        from repro.density import overflow_ratio
+
+        ovfl = overflow_ratio(
+            density_map,
+            self.density.grid,
+            self.density.target_density,
+            self.density.movable_area,
+        )
+        return Evaluation(
+            hpwl=self.hpwl(x, y),
+            overflow=ovfl,
+            max_density=float(density_map.max()),
+        )

@@ -1,0 +1,105 @@
+"""Fence constraint handling for global placement.
+
+DREAMPlace 3.0 enforces fence regions with one electrostatic system per
+region (multi-electrostatics); this reproduction uses the lighter
+*constraint projection* approach: after every optimizer step, each
+fenced cell is projected into the nearest box of its fence, and
+unconstrained cells are pushed out of fence boxes they drifted into.
+Projection composes with the die clamp the placer already applies and
+keeps the gradient machinery unchanged, at some cost in convergence
+smoothness near fence boundaries (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+
+
+class FenceProjector:
+    """Projects optimizer-layout positions onto the fence constraints."""
+
+    def __init__(self, netlist: Netlist, num_fillers: int = 0) -> None:
+        self.netlist = netlist
+        self.num_fillers = num_fillers
+        movable = netlist.movable_index
+        fence_of = netlist.cell_fence[movable]
+        self._groups: List[Tuple[int, np.ndarray]] = []
+        for g in range(len(netlist.fences)):
+            members = np.flatnonzero(fence_of == g)
+            if len(members):
+                self._groups.append((g, members))
+        self._free = np.flatnonzero(fence_of < 0)
+        self._hw = netlist.cell_w[movable] / 2
+        self._hh = netlist.cell_h[movable] / 2
+        self._num_movable = len(movable)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._groups)
+
+    # ------------------------------------------------------------------
+    def project(self, pos_x: np.ndarray, pos_y: np.ndarray):
+        """Return projected copies of optimizer-layout position vectors.
+
+        Fillers (tail entries) are left untouched: they model whitespace
+        globally and carry no region assignment.
+        """
+        if not self.active:
+            return pos_x, pos_y
+        x = pos_x.copy()
+        y = pos_y.copy()
+        nm = self._num_movable
+        for g, members in self._groups:
+            fence = self.netlist.fences[g]
+            px, py = fence.clamp_into(
+                x[members], y[members], self._hw[members], self._hh[members]
+            )
+            x[members] = px
+            y[members] = py
+        if len(self._free):
+            x_free, y_free = self._push_out(
+                x[self._free], y[self._free],
+                self._hw[self._free], self._hh[self._free],
+            )
+            x[self._free] = x_free
+            y[self._free] = y_free
+        return x, y
+
+    # ------------------------------------------------------------------
+    def _push_out(self, x, y, hw, hh):
+        """Move unconstrained cells out of any fence box they overlap.
+
+        Each offender moves along the cheapest axis to the nearest box
+        edge (plus its half extent).
+        """
+        for fence in self.netlist.fences:
+            for (xl, yl, xh, yh) in fence.boxes:
+                inside = (
+                    (x + hw > xl) & (x - hw < xh) & (y + hh > yl) & (y - hh < yh)
+                )
+                if not inside.any():
+                    continue
+                idx = np.flatnonzero(inside)
+                # Candidate exits: left, right, down, up.
+                exits = np.stack(
+                    [
+                        np.abs(x[idx] - (xl - hw[idx])),
+                        np.abs((xh + hw[idx]) - x[idx]),
+                        np.abs(y[idx] - (yl - hh[idx])),
+                        np.abs((yh + hh[idx]) - y[idx]),
+                    ]
+                )
+                choice = np.argmin(exits, axis=0)
+                x_new = x[idx].copy()
+                y_new = y[idx].copy()
+                x_new[choice == 0] = xl - hw[idx][choice == 0]
+                x_new[choice == 1] = xh + hw[idx][choice == 1]
+                y_new[choice == 2] = yl - hh[idx][choice == 2]
+                y_new[choice == 3] = yh + hh[idx][choice == 3]
+                x[idx] = x_new
+                y[idx] = y_new
+        return x, y

@@ -1,0 +1,251 @@
+"""The gradient engine (Figure 1): positions + parameters → cell gradient.
+
+Computes the wirelength gradient through the fused WA operator, the
+density gradient through the extracted density system (with early-stage
+skipping), optionally blends in a neural field prediction (Eq. 14), and
+preconditions the combined gradient.
+
+``compute`` produces the raw components so λ can be initialised from the
+first iteration's gradient norms; ``assemble`` folds the components into
+the final preconditioned descent direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import PlacementParams
+from repro.density import DensitySystem
+from repro.netlist import Netlist
+from repro.ops import DensitySkipController, profiled
+from repro.optim import Preconditioner
+from repro.wirelength import WirelengthOp
+
+# predictor(total_density_map) -> (field_x_map, field_y_map)
+FieldPredictor = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+def sigma_of_omega(omega: float) -> float:
+    """Neural blending weight σ(ω) of Eq. 14.
+
+    Implemented as the decaying logistic σ(ω) = 1 − 1/(1 + 5·e^{−(ω/0.05 − 0.5)})
+    (the sign inside the printed formula is corrected so that σ ≈ 0.9 in
+    the wirelength-dominated stage and decays to 0 as spreading starts,
+    matching the paper's description of ∇_nn dominating early).
+    """
+    return 1.0 - 1.0 / (1.0 + 5.0 * np.exp(-(omega / 0.05 - 0.5)))
+
+
+@dataclass
+class GradientResult:
+    """Raw gradient components of one iteration (pre-λ, pre-precondition).
+
+    All arrays cover the optimizer layout: ``[movable cells; fillers]``.
+    """
+
+    wl_grad_x: np.ndarray
+    wl_grad_y: np.ndarray
+    density_grad_x: np.ndarray
+    density_grad_y: np.ndarray
+    wa: float
+    hpwl: float
+    overflow: float
+    energy: float
+    density_map: np.ndarray
+    density_computed: bool
+    wl_grad_norm: float
+    density_grad_norm: float
+
+
+class GradientEngine:
+    """Stateful gradient computation for one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        density: DensitySystem,
+        params: PlacementParams,
+        field_predictor: Optional[FieldPredictor] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.density = density
+        self.params = params
+        self.field_predictor = field_predictor
+        if params.operator_reduction:
+            self.wirelength = WirelengthOp(
+                netlist, combined=params.combined_wirelength
+            )
+        else:
+            # OR off: spell the objective as autograd ops and invoke the
+            # tape every iteration (the configuration Table 3 starts from).
+            from repro.wirelength.wa_autograd import AutogradWirelengthOp
+
+            self.wirelength = AutogradWirelengthOp(netlist)
+        self.skip = DensitySkipController(
+            ratio_threshold=params.skip_ratio_threshold,
+            max_iteration=params.skip_max_iteration,
+            period=params.skip_period,
+            enabled=params.operator_skipping,
+        )
+        self.preconditioner = Preconditioner(netlist, density.fillers)
+        self._mov_idx = netlist.movable_index
+        self._num_movable = len(self._mov_idx)
+        self._num_fillers = density.fillers.count
+        self._cache: Optional[GradientResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return self._num_movable + self._num_fillers
+
+    def split(self, pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split an optimizer vector into (movable, filler) views."""
+        return pos[: self._num_movable], pos[self._num_movable :]
+
+    def full_positions(
+        self, pos_x: np.ndarray, pos_y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All-cell position arrays from the optimizer layout."""
+        x, y = self.netlist.initial_positions()
+        x[self._mov_idx] = pos_x[: self._num_movable]
+        y[self._mov_idx] = pos_y[: self._num_movable]
+        return x, y
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        iteration: int,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+        gamma: float,
+        lam_for_skip: float,
+    ) -> GradientResult:
+        """Evaluate gradient components at the given optimizer positions.
+
+        ``lam_for_skip`` is only used to judge the skip ratio r; the
+        returned density gradient is unscaled.
+        """
+        mov_x, filler_x = self.split(pos_x)
+        mov_y, filler_y = self.split(pos_y)
+        x, y = self.full_positions(pos_x, pos_y)
+
+        wl = self.wirelength(x, y, gamma)
+        wl_grad_x = np.concatenate(
+            [wl.grad_x[self._mov_idx], np.zeros(self._num_fillers)]
+        )
+        wl_grad_y = np.concatenate(
+            [wl.grad_y[self._mov_idx], np.zeros(self._num_fillers)]
+        )
+        wl_norm = float(
+            np.linalg.norm(np.concatenate([wl_grad_x, wl_grad_y]))
+        )
+
+        if self.skip.should_compute(iteration) or self._cache is None:
+            dres = self.density.evaluate(x, y, filler_x, filler_y)
+            density_grad_x = np.concatenate(
+                [dres.grad_x[self._mov_idx], dres.filler_grad_x]
+            )
+            density_grad_y = np.concatenate(
+                [dres.grad_y[self._mov_idx], dres.filler_grad_y]
+            )
+            overflow = dres.overflow
+            energy = dres.energy
+            density_map = dres.total_map
+            density_computed = True
+            self.skip.notify_computed(iteration)
+        else:
+            profiled("density_skip_reuse")
+            cached = self._cache
+            density_grad_x = cached.density_grad_x
+            density_grad_y = cached.density_grad_y
+            overflow = cached.overflow
+            energy = cached.energy
+            density_map = cached.density_map
+            density_computed = False
+
+        density_norm = float(
+            np.linalg.norm(np.concatenate([density_grad_x, density_grad_y]))
+        )
+        result = GradientResult(
+            wl_grad_x=wl_grad_x,
+            wl_grad_y=wl_grad_y,
+            density_grad_x=density_grad_x,
+            density_grad_y=density_grad_y,
+            wa=wl.wa,
+            hpwl=wl.hpwl,
+            overflow=overflow,
+            energy=energy,
+            density_map=density_map,
+            density_computed=density_computed,
+            wl_grad_norm=wl_norm,
+            density_grad_norm=density_norm,
+        )
+        self._cache = result
+        ratio = (
+            lam_for_skip * density_norm / wl_norm if wl_norm > 1e-20 else float("inf")
+        )
+        self.skip.observe_ratio(ratio)
+        return result
+
+    # ------------------------------------------------------------------
+    def assemble(
+        self,
+        result: GradientResult,
+        pos_x: np.ndarray,
+        pos_y: np.ndarray,
+        lam: float,
+        sigma: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Combine components into the preconditioned descent gradient.
+
+        When ``sigma > 0`` and a field predictor is attached, the density
+        gradient is blended with the neural prediction per Eq. 14:
+        ∇'D = (1−σ)·∇D + σ·∇_nn D.
+        """
+        dgx, dgy = result.density_grad_x, result.density_grad_y
+        if sigma > 0.0 and self.field_predictor is not None:
+            nn_gx, nn_gy = self._neural_density_grad(result.density_map, pos_x, pos_y)
+            profiled("nn_blend", 2)
+            dgx = (1.0 - sigma) * dgx + sigma * nn_gx
+            dgy = (1.0 - sigma) * dgy + sigma * nn_gy
+        grad_x = result.wl_grad_x + lam * dgx
+        grad_y = result.wl_grad_y + lam * dgy
+        return self.preconditioner.apply(grad_x, grad_y, lam)
+
+    def _neural_density_grad(
+        self, density_map: np.ndarray, pos_x: np.ndarray, pos_y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-variable density gradient from the NN field prediction.
+
+        The prediction is cached per density-map object: when the density
+        operator was skipped this iteration (Section 3.1.4) the same map
+        instance comes back and the forward pass is reused for free.
+        """
+        cached = getattr(self, "_nn_cache", None)
+        if cached is not None and cached[0] is density_map:
+            fx, fy = cached[1], cached[2]
+        else:
+            fx, fy = self.field_predictor(density_map)
+            self._nn_cache = (density_map, fx, fy)
+        scatter = self.density.scatter
+        mov_x, filler_x = self.split(pos_x)
+        mov_y, filler_y = self.split(pos_y)
+        mov_w = self.netlist.cell_w[self._mov_idx]
+        mov_h = self.netlist.cell_h[self._mov_idx]
+        fillers = self.density.fillers
+        gx = np.concatenate(
+            [
+                -scatter.gather(fx, mov_x, mov_y, mov_w, mov_h),
+                -scatter.gather(fx, filler_x, filler_y, fillers.w, fillers.h),
+            ]
+        )
+        gy = np.concatenate(
+            [
+                -scatter.gather(fy, mov_x, mov_y, mov_w, mov_h),
+                -scatter.gather(fy, filler_x, filler_y, fillers.w, fillers.h),
+            ]
+        )
+        return gx, gy

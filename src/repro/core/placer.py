@@ -1,0 +1,228 @@
+"""XPlacer: the global placement main loop (core engine of Figure 1)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.evaluator import Evaluator
+from repro.core.gradient_engine import FieldPredictor, GradientEngine, sigma_of_omega
+from repro.core.initializer import initial_positions
+from repro.core.params import PlacementParams
+from repro.core.recorder import IterationRecord, Recorder
+from repro.core.scheduler import Scheduler
+from repro.density import BinGrid, DensitySystem
+from repro.netlist import Netlist
+from repro.optim import AdamOptimizer, NesterovOptimizer
+
+
+@dataclass
+class PlacementResult:
+    """Output of one global placement run."""
+
+    x: np.ndarray              # final cell centers (all cells)
+    y: np.ndarray
+    hpwl: float                # HPWL of the returned solution
+    overflow: float
+    iterations: int
+    gp_seconds: float
+    recorder: Recorder
+    converged: bool
+
+    def positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x, self.y
+
+
+class XPlacer:
+    """Analytical global placer: Xplace configuration by default.
+
+    Toggling :class:`~repro.core.params.PlacementParams` switches turns
+    off individual operator optimizations (for the Table 3 ablation) or
+    the stage-aware schedule.  A trained neural field model is attached
+    via ``field_predictor`` to obtain Xplace-NN.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        params: Optional[PlacementParams] = None,
+        field_predictor: Optional[FieldPredictor] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.params = params or PlacementParams()
+        rng = np.random.default_rng(self.params.seed)
+        grid = BinGrid.for_netlist(netlist, self.params.grid_m)
+        if netlist.fences and self.params.fence_mode == "multi":
+            from repro.density.multi import MultiRegionDensitySystem
+
+            self.density = MultiRegionDensitySystem(
+                netlist,
+                target_density=self.params.target_density,
+                grid=grid,
+                extraction=self.params.density_extraction,
+                use_fillers=self.params.use_fillers,
+                rng=rng,
+            )
+        else:
+            self.density = DensitySystem(
+                netlist,
+                target_density=self.params.target_density,
+                grid=grid,
+                extraction=self.params.density_extraction,
+                use_fillers=self.params.use_fillers,
+                rng=rng,
+            )
+        predictor = field_predictor if self.params.neural_guidance else field_predictor
+        self.engine = GradientEngine(netlist, self.density, self.params, predictor)
+        self.evaluator = Evaluator(netlist, self.density)
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    def run(self) -> PlacementResult:
+        """Run global placement to convergence and return the solution."""
+        params = self.params
+        netlist = self.netlist
+        start = time.perf_counter()
+
+        x0, y0 = initial_positions(netlist, rng=self._rng)
+        mov = netlist.movable_index
+        pos_x = np.concatenate([x0[mov], self.density.fillers.x])
+        pos_y = np.concatenate([y0[mov], self.density.fillers.y])
+
+        bin_size = min(self.density.grid.bin_w, self.density.grid.bin_h)
+        if params.optimizer == "nesterov":
+            optimizer = NesterovOptimizer(pos_x, pos_y)
+        else:
+            optimizer = AdamOptimizer(pos_x, pos_y, lr=params.adam_lr * bin_size)
+
+        scheduler = Scheduler(params, bin_size)
+        recorder = Recorder()
+        engine = self.engine
+        clamp = self._make_clamp()
+
+        # Bootstrap: evaluate once to balance λ0 against gradient norms.
+        vx, vy = optimizer.positions
+        boot = engine.compute(0, vx, vy, scheduler.gamma, lam_for_skip=0.0)
+        lam = scheduler.initialize_lambda(boot.wl_grad_norm, boot.density_grad_norm)
+
+        converged = False
+        iteration = 0
+        result = boot
+        for iteration in range(params.max_iterations):
+            omega = engine.preconditioner.omega(lam)
+            sigma = (
+                params.neural_sigma_max * sigma_of_omega(omega)
+                if params.neural_guidance and engine.field_predictor is not None
+                else 0.0
+            )
+            if sigma < 0.02:
+                sigma = 0.0  # predictor cost isn't worth a ~0 blend weight
+            vx, vy = optimizer.positions
+            if iteration > 0:
+                result = engine.compute(iteration, vx, vy, scheduler.gamma, lam)
+            grad_x, grad_y = engine.assemble(result, vx, vy, lam, sigma)
+
+            if iteration == 0:
+                # Bound the very first step to a fraction of a bin.
+                max_grad = max(
+                    float(np.abs(grad_x).max(initial=0.0)),
+                    float(np.abs(grad_y).max(initial=0.0)),
+                )
+                if max_grad > 0 and isinstance(optimizer, NesterovOptimizer):
+                    optimizer._alpha = 0.1 * bin_size / max_grad
+
+            optimizer.step(grad_x, grad_y)
+            optimizer.clamp(clamp)
+
+            ratio = (
+                lam * result.density_grad_norm / result.wl_grad_norm
+                if result.wl_grad_norm > 1e-20
+                else float("inf")
+            )
+            recorder.log(
+                IterationRecord(
+                    iteration=iteration,
+                    hpwl=result.hpwl,
+                    wa=result.wa,
+                    overflow=result.overflow,
+                    gamma=scheduler.gamma,
+                    lam=lam,
+                    omega=omega,
+                    grad_ratio=ratio,
+                    density_computed=result.density_computed,
+                    step_length=optimizer.step_length,
+                )
+            )
+            if params.verbose and iteration % 50 == 0:
+                print(
+                    f"[{netlist.name}] iter {iteration:4d} hpwl {result.hpwl:.4g} "
+                    f"ovfl {result.overflow:.3f} gamma {scheduler.gamma:.3g} "
+                    f"lambda {lam:.3g} omega {omega:.3f}"
+                )
+
+            if scheduler.should_stop(iteration, result.overflow):
+                converged = result.overflow < params.stop_overflow
+                break
+
+            if scheduler.should_update_params(omega):
+                scheduler.update(result.overflow, result.hpwl)
+                lam = scheduler.lam
+
+        sol_x, sol_y = optimizer.solution
+        x, y = engine.full_positions(sol_x, sol_y)
+        x, y = self._clamp_real_cells(x, y)
+        elapsed = time.perf_counter() - start
+        final = self.evaluator.evaluate(x, y)
+        return PlacementResult(
+            x=x,
+            y=y,
+            hpwl=final.hpwl,
+            overflow=final.overflow,
+            iterations=iteration + 1,
+            gp_seconds=elapsed,
+            recorder=recorder,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_clamp(self):
+        """Clamp for the optimizer's [movable; filler] layout."""
+        netlist = self.netlist
+        region = netlist.region
+        mov = netlist.movable_index
+        fillers = self.density.fillers
+        hw = np.concatenate(
+            [netlist.cell_w[mov] / 2, np.full(fillers.count, fillers.width / 2)]
+        )
+        hh = np.concatenate(
+            [netlist.cell_h[mov] / 2, np.full(fillers.count, fillers.height / 2)]
+        )
+        from repro.core.fences import FenceProjector
+
+        projector = FenceProjector(netlist, fillers.count)
+
+        def clamp(px: np.ndarray, py: np.ndarray):
+            px, py = region.clamp(px, py, hw, hh)
+            if projector.active:
+                px, py = projector.project(px, py)
+            return px, py
+
+        return clamp
+
+    def _clamp_real_cells(self, x: np.ndarray, y: np.ndarray):
+        netlist = self.netlist
+        mov = netlist.movable_index
+        hw = netlist.cell_w[mov] / 2
+        hh = netlist.cell_h[mov] / 2
+        x = x.copy()
+        y = y.copy()
+        x[mov], y[mov] = netlist.region.clamp(x[mov], y[mov], hw, hh)
+        if netlist.fences:
+            from repro.core.fences import FenceProjector
+
+            projector = FenceProjector(netlist)
+            x[mov], y[mov] = projector.project(x[mov], y[mov])
+        return x, y

@@ -1,0 +1,64 @@
+"""Per-iteration metric recording (the Recorder block of Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Metrics of one GP iteration."""
+
+    iteration: int
+    hpwl: float
+    wa: float
+    overflow: float
+    gamma: float
+    lam: float
+    omega: float
+    grad_ratio: float          # r = λ‖∇D‖ / ‖∇WL‖ (Section 3.1.4)
+    density_computed: bool     # False when the skip controller reused cache
+    step_length: float
+
+
+class Recorder:
+    """Append-only store of :class:`IterationRecord` with trace queries."""
+
+    def __init__(self) -> None:
+        self.records: List[IterationRecord] = []
+
+    def log(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def last(self) -> Optional[IterationRecord]:
+        return self.records[-1] if self.records else None
+
+    def trace(self, name: str) -> np.ndarray:
+        """Array of one metric over iterations, e.g. ``trace('hpwl')``."""
+        return np.array([getattr(r, name) for r in self.records])
+
+    def best_hpwl(self) -> float:
+        if not self.records:
+            return float("inf")
+        return float(min(r.hpwl for r in self.records))
+
+    def density_skip_count(self) -> int:
+        """Iterations that reused a cached density gradient."""
+        return sum(1 for r in self.records if not r.density_computed)
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no iterations recorded"
+        last = self.records[-1]
+        return (
+            f"iterations={last.iteration + 1} hpwl={last.hpwl:.4g} "
+            f"overflow={last.overflow:.4f} omega={last.omega:.3f} "
+            f"density_skips={self.density_skip_count()}"
+        )

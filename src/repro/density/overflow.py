@@ -1,0 +1,27 @@
+"""Overflow ratio operator (Eq. 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.density.bins import BinGrid
+from repro.ops import profiled
+
+
+def overflow_ratio(
+    density: np.ndarray,
+    grid: BinGrid,
+    target_density: float,
+    movable_area: float,
+) -> float:
+    """OVFL = Σ_b max(D_b − D_t, 0)·A_b / Σ_{i∈V_mov} A_i.
+
+    ``density`` is the dimensionless cell-density map D (movable + fixed,
+    no fillers).  Values near 0 mean the density constraint (1b) is met
+    everywhere; analytical placers stop GP when OVFL drops below ~0.07.
+    """
+    profiled("overflow")
+    if movable_area <= 0:
+        return 0.0
+    excess = np.clip(density - target_density, 0.0, None)
+    return float(np.sum(excess) * grid.bin_area / movable_area)

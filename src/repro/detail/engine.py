@@ -1,0 +1,374 @@
+"""The detailed placement engine and its three operators."""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.detail.rows import PlacementRows
+from repro.netlist import Netlist
+from repro.wirelength import hpwl as hpwl_fn
+
+
+@dataclass
+class DetailedPlacementResult:
+    """Output of one detailed placement run."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hpwl_before: float
+    hpwl_after: float
+    dp_seconds: float
+    passes: int
+    moves_applied: int
+
+    @property
+    def improvement(self) -> float:
+        if self.hpwl_before == 0:
+            return 0.0
+        return 1.0 - self.hpwl_after / self.hpwl_before
+
+
+class DetailedPlacer:
+    """Sequential ABCDPlace-style detailed placer.
+
+    Runs passes of (local reordering → global swap → independent-set
+    matching) until a pass improves HPWL by less than ``min_gain`` or
+    ``max_passes`` is reached.  Requires a legal input placement and
+    keeps it legal.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        max_passes: int = 2,
+        window: int = 3,
+        swap_candidates: int = 8,
+        swap_radius_rows: int = 3,
+        ism_batch: int = 8,
+        min_gain: float = 1e-4,
+    ) -> None:
+        self.netlist = netlist
+        self.max_passes = max_passes
+        self.window = window
+        self.swap_candidates = swap_candidates
+        self.swap_radius_rows = swap_radius_rows
+        self.ism_batch = ism_batch
+        self.min_gain = min_gain
+        self._build_adjacency()
+
+    def _fence_ok(self, cell: int, new_x: float, new_y: float) -> bool:
+        """True if a fenced cell's box at (new_x, new_y) stays inside its
+        fence (always True for unconstrained cells)."""
+        nl = self.netlist
+        g = nl.cell_fence[cell]
+        if g < 0:
+            return True
+        fence = nl.fences[g]
+        hw = np.array([nl.cell_w[cell] / 2])
+        hh = np.array([nl.cell_h[cell] / 2])
+        return bool(
+            fence.contains_box(
+                np.array([new_x]), np.array([new_y]), hw, hh
+            )[0]
+        )
+
+    def _build_adjacency(self) -> None:
+        nl = self.netlist
+        # cell -> distinct nets CSR.
+        pairs = np.unique(
+            nl.pin2cell.astype(np.int64) * np.int64(nl.num_nets) + nl.pin2net
+        )
+        cells = (pairs // nl.num_nets).astype(np.int64)
+        nets = (pairs % nl.num_nets).astype(np.int64)
+        counts = np.bincount(cells, minlength=nl.num_cells)
+        self._cell_net_start = np.concatenate(([0], np.cumsum(counts)))
+        self._cell_nets = nets
+        # Per-net pin index slices for fast HPWL-of-nets.
+        self._net_pins = [
+            np.arange(nl.net_start[e], nl.net_start[e + 1]) for e in range(nl.num_nets)
+        ]
+
+    # ------------------------------------------------------------------
+    def nets_of(self, cells: Sequence[int]) -> np.ndarray:
+        pieces = [
+            self._cell_nets[self._cell_net_start[c] : self._cell_net_start[c + 1]]
+            for c in cells
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))
+
+    def _nets_hpwl(self, nets: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """HPWL restricted to ``nets`` — one fused segment reduction."""
+        nl = self.netlist
+        groups = [self._net_pins[e] for e in nets if len(self._net_pins[e]) >= 2]
+        if not groups:
+            return 0.0
+        pins = np.concatenate(groups)
+        starts = np.cumsum([0] + [len(g) for g in groups[:-1]])
+        owners = nl.pin2cell[pins]
+        px = x[owners] + nl.pin_dx[pins]
+        py = y[owners] + nl.pin_dy[pins]
+        spans = (
+            np.maximum.reduceat(px, starts)
+            - np.minimum.reduceat(px, starts)
+            + np.maximum.reduceat(py, starts)
+            - np.minimum.reduceat(py, starts)
+        )
+        weights = np.array(
+            [nl.net_weight[e] for e in nets if len(self._net_pins[e]) >= 2]
+        )
+        return float(np.dot(spans, weights))
+
+    # ------------------------------------------------------------------
+    def place(self, x: np.ndarray, y: np.ndarray) -> DetailedPlacementResult:
+        start = time.perf_counter()
+        rows = PlacementRows(self.netlist, x, y)
+        before = hpwl_fn(self.netlist, rows.x, rows.y)
+        current = before
+        moves = 0
+        passes = 0
+        for passes in range(1, self.max_passes + 1):
+            moves += self._local_reorder_pass(rows)
+            moves += self._global_swap_pass(rows)
+            moves += self._ism_pass(rows)
+            after = hpwl_fn(self.netlist, rows.x, rows.y)
+            gain = (current - after) / max(current, 1e-12)
+            current = after
+            if gain < self.min_gain:
+                break
+        return DetailedPlacementResult(
+            x=rows.x,
+            y=rows.y,
+            hpwl_before=before,
+            hpwl_after=current,
+            dp_seconds=time.perf_counter() - start,
+            passes=passes,
+            moves_applied=moves,
+        )
+
+    # ------------------------------------------------------------------
+    # Operator 1: local reordering
+    # ------------------------------------------------------------------
+    def _local_reorder_pass(self, rows: PlacementRows) -> int:
+        nl = self.netlist
+        applied = 0
+        for row_i, seg_i, window in rows.iter_windows(self.window):
+            window = list(window)
+            # Fence guard: reordering across groups could leak a cell out
+            # of (or into) a fence; same-group windows are always safe.
+            groups = {int(nl.cell_fence[c]) for c in window}
+            if len(groups) > 1:
+                continue
+            nets = self.nets_of(window)
+            widths = nl.cell_w[window]
+            left0 = rows.x[window[0]] - widths[0] / 2
+            # Right bound: next neighbour or segment end.
+            cells = rows.members[row_i][seg_i]
+            last_pos = cells.index(window[-1])
+            if last_pos + 1 < len(cells):
+                nxt = cells[last_pos + 1]
+                right_bound = rows.x[nxt] - nl.cell_w[nxt] / 2
+            else:
+                right_bound = rows.space.segments[row_i][seg_i].xh
+            base = self._nets_hpwl(nets, rows.x, rows.y)
+            original_x = [rows.x[c] for c in window]
+            best_perm = None
+            best_cost = base - 1e-9
+            for perm in itertools.permutations(range(len(window))):
+                if perm == tuple(range(len(window))):
+                    continue
+                cursor = left0
+                ok = True
+                for k in perm:
+                    c = window[k]
+                    rows.x[c] = cursor + nl.cell_w[c] / 2
+                    cursor += nl.cell_w[c]
+                if cursor > right_bound + 1e-9:
+                    ok = False
+                if ok:
+                    cost = self._nets_hpwl(nets, rows.x, rows.y)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_perm = perm
+                for c, ox in zip(window, original_x):
+                    rows.x[c] = ox
+            if best_perm is not None:
+                cursor = left0
+                for k in best_perm:
+                    c = window[k]
+                    rows.x[c] = cursor + nl.cell_w[c] / 2
+                    cursor += nl.cell_w[c]
+                # Restore sorted order inside the segment.
+                cells.sort(key=lambda c: rows.x[c])
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Operator 2: global swap
+    # ------------------------------------------------------------------
+    def _optimal_point(self, cell: int, rows: PlacementRows) -> Tuple[float, float]:
+        """Median of the other-pin bounding boxes of the cell's nets."""
+        nl = self.netlist
+        xs: List[float] = []
+        ys: List[float] = []
+        for e in self.nets_of([cell]):
+            pins = self._net_pins[e]
+            owner = nl.pin2cell[pins]
+            others = pins[owner != cell]
+            if len(others) == 0:
+                continue
+            px = rows.x[nl.pin2cell[others]] + nl.pin_dx[others]
+            py = rows.y[nl.pin2cell[others]] + nl.pin_dy[others]
+            xs.extend((px.min(), px.max()))
+            ys.extend((py.min(), py.max()))
+        if not xs:
+            return rows.x[cell], rows.y[cell]
+        return float(np.median(xs)), float(np.median(ys))
+
+    def _global_swap_pass(self, rows: PlacementRows) -> int:
+        nl = self.netlist
+        applied = 0
+        radius_x = 4 * float(np.mean(nl.cell_w[nl.movable_index])) * self.swap_candidates
+        for a in nl.movable_index:
+            opt_x, opt_y = self._optimal_point(int(a), rows)
+            if abs(opt_x - rows.x[a]) + abs(opt_y - rows.y[a]) < 1e-9:
+                continue
+            candidates = rows.cells_near(
+                opt_x, opt_y, self.swap_radius_rows, radius_x
+            )
+            candidates = [
+                b
+                for b in candidates
+                if b != a and nl.cell_fence[b] == nl.cell_fence[a]
+            ][: self.swap_candidates]
+            if not candidates:
+                continue
+            la, ra = rows.span(int(a))
+            nets_a = self.nets_of([int(a)])
+            best = None
+            best_delta = -1e-9
+            for b in candidates:
+                lb, rb = rows.span(b)
+                wa, wb = nl.cell_w[a], nl.cell_w[b]
+                if rb - lb < wa - 1e-9 or ra - la < wb - 1e-9:
+                    continue
+                ax_new = min(max(rows.x[b], lb + wa / 2), rb - wa / 2)
+                bx_new = min(max(rows.x[a], la + wb / 2), ra - wb / 2)
+                if nl.cell_fence[a] >= 0:
+                    ya_trial = rows.row_y_center(b) - nl.cell_h[b] / 2 + nl.cell_h[a] / 2
+                    yb_trial = rows.y[a] - nl.cell_h[a] / 2 + nl.cell_h[b] / 2
+                    if not (
+                        self._fence_ok(int(a), ax_new, ya_trial)
+                        and self._fence_ok(b, bx_new, yb_trial)
+                    ):
+                        continue
+                if rows.cell_slot[int(a)] == rows.cell_slot[b]:
+                    # Same segment: the exchanged intervals must stay disjoint.
+                    lx, lw, rx, rw = (
+                        (ax_new, wa, bx_new, wb)
+                        if ax_new <= bx_new
+                        else (bx_new, wb, ax_new, wa)
+                    )
+                    if lx + lw / 2 > rx - rw / 2 + 1e-9:
+                        continue
+                nets = np.union1d(nets_a, self.nets_of([b]))
+                base = self._nets_hpwl(nets, rows.x, rows.y)
+                old = (rows.x[a], rows.y[a], rows.x[b], rows.y[b])
+                rows.x[a], rows.x[b] = ax_new, bx_new
+                ya_new = rows.row_y_center(b) - nl.cell_h[b] / 2 + nl.cell_h[a] / 2
+                yb_new = old[1] - nl.cell_h[a] / 2 + nl.cell_h[b] / 2
+                rows.y[a], rows.y[b] = ya_new, yb_new
+                cost = self._nets_hpwl(nets, rows.x, rows.y)
+                rows.x[a], rows.y[a], rows.x[b], rows.y[b] = old
+                delta = base - cost
+                if delta > best_delta:
+                    best_delta = delta
+                    best = (b, ax_new, bx_new)
+            if best is not None:
+                b, ax_new, bx_new = best
+                slot_a = rows.cell_slot[int(a)]
+                slot_b = rows.cell_slot[b]
+                rows.members[slot_a[0]][slot_a[1]].remove(int(a))
+                rows.members[slot_b[0]][slot_b[1]].remove(b)
+                rows.x[a] = ax_new
+                rows.y[a] = rows.space.rows[slot_b[0]].y + nl.cell_h[a] / 2
+                rows.x[b] = bx_new
+                rows.y[b] = rows.space.rows[slot_a[0]].y + nl.cell_h[b] / 2
+                rows.cell_slot[int(a)] = slot_b
+                rows.cell_slot[b] = slot_a
+                rows._sorted_insert(slot_b, int(a))
+                rows._sorted_insert(slot_a, b)
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Operator 3: independent-set matching
+    # ------------------------------------------------------------------
+    def _ism_pass(self, rows: PlacementRows) -> int:
+        nl = self.netlist
+        applied = 0
+        movable = nl.movable_index
+        widths = nl.cell_w[movable]
+        fences = nl.cell_fence[movable]
+        # Batches mix neither widths (slot compatibility) nor fence
+        # groups (slot exchange would cross fence boundaries).
+        keys = [(w, g) for w, g in zip(widths, fences)]
+        for key in sorted(set(keys)):
+            width, fence_group = key
+            group = movable[(widths == width) & (fences == fence_group)]
+            if len(group) < 3:
+                continue
+            batch: List[int] = []
+            batch_nets: set = set()
+            for cell in group:
+                cell_nets = set(self.nets_of([int(cell)]).tolist())
+                if batch_nets & cell_nets:
+                    continue
+                batch.append(int(cell))
+                batch_nets |= cell_nets
+                if len(batch) == self.ism_batch:
+                    applied += self._match_batch(batch, rows)
+                    batch = []
+                    batch_nets = set()
+            if len(batch) >= 3:
+                applied += self._match_batch(batch, rows)
+        return applied
+
+    def _match_batch(self, batch: List[int], rows: PlacementRows) -> int:
+        """Optimally permute net-disjoint equal-width cells over their
+        current slots (costs decompose exactly by independence)."""
+        k = len(batch)
+        slots = [(rows.x[c], rows.y[c], rows.cell_slot[c]) for c in batch]
+        cost = np.zeros((k, k))
+        for i, cell in enumerate(batch):
+            nets = self.nets_of([cell])
+            old = (rows.x[cell], rows.y[cell])
+            for j, (sx, sy, __) in enumerate(slots):
+                rows.x[cell], rows.y[cell] = sx, sy
+                cost[i, j] = self._nets_hpwl(nets, rows.x, rows.y)
+            rows.x[cell], rows.y[cell] = old
+        row_ind, col_ind = linear_sum_assignment(cost)
+        baseline = float(np.trace(cost))
+        optimal = float(cost[row_ind, col_ind].sum())
+        if optimal >= baseline - 1e-9:
+            return 0
+        # Apply the permutation (equal widths ⇒ slots interchangeable).
+        for i, j in zip(row_ind, col_ind):
+            if i == j:
+                continue
+            cell = batch[i]
+            sx, sy, slot = slots[j]
+            old_slot = rows.cell_slot[cell]
+            rows.members[old_slot[0]][old_slot[1]].remove(cell)
+            rows.x[cell] = sx
+            rows.y[cell] = sy
+            rows.cell_slot[cell] = slot
+            rows._sorted_insert(slot, cell)
+        return 1

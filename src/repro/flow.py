@@ -1,0 +1,113 @@
+"""End-to-end placement flows: GP → legalization → detailed placement.
+
+This is the harness behind the paper's Tables 2 and 4: the same LG and
+DP engines are applied to every global placer's output, so reported
+post-DP HPWL and runtimes are comparable (Section 4.1's "for fair
+comparison" protocol).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baseline import DreamPlaceStyleBaseline
+from repro.core import PlacementParams, XPlacer
+from repro.core.gradient_engine import FieldPredictor
+from repro.detail import DetailedPlacer
+from repro.legalize import FenceAwareLegalizer, check_legal
+from repro.netlist import Netlist
+from repro.route import GlobalRouter
+
+
+@dataclass
+class FlowResult:
+    """Metrics of one complete placement flow."""
+
+    design: str
+    placer: str
+    gp_hpwl: float
+    gp_seconds: float
+    gp_iterations: int
+    lg_hpwl: float
+    dp_hpwl: float
+    dp_seconds: float         # legalization + detailed placement (paper's DP/s)
+    legal: bool
+    x: np.ndarray
+    y: np.ndarray
+    top5_overflow: Optional[float] = None
+    gr_seconds: Optional[float] = None
+
+    @property
+    def final_hpwl(self) -> float:
+        return self.dp_hpwl
+
+
+def run_flow(
+    netlist: Netlist,
+    placer: str = "xplace",
+    params: Optional[PlacementParams] = None,
+    field_predictor: Optional[FieldPredictor] = None,
+    dp_passes: int = 1,
+    route: bool = False,
+    route_grid_m: int = 32,
+) -> FlowResult:
+    """Run GP (+LG+DP, optionally +GR) and collect the table metrics.
+
+    Parameters
+    ----------
+    placer : ``"xplace"``, ``"xplace-nn"`` or ``"baseline"``
+        (``"xplace-nn"`` requires ``field_predictor``).
+    route : also run global routing and report top5 overflow (Table 4).
+    """
+    params = params or PlacementParams()
+    if placer == "xplace":
+        gp = XPlacer(netlist, params).run()
+    elif placer == "xplace-nn":
+        if field_predictor is None:
+            raise ValueError("xplace-nn flow needs a field_predictor")
+        nn_params = _with_guidance(params)
+        gp = XPlacer(netlist, nn_params, field_predictor=field_predictor).run()
+    elif placer == "baseline":
+        gp = DreamPlaceStyleBaseline(netlist, params).run()
+    else:
+        raise ValueError(f"unknown placer {placer!r}")
+
+    dp_start = time.perf_counter()
+    # FenceAwareLegalizer degrades to plain Abacus on fence-free designs.
+    lx, ly = FenceAwareLegalizer(netlist).legalize(gp.x, gp.y)
+    from repro.wirelength import hpwl as hpwl_fn
+
+    lg_hpwl = hpwl_fn(netlist, lx, ly)
+    dp = DetailedPlacer(netlist, max_passes=dp_passes).place(lx, ly)
+    dp_seconds = time.perf_counter() - dp_start
+    report = check_legal(netlist, dp.x, dp.y)
+
+    result = FlowResult(
+        design=netlist.name,
+        placer=placer,
+        gp_hpwl=gp.hpwl,
+        gp_seconds=gp.gp_seconds,
+        gp_iterations=gp.iterations,
+        lg_hpwl=lg_hpwl,
+        dp_hpwl=dp.hpwl_after,
+        dp_seconds=dp_seconds,
+        legal=report.legal,
+        x=dp.x,
+        y=dp.y,
+    )
+    if route:
+        routing = GlobalRouter(netlist, grid_m=route_grid_m).route(dp.x, dp.y)
+        result.top5_overflow = routing.top5_overflow
+        result.gr_seconds = routing.gr_seconds
+    return result
+
+
+def _with_guidance(params: PlacementParams) -> PlacementParams:
+    """Copy of ``params`` with neural guidance switched on."""
+    import dataclasses
+
+    return dataclasses.replace(params, neural_guidance=True)

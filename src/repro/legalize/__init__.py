@@ -1,0 +1,31 @@
+"""Legalization: snap a global placement onto rows and sites.
+
+Two legalizers with a common interface (the paper's flows use NTUPlace3
+for ISPD 2005 and DREAMPlace's legalizer for ISPD 2015; both are
+row-based displacement-minimising algorithms of this family):
+
+* :class:`TetrisLegalizer` — greedy nearest-gap assignment, fast and
+  robust, quality baseline;
+* :class:`AbacusLegalizer` — row-cluster dynamic programming (Spindler et
+  al.), minimises weighted quadratic displacement per row.
+
+``check_legal`` verifies the invariants every legalizer must establish:
+cells on rows/sites, inside the die, no overlap among cells or with
+fixed macros.
+"""
+
+from repro.legalize.rows import RowSpace, build_row_space
+from repro.legalize.tetris import TetrisLegalizer
+from repro.legalize.abacus import AbacusLegalizer
+from repro.legalize.fence_aware import FenceAwareLegalizer
+from repro.legalize.check import LegalityReport, check_legal
+
+__all__ = [
+    "RowSpace",
+    "build_row_space",
+    "TetrisLegalizer",
+    "AbacusLegalizer",
+    "FenceAwareLegalizer",
+    "LegalityReport",
+    "check_legal",
+]

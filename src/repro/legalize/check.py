@@ -1,0 +1,147 @@
+"""Legality verification: invariants every legalized placement satisfies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.netlist import Netlist
+
+
+@dataclass
+class LegalityReport:
+    """Violation summary; empty lists ⇒ legal."""
+
+    out_of_die: List[int] = field(default_factory=list)
+    off_row: List[int] = field(default_factory=list)
+    overlaps: List[tuple] = field(default_factory=list)
+    macro_overlaps: List[int] = field(default_factory=list)
+    fence_violations: List[int] = field(default_factory=list)
+
+    @property
+    def legal(self) -> bool:
+        return not (
+            self.out_of_die
+            or self.off_row
+            or self.overlaps
+            or self.macro_overlaps
+            or self.fence_violations
+        )
+
+    def summary(self) -> str:
+        return (
+            f"legal={self.legal} out_of_die={len(self.out_of_die)} "
+            f"off_row={len(self.off_row)} overlaps={len(self.overlaps)} "
+            f"macro_overlaps={len(self.macro_overlaps)} "
+            f"fence_violations={len(self.fence_violations)}"
+        )
+
+
+def check_legal(
+    netlist: Netlist,
+    x: np.ndarray,
+    y: np.ndarray,
+    tol: float = 1e-6,
+    max_violations: int = 50,
+) -> LegalityReport:
+    """Verify die bounds, row alignment and overlap-freedom.
+
+    Overlap checking is done per row (cells aligned to the same row are
+    sorted by left edge), so it is O(n log n) overall.
+    """
+    report = LegalityReport()
+    region = netlist.region
+    rows = region.rows
+    row_bottoms = np.array([r.y for r in rows])
+    row_height = region.row_height if rows else 0.0
+
+    movable = netlist.movable_index
+    hw = netlist.cell_w[movable] / 2
+    hh = netlist.cell_h[movable] / 2
+    xl = x[movable] - hw
+    xh = x[movable] + hw
+    yl = y[movable] - hh
+    yh = y[movable] + hh
+
+    outside = (
+        (xl < region.xl - tol)
+        | (xh > region.xh + tol)
+        | (yl < region.yl - tol)
+        | (yh > region.yh + tol)
+    )
+    report.out_of_die = list(movable[outside][:max_violations])
+
+    # Row alignment: bottom edge sits on a row boundary.
+    if rows:
+        row_index = np.round((yl - region.yl) / row_height).astype(np.int64)
+        aligned_y = region.yl + row_index * row_height
+        misaligned = (np.abs(yl - aligned_y) > tol) | (row_index < 0) | (
+            row_index >= len(rows)
+        )
+        report.off_row = list(movable[misaligned][:max_violations])
+
+        # Per-row overlap scan (movable-movable and movable-macro).
+        fixed = np.flatnonzero(~netlist.movable)
+        macro_boxes = []
+        for i in fixed:
+            w, h = netlist.cell_w[i], netlist.cell_h[i]
+            if w > 0 and h > 0:
+                macro_boxes.append(
+                    (
+                        netlist.fixed_x[i] - w / 2,
+                        netlist.fixed_y[i] - h / 2,
+                        netlist.fixed_x[i] + w / 2,
+                        netlist.fixed_y[i] + h / 2,
+                    )
+                )
+        for r in range(len(rows)):
+            members = np.flatnonzero((row_index == r) & ~misaligned)
+            if len(members) == 0:
+                continue
+            order = members[np.argsort(xl[members])]
+            for a, b in zip(order[:-1], order[1:]):
+                if xh[a] > xl[b] + tol:
+                    report.overlaps.append(
+                        (int(movable[a]), int(movable[b]))
+                    )
+                    if len(report.overlaps) >= max_violations:
+                        break
+            row_y0 = rows[r].y
+            row_y1 = row_y0 + rows[r].height
+            for (bxl, byl, bxh, byh) in macro_boxes:
+                if byl >= row_y1 - tol or byh <= row_y0 + tol:
+                    continue
+                for m in order:
+                    if xh[m] > bxl + tol and xl[m] < bxh - tol:
+                        report.macro_overlaps.append(int(movable[m]))
+                        if len(report.macro_overlaps) >= max_violations:
+                            break
+
+    # Fence constraints: members fully inside one of their boxes,
+    # non-members fully outside every box.
+    for g, fence in enumerate(netlist.fences):
+        member_mask = netlist.cell_fence[movable] == g
+        if member_mask.any():
+            idx = np.flatnonzero(member_mask)
+            ok = fence.contains_box(
+                x[movable[idx]], y[movable[idx]], hw[idx], hh[idx], tol=tol
+            )
+            report.fence_violations.extend(
+                int(c) for c in movable[idx[~ok]][:max_violations]
+            )
+        outside_mask = netlist.cell_fence[movable] < 0
+        if outside_mask.any():
+            idx = np.flatnonzero(outside_mask)
+            for (bxl, byl, bxh, byh) in fence.boxes:
+                bad = (
+                    (xh[idx] > bxl + tol)
+                    & (xl[idx] < bxh - tol)
+                    & (yh[idx] > byl + tol)
+                    & (yl[idx] < byh - tol)
+                )
+                report.fence_violations.extend(
+                    int(c) for c in movable[idx[bad]][:max_violations]
+                )
+    return report

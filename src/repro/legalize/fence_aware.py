@@ -1,0 +1,68 @@
+"""Two-phase fence-aware legalization.
+
+Phase 1 legalizes each fence's member cells inside a row space clipped
+to the fence's boxes.  Phase 2 legalizes all unconstrained cells with
+every fence box added as a blockage.  Members end inside their fence,
+non-members outside every fence, and the two populations can never
+overlap because their row spaces are disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+import numpy as np
+
+from repro.legalize.abacus import AbacusLegalizer
+from repro.legalize.rows import build_row_space
+from repro.netlist import Netlist
+
+
+class FenceAwareLegalizer:
+    """Legalizer wrapper honouring fence-region constraints.
+
+    ``base_cls`` selects the underlying row legalizer (Abacus by
+    default; Tetris also works).  Falls back to plain legalization when
+    the netlist carries no fences.
+    """
+
+    def __init__(self, netlist: Netlist, base_cls: Type = AbacusLegalizer) -> None:
+        self.netlist = netlist
+        self.base_cls = base_cls
+
+    def legalize(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        netlist = self.netlist
+        if not netlist.fences:
+            return self.base_cls(netlist).legalize(x, y)
+
+        out_x, out_y = x.copy(), y.copy()
+        movable = netlist.movable_index
+        fence_of = netlist.cell_fence[movable]
+
+        # Phase 1: each fence's members inside their clipped row space.
+        for g, fence in enumerate(netlist.fences):
+            members = movable[fence_of == g]
+            if len(members) == 0:
+                continue
+            space = build_row_space(netlist, clip_boxes=fence.boxes)
+            if space.total_free_width() <= 0:
+                raise RuntimeError(
+                    f"fence {fence.name!r} contains no usable row space"
+                )
+            legalizer = self.base_cls(netlist)
+            out_x, out_y = legalizer.legalize(
+                out_x, out_y, cells=members, space=space
+            )
+
+        # Phase 2: unconstrained cells, with fences as hard blockages.
+        free_cells = movable[fence_of < 0]
+        if len(free_cells):
+            blockages = tuple(
+                box for fence in netlist.fences for box in fence.boxes
+            )
+            space = build_row_space(netlist, extra_blockages=blockages)
+            legalizer = self.base_cls(netlist)
+            out_x, out_y = legalizer.legalize(
+                out_x, out_y, cells=free_cells, space=space
+            )
+        return out_x, out_y

@@ -1,0 +1,129 @@
+"""Movable-macro legalization (the mLG step of ePlace-MS style flows).
+
+Macros are snapped to row-aligned positions and de-overlapped greedily,
+largest first: each macro takes the position nearest its GP location
+(searched over a spiral of row/site-aligned offsets) that overlaps
+neither the die boundary, a fixed macro, nor an already-legalized
+macro.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+
+Box = Tuple[float, float, float, float]
+
+
+def _overlaps(a: Box, b: Box, tol: float = 1e-9) -> bool:
+    return (
+        min(a[2], b[2]) - max(a[0], b[0]) > tol
+        and min(a[3], b[3]) - max(a[1], b[1]) > tol
+    )
+
+
+class MacroLegalizer:
+    """Legalizes a set of movable macros (multi-row cells)."""
+
+    def __init__(self, netlist: Netlist, search_radius: int = 64) -> None:
+        self.netlist = netlist
+        self.search_radius = search_radius
+
+    def legalize(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        macros: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return positions with ``macros`` legalized (others untouched)."""
+        netlist = self.netlist
+        region = netlist.region
+        row_height = region.row_height
+        site = region.rows[0].site_width if region.rows else 1.0
+
+        obstacles: List[Box] = []
+        fixed = np.flatnonzero(~netlist.movable)
+        for i in fixed:
+            w, h = netlist.cell_w[i], netlist.cell_h[i]
+            if w > 0 and h > 0:
+                obstacles.append(
+                    (
+                        netlist.fixed_x[i] - w / 2,
+                        netlist.fixed_y[i] - h / 2,
+                        netlist.fixed_x[i] + w / 2,
+                        netlist.fixed_y[i] + h / 2,
+                    )
+                )
+
+        out_x, out_y = x.copy(), y.copy()
+        order = macros[np.argsort(-netlist.cell_area[macros])]
+        for cell in order:
+            w, h = netlist.cell_w[cell], netlist.cell_h[cell]
+            placed = self._place_one(
+                x[cell], y[cell], w, h, obstacles, region, row_height, site
+            )
+            if placed is None:
+                raise RuntimeError(
+                    f"macro legalization failed for {netlist.cell_name[cell]}"
+                )
+            px, py = placed
+            out_x[cell], out_y[cell] = px, py
+            obstacles.append((px - w / 2, py - h / 2, px + w / 2, py + h / 2))
+        return out_x, out_y
+
+    # ------------------------------------------------------------------
+    def _place_one(
+        self,
+        cx: float,
+        cy: float,
+        w: float,
+        h: float,
+        obstacles: List[Box],
+        region,
+        row_height: float,
+        site: float,
+    ) -> Optional[Tuple[float, float]]:
+        """Nearest legal (site, row)-aligned center via rings of offsets."""
+
+        def snap(px: float, py: float) -> Tuple[float, float]:
+            # Clamp inside die, then snap lower-left to site/row grid.
+            px = min(max(px, region.xl + w / 2), region.xh - w / 2)
+            py = min(max(py, region.yl + h / 2), region.yh - h / 2)
+            llx = region.xl + round((px - w / 2 - region.xl) / site) * site
+            lly = region.yl + round((py - h / 2 - region.yl) / row_height) * row_height
+            llx = min(max(llx, region.xl), region.xh - w)
+            lly = min(max(lly, region.yl), region.yh - h)
+            return llx + w / 2, lly + h / 2
+
+        def legal(px: float, py: float) -> bool:
+            box = (px - w / 2, py - h / 2, px + w / 2, py + h / 2)
+            if box[0] < region.xl - 1e-9 or box[2] > region.xh + 1e-9:
+                return False
+            if box[1] < region.yl - 1e-9 or box[3] > region.yh + 1e-9:
+                return False
+            return not any(_overlaps(box, o) for o in obstacles)
+
+        base = snap(cx, cy)
+        if legal(*base):
+            return base
+        # Expanding rings of (site-multiple, row-multiple) offsets.
+        step_x = max(site * 4, w / 4)
+        step_y = row_height
+        for radius in range(1, self.search_radius + 1):
+            candidates = []
+            for k in range(-radius, radius + 1):
+                candidates.append((base[0] + k * step_x, base[1] + radius * step_y))
+                candidates.append((base[0] + k * step_x, base[1] - radius * step_y))
+                candidates.append((base[0] + radius * step_x, base[1] + k * step_y))
+                candidates.append((base[0] - radius * step_x, base[1] + k * step_y))
+            candidates.sort(
+                key=lambda p: abs(p[0] - cx) + abs(p[1] - cy)
+            )
+            for px, py in candidates:
+                spx, spy = snap(px, py)
+                if legal(spx, spy):
+                    return spx, spy
+        return None

@@ -1,0 +1,153 @@
+"""Tetris-style greedy legalization.
+
+Cells are processed left-to-right (by global-placement x).  Each cell
+takes the free gap minimising its displacement, searching rows outward
+from its target row.  Per segment only the left frontier moves, so the
+free space stays a simple per-segment cursor — the classic "Tetris"
+structure (Hill, 2002), also the rough-legalization core of POLAR/NTU
+flows.
+
+Greedy gap choice can strand the space between a segment's frontier and
+a far-right target (pathological when many cells were clamped to a
+narrow region's edge, e.g. inside fence boxes).  When that makes a cell
+unplaceable, the whole pass restarts in *packing mode* — every cell goes
+to its nearest frontier, which is capacity-optimal (zero stranded space)
+at some displacement cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.legalize.rows import RowSpace, build_row_space
+from repro.netlist import Netlist
+
+
+class _Stranded(RuntimeError):
+    """Internal: greedy mode ran out of space."""
+
+
+class TetrisLegalizer:
+    """Greedy displacement-minimising legalizer."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        row_search_limit: int = 0,
+        waste_weight: float = 0.0,
+    ) -> None:
+        self.netlist = netlist
+        # 0 → search all rows (small benchmarks); >0 caps the row window.
+        self.row_search_limit = row_search_limit
+        # Optional soft penalty on the gap stranded between a segment's
+        # frontier and the chosen position.  0 keeps the classic greedy
+        # behaviour; stranding is instead rescued by the packing-mode
+        # retry in legalize().
+        self.waste_weight = waste_weight
+
+    def legalize(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        cells: np.ndarray = None,
+        space=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return legalized center positions (fixed cells untouched).
+
+        ``cells`` restricts legalization to a subset (default: all
+        movable cells); ``space`` supplies a custom :class:`RowSpace`
+        (default: die rows minus macro blockages).
+        """
+        space = space or build_row_space(self.netlist)
+        try:
+            return self._run(x, y, cells, space, packing=False)
+        except _Stranded:
+            # Greedy stranded free space; packing mode cannot (it never
+            # leaves gaps), so it succeeds whenever capacity suffices.
+            return self._run(x, y, cells, space, packing=True)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        cells,
+        space: RowSpace,
+        packing: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        netlist = self.netlist
+        # Frontier cursor per (row, segment): next free left edge.
+        cursors = [[seg.xl for seg in row_segs] for row_segs in space.segments]
+
+        out_x = x.copy()
+        out_y = y.copy()
+        movable = netlist.movable_index if cells is None else np.asarray(cells)
+        order = movable[np.argsort(x[movable] - netlist.cell_w[movable] / 2)]
+
+        row_centers = np.array(
+            [space.row_center_y(r) for r in range(space.num_rows)]
+        )
+        for cell in order:
+            w = netlist.cell_w[cell]
+            h = netlist.cell_h[cell]
+            target_x = x[cell] - w / 2
+            target_y = y[cell]
+            best = self._find_gap(
+                space, cursors, row_centers, target_x, target_y, w,
+                packing=packing,
+            )
+            if best is None:
+                if packing:
+                    raise RuntimeError(
+                        f"tetris legalization failed: no space for cell "
+                        f"{netlist.cell_name[cell]} (width {w})"
+                    )
+                raise _Stranded(netlist.cell_name[cell])
+            row_i, seg_i, pos = best
+            cursors[row_i][seg_i] = pos + w
+            out_x[cell] = pos + w / 2
+            out_y[cell] = space.rows[row_i].y + h / 2
+        return out_x, out_y
+
+    # ------------------------------------------------------------------
+    def _find_gap(
+        self,
+        space: RowSpace,
+        cursors,
+        row_centers: np.ndarray,
+        target_x: float,
+        target_y: float,
+        width: float,
+        packing: bool = False,
+    ) -> Optional[Tuple[int, int, float]]:
+        order = np.argsort(np.abs(row_centers - target_y))
+        if self.row_search_limit:
+            order = order[: self.row_search_limit]
+        best = None
+        best_cost = np.inf
+        for row_i in order:
+            dy = abs(row_centers[row_i] - target_y)
+            if dy >= best_cost:  # rows are visited nearest-first
+                break
+            for seg_i, seg in enumerate(space.segments[row_i]):
+                cursor = cursors[row_i][seg_i]
+                if seg.xh - cursor < width - 1e-9:
+                    continue
+                if packing:
+                    pos = cursor
+                else:
+                    pos = min(max(target_x, cursor), seg.xh - width)
+                    pos = max(space.snap_x(pos), cursor)
+                    if pos + width > seg.xh + 1e-9:
+                        continue
+                cost = (
+                    abs(pos - target_x)
+                    + dy
+                    + self.waste_weight * (pos - cursor)
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best = (int(row_i), seg_i, pos)
+        return best

@@ -1,0 +1,24 @@
+"""Circuit data model: cells, pins, nets, placement region.
+
+The netlist is stored in a flat, array-of-structs layout (CSR adjacency)
+so that every placement operator can be expressed as vectorised NumPy
+kernels over pin/net/cell arrays — the same layout DREAMPlace and Xplace
+use on the GPU.
+"""
+
+from repro.netlist.region import PlacementRegion, Row
+from repro.netlist.fence import FenceRegion, validate_fences
+from repro.netlist.netlist import Netlist
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.stats import NetlistStats, compute_stats
+
+__all__ = [
+    "PlacementRegion",
+    "Row",
+    "FenceRegion",
+    "validate_fences",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistStats",
+    "compute_stats",
+]

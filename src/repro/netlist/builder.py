@@ -1,0 +1,183 @@
+"""Incremental netlist construction.
+
+``NetlistBuilder`` accepts cells and nets in any order and produces the
+flat CSR :class:`~repro.netlist.Netlist`.  Both the bookshelf parser and
+the synthetic benchmark generator build circuits through it, so layout
+invariants (pins grouped by net, name uniqueness, index validity) are
+enforced in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.netlist.fence import FenceRegion
+from repro.netlist.netlist import Netlist
+from repro.netlist.region import PlacementRegion
+
+CellRef = Union[int, str]
+
+
+class NetlistBuilder:
+    """Builds a :class:`Netlist` cell-by-cell and net-by-net."""
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._cell_name: List[str] = []
+        self._cell_index: Dict[str, int] = {}
+        self._cell_w: List[float] = []
+        self._cell_h: List[float] = []
+        self._movable: List[bool] = []
+        self._pos_x: List[float] = []
+        self._pos_y: List[float] = []
+        self._net_name: List[str] = []
+        self._net_names_seen: Dict[str, int] = {}
+        self._net_weight: List[float] = []
+        # Per net: list of (cell index, dx, dy).
+        self._net_pins: List[List[Tuple[int, float, float]]] = []
+        self._region: Optional[PlacementRegion] = None
+        self._fences: List[FenceRegion] = []
+        self._cell_fence: List[int] = []
+
+    # ------------------------------------------------------------------
+    def add_cell(
+        self,
+        name: str,
+        width: float,
+        height: float,
+        movable: bool = True,
+        x: float = np.nan,
+        y: float = np.nan,
+        fence: int = -1,
+    ) -> int:
+        """Register a cell; ``(x, y)`` is its center (required if fixed).
+
+        ``fence`` is an id returned by :meth:`add_fence` (-1 = none).
+        """
+        if name in self._cell_index:
+            raise ValueError(f"duplicate cell name {name!r}")
+        if width < 0 or height < 0:
+            raise ValueError(f"cell {name!r} has negative size")
+        if not movable and (np.isnan(x) or np.isnan(y)):
+            raise ValueError(f"fixed cell {name!r} needs a position")
+        if fence >= len(self._fences):
+            raise ValueError(f"cell {name!r} references unknown fence {fence}")
+        index = len(self._cell_name)
+        self._cell_index[name] = index
+        self._cell_name.append(name)
+        self._cell_w.append(float(width))
+        self._cell_h.append(float(height))
+        self._movable.append(bool(movable))
+        self._pos_x.append(float(x))
+        self._pos_y.append(float(y))
+        self._cell_fence.append(int(fence))
+        return index
+
+    def add_fence(self, name: str, boxes) -> int:
+        """Register a fence region; returns its id for :meth:`add_cell`."""
+        fence = FenceRegion(name, tuple(tuple(b) for b in boxes))
+        self._fences.append(fence)
+        return len(self._fences) - 1
+
+    def assign_fence(self, cell: CellRef, fence: int) -> None:
+        """(Re)assign an existing cell to a fence region."""
+        index = self._resolve(cell)
+        if not -1 <= fence < len(self._fences):
+            raise ValueError(f"unknown fence id {fence}")
+        self._cell_fence[index] = int(fence)
+
+    def add_net(
+        self,
+        name: str,
+        pins: Sequence[Tuple[CellRef, float, float]],
+        weight: float = 1.0,
+    ) -> int:
+        """Register a net as ``[(cell, dx, dy), ...]`` pin tuples.
+
+        ``cell`` may be a name or an index; ``(dx, dy)`` is the pin offset
+        from the cell center.  Single-pin and empty nets are accepted (the
+        netlist masks them out of wirelength).
+        """
+        if name in self._net_names_seen:
+            raise ValueError(f"duplicate net name {name!r}")
+        if weight < 0:
+            raise ValueError(f"net {name!r} has negative weight")
+        resolved: List[Tuple[int, float, float]] = []
+        for cell, dx, dy in pins:
+            index = self._resolve(cell)
+            resolved.append((index, float(dx), float(dy)))
+        net_index = len(self._net_name)
+        self._net_names_seen[name] = net_index
+        self._net_name.append(name)
+        self._net_weight.append(float(weight))
+        self._net_pins.append(resolved)
+        return net_index
+
+    def set_region(self, region: PlacementRegion) -> None:
+        self._region = region
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cell_name)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._net_name)
+
+    def has_cell(self, name: str) -> bool:
+        return name in self._cell_index
+
+    # ------------------------------------------------------------------
+    def build(self) -> Netlist:
+        if self._region is None:
+            raise ValueError("set_region() must be called before build()")
+        degrees = [len(p) for p in self._net_pins]
+        total_pins = int(sum(degrees))
+        pin2cell = np.empty(total_pins, dtype=np.int64)
+        pin_dx = np.empty(total_pins, dtype=np.float64)
+        pin_dy = np.empty(total_pins, dtype=np.float64)
+        pin2net = np.empty(total_pins, dtype=np.int64)
+        net_start = np.zeros(len(self._net_pins) + 1, dtype=np.int64)
+        cursor = 0
+        for e, pins in enumerate(self._net_pins):
+            net_start[e] = cursor
+            for cell, dx, dy in pins:
+                pin2cell[cursor] = cell
+                pin_dx[cursor] = dx
+                pin_dy[cursor] = dy
+                pin2net[cursor] = e
+                cursor += 1
+        net_start[-1] = cursor
+        return Netlist(
+            cell_name=list(self._cell_name),
+            cell_w=np.asarray(self._cell_w, dtype=np.float64),
+            cell_h=np.asarray(self._cell_h, dtype=np.float64),
+            movable=np.asarray(self._movable, dtype=bool),
+            fixed_x=np.asarray(self._pos_x, dtype=np.float64),
+            fixed_y=np.asarray(self._pos_y, dtype=np.float64),
+            pin2cell=pin2cell,
+            pin_dx=pin_dx,
+            pin_dy=pin_dy,
+            pin2net=pin2net,
+            net_start=net_start,
+            net_name=list(self._net_name),
+            net_weight=np.asarray(self._net_weight, dtype=np.float64),
+            region=self._region,
+            name=self.name,
+            fences=list(self._fences),
+            cell_fence=np.asarray(self._cell_fence, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, cell: CellRef) -> int:
+        if isinstance(cell, str):
+            try:
+                return self._cell_index[cell]
+            except KeyError:
+                raise KeyError(f"unknown cell {cell!r}") from None
+        index = int(cell)
+        if not 0 <= index < len(self._cell_name):
+            raise IndexError(f"cell index {index} out of range")
+        return index

@@ -1,0 +1,208 @@
+"""Flat CSR netlist container used by all placement operators.
+
+Layout
+------
+Pins are stored **grouped by net**: net ``e`` owns the contiguous pin slice
+``net_start[e]:net_start[e+1]``.  Each pin records its owner cell and its
+offset from the owner's *center*.  A second CSR (``cell_start`` /
+``cell_pin``) indexes the same pins grouped by cell, which gradient
+scatter/gather kernels need.
+
+Positions handed to operators are always cell **centers**; the bookshelf
+reader/writer converts from/to lower-left corners at the IO boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.fence import FenceRegion, validate_fences
+from repro.netlist.region import PlacementRegion
+
+
+@dataclass
+class Netlist:
+    """Immutable circuit description (positions live outside, in the placer).
+
+    Attributes
+    ----------
+    cell_name : list of str, length N
+    cell_w, cell_h : (N,) float64 — cell extents
+    movable : (N,) bool — False for terminals / fixed macros
+    fixed_x, fixed_y : (N,) float64 — center positions of fixed cells
+        (entries for movable cells hold their initial/suggested position
+        and may be NaN if unplaced)
+    pin2cell : (P,) int64 — owner cell per pin, grouped by net
+    pin_dx, pin_dy : (P,) float64 — pin offset from owner cell center
+    pin2net : (P,) int64
+    net_start : (E+1,) int64 — CSR offsets of each net's pin slice
+    net_name : list of str, length E
+    net_weight : (E,) float64
+    region : PlacementRegion
+    """
+
+    cell_name: List[str]
+    cell_w: np.ndarray
+    cell_h: np.ndarray
+    movable: np.ndarray
+    fixed_x: np.ndarray
+    fixed_y: np.ndarray
+    pin2cell: np.ndarray
+    pin_dx: np.ndarray
+    pin_dy: np.ndarray
+    pin2net: np.ndarray
+    net_start: np.ndarray
+    net_name: List[str]
+    net_weight: np.ndarray
+    region: PlacementRegion
+    name: str = "design"
+    # Optional fence regions (DEF FENCE semantics; see netlist/fence.py).
+    fences: List["FenceRegion"] = field(default_factory=list)
+    cell_fence: Optional[np.ndarray] = None  # (N,) int64, -1 = unconstrained
+
+    # Derived indices, filled by __post_init__.
+    cell_start: np.ndarray = field(init=False, repr=False)
+    cell_pin: np.ndarray = field(init=False, repr=False)
+    net_degree: np.ndarray = field(init=False, repr=False)
+    net_mask: np.ndarray = field(init=False, repr=False)
+    cell_num_nets: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cell_fence is None:
+            self.cell_fence = np.full(len(self.cell_name), -1, dtype=np.int64)
+        self._validate()
+        self.net_degree = np.diff(self.net_start).astype(np.int64)
+        # Nets with fewer than 2 pins contribute nothing to wirelength.
+        self.net_mask = self.net_degree >= 2
+        order = np.argsort(self.pin2cell, kind="stable")
+        self.cell_pin = order.astype(np.int64)
+        counts = np.bincount(self.pin2cell, minlength=self.num_cells)
+        self.cell_start = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        self.cell_num_nets = self._count_nets_per_cell()
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_name)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_name)
+
+    @property
+    def num_pins(self) -> int:
+        return int(self.pin2cell.shape[0])
+
+    @property
+    def num_movable(self) -> int:
+        return int(np.count_nonzero(self.movable))
+
+    @property
+    def movable_index(self) -> np.ndarray:
+        return np.flatnonzero(self.movable)
+
+    @property
+    def fixed_index(self) -> np.ndarray:
+        return np.flatnonzero(~self.movable)
+
+    @property
+    def cell_area(self) -> np.ndarray:
+        return self.cell_w * self.cell_h
+
+    @property
+    def movable_area(self) -> float:
+        return float(np.sum(self.cell_area[self.movable]))
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def pin_positions(self, x: np.ndarray, y: np.ndarray):
+        """Pin coordinates given cell-center positions ``x, y`` of all cells."""
+        px = x[self.pin2cell] + self.pin_dx
+        py = y[self.pin2cell] + self.pin_dy
+        return px, py
+
+    def initial_positions(self):
+        """Copy of the stored positions (fixed cells + any placed movables)."""
+        return self.fixed_x.copy(), self.fixed_y.copy()
+
+    def cell_index(self, name: str) -> int:
+        """Linear lookup by name (builds a cache on first use)."""
+        cache = getattr(self, "_name_cache", None)
+        if cache is None:
+            cache = {n: i for i, n in enumerate(self.cell_name)}
+            object.__setattr__(self, "_name_cache", cache)
+        return cache[name]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _count_nets_per_cell(self) -> np.ndarray:
+        """|S_i| — the number of distinct nets touching each cell.
+
+        Used by the wirelength preconditioner H_W (Section 3.2).
+        """
+        if self.num_pins == 0:
+            return np.zeros(self.num_cells, dtype=np.int64)
+        pairs = self.pin2cell.astype(np.int64) * np.int64(self.num_nets) + self.pin2net
+        unique_pairs = np.unique(pairs)
+        cells = unique_pairs // np.int64(self.num_nets)
+        return np.bincount(cells, minlength=self.num_cells).astype(np.int64)
+
+    def _validate(self) -> None:
+        n, e, p = len(self.cell_name), len(self.net_name), self.pin2cell.shape[0]
+        for arr, size, label in (
+            (self.cell_w, n, "cell_w"),
+            (self.cell_h, n, "cell_h"),
+            (self.movable, n, "movable"),
+            (self.fixed_x, n, "fixed_x"),
+            (self.fixed_y, n, "fixed_y"),
+            (self.pin_dx, p, "pin_dx"),
+            (self.pin_dy, p, "pin_dy"),
+            (self.pin2net, p, "pin2net"),
+            (self.net_weight, e, "net_weight"),
+        ):
+            if arr.shape != (size,):
+                raise ValueError(f"{label} has shape {arr.shape}, expected ({size},)")
+        if self.net_start.shape != (e + 1,):
+            raise ValueError("net_start must have length num_nets + 1")
+        if e and (self.net_start[0] != 0 or self.net_start[-1] != p):
+            raise ValueError("net_start must span all pins")
+        if np.any(np.diff(self.net_start) < 0):
+            raise ValueError("net_start must be non-decreasing")
+        if p and (self.pin2cell.min() < 0 or self.pin2cell.max() >= n):
+            raise ValueError("pin2cell out of range")
+        # Pins must be grouped by net: pin2net must match CSR expansion.
+        if e:
+            expected = np.repeat(np.arange(e), np.diff(self.net_start))
+            if not np.array_equal(expected, self.pin2net):
+                raise ValueError("pins are not grouped by net / pin2net mismatch")
+        if np.any(self.cell_w < 0) or np.any(self.cell_h < 0):
+            raise ValueError("negative cell dimensions")
+        if self.cell_fence.shape != (n,):
+            raise ValueError("cell_fence must have one entry per cell")
+        if n and self.cell_fence.max(initial=-1) >= len(self.fences):
+            raise ValueError("cell_fence references an unknown fence region")
+        if np.any(self.cell_fence[~np.asarray(self.movable)] >= 0):
+            raise ValueError("fixed cells cannot carry fence constraints")
+        validate_fences(self.fences)
+
+
+def concatenate_names(prefix: str, count: int) -> List[str]:
+    """Generate ``count`` names ``prefix0..prefix{count-1}`` (test helper)."""
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def subnetlist_positions(
+    netlist: Netlist, x: np.ndarray, y: np.ndarray, cells: Sequence[int]
+):
+    """Positions of a subset of cells (debug/visualisation helper)."""
+    idx = np.asarray(cells, dtype=np.int64)
+    return x[idx], y[idx]

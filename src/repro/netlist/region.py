@@ -1,0 +1,110 @@
+"""Placement region and standard-cell row geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row (bookshelf ``CoreRow``).
+
+    Coordinates follow the bookshelf convention: ``y`` is the bottom edge
+    of the row, sites run from ``xl`` to ``xh`` with pitch ``site_width``.
+    """
+
+    y: float
+    height: float
+    xl: float
+    xh: float
+    site_width: float = 1.0
+
+    @property
+    def num_sites(self) -> int:
+        return int(np.floor((self.xh - self.xl) / self.site_width))
+
+    def site_x(self, site_index: int) -> float:
+        """x coordinate of the left edge of a site."""
+        return self.xl + site_index * self.site_width
+
+
+@dataclass
+class PlacementRegion:
+    """Axis-aligned die area plus its standard-cell rows.
+
+    ``rows`` may be empty for abstract experiments (e.g. pure density
+    benchmarks); legalization requires at least one row.
+    """
+
+    xl: float
+    yl: float
+    xh: float
+    yh: float
+    rows: List[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (self.xh > self.xl and self.yh > self.yl):
+            raise ValueError(
+                f"degenerate placement region ({self.xl},{self.yl})-({self.xh},{self.yh})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yh - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple:
+        return (0.5 * (self.xl + self.xh), 0.5 * (self.yl + self.yh))
+
+    @property
+    def row_height(self) -> float:
+        """Common row height. Raises if rows are missing or non-uniform."""
+        if not self.rows:
+            raise ValueError("region has no rows")
+        heights = {r.height for r in self.rows}
+        if len(heights) != 1:
+            raise ValueError(f"non-uniform row heights: {sorted(heights)}")
+        return self.rows[0].height
+
+    def contains(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised point-in-region test."""
+        return (x >= self.xl) & (x <= self.xh) & (y >= self.yl) & (y <= self.yh)
+
+    def clamp(self, x: np.ndarray, y: np.ndarray, hw: np.ndarray, hh: np.ndarray):
+        """Clamp cell centers so cells of half-extents (hw, hh) stay inside."""
+        cx = np.clip(x, self.xl + hw, self.xh - hw)
+        cy = np.clip(y, self.yl + hh, self.yh - hh)
+        return cx, cy
+
+    @staticmethod
+    def with_uniform_rows(
+        xl: float,
+        yl: float,
+        xh: float,
+        yh: float,
+        row_height: float,
+        site_width: float = 1.0,
+    ) -> "PlacementRegion":
+        """Build a region fully tiled with uniform rows (contest style)."""
+        num_rows = int(np.floor((yh - yl) / row_height))
+        if num_rows < 1:
+            raise ValueError("region too short for one row")
+        rows = [
+            Row(y=yl + i * row_height, height=row_height, xl=xl, xh=xh,
+                site_width=site_width)
+            for i in range(num_rows)
+        ]
+        # Shrink the die to the rows it actually contains so density and
+        # legalization agree about usable area.
+        return PlacementRegion(xl, yl, xh, yl + num_rows * row_height, rows)

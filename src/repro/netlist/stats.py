@@ -1,0 +1,59 @@
+"""Benchmark statistics (paper Table 1 columns and a few extras)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics for one design."""
+
+    design: str
+    num_cells: int
+    num_movable: int
+    num_fixed: int
+    num_nets: int
+    num_pins: int
+    avg_net_degree: float
+    max_net_degree: int
+    utilization: float
+
+    def table_row(self) -> str:
+        """`design  #cells  #nets` row formatted like paper Table 1."""
+        return (
+            f"{self.design:<16s} {_kilo(self.num_cells):>8s} "
+            f"{_kilo(self.num_nets):>8s}"
+        )
+
+
+def _kilo(n: int) -> str:
+    """Format a count the way Table 1 does (e.g. ``211k``)."""
+    if n >= 1000:
+        return f"{round(n / 1000)}k"
+    return str(n)
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute Table-1-style statistics for ``netlist``."""
+    degrees = netlist.net_degree
+    movable_area = netlist.movable_area
+    # Utilization is movable area over row area not blocked by fixed cells.
+    fixed = ~netlist.movable
+    fixed_area = float(np.sum(netlist.cell_area[fixed]))
+    free_area = max(netlist.region.area - fixed_area, 1e-12)
+    return NetlistStats(
+        design=netlist.name,
+        num_cells=netlist.num_cells,
+        num_movable=netlist.num_movable,
+        num_fixed=netlist.num_cells - netlist.num_movable,
+        num_nets=netlist.num_nets,
+        num_pins=netlist.num_pins,
+        avg_net_degree=float(degrees.mean()) if len(degrees) else 0.0,
+        max_net_degree=int(degrees.max()) if len(degrees) else 0,
+        utilization=movable_area / free_area,
+    )

@@ -1,0 +1,30 @@
+"""Neural enhancement (Section 3.3): the two-path Fourier network.
+
+A light-weight Fourier Neural Operator learns the mapping from electron
+(cell) density maps to the electric field of Eq. 5.  It is trained purely
+on synthetic density maps labelled by the numerical solver — no real
+benchmark data — and is resolution-independent because only low-frequency
+modes carry weights.  Plugged into the gradient engine through
+:func:`make_field_predictor`, its prediction is blended with the
+numerical field by σ(ω) (Eq. 14), yielding the Xplace-NN configuration.
+"""
+
+from repro.nn.model import TwoPathFNO, FNOConfig
+from repro.nn.data import FieldSample, random_density_dataset, placement_push_dataset
+from repro.nn.train import FNOTrainer, relative_l2_loss
+from repro.nn.guidance import make_field_predictor, predict_fields
+from repro.nn.pretrained import get_pretrained_model, train_guidance_model
+
+__all__ = [
+    "TwoPathFNO",
+    "FNOConfig",
+    "FieldSample",
+    "random_density_dataset",
+    "placement_push_dataset",
+    "FNOTrainer",
+    "relative_l2_loss",
+    "make_field_predictor",
+    "predict_fields",
+    "get_pretrained_model",
+    "train_guidance_model",
+]

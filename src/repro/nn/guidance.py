@@ -1,0 +1,74 @@
+"""Bridge from a trained FNO to the gradient engine's field predictor.
+
+The model is trained on the unit square; for a physical die of extent
+W×H the electrostatic field scales linearly with the extent (the density
+map is dimensionless and w_u = πu/W), so predictions are multiplied by
+the die width.  The y field is obtained from the same model via the
+transposition symmetry of the PDE (Section 3.3.1): E_y(D) = E_x(Dᵀ)ᵀ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.netlist import PlacementRegion
+from repro.nn.model import TwoPathFNO
+
+
+def predict_fields(
+    model: TwoPathFNO, density: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unit-square x/y field prediction for one density map.
+
+    The map is normalized to zero mean / unit std before the forward
+    pass (the training-time convention of :mod:`repro.nn.data`) and the
+    prediction is rescaled — exact because the PDE is linear in ρ.
+    """
+    scale = max(float(density.std()), 1e-12)
+    normalized = (density - density.mean()) / scale
+    with no_grad():
+        fx = model(normalized).data * scale
+        fy = model(normalized.T).data.T * scale
+    return fx, fy
+
+
+def make_field_predictor(
+    model: TwoPathFNO,
+    region: PlacementRegion,
+    max_resolution: int = 64,
+) -> Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """A ``density_map -> (field_x, field_y)`` callable for XPlacer.
+
+    The returned fields are in physical units for ``region`` (assumed
+    square-ish; mild anisotropy is handled by scaling each axis with its
+    own extent, exact for W = H).
+
+    Maps larger than ``max_resolution`` are average-pooled before the
+    forward pass and the predicted field is upsampled back.  The model
+    is resolution-independent (Section 3.3.1), the field is a smooth
+    low-frequency quantity, and the pooled resolution is closer to the
+    training distribution — so this is both much faster on large grids
+    and no less accurate.
+    """
+
+    def predictor(density_map: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        m = density_map.shape[0]
+        factor = 1
+        pooled = density_map
+        if max_resolution and m > max_resolution and m % 2 == 0:
+            factor = int(np.ceil(m / max_resolution))
+            while m % factor != 0:
+                factor += 1
+            pooled = density_map.reshape(
+                m // factor, factor, m // factor, factor
+            ).mean(axis=(1, 3))
+        fx, fy = predict_fields(model, pooled)
+        if factor > 1:
+            fx = np.repeat(np.repeat(fx, factor, axis=0), factor, axis=1)
+            fy = np.repeat(np.repeat(fy, factor, axis=0), factor, axis=1)
+        return fx * region.width, fy * region.height
+
+    return predictor

@@ -1,0 +1,146 @@
+"""The two-path convolution network of Figure 3.
+
+Input I = {D; M_x; M_y} (density map + mesh-grid index channels) is
+lifted per-pixel to ``channels`` features, passed through ``layers``
+two-path blocks
+
+    O(I_m) = GELU( Conv1x1(I_m) + IFFT( W · LPF( FFT(I_m) ) ) )     (Eq. 12)
+
+and projected back to a single output channel (the field along one
+axis).  The spectral weights exist only for the lowest ``modes``
+frequencies (corner blocks of the one-sided spectrum), so the same
+weights apply at any input resolution ≥ 2·modes — the resolution
+independence the paper leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.autograd import Tensor, irfft2, rfft2
+from repro.autograd.complexops import embed_block, mode_mix
+from repro.autograd.ops import channel_linear
+
+
+@dataclass(frozen=True)
+class FNOConfig:
+    """Architecture hyper-parameters.
+
+    The defaults give a ~200k-parameter model, the same light-weight
+    class as the paper's 471k-parameter network (60 % of a U-Net).
+    """
+
+    channels: int = 16
+    modes: int = 8
+    layers: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.modes < 1 or self.layers < 1:
+            raise ValueError("channels, modes and layers must be positive")
+
+
+class TwoPathFNO:
+    """Density map (H, W) → field map (H, W) along one axis."""
+
+    def __init__(self, config: FNOConfig = FNOConfig()) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        c, m = config.channels, config.modes
+        scale_lift = 1.0 / np.sqrt(3)
+        scale_mix = 1.0 / c
+        self.lift_w = Tensor(rng.normal(0, scale_lift, (c, 3)), requires_grad=True)
+        self.lift_b = Tensor(np.zeros(c), requires_grad=True)
+        self.spectral_weights: List[List[Tensor]] = []
+        self.conv_w: List[Tensor] = []
+        self.conv_b: List[Tensor] = []
+        for __ in range(config.layers):
+            top = rng.normal(0, scale_mix, (c, c, m, m)) + 1j * rng.normal(
+                0, scale_mix, (c, c, m, m)
+            )
+            bottom = rng.normal(0, scale_mix, (c, c, m, m)) + 1j * rng.normal(
+                0, scale_mix, (c, c, m, m)
+            )
+            self.spectral_weights.append(
+                [Tensor(top, requires_grad=True), Tensor(bottom, requires_grad=True)]
+            )
+            self.conv_w.append(
+                Tensor(rng.normal(0, scale_mix, (c, c)), requires_grad=True)
+            )
+            self.conv_b.append(Tensor(np.zeros(c), requires_grad=True))
+        self.head_w = Tensor(rng.normal(0, scale_mix, (1, c)), requires_grad=True)
+        self.head_b = Tensor(np.zeros(1), requires_grad=True)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        params = [self.lift_w, self.lift_b, self.head_w, self.head_b]
+        for pair in self.spectral_weights:
+            params.extend(pair)
+        params.extend(self.conv_w)
+        params.extend(self.conv_b)
+        return params
+
+    def num_parameters(self) -> int:
+        """Real parameter count (complex entries count twice)."""
+        total = 0
+        for p in self.parameters():
+            total += p.size * (2 if np.iscomplexobj(p.data) else 1)
+        return total
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_input(density: np.ndarray) -> np.ndarray:
+        """Stack {D; M_x; M_y} (Fig. 3's multi-resolution mesh grid)."""
+        h, w = density.shape
+        mx = np.broadcast_to((np.arange(h) / h)[:, None], (h, w))
+        my = np.broadcast_to((np.arange(w) / w)[None, :], (h, w))
+        return np.stack([density, mx, my]).astype(np.float64)
+
+    def forward(self, density: np.ndarray) -> Tensor:
+        """Predict the x-axis field for a (H, W) density map."""
+        h, w = density.shape
+        m = self.config.modes
+        if h < 2 * m or w < 2 * m:
+            raise ValueError(
+                f"map {density.shape} too small for {m} modes (needs ≥ {2*m})"
+            )
+        features = Tensor(self.build_input(density))
+        hidden = channel_linear(features, self.lift_w, self.lift_b)
+        for layer in range(self.config.layers):
+            spatial = channel_linear(hidden, self.conv_w[layer], self.conv_b[layer])
+            spectrum = rfft2(hidden)
+            shape = spectrum.shape
+            w_top, w_bottom = self.spectral_weights[layer]
+            top = mode_mix(w_top, spectrum[:, :m, :m])
+            bottom = mode_mix(w_bottom, spectrum[:, shape[1] - m :, :m])
+            filtered = embed_block(
+                top, shape, (slice(None), slice(0, m), slice(0, m))
+            ) + embed_block(
+                bottom, shape, (slice(None), slice(shape[1] - m, shape[1]), slice(0, m))
+            )
+            frequency = irfft2(filtered, h, w)
+            hidden = (spatial + frequency).gelu()
+        out = channel_linear(hidden, self.head_w, self.head_b)
+        return out.reshape(h, w)
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict) -> None:
+        for i, p in enumerate(self.parameters()):
+            incoming = state[f"p{i}"]
+            if incoming.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {incoming.shape} vs {p.data.shape}"
+                )
+            p.data = incoming.copy()

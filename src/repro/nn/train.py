@@ -1,0 +1,136 @@
+"""FNO training: relative-L2 loss (Eq. 13) and an Adam loop.
+
+The x/y symmetry trick (Section 3.3.1): the model is trained on the
+x-field only; every sample also contributes its transposed version
+(D^T → E_y^T), which is exactly the x-field problem of the transposed
+map, doubling data for free and enforcing the symmetry the guidance
+adapter relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.data import FieldSample
+from repro.nn.model import TwoPathFNO
+
+
+def relative_l2_loss(prediction: Tensor, label: np.ndarray) -> Tensor:
+    """L2(x, f(x;θ)) = ‖f(x;θ) − y‖₂ / ‖y‖₂ (Eq. 13)."""
+    label_norm = float(np.linalg.norm(label))
+    if label_norm <= 1e-30:
+        label_norm = 1.0
+    diff = prediction - Tensor(label)
+    return ((diff * diff).sum()).sqrt() * (1.0 / label_norm)
+
+
+class _AdamState:
+    """Adam moments for one parameter tensor (complex-aware)."""
+
+    def __init__(self, param: Tensor) -> None:
+        self.m = np.zeros_like(param.data)
+        self.v = np.zeros_like(np.abs(param.data), dtype=np.float64)
+
+
+@dataclass
+class TrainStats:
+    """Loss trace of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def improved(self) -> bool:
+        if len(self.losses) < 2:
+            return False
+        head = np.mean(self.losses[: max(1, len(self.losses) // 5)])
+        tail = np.mean(self.losses[-max(1, len(self.losses) // 5) :])
+        return tail < head
+
+
+class FNOTrainer:
+    """Adam trainer for :class:`TwoPathFNO` on field samples."""
+
+    def __init__(
+        self,
+        model: TwoPathFNO,
+        lr: float = 2e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        augment_transpose: bool = True,
+    ) -> None:
+        self.model = model
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.augment_transpose = augment_transpose
+        self._states = [_AdamState(p) for p in model.parameters()]
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        samples: Sequence[FieldSample],
+        epochs: int = 5,
+        rng: np.random.Generator = None,
+    ) -> TrainStats:
+        rng = rng or np.random.default_rng(0)
+        stats = TrainStats()
+        pairs = []
+        for s in samples:
+            pairs.append((s.density, s.field_x))
+            if self.augment_transpose:
+                # E_y(D) = E_x(D^T)^T: the transposed sample is another
+                # x-field training point.
+                pairs.append((s.density.T, s.field_y.T))
+        for __ in range(epochs):
+            order = rng.permutation(len(pairs))
+            for index in order:
+                density, label = pairs[index]
+                stats.losses.append(self._step(density, label))
+        return stats
+
+    def _step(self, density: np.ndarray, label: np.ndarray) -> float:
+        model = self.model
+        model.zero_grad()
+        prediction = model(density)
+        loss = relative_l2_loss(prediction, label)
+        loss.backward()
+        self._apply_adam()
+        return float(loss.data)
+
+    def _apply_adam(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        correction1 = 1 - b1**self._t
+        correction2 = 1 - b2**self._t
+        for param, state in zip(self.model.parameters(), self._states):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            state.m = b1 * state.m + (1 - b1) * grad
+            state.v = b2 * state.v + (1 - b2) * np.abs(grad) ** 2
+            m_hat = state.m / correction1
+            v_hat = state.v / correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, samples: Sequence[FieldSample]) -> float:
+        """Mean relative-L2 error over (x-field) samples, no grad."""
+        from repro.autograd import no_grad
+
+        errors = []
+        with no_grad():
+            for s in samples:
+                pred = self.model(s.density)
+                denom = max(float(np.linalg.norm(s.field_x)), 1e-30)
+                errors.append(
+                    float(np.linalg.norm(pred.data - s.field_x)) / denom
+                )
+        return float(np.mean(errors))

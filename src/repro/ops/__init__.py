@@ -1,0 +1,20 @@
+"""Operator-level bookkeeping (Section 3.1 of the paper).
+
+The paper's efficiency techniques are all about reducing the number of
+dispatched GPU kernels.  In this CPU reproduction a "kernel launch" is a
+dispatched vectorised NumPy kernel; :class:`KernelProfiler` counts them so
+tests and the Table-3 ablation bench can verify that operator reduction /
+combination / extraction / skipping really shrink the launch count, not
+just wall-clock noise.
+"""
+
+from repro.ops.profiler import KernelProfiler, get_profiler, profiled, use_profiler
+from repro.ops.skip import DensitySkipController
+
+__all__ = [
+    "KernelProfiler",
+    "get_profiler",
+    "profiled",
+    "use_profiler",
+    "DensitySkipController",
+]

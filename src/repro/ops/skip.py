@@ -1,0 +1,51 @@
+"""Early-stage density-operator skipping (Section 3.1.4).
+
+In the early placement stage the density gradient is orders of magnitude
+smaller than the wirelength gradient (r = λ‖∇D‖/‖∇WL‖ < 0.01), so
+recomputing it every iteration is wasted work.  While that condition holds
+(and only within the first ``max_iteration`` iterations) the controller
+lets the engine reuse a cached density gradient, refreshing it once every
+``period`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DensitySkipController:
+    """Decides, per GP iteration, whether to recompute the density gradient."""
+
+    ratio_threshold: float = 0.01
+    max_iteration: int = 100
+    period: int = 20
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        self._last_computed = -10**9
+        self._last_ratio = float("inf")
+
+    def observe_ratio(self, ratio: float) -> None:
+        """Feed the most recent r = λ‖∇D‖ / ‖∇WL‖ measurement."""
+        self._last_ratio = float(ratio)
+
+    def should_compute(self, iteration: int) -> bool:
+        """True if the density gradient must be recomputed this iteration."""
+        if not self.enabled:
+            return True
+        if iteration >= self.max_iteration:
+            return True
+        if self._last_ratio >= self.ratio_threshold:
+            return True
+        if iteration - self._last_computed >= self.period:
+            return True
+        return False
+
+    def notify_computed(self, iteration: int) -> None:
+        self._last_computed = iteration
+
+    @property
+    def skipping(self) -> bool:
+        """Whether the controller is currently in the skipping regime."""
+        return self.enabled and self._last_ratio < self.ratio_threshold

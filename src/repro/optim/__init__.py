@@ -1,0 +1,12 @@
+"""Optimizers and preconditioning for analytical placement.
+
+Contains ePlace's Nesterov scheme with inverse-Lipschitz step prediction,
+a reference Adam implementation, and the Jacobi preconditioner
+H̃ = H_W + λ·H_D together with the paper's stage indicator ω (§3.2).
+"""
+
+from repro.optim.precondition import Preconditioner
+from repro.optim.nesterov import NesterovOptimizer
+from repro.optim.adam import AdamOptimizer
+
+__all__ = ["Preconditioner", "NesterovOptimizer", "AdamOptimizer"]

@@ -1,0 +1,76 @@
+"""Adam optimizer (reference alternative to Nesterov).
+
+DREAMPlace exposes Adam as an option for global placement; keeping it
+here lets the engine swap optimizers through one interface and gives
+benchmarks an ablation axis.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ops import profiled
+
+
+class AdamOptimizer:
+    """Adam over (x, y) position vectors with the NesterovOptimizer API."""
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        y0: np.ndarray,
+        lr: float = 1.0,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.x = x0.astype(np.float64).copy()
+        self.y = y0.astype(np.float64).copy()
+        self.lr = float(lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._mx = np.zeros_like(self.x)
+        self._my = np.zeros_like(self.y)
+        self._vx = np.zeros_like(self.x)
+        self._vy = np.zeros_like(self.y)
+        self._t = 0
+
+    @property
+    def positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x, self.y
+
+    @property
+    def solution(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x, self.y
+
+    @property
+    def step_length(self) -> float:
+        return self.lr
+
+    def step(self, grad_x: np.ndarray, grad_y: np.ndarray) -> None:
+        profiled("adam_step")
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        self._mx = b1 * self._mx + (1 - b1) * grad_x
+        self._my = b1 * self._my + (1 - b1) * grad_y
+        self._vx = b2 * self._vx + (1 - b2) * grad_x * grad_x
+        self._vy = b2 * self._vy + (1 - b2) * grad_y * grad_y
+        correction1 = 1 - b1**self._t
+        correction2 = 1 - b2**self._t
+        mx_hat = self._mx / correction1
+        my_hat = self._my / correction1
+        vx_hat = self._vx / correction2
+        vy_hat = self._vy / correction2
+        self.x -= self.lr * mx_hat / (np.sqrt(vx_hat) + self.eps)
+        self.y -= self.lr * my_hat / (np.sqrt(vy_hat) + self.eps)
+
+    def clamp(self, clamp_fn) -> None:
+        self.x, self.y = clamp_fn(self.x, self.y)
+
+    def reset_momentum(self) -> None:
+        self._mx[:] = 0
+        self._my[:] = 0
+        self._vx[:] = 0
+        self._vy[:] = 0
+        self._t = 0

@@ -1,0 +1,16 @@
+"""Quadratic global placement (the intro's comparator family).
+
+Section 1 of the paper contrasts non-linear placers (higher quality,
+slower) with quadratic placers (fast convergence, limited by the low
+modeling order of the wirelength).  This package implements that
+comparator: the Bound-to-Bound (B2B) net model of Kraftwerk2 solved with
+preconditioned conjugate gradients, interleaved with SimPL-style
+grid-warping spreading and anchor pseudo-nets.  The bench suite uses it
+to reproduce the intro's quality/speed trade-off claim.
+"""
+
+from repro.quadratic.b2b import B2BSystem
+from repro.quadratic.spreading import grid_warp
+from repro.quadratic.placer import QuadraticPlacer
+
+__all__ = ["B2BSystem", "grid_warp", "QuadraticPlacer"]

@@ -1,0 +1,140 @@
+"""The assembled quadratic placer (SimPL-lite loop)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.initializer import initial_positions
+from repro.core.placer import PlacementResult
+from repro.core.recorder import IterationRecord, Recorder
+from repro.density import BinGrid, DensitySystem
+from repro.netlist import Netlist
+from repro.quadratic.b2b import B2BSystem
+from repro.quadratic.spreading import grid_warp
+from repro.wirelength import hpwl as hpwl_fn
+
+
+class QuadraticPlacer:
+    """B2B + CG + grid-warp spreading with anchor pseudo-nets.
+
+    Loop (SimPL-style): solve the B2B system (wirelength-optimal
+    positions), warp the solution toward uniform density, then re-solve
+    with anchors pulling toward the warped positions; the anchor weight
+    ramps so wirelength dominates early and spreading wins late.  Stops
+    when density overflow falls under ``stop_overflow``.
+
+    Returns the same :class:`PlacementResult` as XPlacer, so the full
+    LG/DP flow applies unchanged.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        max_iterations: int = 30,
+        stop_overflow: float = 0.30,
+        target_density: float = 0.9,
+        anchor_weight0: float = 0.01,
+        anchor_growth: float = 1.35,
+        warp_strength: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        self.netlist = netlist
+        self.max_iterations = max_iterations
+        self.stop_overflow = stop_overflow
+        self.anchor_weight0 = anchor_weight0
+        self.anchor_growth = anchor_growth
+        self.warp_strength = warp_strength
+        self.seed = seed
+        self.density = DensitySystem(
+            netlist,
+            target_density=target_density,
+            grid=BinGrid.for_netlist(netlist),
+            use_fillers=False,
+            rng=np.random.default_rng(seed),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> PlacementResult:
+        netlist = self.netlist
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        x, y = initial_positions(netlist, rng=rng)
+        system = B2BSystem(netlist)
+        mov = netlist.movable_index
+        recorder = Recorder()
+
+        anchor_weight = 0.0
+        anchor_x = anchor_y = None
+        overflow = 1.0
+        iteration = 0
+        converged = False
+        for iteration in range(self.max_iterations):
+            x[mov] = system.solve(
+                x, netlist.pin_dx, anchor=anchor_x, anchor_weight=anchor_weight
+            )
+            y[mov] = system.solve(
+                y, netlist.pin_dy, anchor=anchor_y, anchor_weight=anchor_weight
+            )
+            hw = netlist.cell_w[mov] / 2
+            hh = netlist.cell_h[mov] / 2
+            x[mov], y[mov] = netlist.region.clamp(x[mov], y[mov], hw, hh)
+
+            warped_x, warped_y = grid_warp(
+                netlist, x, y, strength=self.warp_strength
+            )
+            anchor_x = warped_x[mov]
+            anchor_y = warped_y[mov]
+            anchor_weight = (
+                self.anchor_weight0
+                if anchor_weight == 0.0
+                else anchor_weight * self.anchor_growth
+            )
+
+            overflow = self._overflow(warped_x, warped_y)
+            hpwl_now = hpwl_fn(netlist, x, y)
+            recorder.log(
+                IterationRecord(
+                    iteration=iteration,
+                    hpwl=hpwl_now,
+                    wa=hpwl_now,
+                    overflow=overflow,
+                    gamma=0.0,
+                    lam=anchor_weight,
+                    omega=0.0,
+                    grad_ratio=float("nan"),
+                    density_computed=True,
+                    step_length=0.0,
+                )
+            )
+            if overflow < self.stop_overflow and iteration >= 5:
+                x, y = warped_x, warped_y
+                converged = True
+                break
+        else:
+            x, y = grid_warp(netlist, x, y, strength=self.warp_strength)
+
+        elapsed = time.perf_counter() - start
+        return PlacementResult(
+            x=x,
+            y=y,
+            hpwl=hpwl_fn(netlist, x, y),
+            overflow=self._overflow(x, y),
+            iterations=iteration + 1,
+            gp_seconds=elapsed,
+            recorder=recorder,
+            converged=converged,
+        )
+
+    def _overflow(self, x: np.ndarray, y: np.ndarray) -> float:
+        from repro.density import overflow_ratio
+
+        density_map = self.density.density_map_only(x, y)
+        return overflow_ratio(
+            density_map,
+            self.density.grid,
+            self.density.target_density,
+            self.density.movable_area,
+        )

@@ -1,0 +1,103 @@
+"""Grid-warping spreading for quadratic placement.
+
+A quadratic solve collapses cells toward the weighted median of their
+nets; spreading redistributes them.  This is the 1-D cumulative-density
+warp (used in variants by POLAR / SimPL's look-ahead legalization): per
+axis, bin utilisation is accumulated and coordinates are remapped with
+the piecewise-linear map that equalises it, pulling cells out of dense
+columns/rows while preserving relative order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+
+
+def _axis_warp(
+    coords: np.ndarray,
+    weights: np.ndarray,
+    lo: float,
+    hi: float,
+    bins: int,
+    strength: float,
+) -> np.ndarray:
+    """Warp 1-D coordinates so weighted density becomes uniform.
+
+    ``strength`` in [0, 1] blends between no movement and the full
+    equalising map.
+    """
+    if coords.size == 0:
+        return coords
+    edges = np.linspace(lo, hi, bins + 1)
+    hist, __ = np.histogram(coords, bins=edges, weights=weights)
+    total = hist.sum()
+    if total <= 0:
+        return coords
+    # Cumulative mass at the bin edges, normalised to [0, 1].
+    cum = np.concatenate(([0.0], np.cumsum(hist))) / total
+    # The warp maps edge k (fraction of span) to cum[k] (fraction of
+    # mass): inverting equalises density.
+    span = hi - lo
+    warped_edges = lo + cum * span
+    warped = np.interp(coords, edges, warped_edges)
+    return (1.0 - strength) * coords + strength * warped
+
+
+def grid_warp(
+    netlist: Netlist,
+    x: np.ndarray,
+    y: np.ndarray,
+    bins: int = 32,
+    strength: float = 0.8,
+    slabs: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spread movable cells by slab-wise cumulative-density warps.
+
+    A single global 1-D warp per axis only equalises the *marginal*
+    densities and stalls on 2-D hot spots; warping x within horizontal
+    slabs (and y within vertical slabs) attacks the joint distribution.
+    Returns full-length position arrays (fixed cells untouched).
+    """
+    region = netlist.region
+    mov = netlist.movable_index
+    weights = np.maximum(netlist.cell_area[mov], 1e-9)
+    out_x = x.copy()
+    out_y = y.copy()
+
+    mx = x[mov].copy()
+    my = y[mov].copy()
+    # x-warp per horizontal slab.
+    slab_edges = np.linspace(region.yl, region.yh, slabs + 1)
+    slab_of = np.clip(
+        np.searchsorted(slab_edges, my, side="right") - 1, 0, slabs - 1
+    )
+    for s in range(slabs):
+        members = slab_of == s
+        if members.any():
+            mx[members] = _axis_warp(
+                mx[members], weights[members], region.xl, region.xh,
+                bins, strength,
+            )
+    # y-warp per vertical slab (using the updated x).
+    slab_edges = np.linspace(region.xl, region.xh, slabs + 1)
+    slab_of = np.clip(
+        np.searchsorted(slab_edges, mx, side="right") - 1, 0, slabs - 1
+    )
+    for s in range(slabs):
+        members = slab_of == s
+        if members.any():
+            my[members] = _axis_warp(
+                my[members], weights[members], region.yl, region.yh,
+                bins, strength,
+            )
+
+    out_x[mov] = mx
+    out_y[mov] = my
+    hw = netlist.cell_w[mov] / 2
+    hh = netlist.cell_h[mov] / 2
+    out_x[mov], out_y[mov] = region.clamp(out_x[mov], out_y[mov], hw, hh)
+    return out_x, out_y

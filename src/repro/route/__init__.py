@@ -1,0 +1,28 @@
+"""Global routing substrate for routability evaluation.
+
+The ISPD-2015 table of the paper scores placements by *top5 overflow*:
+the average overflow of the 5 % most congested global-routing g-cells,
+as reported by the NCTUgr router embedded in NTUplace4dr.  This package
+provides the equivalent evaluator: a g-cell grid with edge capacities,
+RSMT-style net decomposition, congestion-aware L/Z pattern routing with
+a rip-up-and-reroute pass, and the overflow statistics.
+"""
+
+from repro.route.grid import RoutingGrid
+from repro.route.steiner import decompose_net
+from repro.route.router import GlobalRouter, RoutingResult
+from repro.route.driven import (
+    RoutabilityDrivenPlacer,
+    RoutabilityResult,
+    netlist_with_sizes,
+)
+
+__all__ = [
+    "RoutingGrid",
+    "decompose_net",
+    "GlobalRouter",
+    "RoutingResult",
+    "RoutabilityDrivenPlacer",
+    "RoutabilityResult",
+    "netlist_with_sizes",
+]

@@ -1,0 +1,207 @@
+"""Routability-driven placement (the paper's stated future work).
+
+Classic inflation loop (Ripple / EhPlacer style): place, globally route,
+measure per-g-cell congestion, virtually inflate the cells sitting in
+congested g-cells (which makes the density system push them apart), and
+re-place.  The loop keeps the best iterate by top5 overflow.
+
+The inflation is *virtual*: only the density system sees the inflated
+widths; HPWL, legalization and final output use the real cell sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import PlacementParams, XPlacer
+from repro.netlist import Netlist
+from repro.route.router import GlobalRouter, RoutingResult
+
+
+def netlist_with_sizes(
+    netlist: Netlist, cell_w: np.ndarray, cell_h: Optional[np.ndarray] = None
+) -> Netlist:
+    """A copy of ``netlist`` with overridden cell sizes (same connectivity)."""
+    return Netlist(
+        cell_name=netlist.cell_name,
+        cell_w=np.asarray(cell_w, dtype=np.float64),
+        cell_h=netlist.cell_h if cell_h is None else np.asarray(cell_h),
+        movable=netlist.movable,
+        fixed_x=netlist.fixed_x.copy(),
+        fixed_y=netlist.fixed_y.copy(),
+        pin2cell=netlist.pin2cell,
+        pin_dx=netlist.pin_dx,
+        pin_dy=netlist.pin_dy,
+        pin2net=netlist.pin2net,
+        net_start=netlist.net_start,
+        net_name=netlist.net_name,
+        net_weight=netlist.net_weight,
+        region=netlist.region,
+        name=netlist.name,
+        fences=netlist.fences,
+        cell_fence=netlist.cell_fence,
+    )
+
+
+@dataclass
+class RoutabilityRound:
+    """Metrics of one place-route-inflate round."""
+
+    round_index: int
+    hpwl: float
+    top5_overflow: float
+    total_overflow: float
+    inflated_cells: int
+    max_inflation: float
+
+
+@dataclass
+class RoutabilityResult:
+    """Output of the routability-driven loop."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hpwl: float
+    top5_overflow: float
+    rounds: List[RoutabilityRound]
+    best_round: int
+
+
+class RoutabilityDrivenPlacer:
+    """Iterative congestion-driven global placement.
+
+    Parameters
+    ----------
+    inflation_gain : how aggressively width grows with congestion
+        (width *= 1 + gain·max(congestion − 1, 0) per round).
+    max_inflation : per-cell cumulative width cap, in multiples of the
+        original width.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        params: Optional[PlacementParams] = None,
+        rounds: int = 3,
+        inflation_gain: float = 0.4,
+        max_inflation: float = 2.5,
+        route_grid_m: int = 32,
+    ) -> None:
+        self.netlist = netlist
+        self.params = params or PlacementParams()
+        self.rounds = rounds
+        self.inflation_gain = inflation_gain
+        self.max_inflation = max_inflation
+        self.route_grid_m = route_grid_m
+
+    # ------------------------------------------------------------------
+    def run(self) -> RoutabilityResult:
+        netlist = self.netlist
+        inflation = np.ones(netlist.num_cells)
+        history: List[RoutabilityRound] = []
+        best = None
+        best_metric = np.inf
+
+        for round_index in range(self.rounds):
+            inflated = netlist_with_sizes(
+                netlist, netlist.cell_w * inflation
+            )
+            params = dataclasses.replace(self.params, seed=self.params.seed)
+            gp = XPlacer(inflated, params).run()
+
+            # Evaluate with the *real* netlist (true HPWL, true routing).
+            router = GlobalRouter(netlist, grid_m=self.route_grid_m)
+            routing = router.route(gp.x, gp.y)
+
+            from repro.wirelength import hpwl as hpwl_fn
+
+            true_hpwl = hpwl_fn(netlist, gp.x, gp.y)
+            congestion = self._cell_congestion(routing, gp.x, gp.y)
+            new_inflation = self._next_inflation(inflation, congestion)
+            inflated_count = int(np.count_nonzero(new_inflation > inflation + 1e-12))
+
+            history.append(
+                RoutabilityRound(
+                    round_index=round_index,
+                    hpwl=true_hpwl,
+                    top5_overflow=routing.top5_overflow,
+                    total_overflow=routing.total_overflow,
+                    inflated_cells=inflated_count,
+                    max_inflation=float(new_inflation.max()),
+                )
+            )
+            # Best iterate: primarily routability, tie-broken by HPWL.
+            metric = routing.top5_overflow * 1e12 + true_hpwl
+            if metric < best_metric:
+                best_metric = metric
+                best = (gp.x.copy(), gp.y.copy(), true_hpwl,
+                        routing.top5_overflow, round_index)
+            if routing.total_overflow == 0.0:
+                break
+            inflation = new_inflation
+
+        assert best is not None
+        x, y, hpwl_value, top5, best_round = best
+        return RoutabilityResult(
+            x=x,
+            y=y,
+            hpwl=hpwl_value,
+            top5_overflow=top5,
+            rounds=history,
+            best_round=best_round,
+        )
+
+    # ------------------------------------------------------------------
+    def _next_inflation(
+        self, inflation: np.ndarray, congestion: np.ndarray
+    ) -> np.ndarray:
+        """Grow only hotspot cells, within the whitespace budget.
+
+        Inflation targets cells above the 90th congestion percentile
+        (indiscriminate inflation just raises utilisation and makes
+        everything worse), and the total inflated area is capped so the
+        placement stays density-feasible.
+        """
+        netlist = self.netlist
+        movable = netlist.movable
+        hot = congestion[movable]
+        threshold = max(1.0, float(np.quantile(hot, 0.9)))
+        excess = np.clip(congestion - threshold, 0.0, None)
+        growth = 1.0 + self.inflation_gain * excess
+        growth[~movable] = 1.0
+        new_inflation = np.minimum(inflation * growth, self.max_inflation)
+
+        # Whitespace budget: Σ inflated area ≤ 95 % of target · free area.
+        fixed_area = float(np.sum(netlist.cell_area[~movable]))
+        free_area = max(netlist.region.area - fixed_area, 1e-9)
+        budget = 0.95 * self.params.target_density * free_area
+        area = netlist.cell_area[movable]
+        inflated_area = float(np.sum(area * new_inflation[movable]))
+        if inflated_area > budget:
+            base_area = float(np.sum(area))
+            headroom = max(budget - base_area, 0.0)
+            added = inflated_area - base_area
+            scale = headroom / added if added > 0 else 0.0
+            new_inflation = 1.0 + (new_inflation - 1.0) * scale
+        return new_inflation
+
+    def _cell_congestion(
+        self, routing: RoutingResult, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell congestion ratio sampled from the routed overflow map.
+
+        Ratio 1.0 means the cell's g-cell is exactly at capacity; > 1
+        means overflowed (inflation kicks in above 1).
+        """
+        grid = routing.grid
+        over = grid.overflow_map()
+        capacity = 0.5 * (grid.h_capacity + grid.v_capacity)
+        ratio_map = 1.0 + over / max(capacity, 1e-9)
+        i, j = grid.gcell_of(x, y)
+        ratio = ratio_map[i, j]
+        ratio[~self.netlist.movable] = 0.0
+        return ratio

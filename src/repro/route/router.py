@@ -1,0 +1,194 @@
+"""Congestion-aware pattern router with rip-up-and-reroute."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.route.grid import RoutingGrid
+from repro.route.steiner import decompose_net
+
+
+@dataclass
+class RoutingResult:
+    """Summary of one global routing run."""
+
+    top5_overflow: float
+    total_overflow: float
+    wirelength: float
+    num_edges: int
+    gr_seconds: float
+    grid: RoutingGrid
+
+
+class GlobalRouter:
+    """L/Z pattern router over a :class:`RoutingGrid`.
+
+    Each two-pin edge is routed with the cheaper of the two L shapes
+    under a congestion-aware edge cost.  Optional rip-up-and-reroute
+    passes re-route the edges crossing overflowed g-cells, trying Z
+    shapes as well.  This is the fidelity class of routers used for
+    placement routability scoring (what top5 overflow needs), not a
+    detailed router.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        grid_m: int = 32,
+        capacity_per_gcell: Optional[float] = None,
+        rrr_passes: int = 1,
+    ) -> None:
+        self.netlist = netlist
+        self.rrr_passes = rrr_passes
+        if capacity_per_gcell is None:
+            capacity_per_gcell = self._auto_capacity(grid_m)
+        self.grid = RoutingGrid(
+            netlist.region,
+            m=grid_m,
+            h_capacity=capacity_per_gcell,
+            v_capacity=capacity_per_gcell,
+        )
+
+    def _auto_capacity(self, grid_m: int) -> float:
+        """Capacity so that a well-spread placement is near (just under)
+        saturation — the regime where top5 overflow discriminates."""
+        nl = self.netlist
+        # Expected demand ≈ pins · average edge span; calibrate to ~85%.
+        expected_edges = max(nl.num_pins - nl.num_nets, 1)
+        avg_span = grid_m / 6.0
+        total_edge_slots = 2 * grid_m * (grid_m - 1)
+        return max(2.0, 0.85 * expected_edges * avg_span / total_edge_slots)
+
+    # ------------------------------------------------------------------
+    def route(self, x: np.ndarray, y: np.ndarray) -> RoutingResult:
+        """Route every net for the placement ``(x, y)``."""
+        start = time.perf_counter()
+        grid = self.grid
+        grid.reset()
+        nl = self.netlist
+        px, py = nl.pin_positions(x, y)
+        gi, gj = grid.gcell_of(px, py)
+
+        all_edges: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+        for e in range(nl.num_nets):
+            lo, hi = nl.net_start[e], nl.net_start[e + 1]
+            if hi - lo < 2:
+                continue
+            all_edges.extend(decompose_net(gi[lo:hi], gj[lo:hi]))
+
+        routes = [self._route_l(edge) for edge in all_edges]
+
+        for __ in range(self.rrr_passes):
+            if grid.total_overflow() <= 0:
+                break
+            self._rip_up_and_reroute(all_edges, routes)
+
+        return RoutingResult(
+            top5_overflow=grid.top_overflow(0.05),
+            total_overflow=grid.total_overflow(),
+            wirelength=grid.wirelength(),
+            num_edges=len(all_edges),
+            gr_seconds=time.perf_counter() - start,
+            grid=grid,
+        )
+
+    # ------------------------------------------------------------------
+    def _route_l(self, edge) -> str:
+        """Commit the cheaper L shape; returns which corner was used."""
+        (i0, j0), (i1, j1) = edge
+        grid = self.grid
+        if i0 == i1:
+            grid.add_vertical(i0, j0, j1)
+            return "v"
+        if j0 == j1:
+            grid.add_horizontal(i0, i1, j0)
+            return "h"
+        cost_hv = grid.path_cost(i0, j0, i1, j1, "hv")
+        cost_vh = grid.path_cost(i0, j0, i1, j1, "vh")
+        if cost_hv <= cost_vh:
+            grid.add_horizontal(i0, i1, j0)
+            grid.add_vertical(i1, j0, j1)
+            return "hv"
+        grid.add_vertical(i0, j0, j1)
+        grid.add_horizontal(i0, i1, j1)
+        return "vh"
+
+    def _unroute(self, edge, shape: str) -> None:
+        (i0, j0), (i1, j1) = edge
+        grid = self.grid
+        if shape == "v":
+            grid.add_vertical(i0, j0, j1, -1.0)
+        elif shape == "h":
+            grid.add_horizontal(i0, i1, j0, -1.0)
+        elif shape == "hv":
+            grid.add_horizontal(i0, i1, j0, -1.0)
+            grid.add_vertical(i1, j0, j1, -1.0)
+        elif shape == "vh":
+            grid.add_vertical(i0, j0, j1, -1.0)
+            grid.add_horizontal(i0, i1, j1, -1.0)
+        else:  # Z shapes carry their split coordinate: "z:<k>"
+            k = int(shape.split(":")[1])
+            grid.add_horizontal(i0, k, j0, -1.0)
+            grid.add_vertical(k, j0, j1, -1.0)
+            grid.add_horizontal(k, i1, j1, -1.0)
+
+    def _rip_up_and_reroute(self, edges, routes) -> None:
+        """Reroute the edges whose current path crosses overflow."""
+        grid = self.grid
+        over = grid.overflow_map()
+        for index, (edge, shape) in enumerate(zip(edges, routes)):
+            (i0, j0), (i1, j1) = edge
+            if i0 == i1 and j0 == j1:
+                continue
+            if not self._crosses_overflow(edge, shape, over):
+                continue
+            self._unroute(edge, shape)
+            routes[index] = self._best_shape(edge)
+
+    def _crosses_overflow(self, edge, shape, over) -> bool:
+        (i0, j0), (i1, j1) = edge
+        lo_i, hi_i = min(i0, i1), max(i0, i1)
+        lo_j, hi_j = min(j0, j1), max(j0, j1)
+        return bool(np.any(over[lo_i : hi_i + 1, lo_j : hi_j + 1] > 0))
+
+    def _best_shape(self, edge) -> str:
+        """Choose among both Ls and a few Z splits; commit the cheapest."""
+        (i0, j0), (i1, j1) = edge
+        grid = self.grid
+        if i0 == i1:
+            grid.add_vertical(i0, j0, j1)
+            return "v"
+        if j0 == j1:
+            grid.add_horizontal(i0, i1, j0)
+            return "h"
+        options = [
+            ("hv", grid.path_cost(i0, j0, i1, j1, "hv")),
+            ("vh", grid.path_cost(i0, j0, i1, j1, "vh")),
+        ]
+        lo, hi = min(i0, i1), max(i0, i1)
+        if hi - lo > 1:
+            for k in np.linspace(lo + 1, hi - 1, num=min(3, hi - lo - 1)).astype(int):
+                cost = (
+                    grid._h_cost(i0, k, j0)
+                    + grid._v_cost(int(k), j0, j1)
+                    + grid._h_cost(int(k), i1, j1)
+                )
+                options.append((f"z:{int(k)}", cost))
+        shape = min(options, key=lambda t: t[1])[0]
+        if shape == "hv":
+            grid.add_horizontal(i0, i1, j0)
+            grid.add_vertical(i1, j0, j1)
+        elif shape == "vh":
+            grid.add_vertical(i0, j0, j1)
+            grid.add_horizontal(i0, i1, j1)
+        else:
+            k = int(shape.split(":")[1])
+            grid.add_horizontal(i0, k, j0)
+            grid.add_vertical(k, j0, j1)
+            grid.add_horizontal(k, i1, j1)
+        return shape

@@ -1,0 +1,46 @@
+"""Net decomposition into two-pin segments.
+
+Multi-pin nets are broken into two-pin edges along a rectilinear minimum
+spanning tree (Prim's algorithm on Manhattan distance), the standard
+FLUTE-free decomposition for congestion estimation.  Duplicate terminals
+(pins in the same g-cell) collapse first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+Point = Tuple[int, int]
+Edge = Tuple[Point, Point]
+
+
+def decompose_net(xs: np.ndarray, ys: np.ndarray) -> List[Edge]:
+    """Two-pin edges of the Manhattan MST over terminals (g-cell coords)."""
+    points = np.unique(np.stack([xs, ys], axis=1), axis=0)
+    n = points.shape[0]
+    if n < 2:
+        return []
+    if n == 2:
+        return [(tuple(points[0]), tuple(points[1]))]
+    # Prim's algorithm, O(n^2) — nets are small after g-cell collapsing.
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = np.abs(points[:, 0] - points[0, 0]) + np.abs(
+        points[:, 1] - points[0, 1]
+    )
+    best_from = np.zeros(n, dtype=np.int64)
+    edges: List[Edge] = []
+    for __ in range(n - 1):
+        candidates = np.where(~in_tree, best_dist, np.inf)
+        nxt = int(np.argmin(candidates))
+        edges.append((tuple(points[best_from[nxt]]), tuple(points[nxt])))
+        in_tree[nxt] = True
+        dist = np.abs(points[:, 0] - points[nxt, 0]) + np.abs(
+            points[:, 1] - points[nxt, 1]
+        )
+        closer = dist < best_dist
+        best_dist = np.where(closer, dist, best_dist)
+        best_from = np.where(closer, nxt, best_from)
+    return edges

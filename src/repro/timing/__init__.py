@@ -1,0 +1,21 @@
+"""Static timing analysis and timing-driven placement.
+
+Placement quality ultimately matters through PPA (the paper's opening
+sentence); this package supplies the classic timing-driven placement
+loop on top of the Xplace engine: a topological STA over a DAG view of
+the netlist (lumped cell delays + distance-linear net delays), slack and
+criticality extraction, and iterative net re-weighting so the placer
+contracts critical paths at a small total-wirelength cost.
+"""
+
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import StaResult, run_sta
+from repro.timing.driven import TimingDrivenPlacer, TimingDrivenResult
+
+__all__ = [
+    "TimingGraph",
+    "StaResult",
+    "run_sta",
+    "TimingDrivenPlacer",
+    "TimingDrivenResult",
+]

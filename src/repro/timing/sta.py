@@ -1,0 +1,104 @@
+"""Topological static timing analysis over a :class:`TimingGraph`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.timing.graph import TimingGraph
+
+
+@dataclass
+class StaResult:
+    """Arrival/required/slack data of one STA run.
+
+    ``clock_period`` defaults to the worst arrival time (zero-WNS
+    normalisation), so slack measures headroom against the critical
+    path; pass an explicit period to measure violations against a spec.
+    """
+
+    arrival: np.ndarray          # (N,) per cell
+    required: np.ndarray         # (N,) per cell
+    arc_slack: np.ndarray        # (E,) per timing arc
+    net_slack: np.ndarray        # (nets,) min slack over a net's arcs
+    clock_period: float
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (0 when the period is met)."""
+        if self.arc_slack.size == 0:
+            return 0.0
+        return float(min(self.arc_slack.min(), 0.0))
+
+    @property
+    def tns(self) -> float:
+        """Total negative slack."""
+        if self.arc_slack.size == 0:
+            return 0.0
+        return float(np.sum(np.minimum(self.arc_slack, 0.0)))
+
+    @property
+    def critical_arc(self) -> int:
+        return int(np.argmin(self.arc_slack))
+
+    def criticality(self) -> np.ndarray:
+        """Per-net criticality in [0, 1]: 1 on the critical path."""
+        if self.clock_period <= 0:
+            return np.zeros_like(self.net_slack)
+        crit = 1.0 - self.net_slack / self.clock_period
+        return np.clip(crit, 0.0, 1.0)
+
+
+def run_sta(
+    graph: TimingGraph,
+    x: np.ndarray,
+    y: np.ndarray,
+    cell_delay: float = 1.0,
+    wire_delay_per_unit: float = 0.05,
+    clock_period: Optional[float] = None,
+) -> StaResult:
+    """Arrival/required sweep (cell-index order is topological).
+
+    Primary inputs (cells without incoming arcs) arrive at t = 0;
+    primary outputs (cells without outgoing arcs) are required at the
+    clock period.
+    """
+    netlist = graph.netlist
+    n = netlist.num_cells
+    delays = graph.arc_delays(x, y, cell_delay, wire_delay_per_unit)
+
+    arrival = np.zeros(n)
+    order = np.argsort(graph.sink_cell, kind="stable")
+    # Forward sweep: arcs sorted by sink guarantee drivers are final
+    # (driver < sink in cell index, which is the topological order).
+    for k in order:
+        a = arrival[graph.driver_cell[k]] + delays[k]
+        if a > arrival[graph.sink_cell[k]]:
+            arrival[graph.sink_cell[k]] = a
+
+    period = float(clock_period) if clock_period is not None else float(
+        arrival.max(initial=0.0)
+    )
+
+    required = np.full(n, period)
+    back_order = np.argsort(-graph.driver_cell, kind="stable")
+    for k in back_order:
+        r = required[graph.sink_cell[k]] - delays[k]
+        if r < required[graph.driver_cell[k]]:
+            required[graph.driver_cell[k]] = r
+
+    arc_slack = (
+        required[graph.sink_cell] - arrival[graph.driver_cell] - delays
+    )
+    net_slack = np.full(netlist.num_nets, np.inf)
+    np.minimum.at(net_slack, graph.edge_net, arc_slack)
+    net_slack[~np.isfinite(net_slack)] = period
+    return StaResult(
+        arrival=arrival,
+        required=required,
+        arc_slack=arc_slack,
+        net_slack=net_slack,
+        clock_period=period,
+    )

@@ -1,0 +1,15 @@
+"""Placement visualization: dependency-free SVG and ASCII rendering.
+
+Renders placements (die, rows, macros, cells), density heat maps and
+convergence traces as standalone SVG documents — the artifacts placement
+papers show as figures — without requiring matplotlib.
+"""
+
+from repro.viz.svg import (
+    ascii_density,
+    convergence_svg,
+    density_svg,
+    placement_svg,
+)
+
+__all__ = ["placement_svg", "density_svg", "convergence_svg", "ascii_density"]

@@ -1,0 +1,194 @@
+"""SVG/ASCII renderers for placements, density maps and GP traces."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.recorder import Recorder
+from repro.netlist import Netlist
+
+_CELL_FILL = "#4e79a7"
+_MACRO_FILL = "#59453c"
+_PAD_FILL = "#e15759"
+_ROW_STROKE = "#dddddd"
+
+
+def _svg_document(width: float, height: float, body: List[str]) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.2f} {height:.2f}">\n'
+        + "\n".join(body)
+        + "\n</svg>\n"
+    )
+
+
+def _maybe_write(svg: str, path: Optional[str]) -> str:
+    if path:
+        with open(path, "w") as handle:
+            handle.write(svg)
+    return svg
+
+
+def placement_svg(
+    netlist: Netlist,
+    x: np.ndarray,
+    y: np.ndarray,
+    path: Optional[str] = None,
+    width: float = 800.0,
+    draw_rows: bool = True,
+    max_cells: int = 50_000,
+) -> str:
+    """Render a placement to SVG (returns the markup; optionally writes).
+
+    Cells are blue, fixed macros brown, zero-area pads red dots.  The
+    y axis is flipped so the origin sits bottom-left like a die plot.
+    """
+    region = netlist.region
+    scale = width / region.width
+    height = region.height * scale
+
+    def sx(v: float) -> float:
+        return (v - region.xl) * scale
+
+    def sy(v: float) -> float:
+        return height - (v - region.yl) * scale
+
+    body = [
+        f'<rect x="0" y="0" width="{width:.2f}" height="{height:.2f}" '
+        f'fill="white" stroke="black" stroke-width="1"/>'
+    ]
+    if draw_rows:
+        for row in region.rows:
+            body.append(
+                f'<line x1="{sx(row.xl):.2f}" y1="{sy(row.y):.2f}" '
+                f'x2="{sx(row.xh):.2f}" y2="{sy(row.y):.2f}" '
+                f'stroke="{_ROW_STROKE}" stroke-width="0.5"/>'
+            )
+    indices = np.arange(netlist.num_cells)
+    if len(indices) > max_cells:
+        indices = indices[:max_cells]
+    for i in indices:
+        w, h = netlist.cell_w[i], netlist.cell_h[i]
+        cx, cy = x[i], y[i]
+        if not np.isfinite(cx) or not np.isfinite(cy):
+            continue
+        if w <= 0 or h <= 0:
+            body.append(
+                f'<circle cx="{sx(cx):.2f}" cy="{sy(cy):.2f}" r="2" '
+                f'fill="{_PAD_FILL}"/>'
+            )
+            continue
+        fill = _CELL_FILL if netlist.movable[i] else _MACRO_FILL
+        opacity = "0.75" if netlist.movable[i] else "0.9"
+        body.append(
+            f'<rect x="{sx(cx - w / 2):.2f}" y="{sy(cy + h / 2):.2f}" '
+            f'width="{w * scale:.2f}" height="{h * scale:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity}" stroke="none"/>'
+        )
+    return _maybe_write(_svg_document(width, height, body), path)
+
+
+def density_svg(
+    density: np.ndarray,
+    path: Optional[str] = None,
+    width: float = 512.0,
+    max_resolution: int = 64,
+) -> str:
+    """Render a density map as an SVG heat map (white → dark red).
+
+    Maps larger than ``max_resolution`` are average-pooled first to keep
+    the document small.
+    """
+    grid = np.asarray(density, dtype=np.float64)
+    m = grid.shape[0]
+    if max_resolution and m > max_resolution and m % 2 == 0:
+        factor = int(np.ceil(m / max_resolution))
+        while m % factor != 0:
+            factor += 1
+        grid = grid.reshape(m // factor, factor, m // factor, factor).mean(
+            axis=(1, 3)
+        )
+        m = grid.shape[0]
+    peak = float(grid.max())
+    norm = grid / peak if peak > 0 else grid
+    cell = width / m
+    body = []
+    for i in range(m):
+        for j in range(m):
+            v = float(norm[i, j])
+            red = 255
+            other = int(255 * (1.0 - v))
+            body.append(
+                f'<rect x="{i * cell:.2f}" y="{(m - 1 - j) * cell:.2f}" '
+                f'width="{cell:.2f}" height="{cell:.2f}" '
+                f'fill="rgb({red},{other},{other})"/>'
+            )
+    return _maybe_write(_svg_document(width, width, body), path)
+
+
+def convergence_svg(
+    recorder: Recorder,
+    metrics: Sequence[str] = ("hpwl", "overflow"),
+    path: Optional[str] = None,
+    width: float = 640.0,
+    height: float = 240.0,
+) -> str:
+    """Plot per-iteration traces (each metric normalised to [0, 1])."""
+    colors = ["#4e79a7", "#e15759", "#59a14f", "#f28e2b"]
+    body = [
+        f'<rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" '
+        f'fill="white" stroke="black"/>'
+    ]
+    margin = 10.0
+    for k, metric in enumerate(metrics):
+        trace = recorder.trace(metric)
+        if len(trace) == 0:
+            continue
+        finite = np.where(np.isfinite(trace), trace, np.nan)
+        lo = np.nanmin(finite)
+        hi = np.nanmax(finite)
+        span = (hi - lo) if hi > lo else 1.0
+        points = []
+        for i, v in enumerate(finite):
+            if not np.isfinite(v):
+                continue
+            px = margin + (width - 2 * margin) * i / max(len(finite) - 1, 1)
+            py = height - margin - (height - 2 * margin) * (v - lo) / span
+            points.append(f"{px:.1f},{py:.1f}")
+        color = colors[k % len(colors)]
+        body.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>'
+        )
+        body.append(
+            f'<text x="{margin + 4:.0f}" y="{14 + 14 * k:.0f}" '
+            f'fill="{color}" font-size="12">{metric}</text>'
+        )
+    return _maybe_write(_svg_document(width, height, body), path)
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_density(density: np.ndarray, width: int = 48) -> str:
+    """Terminal-friendly density heat map (for CLI / debugging)."""
+    grid = np.asarray(density, dtype=np.float64)
+    m = grid.shape[0]
+    step = max(1, m // width)
+    pooled = grid[: (m // step) * step, : (m // step) * step]
+    pooled = pooled.reshape(m // step, step, m // step, step).mean(axis=(1, 3))
+    peak = pooled.max()
+    if peak <= 0:
+        peak = 1.0
+    levels = np.clip(
+        (pooled / peak * (len(_ASCII_RAMP) - 1)).astype(int),
+        0,
+        len(_ASCII_RAMP) - 1,
+    )
+    # Rows printed top-to-bottom: j decreasing.
+    lines = []
+    for j in range(levels.shape[1] - 1, -1, -1):
+        lines.append("".join(_ASCII_RAMP[v] for v in levels[:, j]))
+    return "\n".join(lines)

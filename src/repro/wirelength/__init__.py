@@ -1,0 +1,22 @@
+"""Wirelength objectives: HPWL, weighted-average (WA), log-sum-exp.
+
+The central object is :class:`WirelengthOp`, which implements the paper's
+*operator combination* (Section 3.1.1): per-net min/max positions are
+computed once and shared between the HPWL metric, the stable WA objective
+(Eq. 6) and its analytic gradient, all emitted by one fused kernel.
+Stand-alone functions are kept for the ablation baseline that recomputes
+min/max per operator.
+"""
+
+from repro.wirelength.hpwl import hpwl, hpwl_per_net
+from repro.wirelength.wa import WirelengthOp, WAResult, wa_wirelength_and_grad
+from repro.wirelength.lse import lse_wirelength
+
+__all__ = [
+    "hpwl",
+    "hpwl_per_net",
+    "WirelengthOp",
+    "WAResult",
+    "wa_wirelength_and_grad",
+    "lse_wirelength",
+]

@@ -1,0 +1,22 @@
+"""Half-perimeter wirelength (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.wirelength.segments import segment_max, segment_min
+
+
+def hpwl_per_net(netlist: Netlist, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Unweighted HPWL of every net (0 for nets with <2 pins)."""
+    px, py = netlist.pin_positions(x, y)
+    spans_x = segment_max(px, netlist.net_start) - segment_min(px, netlist.net_start)
+    spans_y = segment_max(py, netlist.net_start) - segment_min(py, netlist.net_start)
+    spans = spans_x + spans_y
+    return np.where(netlist.net_mask, spans, 0.0)
+
+
+def hpwl(netlist: Netlist, x: np.ndarray, y: np.ndarray) -> float:
+    """Total net-weighted HPWL of the placement ``(x, y)`` (cell centers)."""
+    return float(np.sum(hpwl_per_net(netlist, x, y) * netlist.net_weight))

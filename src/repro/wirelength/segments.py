@@ -1,0 +1,59 @@
+"""Per-net segment reductions over the pin-grouped-by-net CSR layout.
+
+These helpers are the NumPy equivalent of the per-net CUDA reduction
+kernels: given per-pin values and the ``net_start`` offsets, they reduce
+each net's contiguous slice.  Empty nets are tolerated (their reduction
+output is unspecified and must be masked by the caller via ``net_mask``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops import profiled
+
+
+def _safe_starts(net_start: np.ndarray, num_values: int) -> np.ndarray:
+    """reduceat start indices clipped so empty trailing nets don't IndexError."""
+    starts = net_start[:-1]
+    if num_values == 0:
+        return starts
+    return np.minimum(starts, num_values - 1)
+
+
+def segment_max(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+    """Per-net maximum of ``values`` (undefined for empty nets)."""
+    profiled("segment_max")
+    if values.size == 0:
+        return np.zeros(len(net_start) - 1, dtype=values.dtype)
+    return np.maximum.reduceat(values, _safe_starts(net_start, values.size))
+
+
+def segment_min(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+    """Per-net minimum of ``values`` (undefined for empty nets)."""
+    profiled("segment_min")
+    if values.size == 0:
+        return np.zeros(len(net_start) - 1, dtype=values.dtype)
+    return np.minimum.reduceat(values, _safe_starts(net_start, values.size))
+
+
+def segment_sum(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+    """Per-net sum of ``values`` (0 for empty nets)."""
+    profiled("segment_sum")
+    num_nets = len(net_start) - 1
+    if values.size == 0:
+        return np.zeros(num_nets, dtype=values.dtype)
+    out = np.add.reduceat(values, _safe_starts(net_start, values.size))
+    # reduceat yields values[start] for empty segments; zero them.
+    empty = np.diff(net_start) == 0
+    if np.any(empty):
+        out = np.where(empty, 0.0, out)
+    return out
+
+
+def scatter_to_cells(
+    pin_values: np.ndarray, pin2cell: np.ndarray, num_cells: int
+) -> np.ndarray:
+    """Accumulate per-pin values onto their owner cells."""
+    profiled("scatter_to_cells")
+    return np.bincount(pin2cell, weights=pin_values, minlength=num_cells)

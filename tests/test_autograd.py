@@ -1,0 +1,285 @@
+"""Tests for the reverse-mode autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import (
+    Tensor,
+    gather_cells,
+    gradcheck,
+    hybrid_gradient,
+    irfft2,
+    no_grad,
+    rfft2,
+    segment_sum,
+    spectral_low_pass,
+)
+from repro.autograd.ops import channel_linear, concat
+from repro.ops import use_profiler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestBasics:
+    def test_scalar_chain(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * x + x).sum()
+        y.backward()
+        assert x.grad[0] == pytest.approx(5.0)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (x * 2).backward()
+
+    def test_grad_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 4).sum().backward()
+        assert x.grad[0] == pytest.approx(6.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 3).detach()
+        z = (y * x).sum()
+        z.backward()
+        assert x.grad[0] == pytest.approx(6.0)  # only through the live branch
+
+    def test_no_grad_context(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert y._node is None
+
+    def test_diamond_graph(self):
+        # x feeds two paths that rejoin: gradient must sum.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).sum().backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_reused_tensor_many_times(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        total = x * 0.0
+        for __ in range(10):
+            total = total + x
+        total.sum().backward()
+        assert x.grad[0] == pytest.approx(10.0)
+
+    def test_python_scalars_promote(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (3.0 * x + 1.0 - x / 2.0).sum()
+        y.backward()
+        assert x.grad[0] == pytest.approx(2.5)
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([4.0]), requires_grad=True)
+        (1.0 - x).sum().backward()
+        assert x.grad[0] == pytest.approx(-1.0)
+        x.zero_grad()
+        (8.0 / x).sum().backward()
+        assert x.grad[0] == pytest.approx(-0.5)
+
+
+class TestGradcheckOps:
+    def test_elementwise_chain(self, rng):
+        a = Tensor(rng.normal(size=7), requires_grad=True)
+        b = Tensor(rng.normal(size=7), requires_grad=True)
+        gradcheck(lambda a, b: (a * b + a.exp() - b.tanh()).sum(), [a, b])
+
+    def test_log_sqrt_sigmoid(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=6), requires_grad=True)
+        gradcheck(lambda a: (a.log() + a.sqrt() + a.sigmoid()).sum(), [a])
+
+    def test_relu_abs(self, rng):
+        a = Tensor(rng.normal(size=9) + 0.1, requires_grad=True)
+        gradcheck(lambda a: (a.relu() + a.abs()).sum(), [a])
+
+    def test_gelu(self, rng):
+        a = Tensor(rng.normal(size=11), requires_grad=True)
+        gradcheck(lambda a: a.gelu().sum(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2, size=5), requires_grad=True)
+        gradcheck(lambda a: (a**3).sum(), [a])
+
+    def test_broadcasting(self, rng):
+        a = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradcheck(lambda a, b: (a * b + a - b).sum(), [a, b])
+
+    def test_sum_with_axis(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_mean(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_matmul(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_reshape_transpose(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        gradcheck(lambda a: (a.reshape(3, 4).transpose() ** 2).sum(), [a])
+
+    def test_getitem_gather(self, rng):
+        a = Tensor(rng.normal(size=8), requires_grad=True)
+        idx = np.array([0, 3, 3, 7])
+        gradcheck(lambda a: (a[idx] ** 2).sum(), [a])
+
+    def test_concat(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        gradcheck(lambda a, b: (concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_channel_linear(self, rng):
+        x = Tensor(rng.normal(size=(3, 4, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        gradcheck(lambda x, w, b: channel_linear(x, w, b).sum(), [x, w, b])
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_composite_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.uniform(0.2, 1.5, size=5), requires_grad=True)
+        gradcheck(
+            lambda a: ((a * a).exp().log() + a.sqrt() * a.tanh()).sum(),
+            [a],
+            rng=rng,
+        )
+
+
+class TestSegmentOps:
+    def test_gather_cells_with_offset(self, rng):
+        cells = Tensor(rng.normal(size=5), requires_grad=True)
+        pin2cell = np.array([0, 0, 2, 4])
+        offset = np.array([0.1, -0.1, 0.0, 0.5])
+        out = gather_cells(cells, pin2cell, offset)
+        expected = cells.data[pin2cell] + offset
+        np.testing.assert_allclose(out.data, expected)
+        gradcheck(lambda c: (gather_cells(c, pin2cell, offset) ** 2).sum(), [cells])
+
+    def test_segment_sum_values(self):
+        pins = Tensor(np.array([1.0, 2.0, 3.0, 4.0]), requires_grad=True)
+        net_start = np.array([0, 2, 4])
+        out = segment_sum(pins, net_start)
+        assert out.data.tolist() == [3.0, 7.0]
+
+    def test_segment_sum_gradient(self, rng):
+        pins = Tensor(rng.normal(size=6), requires_grad=True)
+        net_start = np.array([0, 2, 2, 6])  # includes an empty net
+        gradcheck(lambda p: (segment_sum(p, net_start) ** 2).sum(), [pins])
+
+
+class TestSpectral:
+    def test_rfft2_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(2, 8, 8)))
+        back = irfft2(rfft2(x), 8, 8)
+        np.testing.assert_allclose(back.data, x.data, atol=1e-12)
+
+    def test_rfft2_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        gradcheck(
+            lambda x: (rfft2(x).abs() ** 2).sum(), [x], rtol=1e-3, atol=1e-5
+        )
+
+    def test_irfft2_gradcheck(self, rng):
+        spec = Tensor(
+            rng.normal(size=(8, 5)) + 1j * rng.normal(size=(8, 5)),
+            requires_grad=True,
+        )
+        gradcheck(
+            lambda s: (irfft2(s, 8, 8) ** 2).sum(), [spec], rtol=1e-3, atol=1e-5
+        )
+
+    def test_low_pass_keeps_corner_blocks(self, rng):
+        spec = Tensor(rng.normal(size=(8, 5)) + 1j * rng.normal(size=(8, 5)))
+        out = spectral_low_pass(spec, 2).data
+        assert np.all(out[:2, :2] != 0)
+        assert np.all(out[-2:, :2] != 0)
+        assert np.all(out[3:5, :] == 0)
+        assert np.all(out[:, 2:] == 0)
+
+    def test_full_spectral_pipeline_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 8, 8)), requires_grad=True)
+        w = Tensor(
+            rng.normal(size=(2, 8, 5)) + 1j * rng.normal(size=(2, 8, 5)),
+            requires_grad=True,
+        )
+
+        def pipeline(x, w):
+            spec = spectral_low_pass(rfft2(x) * w, 3)
+            return (irfft2(spec, 8, 8) ** 2).sum()
+
+        gradcheck(pipeline, [x, w], rtol=1e-3, atol=1e-5)
+
+    def test_odd_width_mirror_weights(self, rng):
+        x = Tensor(rng.normal(size=(7, 7)), requires_grad=True)
+        gradcheck(
+            lambda x: (rfft2(x).abs() ** 2).sum(), [x], rtol=1e-3, atol=1e-5
+        )
+
+
+class TestHybridGradient:
+    def test_none_loss_passthrough(self):
+        gx = np.ones(3)
+        gy = np.zeros(3)
+        out_x, out_y = hybrid_gradient(np.zeros(3), np.zeros(3), gx, gy)
+        assert out_x is gx and out_y is gy
+
+    def test_user_loss_accumulates(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([3.0, 4.0])
+        gx = np.array([0.5, 0.5])
+        gy = np.array([0.0, 0.0])
+        out_x, out_y = hybrid_gradient(
+            x, y, gx, gy, user_loss=lambda tx, ty: (tx * tx + 2 * ty).sum()
+        )
+        np.testing.assert_allclose(out_x, gx + 2 * x)
+        np.testing.assert_allclose(out_y, gy + 2.0)
+
+    def test_non_scalar_loss_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_gradient(
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                user_loss=lambda tx, ty: tx * 2,
+            )
+
+
+class TestProfilerIntegration:
+    def test_backward_roughly_doubles_launches(self, rng):
+        """The Section 3.1.3 premise: autograd ≈ 2x the operator count."""
+        x = Tensor(rng.normal(size=32), requires_grad=True)
+
+        def build():
+            return ((x * 2.0).exp() + x.tanh() * x).sum()
+
+        with use_profiler() as fwd_only:
+            with no_grad():
+                build()
+        with use_profiler() as full:
+            loss = build()
+            loss.backward()
+        fwd = sum(v for k, v in fwd_only.counts.items() if k.startswith("fwd."))
+        bwd = sum(v for k, v in full.counts.items() if k.startswith("bwd."))
+        assert bwd >= 0.8 * fwd
+        assert full.total > 1.7 * fwd_only.total

@@ -1,0 +1,141 @@
+"""Tests for the synthetic benchmark generator and named suites."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    CircuitSpec,
+    ISPD2005_LIKE,
+    ISPD2015_LIKE,
+    generate_circuit,
+    ispd2005_like_suite,
+    ispd2015_like_suite,
+    make_design,
+)
+from repro.netlist import compute_stats
+
+
+class TestSpec:
+    def test_seed_depends_on_name(self):
+        a = CircuitSpec("a", num_cells=100)
+        b = CircuitSpec("b", num_cells=100)
+        assert a.rng_seed() != b.rng_seed()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=5)
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=100, utilization=1.5)
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=100, macro_fraction=0.95)
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=100, locality=1.5)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return generate_circuit(
+            CircuitSpec("gen", num_cells=500, num_macros=4, num_pads=16)
+        )
+
+    def test_determinism(self):
+        spec = CircuitSpec("det", num_cells=200)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert np.array_equal(a.cell_w, b.cell_w)
+        assert np.array_equal(a.pin2cell, b.pin2cell)
+        assert np.array_equal(a.pin_dx, b.pin_dx)
+
+    def test_counts(self, circuit):
+        assert circuit.num_movable == 500
+        assert circuit.num_cells == 500 + 4 + 16
+
+    def test_macros_inside_die_and_disjoint(self, circuit):
+        fixed = (~circuit.movable) & (circuit.cell_area > 0)
+        idx = np.flatnonzero(fixed)
+        region = circuit.region
+        xl = circuit.fixed_x[idx] - circuit.cell_w[idx] / 2
+        xh = circuit.fixed_x[idx] + circuit.cell_w[idx] / 2
+        yl = circuit.fixed_y[idx] - circuit.cell_h[idx] / 2
+        yh = circuit.fixed_y[idx] + circuit.cell_h[idx] / 2
+        assert np.all(xl >= region.xl - 1e-6) and np.all(xh <= region.xh + 1e-6)
+        assert np.all(yl >= region.yl - 1e-6) and np.all(yh <= region.yh + 1e-6)
+        for i in range(len(idx)):
+            for j in range(i + 1, len(idx)):
+                overlap_x = min(xh[i], xh[j]) - max(xl[i], xl[j])
+                overlap_y = min(yh[i], yh[j]) - max(yl[i], yl[j])
+                assert min(overlap_x, overlap_y) <= 1e-9
+
+    def test_utilization_near_target(self, circuit):
+        stats = compute_stats(circuit)
+        assert abs(stats.utilization - 0.7) < 0.12
+
+    def test_net_degrees_contest_like(self, circuit):
+        degrees = circuit.net_degree
+        assert degrees.min() >= 2
+        # Two/three-pin nets dominate.
+        assert np.mean(degrees <= 4) > 0.6
+        assert degrees.mean() < 6
+
+    def test_pin_offsets_inside_cells(self, circuit):
+        hw = circuit.cell_w[circuit.pin2cell] / 2
+        hh = circuit.cell_h[circuit.pin2cell] / 2
+        assert np.all(np.abs(circuit.pin_dx) <= hw + 1e-9)
+        assert np.all(np.abs(circuit.pin_dy) <= hh + 1e-9)
+
+    def test_pads_on_periphery(self, circuit):
+        pads = [
+            i
+            for i, name in enumerate(circuit.cell_name)
+            if name.startswith("p") and not circuit.movable[i]
+        ]
+        region = circuit.region
+        for i in pads:
+            x, y = circuit.fixed_x[i], circuit.fixed_y[i]
+            on_edge = (
+                abs(x - region.xl) < 1e-6
+                or abs(x - region.xh) < 1e-6
+                or abs(y - region.yl) < 1e-6
+                or abs(y - region.yh) < 1e-6
+            )
+            assert on_edge
+
+    def test_no_macros_when_disabled(self):
+        nl = generate_circuit(
+            CircuitSpec("nomac", num_cells=100, num_macros=0, macro_fraction=0.0)
+        )
+        areas = nl.cell_area[~nl.movable]
+        assert np.all(areas == 0)  # only zero-area pads remain fixed
+
+
+class TestSuites:
+    def test_suite_names_match_paper_table1(self):
+        assert set(ISPD2005_LIKE) == {
+            "adaptec1", "adaptec2", "adaptec3", "adaptec4",
+            "bigblue1", "bigblue2", "bigblue3", "bigblue4",
+        }
+        assert len(ISPD2015_LIKE) == 20
+        assert "superblue16_a" in ISPD2015_LIKE
+
+    def test_size_ordering_preserved(self):
+        suite = ispd2005_like_suite()
+        assert suite["bigblue4"].num_cells > suite["bigblue3"].num_cells
+        assert suite["bigblue3"].num_cells > suite["adaptec1"].num_cells
+
+    def test_scale_controls_size(self):
+        small = ispd2005_like_suite(scale=0.005)["bigblue4"]
+        large = ispd2005_like_suite(scale=0.02)["bigblue4"]
+        assert large.num_cells > small.num_cells
+
+    def test_make_design_override(self):
+        nl = make_design("fft_1", num_cells=300)
+        assert nl.num_movable == 300
+
+    def test_make_design_unknown(self):
+        with pytest.raises(KeyError):
+            make_design("nonexistent_design")
+
+    def test_ispd2015_min_size_clamp(self):
+        suite = ispd2015_like_suite(scale=0.001)
+        assert all(spec.num_cells >= 600 for spec in suite.values())

@@ -1,0 +1,114 @@
+"""Bookshelf reader/writer tests including full round-trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.bookshelf import read_aux, read_bookshelf, write_bookshelf
+from repro.bookshelf.reader import BookshelfError
+from repro.netlist import NetlistBuilder, PlacementRegion
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    return generate_circuit(CircuitSpec("bsf", num_cells=120, num_macros=2, num_pads=8))
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        loaded = read_bookshelf(aux)
+        assert loaded.num_cells == small_circuit.num_cells
+        assert loaded.num_nets == small_circuit.num_nets
+        assert loaded.num_pins == small_circuit.num_pins
+        assert loaded.num_movable == small_circuit.num_movable
+
+    def test_geometry_preserved(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        loaded = read_bookshelf(aux)
+        assert np.allclose(loaded.cell_w, small_circuit.cell_w)
+        assert np.allclose(loaded.cell_h, small_circuit.cell_h)
+        np.testing.assert_allclose(loaded.pin_dx, small_circuit.pin_dx, atol=1e-4)
+        np.testing.assert_allclose(loaded.pin_dy, small_circuit.pin_dy, atol=1e-4)
+
+    def test_fixed_positions_preserved(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        loaded = read_bookshelf(aux)
+        fixed = ~small_circuit.movable
+        np.testing.assert_allclose(
+            loaded.fixed_x[fixed], small_circuit.fixed_x[fixed], atol=1e-4
+        )
+        np.testing.assert_allclose(
+            loaded.fixed_y[fixed], small_circuit.fixed_y[fixed], atol=1e-4
+        )
+
+    def test_positions_roundtrip_through_pl(self, small_circuit, tmp_path):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(10, 90, small_circuit.num_cells)
+        y = rng.uniform(10, 90, small_circuit.num_cells)
+        aux = write_bookshelf(small_circuit, str(tmp_path), x=x, y=y)
+        loaded = read_bookshelf(aux)
+        movable = small_circuit.movable
+        np.testing.assert_allclose(loaded.fixed_x[movable], x[movable], atol=1e-4)
+        np.testing.assert_allclose(loaded.fixed_y[movable], y[movable], atol=1e-4)
+
+    def test_region_rows_preserved(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        loaded = read_bookshelf(aux)
+        assert len(loaded.region.rows) == len(small_circuit.region.rows)
+        assert loaded.region.row_height == small_circuit.region.row_height
+
+    def test_net_weights_preserved(self, tmp_path):
+        builder = NetlistBuilder("w")
+        builder.set_region(PlacementRegion.with_uniform_rows(0, 0, 50, 50, 10))
+        builder.add_cell("a", 2, 10)
+        builder.add_cell("b", 2, 10)
+        builder.add_net("heavy", [("a", 0, 0), ("b", 0, 0)], weight=3.5)
+        aux = write_bookshelf(builder.build(), str(tmp_path))
+        loaded = read_bookshelf(aux)
+        assert loaded.net_weight[0] == pytest.approx(3.5)
+
+
+class TestReaderErrors:
+    def test_missing_aux_entries(self, tmp_path):
+        aux = tmp_path / "bad.aux"
+        aux.write_text("RowBasedPlacement : bad.nodes\n")
+        with pytest.raises(BookshelfError, match="missing entries"):
+            read_aux(str(aux))
+
+    def test_degree_mismatch_detected(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        nets_path = os.path.join(str(tmp_path), "bsf.nets")
+        with open(nets_path) as handle:
+            lines = handle.readlines()
+        # Drop the last pin line to corrupt the final net's declared degree.
+        with open(nets_path, "w") as handle:
+            handle.writelines(lines[:-1])
+        with pytest.raises(BookshelfError, match="declared"):
+            read_bookshelf(aux)
+
+    def test_scl_without_rows(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        scl_path = os.path.join(str(tmp_path), "bsf.scl")
+        with open(scl_path, "w") as handle:
+            handle.write("UCLA scl 1.0\nNumRows : 0\n")
+        with pytest.raises(BookshelfError, match="no CoreRow"):
+            read_bookshelf(aux)
+
+    def test_comments_and_blank_lines_ignored(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        nodes_path = os.path.join(str(tmp_path), "bsf.nodes")
+        with open(nodes_path) as handle:
+            content = handle.read()
+        with open(nodes_path, "w") as handle:
+            handle.write("# a comment\n\n" + content)
+        loaded = read_bookshelf(aux)
+        assert loaded.num_cells == small_circuit.num_cells
+
+    def test_missing_wts_tolerated(self, small_circuit, tmp_path):
+        aux = write_bookshelf(small_circuit, str(tmp_path))
+        os.remove(os.path.join(str(tmp_path), "bsf.wts"))
+        loaded = read_bookshelf(aux)
+        assert np.all(loaded.net_weight == 1.0)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (in-process, no subprocess)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place", "fft_1"])
+        assert args.placer == "xplace"
+        assert args.scale == 0.01
+        assert args.route is False
+
+    def test_unknown_placer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "fft_1", "--placer", "vpr"])
+
+
+class TestCommands:
+    def test_stats_named_design(self, capsys):
+        assert main(["stats", "fft_1", "--cells", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "fft_1" in out and "utilization" in out
+
+    def test_stats_unknown_design(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["stats", "not_a_design"])
+
+    def test_generate_then_stats_roundtrip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "bench")
+        assert main(["generate", "fft_1", "--cells", "80", "--out", out_dir]) == 0
+        aux = os.path.join(out_dir, "fft_1.aux")
+        assert os.path.exists(aux)
+        assert main(["stats", aux]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out
+
+    def test_place_writes_pl_and_svg(self, tmp_path, capsys):
+        pl = str(tmp_path / "out.pl")
+        svg = str(tmp_path / "out.svg")
+        code = main(
+            ["place", "fft_1", "--cells", "120", "--dp-passes", "0",
+             "--out", pl, "--svg", svg]
+        )
+        assert code == 0
+        assert os.path.exists(pl)
+        assert os.path.exists(svg)
+        out = capsys.readouterr().out
+        assert "HPWL" in out and "legal=True" in out
+
+    def test_place_quadratic(self, capsys):
+        code = main(["place", "fft_1", "--cells", "100", "--placer",
+                     "quadratic"])
+        assert code == 0
+        assert "quadratic GP" in capsys.readouterr().out
+
+    def test_place_with_routing(self, capsys):
+        code = main(
+            ["place", "fft_1", "--cells", "100", "--dp-passes", "0", "--route"]
+        )
+        assert code == 0
+        assert "top5 overflow" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for the detailed placement engine and its operators."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.detail import DetailedPlacer, PlacementRows
+from repro.legalize import AbacusLegalizer, check_legal
+from repro.wirelength import hpwl
+
+
+@pytest.fixture(scope="module")
+def legal_placement():
+    nl = generate_circuit(
+        CircuitSpec("dp", num_cells=300, num_macros=2, num_pads=16)
+    )
+    gp = XPlacer(nl, PlacementParams(max_iterations=400)).run()
+    lx, ly = AbacusLegalizer(nl).legalize(gp.x, gp.y)
+    return nl, lx, ly
+
+
+class TestPlacementRows:
+    def test_every_movable_assigned(self, legal_placement):
+        nl, lx, ly = legal_placement
+        rows = PlacementRows(nl, lx, ly)
+        assert set(rows.cell_slot) == set(nl.movable_index.tolist())
+
+    def test_segments_sorted(self, legal_placement):
+        nl, lx, ly = legal_placement
+        rows = PlacementRows(nl, lx, ly)
+        for row_segs in rows.members:
+            for cells in row_segs:
+                xs = [rows.x[c] for c in cells]
+                assert xs == sorted(xs)
+
+    def test_span_bounds_neighbors(self, legal_placement):
+        nl, lx, ly = legal_placement
+        rows = PlacementRows(nl, lx, ly)
+        for row_segs in rows.members:
+            for cells in row_segs:
+                for c in cells:
+                    left, right = rows.span(c)
+                    assert left - 1e-6 <= rows.x[c] - nl.cell_w[c] / 2
+                    assert rows.x[c] + nl.cell_w[c] / 2 <= right + 1e-6
+
+    def test_move_keeps_sorted(self, legal_placement):
+        nl, lx, ly = legal_placement
+        rows = PlacementRows(nl, lx, ly)
+        cell = int(nl.movable_index[0])
+        row_i, seg_i = rows.cell_slot[cell]
+        left, right = rows.span(cell)
+        target = (left + right) / 2
+        rows.move(cell, target, row_i, seg_i)
+        cells = rows.members[row_i][seg_i]
+        xs = [rows.x[c] for c in cells]
+        assert xs == sorted(xs)
+
+    def test_unlegalized_input_rejected(self, legal_placement):
+        nl, lx, ly = legal_placement
+        bad_x = lx.copy()
+        mov = nl.movable_index
+        # Push a cell into a macro blockage if one exists; otherwise skip.
+        fixed = np.flatnonzero((~nl.movable) & (nl.cell_area > 0))
+        if len(fixed) == 0:
+            pytest.skip("no macros in this design")
+        bad_x[mov[0]] = nl.fixed_x[fixed[0]]
+        bad_y = ly.copy()
+        bad_y[mov[0]] = nl.fixed_y[fixed[0]]
+        with pytest.raises(ValueError, match="outside every free segment"):
+            PlacementRows(nl, bad_x, bad_y)
+
+
+class TestDetailedPlacer:
+    @pytest.fixture(scope="class")
+    def dp_result(self, legal_placement):
+        nl, lx, ly = legal_placement
+        return nl, DetailedPlacer(nl, max_passes=2).place(lx, ly)
+
+    def test_improves_hpwl(self, dp_result):
+        nl, result = dp_result
+        assert result.hpwl_after <= result.hpwl_before
+        assert result.moves_applied > 0
+
+    def test_preserves_legality(self, dp_result):
+        nl, result = dp_result
+        report = check_legal(nl, result.x, result.y)
+        assert report.legal, report.summary()
+
+    def test_hpwl_reported_correctly(self, dp_result):
+        nl, result = dp_result
+        assert result.hpwl_after == pytest.approx(
+            hpwl(nl, result.x, result.y), rel=1e-9
+        )
+
+    def test_improvement_property(self, dp_result):
+        __, result = dp_result
+        assert 0 <= result.improvement < 0.2
+
+    def test_fixed_cells_untouched(self, legal_placement, dp_result):
+        nl, lx, ly = legal_placement
+        __, result = dp_result
+        fixed = ~nl.movable
+        np.testing.assert_array_equal(result.x[fixed], lx[fixed])
+
+    def test_zero_passes_is_identity(self, legal_placement):
+        nl, lx, ly = legal_placement
+        result = DetailedPlacer(nl, max_passes=0).place(lx, ly)
+        np.testing.assert_array_equal(result.x, lx)
+        assert result.hpwl_after == result.hpwl_before
+
+    def test_nets_hpwl_matches_global(self, legal_placement):
+        nl, lx, ly = legal_placement
+        dp = DetailedPlacer(nl)
+        all_nets = np.arange(nl.num_nets)
+        assert dp._nets_hpwl(all_nets, lx, ly) == pytest.approx(
+            hpwl(nl, lx, ly), rel=1e-9
+        )
+
+    def test_nets_of_returns_sorted_unique(self, legal_placement):
+        nl, __, __ = legal_placement
+        dp = DetailedPlacer(nl)
+        cell = int(nl.movable_index[5])
+        nets = dp.nets_of([cell, cell])
+        assert len(nets) == len(set(nets.tolist()))
+        # Each returned net really contains the cell.
+        for e in nets:
+            lo, hi = nl.net_start[e], nl.net_start[e + 1]
+            assert cell in nl.pin2cell[lo:hi]

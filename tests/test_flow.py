@@ -1,0 +1,68 @@
+"""Integration tests for the end-to-end flow harness."""
+
+import numpy as np
+import pytest
+
+from repro import PlacementParams, make_design, run_flow
+from repro.flow import FlowResult
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return make_design("fft_1", num_cells=400)
+
+
+class TestRunFlow:
+    @pytest.fixture(scope="class")
+    def xplace_flow(self, netlist):
+        return run_flow(netlist, placer="xplace", dp_passes=1)
+
+    def test_stages_consistent(self, xplace_flow):
+        r = xplace_flow
+        assert r.legal
+        # DP starts from LG and cannot be worse.
+        assert r.dp_hpwl <= r.lg_hpwl + 1e-9
+        # Legalization perturbs GP but stays in the same ballpark.
+        assert r.lg_hpwl < 1.5 * r.gp_hpwl
+        assert r.final_hpwl == r.dp_hpwl
+
+    def test_timers_positive(self, xplace_flow):
+        assert xplace_flow.gp_seconds > 0
+        assert xplace_flow.dp_seconds > 0
+        assert xplace_flow.gp_iterations > 0
+
+    def test_routing_option(self, netlist):
+        r = run_flow(netlist, placer="xplace", dp_passes=0, route=True,
+                     route_grid_m=16)
+        assert r.top5_overflow is not None
+        assert r.gr_seconds is not None
+
+    def test_no_routing_by_default(self, xplace_flow):
+        assert xplace_flow.top5_overflow is None
+
+    def test_baseline_flow(self, netlist, xplace_flow):
+        r = run_flow(netlist, placer="baseline", dp_passes=1)
+        assert r.legal
+        assert r.final_hpwl == pytest.approx(xplace_flow.final_hpwl, rel=0.06)
+
+    def test_nn_flow_requires_predictor(self, netlist):
+        with pytest.raises(ValueError, match="field_predictor"):
+            run_flow(netlist, placer="xplace-nn")
+
+    def test_nn_flow_with_fake_predictor(self, netlist):
+        def predictor(density_map):
+            return np.zeros_like(density_map), np.zeros_like(density_map)
+
+        r = run_flow(netlist, placer="xplace-nn", field_predictor=predictor,
+                     dp_passes=0)
+        assert r.legal
+
+    def test_unknown_placer(self, netlist):
+        with pytest.raises(ValueError, match="unknown placer"):
+            run_flow(netlist, placer="simulated-annealing")
+
+    def test_custom_params_respected(self, netlist):
+        params = PlacementParams(max_iterations=30, min_iterations=30,
+                                 stop_overflow=1e-12)
+        r = run_flow(netlist, params=params, dp_passes=0)
+        assert r.gp_iterations == 30

@@ -1,0 +1,152 @@
+"""Tests for row space, Tetris and Abacus legalizers, legality checker."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.legalize import (
+    AbacusLegalizer,
+    TetrisLegalizer,
+    build_row_space,
+    check_legal,
+)
+from repro.netlist import NetlistBuilder, PlacementRegion
+from repro.wirelength import hpwl
+
+
+@pytest.fixture(scope="module")
+def placed():
+    nl = generate_circuit(
+        CircuitSpec("lg", num_cells=350, num_macros=2, num_pads=16)
+    )
+    result = XPlacer(nl, PlacementParams(max_iterations=400)).run()
+    return nl, result
+
+
+class TestRowSpace:
+    def test_rows_without_macros_one_segment(self):
+        nl = generate_circuit(
+            CircuitSpec("rs", num_cells=50, num_macros=0, macro_fraction=0.0)
+        )
+        space = build_row_space(nl)
+        assert all(len(segs) == 1 for segs in space.segments)
+
+    def test_macros_split_rows(self, placed):
+        nl, __ = placed
+        space = build_row_space(nl)
+        assert any(len(segs) > 1 for segs in space.segments)
+
+    def test_free_width_excludes_blockage(self, placed):
+        nl, __ = placed
+        space = build_row_space(nl)
+        total_row_width = sum(r.xh - r.xl for r in space.rows)
+        macro_area = float(
+            np.sum(nl.cell_area[(~nl.movable) & (nl.cell_area > 0)])
+        )
+        free = space.total_free_width() * nl.region.row_height
+        assert free < total_row_width * nl.region.row_height
+        # Free area ≈ die area − macro area (slivers make it slightly less).
+        assert free <= nl.region.area - macro_area + 1e-6
+
+    def test_requires_rows(self):
+        builder = NetlistBuilder()
+        builder.set_region(PlacementRegion(0, 0, 10, 10))
+        builder.add_cell("a", 1, 1)
+        nl = builder.build()
+        with pytest.raises(ValueError, match="no rows"):
+            build_row_space(nl)
+
+
+@pytest.mark.parametrize("legalizer_cls", [TetrisLegalizer, AbacusLegalizer])
+class TestLegalizers:
+    def test_produces_legal_placement(self, placed, legalizer_cls):
+        nl, result = placed
+        lx, ly = legalizer_cls(nl).legalize(result.x, result.y)
+        report = check_legal(nl, lx, ly)
+        assert report.legal, report.summary()
+
+    def test_fixed_cells_untouched(self, placed, legalizer_cls):
+        nl, result = placed
+        lx, ly = legalizer_cls(nl).legalize(result.x, result.y)
+        fixed = ~nl.movable
+        np.testing.assert_array_equal(lx[fixed], result.x[fixed])
+        np.testing.assert_array_equal(ly[fixed], result.y[fixed])
+
+    def test_small_displacement(self, placed, legalizer_cls):
+        nl, result = placed
+        lx, ly = legalizer_cls(nl).legalize(result.x, result.y)
+        mov = nl.movable_index
+        disp = np.abs(lx[mov] - result.x[mov]) + np.abs(ly[mov] - result.y[mov])
+        avg_cell = float(np.mean(nl.cell_w[mov]))
+        assert np.mean(disp) < 10 * avg_cell
+
+    def test_hpwl_close_to_gp(self, placed, legalizer_cls):
+        nl, result = placed
+        lx, ly = legalizer_cls(nl).legalize(result.x, result.y)
+        assert hpwl(nl, lx, ly) < 1.3 * result.hpwl
+
+
+class TestAbacusVsTetris:
+    def test_abacus_no_worse_displacement(self, placed):
+        nl, result = placed
+        tx, ty = TetrisLegalizer(nl).legalize(result.x, result.y)
+        ax, ay = AbacusLegalizer(nl).legalize(result.x, result.y)
+        mov = nl.movable_index
+        disp_t = np.mean(
+            np.abs(tx[mov] - result.x[mov]) + np.abs(ty[mov] - result.y[mov])
+        )
+        disp_a = np.mean(
+            np.abs(ax[mov] - result.x[mov]) + np.abs(ay[mov] - result.y[mov])
+        )
+        assert disp_a <= disp_t * 1.05
+
+
+class TestCheckLegal:
+    def _tiny(self):
+        builder = NetlistBuilder()
+        builder.set_region(
+            PlacementRegion.with_uniform_rows(0, 0, 100, 40, 10)
+        )
+        builder.add_cell("a", 4, 10)
+        builder.add_cell("b", 6, 10)
+        return builder.build()
+
+    def test_legal_case(self):
+        nl = self._tiny()
+        x = np.array([2.0, 10.0])
+        y = np.array([5.0, 5.0])
+        assert check_legal(nl, x, y).legal
+
+    def test_detects_overlap(self):
+        nl = self._tiny()
+        x = np.array([2.0, 4.0])
+        y = np.array([5.0, 5.0])
+        report = check_legal(nl, x, y)
+        assert not report.legal
+        assert report.overlaps
+
+    def test_detects_off_row(self):
+        nl = self._tiny()
+        x = np.array([2.0, 10.0])
+        y = np.array([7.5, 5.0])
+        report = check_legal(nl, x, y)
+        assert report.off_row
+
+    def test_detects_out_of_die(self):
+        nl = self._tiny()
+        x = np.array([-5.0, 10.0])
+        y = np.array([5.0, 5.0])
+        report = check_legal(nl, x, y)
+        assert report.out_of_die
+
+    def test_detects_macro_overlap(self):
+        builder = NetlistBuilder()
+        builder.set_region(PlacementRegion.with_uniform_rows(0, 0, 100, 40, 10))
+        builder.add_cell("a", 4, 10)
+        builder.add_cell("blk", 20, 20, movable=False, x=50.0, y=10.0)
+        nl = builder.build()
+        x = np.array([45.0, 50.0])
+        y = np.array([5.0, 10.0])
+        report = check_legal(nl, x, y)
+        assert report.macro_overlaps

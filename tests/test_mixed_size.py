@@ -1,0 +1,146 @@
+"""Tests for mixed-size placement: movable macros through the full flow."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.flow_mixed import (
+    MixedSizeResult,
+    freeze_cells,
+    movable_macro_indices,
+    run_mixed_size_flow,
+)
+from repro.legalize import check_legal
+from repro.legalize.macros import MacroLegalizer
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return generate_circuit(
+        CircuitSpec(
+            "mixed",
+            num_cells=300,
+            num_macros=1,
+            num_movable_macros=4,
+            movable_macro_fraction=0.15,
+            utilization=0.5,
+        )
+    )
+
+
+class TestGenerator:
+    def test_movable_macros_created(self, mixed):
+        macros = movable_macro_indices(mixed)
+        assert len(macros) == 4
+        assert np.all(mixed.movable[macros])
+        row = mixed.region.row_height
+        assert np.all(mixed.cell_h[macros] >= 2 * row)
+
+    def test_macros_connected(self, mixed):
+        macros = movable_macro_indices(mixed)
+        nets_touching = mixed.cell_num_nets[macros]
+        assert nets_touching.sum() > 0
+
+    def test_area_fraction_respected(self, mixed):
+        macros = movable_macro_indices(mixed)
+        macro_area = float(np.sum(mixed.cell_area[macros]))
+        total = mixed.movable_area
+        assert 0.05 < macro_area / total < 0.3
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=100, num_movable_macros=-1)
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=100, movable_macro_fraction=0.9)
+
+
+class TestFreezeCells:
+    def test_freeze_changes_mobility_only(self, mixed):
+        macros = movable_macro_indices(mixed)
+        rng = np.random.default_rng(0)
+        region = mixed.region
+        x = rng.uniform(region.xl + 20, region.xh - 20, mixed.num_cells)
+        y = rng.uniform(region.yl + 20, region.yh - 20, mixed.num_cells)
+        frozen = freeze_cells(mixed, macros, x, y)
+        assert frozen.num_movable == mixed.num_movable - len(macros)
+        np.testing.assert_allclose(frozen.fixed_x[macros], x[macros])
+        assert frozen.num_nets == mixed.num_nets
+        assert not np.any(frozen.movable[macros])
+
+
+class TestMacroLegalizer:
+    def test_deoverlaps_and_aligns(self, mixed):
+        macros = movable_macro_indices(mixed)
+        gp = XPlacer(mixed, PlacementParams(max_iterations=300)).run()
+        lx, ly = MacroLegalizer(mixed).legalize(gp.x, gp.y, macros)
+        region = mixed.region
+        row = region.row_height
+        boxes = []
+        for m in macros:
+            w, h = mixed.cell_w[m], mixed.cell_h[m]
+            # Inside die.
+            assert lx[m] - w / 2 >= region.xl - 1e-6
+            assert lx[m] + w / 2 <= region.xh + 1e-6
+            # Row-aligned bottom edge.
+            frac = (ly[m] - h / 2 - region.yl) / row
+            assert abs(frac - round(frac)) < 1e-6
+            boxes.append((lx[m] - w / 2, ly[m] - h / 2, lx[m] + w / 2, ly[m] + h / 2))
+        # Pairwise disjoint.
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                a, b = boxes[i], boxes[j]
+                ox = min(a[2], b[2]) - max(a[0], b[0])
+                oy = min(a[3], b[3]) - max(a[1], b[1])
+                assert min(ox, oy) <= 1e-9
+
+    def test_nonmacro_positions_untouched(self, mixed):
+        macros = movable_macro_indices(mixed)
+        gp = XPlacer(mixed, PlacementParams(max_iterations=200)).run()
+        lx, ly = MacroLegalizer(mixed).legalize(gp.x, gp.y, macros)
+        others = np.setdiff1d(np.arange(mixed.num_cells), macros)
+        np.testing.assert_array_equal(lx[others], gp.x[others])
+
+
+class TestMixedFlow:
+    @pytest.fixture(scope="class")
+    def result(self, mixed) -> MixedSizeResult:
+        return run_mixed_size_flow(
+            mixed, PlacementParams(max_iterations=500), dp_passes=1
+        )
+
+    def test_flow_legal(self, mixed, result):
+        assert result.legal
+        assert result.num_macros == 4
+
+    def test_macros_stay_where_legalized(self, mixed, result):
+        """After freezing, the finish stages must not move macros."""
+        macros = movable_macro_indices(mixed)
+        frozen = freeze_cells(mixed, macros, result.x, result.y)
+        report = check_legal(frozen, result.x, result.y)
+        assert report.legal, report.summary()
+
+    def test_quality_sane(self, mixed, result):
+        rng = np.random.default_rng(1)
+        region = mixed.region
+        x = result.x.copy()
+        y = result.y.copy()
+        mov = mixed.movable_index
+        x[mov] = rng.uniform(region.xl, region.xh, len(mov))
+        y[mov] = rng.uniform(region.yl, region.yh, len(mov))
+        from repro.wirelength import hpwl
+
+        assert result.hpwl < hpwl(mixed, x, y)
+
+    def test_displacement_reported(self, result):
+        assert result.macro_displacement >= 0
+        assert result.mgp_seconds > 0
+        assert result.finish_seconds > 0
+
+    def test_flow_without_macros_degrades_gracefully(self):
+        plain = generate_circuit(CircuitSpec("plainmm", num_cells=150))
+        result = run_mixed_size_flow(
+            plain, PlacementParams(max_iterations=200), dp_passes=0
+        )
+        assert result.num_macros == 0
+        assert result.legal

@@ -1,0 +1,112 @@
+"""Tests for the multi-electrostatics fence density system."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.density.multi import MultiRegionDensitySystem
+from repro.legalize import FenceAwareLegalizer, check_legal
+
+
+@pytest.fixture(scope="module")
+def fenced():
+    return generate_circuit(
+        CircuitSpec("me", num_cells=400, num_macros=2, num_fences=2,
+                    utilization=0.5)
+    )
+
+
+class TestMultiRegionSystem:
+    @pytest.fixture(scope="class")
+    def system(self, fenced):
+        return MultiRegionDensitySystem(
+            fenced, 0.9, rng=np.random.default_rng(0)
+        )
+
+    def test_requires_fences(self):
+        plain = generate_circuit(CircuitSpec("nf", num_cells=100))
+        with pytest.raises(ValueError, match="needs fence regions"):
+            MultiRegionDensitySystem(plain, 0.9)
+
+    def test_group_partition(self, fenced, system):
+        # default group + one per fence, covering all movable cells once.
+        assert len(system.groups) == len(fenced.fences) + 1
+        total = sum(len(g.members) for g in system.groups)
+        assert total == fenced.num_movable
+
+    def test_obstruction_maps(self, fenced, system):
+        for group in system.groups:
+            # Obstruction equals target density outside the allowed area.
+            outside = ~group.allowed
+            assert np.all(group.obstruction[outside]
+                          == system.target_density)
+
+    def test_evaluate_shapes(self, fenced, system):
+        rng = np.random.default_rng(1)
+        region = fenced.region
+        x = rng.uniform(region.xl, region.xh, fenced.num_cells)
+        y = rng.uniform(region.yl, region.yh, fenced.num_cells)
+        result = system.evaluate(x, y)
+        assert result.grad_x.shape == (fenced.num_cells,)
+        assert result.filler_grad_x.shape == (system.fillers.count,)
+        assert np.isfinite(result.energy)
+        assert result.overflow >= 0
+
+    def test_field_pushes_members_toward_their_fence(self, fenced, system):
+        """A member far outside its fence must feel a net force whose
+        descent direction points toward the fence."""
+        region = fenced.region
+        x = np.where(np.isnan(fenced.fixed_x), 0.0, fenced.fixed_x).copy()
+        y = np.where(np.isnan(fenced.fixed_y), 0.0, fenced.fixed_y).copy()
+        mov = fenced.movable_index
+        rng = np.random.default_rng(2)
+        x[mov] = rng.uniform(region.xl, region.xh, len(mov))
+        y[mov] = rng.uniform(region.yl, region.yh, len(mov))
+        # Pick a fence-0 member and plant it far from the fence box.
+        member = mov[fenced.cell_fence[mov] == 0][0]
+        (bxl, byl, bxh, byh) = fenced.fences[0].boxes[0]
+        box_cx, box_cy = (bxl + bxh) / 2, (byl + byh) / 2
+        # Far corner of the die.
+        far_x = region.xl + 2.0 if box_cx > region.center[0] else region.xh - 2.0
+        far_y = region.yl + 2.0 if box_cy > region.center[1] else region.yh - 2.0
+        x[member], y[member] = far_x, far_y
+        result = system.evaluate(x, y)
+        step_x = -result.grad_x[member]
+        step_y = -result.grad_y[member]
+        toward = np.array([box_cx - far_x, box_cy - far_y])
+        step = np.array([step_x, step_y])
+        cosine = np.dot(step, toward) / (
+            np.linalg.norm(step) * np.linalg.norm(toward) + 1e-30
+        )
+        assert cosine > 0.3
+
+    def test_density_map_only_is_global(self, fenced, system):
+        rng = np.random.default_rng(3)
+        region = fenced.region
+        x = rng.uniform(region.xl, region.xh, fenced.num_cells)
+        y = rng.uniform(region.yl, region.yh, fenced.num_cells)
+        density = system.density_map_only(x, y)
+        assert density.shape == system.grid.shape
+
+
+class TestMultiModeFlow:
+    def test_placer_converges_and_legalizes(self, fenced):
+        params = PlacementParams(fence_mode="multi", max_iterations=600)
+        result = XPlacer(fenced, params).run()
+        assert result.overflow < 0.12
+        lx, ly = FenceAwareLegalizer(fenced).legalize(result.x, result.y)
+        report = check_legal(fenced, lx, ly)
+        assert report.legal, report.summary()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="fence_mode"):
+            PlacementParams(fence_mode="teleport")
+
+    def test_multi_mode_on_fence_free_design_falls_back(self):
+        plain = generate_circuit(CircuitSpec("nf2", num_cells=150))
+        params = PlacementParams(fence_mode="multi", max_iterations=200)
+        placer = XPlacer(plain, params)
+        from repro.density import DensitySystem
+
+        assert isinstance(placer.density, DensitySystem)

@@ -1,0 +1,189 @@
+"""Unit tests for the CSR netlist container and builder."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Netlist, NetlistBuilder, PlacementRegion, Row, compute_stats
+
+
+def tiny_builder():
+    builder = NetlistBuilder("tiny")
+    builder.set_region(PlacementRegion.with_uniform_rows(0, 0, 100, 100, 10))
+    builder.add_cell("a", 4, 10)
+    builder.add_cell("b", 6, 10)
+    builder.add_cell("pad", 0, 0, movable=False, x=0.0, y=0.0)
+    builder.add_net("n1", [("a", 1.0, 0.0), ("b", -1.0, 0.0)])
+    builder.add_net("n2", [("a", 0.0, 2.0), ("b", 0.0, -2.0), ("pad", 0.0, 0.0)])
+    return builder
+
+
+class TestBuilder:
+    def test_build_shapes(self):
+        nl = tiny_builder().build()
+        assert nl.num_cells == 3
+        assert nl.num_nets == 2
+        assert nl.num_pins == 5
+        assert nl.net_start.tolist() == [0, 2, 5]
+        assert nl.net_degree.tolist() == [2, 3]
+
+    def test_duplicate_cell_rejected(self):
+        builder = tiny_builder()
+        with pytest.raises(ValueError, match="duplicate cell"):
+            builder.add_cell("a", 1, 1)
+
+    def test_duplicate_net_rejected(self):
+        builder = tiny_builder()
+        with pytest.raises(ValueError, match="duplicate net"):
+            builder.add_net("n1", [("a", 0, 0), ("b", 0, 0)])
+
+    def test_unknown_cell_in_net(self):
+        builder = tiny_builder()
+        with pytest.raises(KeyError):
+            builder.add_net("n3", [("missing", 0, 0)])
+
+    def test_fixed_cell_needs_position(self):
+        builder = tiny_builder()
+        with pytest.raises(ValueError, match="needs a position"):
+            builder.add_cell("t", 1, 1, movable=False)
+
+    def test_region_required(self):
+        builder = NetlistBuilder()
+        builder.add_cell("a", 1, 1)
+        with pytest.raises(ValueError, match="set_region"):
+            builder.build()
+
+    def test_net_by_index_reference(self):
+        builder = tiny_builder()
+        builder.add_net("n3", [(0, 0.0, 0.0), (1, 0.0, 0.0)])
+        nl = builder.build()
+        assert nl.num_nets == 3
+
+    def test_negative_cell_size_rejected(self):
+        builder = tiny_builder()
+        with pytest.raises(ValueError, match="negative size"):
+            builder.add_cell("bad", -1, 2)
+
+
+class TestNetlist:
+    def test_pin_positions(self):
+        nl = tiny_builder().build()
+        x = np.array([10.0, 20.0, 0.0])
+        y = np.array([5.0, 5.0, 0.0])
+        px, py = nl.pin_positions(x, y)
+        assert px.tolist() == [11.0, 19.0, 10.0, 20.0, 0.0]
+        assert py.tolist() == [5.0, 5.0, 7.0, 3.0, 0.0]
+
+    def test_cell_pin_csr_inverse(self):
+        nl = tiny_builder().build()
+        # cell a owns pins {0, 2}; slices come from cell_start.
+        pins_of_a = nl.cell_pin[nl.cell_start[0]:nl.cell_start[1]]
+        assert sorted(pins_of_a.tolist()) == [0, 2]
+        # Every pin appears exactly once in the cell CSR.
+        assert sorted(nl.cell_pin.tolist()) == list(range(nl.num_pins))
+
+    def test_cell_num_nets(self):
+        nl = tiny_builder().build()
+        # a and b are on both nets; pad on one.
+        assert nl.cell_num_nets.tolist() == [2, 2, 1]
+
+    def test_cell_num_nets_dedups_multi_pin_same_net(self):
+        builder = NetlistBuilder()
+        builder.set_region(PlacementRegion(0, 0, 10, 10))
+        builder.add_cell("a", 1, 1)
+        builder.add_cell("b", 1, 1)
+        builder.add_net("n", [("a", 0, 0), ("a", 0.2, 0), ("b", 0, 0)])
+        nl = builder.build()
+        assert nl.cell_num_nets.tolist() == [1, 1]
+
+    def test_movable_partition(self):
+        nl = tiny_builder().build()
+        assert nl.num_movable == 2
+        assert nl.movable_index.tolist() == [0, 1]
+        assert nl.fixed_index.tolist() == [2]
+
+    def test_net_mask_filters_degenerate_nets(self):
+        builder = tiny_builder()
+        builder.add_net("single", [("a", 0, 0)])
+        builder.add_net("empty", [])
+        nl = builder.build()
+        assert nl.net_mask.tolist() == [True, True, False, False]
+
+    def test_cell_index_lookup(self):
+        nl = tiny_builder().build()
+        assert nl.cell_index("b") == 1
+        with pytest.raises(KeyError):
+            nl.cell_index("zz")
+
+    def test_validation_rejects_bad_pin2net(self):
+        nl = tiny_builder().build()
+        bad = nl.pin2net.copy()
+        bad[0] = 1
+        with pytest.raises(ValueError):
+            Netlist(
+                cell_name=nl.cell_name,
+                cell_w=nl.cell_w,
+                cell_h=nl.cell_h,
+                movable=nl.movable,
+                fixed_x=nl.fixed_x,
+                fixed_y=nl.fixed_y,
+                pin2cell=nl.pin2cell,
+                pin_dx=nl.pin_dx,
+                pin_dy=nl.pin_dy,
+                pin2net=bad,
+                net_start=nl.net_start,
+                net_name=nl.net_name,
+                net_weight=nl.net_weight,
+                region=nl.region,
+            )
+
+
+class TestRegion:
+    def test_uniform_rows_tile_region(self):
+        region = PlacementRegion.with_uniform_rows(0, 0, 100, 95, 10)
+        assert len(region.rows) == 9
+        assert region.yh == 90  # shrunk to whole rows
+        assert region.row_height == 10
+
+    def test_degenerate_region_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRegion(0, 0, 0, 10)
+
+    def test_row_sites(self):
+        row = Row(y=0, height=10, xl=5, xh=25, site_width=2)
+        assert row.num_sites == 10
+        assert row.site_x(3) == 11
+
+    def test_clamp(self):
+        region = PlacementRegion(0, 0, 100, 50)
+        x = np.array([-5.0, 99.0])
+        y = np.array([25.0, 60.0])
+        hw = np.array([2.0, 2.0])
+        hh = np.array([1.0, 1.0])
+        cx, cy = region.clamp(x, y, hw, hh)
+        assert cx.tolist() == [2.0, 98.0]
+        assert cy.tolist() == [25.0, 49.0]
+
+    def test_non_uniform_row_height_raises(self):
+        region = PlacementRegion(
+            0, 0, 10, 20, rows=[Row(0, 10, 0, 10), Row(10, 5, 0, 10)]
+        )
+        with pytest.raises(ValueError, match="non-uniform"):
+            region.row_height
+
+
+class TestStats:
+    def test_stats_counts(self):
+        nl = tiny_builder().build()
+        stats = compute_stats(nl)
+        assert stats.num_cells == 3
+        assert stats.num_nets == 2
+        assert stats.num_pins == 5
+        assert stats.num_fixed == 1
+        assert stats.avg_net_degree == pytest.approx(2.5)
+
+    def test_kilo_formatting(self):
+        from repro.netlist.stats import _kilo
+
+        assert _kilo(211_400) == "211k"
+        assert _kilo(950) == "950"
+        assert _kilo(2_177_000) == "2177k"

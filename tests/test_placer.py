@@ -1,0 +1,137 @@
+"""Integration tests: XPlacer and the DREAMPlace-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import DreamPlaceStyleBaseline
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.wirelength import hpwl
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return generate_circuit(
+        CircuitSpec("placer", num_cells=400, num_macros=2, num_pads=16)
+    )
+
+
+@pytest.fixture(scope="module")
+def xplace_result(netlist):
+    return XPlacer(netlist, PlacementParams(max_iterations=500)).run()
+
+
+class TestXPlacer:
+    def test_converges(self, xplace_result):
+        assert xplace_result.converged
+        assert xplace_result.overflow < 0.10
+
+    def test_beats_random_placement(self, netlist, xplace_result):
+        rng = np.random.default_rng(0)
+        region = netlist.region
+        x = xplace_result.x.copy()
+        y = xplace_result.y.copy()
+        mov = netlist.movable_index
+        x[mov] = rng.uniform(region.xl, region.xh, len(mov))
+        y[mov] = rng.uniform(region.yl, region.yh, len(mov))
+        assert xplace_result.hpwl < 0.7 * hpwl(netlist, x, y)
+
+    def test_cells_inside_region(self, netlist, xplace_result):
+        region = netlist.region
+        mov = netlist.movable_index
+        hw = netlist.cell_w[mov] / 2
+        hh = netlist.cell_h[mov] / 2
+        assert np.all(xplace_result.x[mov] - hw >= region.xl - 1e-6)
+        assert np.all(xplace_result.x[mov] + hw <= region.xh + 1e-6)
+        assert np.all(xplace_result.y[mov] - hh >= region.yl - 1e-6)
+        assert np.all(xplace_result.y[mov] + hh <= region.yh + 1e-6)
+
+    def test_fixed_cells_unmoved(self, netlist, xplace_result):
+        fixed = ~netlist.movable
+        np.testing.assert_array_equal(
+            xplace_result.x[fixed], netlist.fixed_x[fixed]
+        )
+
+    def test_overflow_decreases_overall(self, xplace_result):
+        trace = xplace_result.recorder.trace("overflow")
+        assert trace[-1] < trace[0] * 0.2
+
+    def test_omega_increases(self, xplace_result):
+        omega = xplace_result.recorder.trace("omega")
+        assert omega[-1] > omega[0]
+        assert omega[-1] > 0.3
+
+    def test_gamma_shrinks(self, xplace_result):
+        gamma = xplace_result.recorder.trace("gamma")
+        assert gamma[-1] < gamma[0]
+
+    def test_deterministic_given_seed(self, netlist):
+        params = PlacementParams(max_iterations=40, min_iterations=40, seed=3)
+        a = XPlacer(netlist, params).run()
+        b = XPlacer(netlist, params).run()
+        assert a.hpwl == pytest.approx(b.hpwl, rel=1e-12)
+        np.testing.assert_allclose(a.x, b.x)
+
+    def test_adam_optimizer_also_converges(self, netlist):
+        params = PlacementParams(optimizer="adam", max_iterations=500)
+        result = XPlacer(netlist, params).run()
+        assert result.overflow < 0.3  # Adam spreads, if less efficiently
+
+    def test_early_stage_ratio_small(self, xplace_result):
+        """Validates the §3.1.4 premise on a real run: r << 1 early."""
+        ratios = xplace_result.recorder.trace("grad_ratio")
+        assert np.nanmedian(ratios[:10]) < 0.01
+
+    def test_skipping_happened(self, xplace_result):
+        assert xplace_result.recorder.density_skip_count() > 0
+
+
+class TestAblationsStillConverge:
+    @pytest.mark.parametrize(
+        "flag",
+        [
+            "combined_wirelength",
+            "density_extraction",
+            "operator_skipping",
+            "stage_aware_schedule",
+        ],
+    )
+    def test_each_technique_off(self, netlist, flag):
+        kwargs = {flag: False, "max_iterations": 500}
+        result = XPlacer(netlist, PlacementParams(**kwargs)).run()
+        assert result.overflow < 0.10
+
+    def test_ablations_equal_quality_direction(self, netlist, xplace_result):
+        """Techniques are speed optimizations: turning OC/OE off must not
+        change the HPWL trajectory (identical math)."""
+        params = PlacementParams(
+            combined_wirelength=False,
+            density_extraction=False,
+            max_iterations=500,
+        )
+        result = XPlacer(netlist, params).run()
+        assert result.hpwl == pytest.approx(xplace_result.hpwl, rel=1e-6)
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def baseline_result(self, netlist):
+        return DreamPlaceStyleBaseline(
+            netlist, PlacementParams(max_iterations=500)
+        ).run()
+
+    def test_converges(self, baseline_result):
+        assert baseline_result.overflow < 0.10
+
+    def test_quality_comparable_to_xplace(self, baseline_result, xplace_result):
+        # Same math: HPWL within a few percent of each other.
+        assert baseline_result.hpwl == pytest.approx(xplace_result.hpwl, rel=0.05)
+
+    def test_xplace_faster_per_iteration(self, netlist, baseline_result,
+                                         xplace_result):
+        per_iter_x = xplace_result.gp_seconds / xplace_result.iterations
+        per_iter_b = baseline_result.gp_seconds / baseline_result.iterations
+        assert per_iter_b > per_iter_x
+
+    def test_baseline_never_skips_density(self, baseline_result):
+        assert baseline_result.recorder.density_skip_count() == 0

@@ -1,0 +1,196 @@
+"""Cross-cutting property-based tests (hypothesis) on random circuits.
+
+These tests draw whole random circuits and placements, exercising
+invariants no example-based test pins down: conservation laws, bounds,
+idempotence, adjointness, round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.bookshelf import read_bookshelf, write_bookshelf
+from repro.density import BinGrid, DensityScatter, ElectrostaticSolver
+from repro.legalize import AbacusLegalizer, TetrisLegalizer, check_legal
+from repro.netlist import PlacementRegion
+from repro.wirelength import WirelengthOp, hpwl, lse_wirelength
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def circuits(draw):
+    """Small random circuits with varied shape parameters."""
+    cells = draw(st.integers(30, 150))
+    macros = draw(st.integers(0, 3))
+    util = draw(st.floats(0.3, 0.7))
+    locality = draw(st.floats(0.4, 0.9))
+    seed = draw(st.integers(0, 10_000))
+    return generate_circuit(
+        CircuitSpec(
+            f"h{seed}",
+            num_cells=cells,
+            num_macros=macros,
+            macro_fraction=0.1 if macros else 0.0,
+            utilization=util,
+            locality=locality,
+            num_pads=8,
+            seed=seed,
+        )
+    )
+
+
+def _random_placement(netlist, seed=0):
+    rng = np.random.default_rng(seed)
+    region = netlist.region
+    x = np.where(np.isnan(netlist.fixed_x), 0.0, netlist.fixed_x).copy()
+    y = np.where(np.isnan(netlist.fixed_y), 0.0, netlist.fixed_y).copy()
+    mov = netlist.movable_index
+    x[mov] = rng.uniform(region.xl, region.xh, len(mov))
+    y[mov] = rng.uniform(region.yl, region.yh, len(mov))
+    return x, y
+
+
+class TestWirelengthProperties:
+    @given(circuits(), st.floats(0.5, 8.0))
+    @settings(**_SETTINGS)
+    def test_wa_hpwl_lse_sandwich(self, netlist, gamma):
+        x, y = _random_placement(netlist)
+        wa = WirelengthOp(netlist)(x, y, gamma)
+        lse = lse_wirelength(netlist, x, y, gamma)
+        assert wa.wa <= wa.hpwl + 1e-6
+        assert wa.hpwl <= lse + 1e-6
+
+    @given(circuits(), st.floats(-200, 200), st.floats(-200, 200))
+    @settings(**_SETTINGS)
+    def test_hpwl_translation_invariant(self, netlist, dx, dy):
+        x, y = _random_placement(netlist)
+        assert hpwl(netlist, x + dx, y + dy) == pytest.approx(
+            hpwl(netlist, x, y), rel=1e-9, abs=1e-6
+        )
+
+    @given(circuits(), st.floats(1.1, 4.0))
+    @settings(**_SETTINGS)
+    def test_hpwl_scales_linearly(self, netlist, factor):
+        """Scaling positions *and* pin offsets scales HPWL linearly (a
+        placement-independent property of the metric)."""
+        import dataclasses
+
+        scaled = dataclasses.replace(
+            netlist,
+            pin_dx=netlist.pin_dx * factor,
+            pin_dy=netlist.pin_dy * factor,
+        )
+        x, y = _random_placement(netlist)
+        assert hpwl(scaled, x * factor, y * factor) == pytest.approx(
+            factor * hpwl(netlist, x, y), rel=1e-9
+        )
+
+    @given(circuits())
+    @settings(**_SETTINGS)
+    def test_wa_gradient_sums_to_zero(self, netlist):
+        x, y = _random_placement(netlist)
+        result = WirelengthOp(netlist)(x, y, 2.0)
+        assert abs(result.grad_x.sum()) < 1e-6
+        assert abs(result.grad_y.sum()) < 1e-6
+
+
+class TestDensityProperties:
+    @given(st.integers(0, 5000), st.integers(8, 32))
+    @settings(**_SETTINGS)
+    def test_scatter_never_creates_area(self, seed, m):
+        rng = np.random.default_rng(seed)
+        grid = BinGrid(PlacementRegion(0, 0, 100, 100), m)
+        n = 25
+        x = rng.uniform(-10, 110, n)   # some cells off-die
+        y = rng.uniform(-10, 110, n)
+        w = rng.uniform(0.2, 15, n)
+        h = rng.uniform(0.2, 15, n)
+        density = DensityScatter(grid).scatter(x, y, w, h)
+        assert density.min() >= 0
+        assert density.sum() <= np.sum(w * h) + 1e-6
+
+    @given(st.integers(0, 5000))
+    @settings(**_SETTINGS)
+    def test_solver_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = BinGrid(PlacementRegion(0, 0, 32, 32), 16)
+        solver = ElectrostaticSolver(grid)
+        a = rng.uniform(0, 1, grid.shape)
+        b = rng.uniform(0, 1, grid.shape)
+        alpha = float(rng.uniform(0.5, 3.0))
+        combined = solver.solve(a + alpha * b)
+        fa = solver.solve(a)
+        fb = solver.solve(b)
+        np.testing.assert_allclose(
+            combined.field_x, fa.field_x + alpha * fb.field_x, atol=1e-9
+        )
+
+    @given(st.integers(0, 5000))
+    @settings(**_SETTINGS)
+    def test_solver_mean_invariance(self, seed):
+        """Adding a constant to the density changes nothing (the DC mode
+        is projected out)."""
+        rng = np.random.default_rng(seed)
+        grid = BinGrid(PlacementRegion(0, 0, 32, 32), 16)
+        solver = ElectrostaticSolver(grid)
+        rho = rng.uniform(0, 1, grid.shape)
+        base = solver.solve(rho)
+        shifted = solver.solve(rho + 5.0)
+        np.testing.assert_allclose(shifted.potential, base.potential, atol=1e-9)
+        np.testing.assert_allclose(shifted.field_x, base.field_x, atol=1e-9)
+
+
+class TestLegalizationProperties:
+    @given(circuits(), st.integers(0, 100))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_abacus_legalizes_any_placement(self, netlist, seed):
+        x, y = _random_placement(netlist, seed)
+        lx, ly = AbacusLegalizer(netlist).legalize(x, y)
+        assert check_legal(netlist, lx, ly).legal
+
+    @given(circuits(), st.integers(0, 100))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tetris_legalizes_any_placement(self, netlist, seed):
+        x, y = _random_placement(netlist, seed)
+        lx, ly = TetrisLegalizer(netlist).legalize(x, y)
+        assert check_legal(netlist, lx, ly).legal
+
+    @given(circuits())
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_legalization_idempotent(self, netlist):
+        """Legalizing a legal placement must not move cells (much)."""
+        x, y = _random_placement(netlist, 7)
+        legalizer = AbacusLegalizer(netlist)
+        lx, ly = legalizer.legalize(x, y)
+        lx2, ly2 = legalizer.legalize(lx, ly)
+        mov = netlist.movable_index
+        disp = np.abs(lx2[mov] - lx[mov]) + np.abs(ly2[mov] - ly[mov])
+        avg_w = float(np.mean(netlist.cell_w[mov]))
+        assert np.mean(disp) < 2 * avg_w
+
+
+class TestBookshelfProperties:
+    @given(netlist=circuits())
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_roundtrip_preserves_hpwl(self, netlist):
+        import tempfile
+
+        directory = tempfile.mkdtemp(prefix="bsf_prop_")
+        x, y = _random_placement(netlist, 3)
+        aux = write_bookshelf(netlist, str(directory), x=x, y=y)
+        loaded = read_bookshelf(aux)
+        lx, ly = loaded.initial_positions()
+        assert hpwl(loaded, lx, ly) == pytest.approx(
+            hpwl(netlist, x, y), rel=1e-4
+        )

@@ -1,0 +1,94 @@
+"""Tests for routability-driven placement (congestion-based inflation)."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams
+from repro.route import GlobalRouter, RoutabilityDrivenPlacer, netlist_with_sizes
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    # Moderate utilisation so inflation has whitespace to spend.
+    return generate_circuit(
+        CircuitSpec("rd", num_cells=400, utilization=0.5, num_macros=0)
+    )
+
+
+class TestNetlistWithSizes:
+    def test_sizes_overridden_connectivity_shared(self, netlist):
+        inflated = netlist_with_sizes(netlist, netlist.cell_w * 2.0)
+        np.testing.assert_allclose(inflated.cell_w, netlist.cell_w * 2)
+        assert inflated.pin2cell is netlist.pin2cell
+        assert inflated.num_nets == netlist.num_nets
+
+    def test_original_untouched(self, netlist):
+        before = netlist.cell_w.copy()
+        netlist_with_sizes(netlist, netlist.cell_w * 3.0)
+        np.testing.assert_array_equal(netlist.cell_w, before)
+
+
+class TestRoutabilityDriven:
+    @pytest.fixture(scope="class")
+    def result(self, netlist):
+        placer = RoutabilityDrivenPlacer(
+            netlist,
+            PlacementParams(max_iterations=400),
+            rounds=3,
+            route_grid_m=16,
+        )
+        return placer.run()
+
+    def test_runs_rounds_and_keeps_best(self, result):
+        assert 1 <= len(result.rounds) <= 3
+        best = result.rounds[result.best_round]
+        assert result.top5_overflow == pytest.approx(best.top5_overflow)
+        # Best is no worse than every recorded round.
+        assert all(
+            result.top5_overflow <= r.top5_overflow + 1e-9 for r in result.rounds
+        )
+
+    def test_result_positions_are_finite(self, netlist, result):
+        mov = netlist.movable_index
+        assert np.all(np.isfinite(result.x[mov]))
+        assert np.all(np.isfinite(result.y[mov]))
+
+    def test_routability_not_worse_than_plain_gp(self, netlist, result):
+        from repro.core import XPlacer
+
+        plain = XPlacer(netlist, PlacementParams(max_iterations=400)).run()
+        routing = GlobalRouter(netlist, grid_m=16).route(plain.x, plain.y)
+        assert result.top5_overflow <= routing.top5_overflow + 1e-9
+
+    def test_inflation_respects_area_budget(self, netlist):
+        placer = RoutabilityDrivenPlacer(netlist, PlacementParams())
+        congestion = np.full(netlist.num_cells, 5.0)  # everything "hot"
+        inflation = placer._next_inflation(
+            np.ones(netlist.num_cells), congestion
+        )
+        movable = netlist.movable
+        fixed_area = float(np.sum(netlist.cell_area[~movable]))
+        free = netlist.region.area - fixed_area
+        budget = 0.95 * placer.params.target_density * free
+        inflated_area = float(
+            np.sum(netlist.cell_area[movable] * inflation[movable])
+        )
+        assert inflated_area <= budget + 1e-6
+
+    def test_cold_map_no_inflation(self, netlist):
+        placer = RoutabilityDrivenPlacer(netlist, PlacementParams())
+        congestion = np.ones(netlist.num_cells) * 0.5  # under capacity
+        inflation = placer._next_inflation(
+            np.ones(netlist.num_cells), congestion
+        )
+        np.testing.assert_allclose(inflation, 1.0)
+
+    def test_fixed_cells_never_inflated(self, netlist):
+        placer = RoutabilityDrivenPlacer(netlist, PlacementParams())
+        congestion = np.full(netlist.num_cells, 3.0)
+        inflation = placer._next_inflation(
+            np.ones(netlist.num_cells), congestion
+        )
+        fixed = ~netlist.movable
+        np.testing.assert_allclose(inflation[fixed], 1.0)

@@ -1,0 +1,147 @@
+"""Tests for the routing grid, net decomposition and pattern router."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.netlist import PlacementRegion
+from repro.route import GlobalRouter, RoutingGrid, decompose_net
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(PlacementRegion(0, 0, 64, 64), m=8, h_capacity=2,
+                       v_capacity=2)
+
+
+class TestRoutingGrid:
+    def test_geometry(self, grid):
+        assert grid.gcell_w == 8.0
+        assert grid.h_demand.shape == (7, 8)
+        assert grid.v_demand.shape == (8, 7)
+
+    def test_gcell_of_clamps(self, grid):
+        i, j = grid.gcell_of(np.array([-1.0, 100.0]), np.array([5.0, 5.0]))
+        assert i.tolist() == [0, 7]
+
+    def test_demand_accumulation(self, grid):
+        grid.add_horizontal(1, 4, 2)
+        assert grid.h_demand[1:4, 2].tolist() == [1, 1, 1]
+        grid.add_horizontal(4, 1, 2)  # reversed endpoints, same edges
+        assert grid.h_demand[1:4, 2].tolist() == [2, 2, 2]
+
+    def test_overflow_map_and_top5(self, grid):
+        grid.add_horizontal(0, 1, 0, amount=5.0)  # capacity 2 → overflow 3
+        over = grid.overflow_map()
+        assert over[0, 0] == pytest.approx(1.5)  # 3 split across 2 endpoints
+        assert over[1, 0] == pytest.approx(1.5)
+        assert grid.total_overflow() == pytest.approx(3.0)
+        assert grid.top_overflow(0.05) > 0
+
+    def test_path_cost_prefers_empty_corner(self, grid):
+        # Congest the hv corner heavily.
+        grid.add_horizontal(0, 4, 0, amount=10.0)
+        assert grid.path_cost(0, 0, 4, 4, "vh") < grid.path_cost(0, 0, 4, 4, "hv")
+
+    def test_wirelength_units(self, grid):
+        grid.add_horizontal(0, 2, 0)
+        assert grid.wirelength() == pytest.approx(2 * grid.gcell_w)
+
+    def test_reset(self, grid):
+        grid.add_vertical(0, 0, 3)
+        grid.reset()
+        assert grid.v_demand.sum() == 0
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(PlacementRegion(0, 0, 10, 10), m=1)
+
+
+class TestDecompose:
+    def test_two_pin(self):
+        edges = decompose_net(np.array([1, 5]), np.array([2, 7]))
+        assert edges == [((1, 2), (5, 7))]
+
+    def test_collapses_duplicates(self):
+        edges = decompose_net(np.array([1, 1, 5]), np.array([2, 2, 2]))
+        assert len(edges) == 1
+
+    def test_single_gcell_net(self):
+        assert decompose_net(np.array([3, 3]), np.array([4, 4])) == []
+
+    def test_mst_edge_count(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 30, 12)
+        ys = rng.integers(0, 30, 12)
+        unique = np.unique(np.stack([xs, ys], axis=1), axis=0)
+        edges = decompose_net(xs, ys)
+        assert len(edges) == len(unique) - 1
+
+    def test_mst_total_length_minimal_for_collinear(self):
+        # Collinear points: MST length equals the span.
+        xs = np.array([0, 10, 4, 7])
+        ys = np.zeros(4, dtype=int)
+        edges = decompose_net(xs, ys)
+        total = sum(abs(a[0] - b[0]) + abs(a[1] - b[1]) for a, b in edges)
+        assert total == 10
+
+
+class TestGlobalRouter:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        nl = generate_circuit(
+            CircuitSpec("gr", num_cells=300, num_macros=0, num_pads=16)
+        )
+        result = XPlacer(nl, PlacementParams(max_iterations=400)).run()
+        return nl, result
+
+    def test_routes_all_decomposed_edges(self, placed):
+        nl, result = placed
+        r = GlobalRouter(nl, grid_m=16).route(result.x, result.y)
+        assert r.num_edges > 0
+        assert r.wirelength > 0
+        assert r.top5_overflow >= 0
+
+    def test_placed_beats_random(self, placed):
+        nl, result = placed
+        router = GlobalRouter(nl, grid_m=16)
+        placed_r = router.route(result.x, result.y)
+        rng = np.random.default_rng(0)
+        region = nl.region
+        x = result.x.copy()
+        y = result.y.copy()
+        mov = nl.movable_index
+        x[mov] = rng.uniform(region.xl, region.xh, len(mov))
+        y[mov] = rng.uniform(region.yl, region.yh, len(mov))
+        random_r = GlobalRouter(nl, grid_m=16).route(x, y)
+        assert placed_r.wirelength < random_r.wirelength
+        assert placed_r.top5_overflow <= random_r.top5_overflow
+
+    def test_rrr_reduces_overflow(self, placed):
+        nl, result = placed
+        no_rrr = GlobalRouter(nl, grid_m=16, rrr_passes=0).route(
+            result.x, result.y
+        )
+        with_rrr = GlobalRouter(nl, grid_m=16, rrr_passes=2).route(
+            result.x, result.y
+        )
+        assert with_rrr.total_overflow <= no_rrr.total_overflow
+
+    def test_routed_wirelength_lower_bounded_by_hpwl_fraction(self, placed):
+        """Routed WL ≥ HPWL of the g-cell-snapped terminals (MST ≥ HPWL/...);
+        sanity: routed length is the same order as HPWL."""
+        from repro.wirelength import hpwl
+
+        nl, result = placed
+        r = GlobalRouter(nl, grid_m=16).route(result.x, result.y)
+        exact = hpwl(nl, result.x, result.y)
+        assert r.wirelength > 0.2 * exact
+        assert r.wirelength < 10 * exact
+
+    def test_explicit_capacity_respected(self, placed):
+        nl, result = placed
+        router = GlobalRouter(nl, grid_m=16, capacity_per_gcell=1000.0)
+        r = router.route(result.x, result.y)
+        assert r.total_overflow == 0.0
+        assert r.top5_overflow == 0.0

@@ -1,0 +1,144 @@
+"""Tests for the STA substrate and timing-driven placement."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.netlist import NetlistBuilder, PlacementRegion
+from repro.timing import TimingDrivenPlacer, TimingGraph, run_sta
+from repro.timing.driven import reweighted_netlist
+
+
+def chain_netlist(stages=4, spacing=10.0):
+    """a0 -> a1 -> ... chain with known geometry."""
+    builder = NetlistBuilder("chain")
+    builder.set_region(PlacementRegion.with_uniform_rows(0, 0, 100, 20, 10))
+    for i in range(stages):
+        builder.add_cell(f"a{i}", 2, 10)
+    for i in range(stages - 1):
+        builder.add_net(f"n{i}", [(f"a{i}", 0, 0), (f"a{i+1}", 0, 0)])
+    nl = builder.build()
+    x = np.arange(stages) * spacing + 5.0
+    y = np.full(stages, 5.0)
+    return nl, x, y
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_circuit(
+        CircuitSpec("sta", num_cells=200, num_macros=0, num_pads=8)
+    )
+
+
+class TestTimingGraph:
+    def test_chain_arcs(self):
+        nl, __, __ = chain_netlist(4)
+        graph = TimingGraph.from_netlist(nl)
+        assert graph.num_arcs == 3
+        assert graph.is_acyclic()
+
+    def test_multi_fanout_net(self):
+        builder = NetlistBuilder()
+        builder.set_region(PlacementRegion.with_uniform_rows(0, 0, 50, 20, 10))
+        for name in "abc":
+            builder.add_cell(name, 2, 10)
+        builder.add_net("n", [("a", 0, 0), ("b", 0, 0), ("c", 0, 0)])
+        graph = TimingGraph.from_netlist(builder.build())
+        # Lowest-index cell (a) drives b and c.
+        assert graph.num_arcs == 2
+        assert set(graph.sink_cell.tolist()) == {1, 2}
+        assert set(graph.driver_cell.tolist()) == {0}
+
+    def test_random_circuit_acyclic(self, circuit):
+        graph = TimingGraph.from_netlist(circuit)
+        assert graph.is_acyclic()
+        assert graph.num_arcs > 0
+
+    def test_arc_delays_grow_with_distance(self):
+        nl, x, y = chain_netlist(3, spacing=10.0)
+        graph = TimingGraph.from_netlist(nl)
+        near = graph.arc_delays(x, y, cell_delay=1.0, wire_delay_per_unit=0.1)
+        far = graph.arc_delays(x * 3, y, cell_delay=1.0, wire_delay_per_unit=0.1)
+        assert np.all(far > near)
+
+
+class TestSta:
+    def test_chain_arrival_times(self):
+        nl, x, y = chain_netlist(4, spacing=10.0)
+        graph = TimingGraph.from_netlist(nl)
+        sta = run_sta(graph, x, y, cell_delay=1.0, wire_delay_per_unit=0.1)
+        # Each arc: 1.0 + 0.1 * 10 = 2.0; arrivals 0, 2, 4, 6.
+        np.testing.assert_allclose(sta.arrival, [0.0, 2.0, 4.0, 6.0])
+        assert sta.clock_period == pytest.approx(6.0)
+        # Whole chain is critical: all slacks zero.
+        np.testing.assert_allclose(sta.arc_slack, 0.0, atol=1e-12)
+        assert sta.wns == 0.0
+
+    def test_explicit_period_creates_violations(self):
+        nl, x, y = chain_netlist(4, spacing=10.0)
+        graph = TimingGraph.from_netlist(nl)
+        sta = run_sta(graph, x, y, cell_delay=1.0, wire_delay_per_unit=0.1,
+                      clock_period=4.0)
+        assert sta.wns == pytest.approx(-2.0)
+        assert sta.tns < 0
+
+    def test_criticality_range_and_peak(self, circuit):
+        rng = np.random.default_rng(0)
+        region = circuit.region
+        x = rng.uniform(region.xl, region.xh, circuit.num_cells)
+        y = rng.uniform(region.yl, region.yh, circuit.num_cells)
+        graph = TimingGraph.from_netlist(circuit)
+        sta = run_sta(graph, x, y)
+        crit = sta.criticality()
+        assert np.all((crit >= 0) & (crit <= 1))
+        assert crit.max() == pytest.approx(1.0)  # the critical path
+
+    def test_slack_nonnegative_at_self_period(self, circuit):
+        rng = np.random.default_rng(1)
+        region = circuit.region
+        x = rng.uniform(region.xl, region.xh, circuit.num_cells)
+        y = rng.uniform(region.yl, region.yh, circuit.num_cells)
+        graph = TimingGraph.from_netlist(circuit)
+        sta = run_sta(graph, x, y)
+        assert sta.arc_slack.min() >= -1e-9
+
+    def test_required_after_arrival(self, circuit):
+        rng = np.random.default_rng(2)
+        region = circuit.region
+        x = rng.uniform(region.xl, region.xh, circuit.num_cells)
+        y = rng.uniform(region.yl, region.yh, circuit.num_cells)
+        graph = TimingGraph.from_netlist(circuit)
+        sta = run_sta(graph, x, y)
+        cells = np.unique(
+            np.concatenate([graph.driver_cell, graph.sink_cell])
+        )
+        assert np.all(sta.required[cells] >= sta.arrival[cells] - 1e-9)
+
+
+class TestTimingDriven:
+    def test_reweighted_netlist(self, circuit):
+        weights = circuit.net_weight * 2
+        copy = reweighted_netlist(circuit, weights)
+        np.testing.assert_allclose(copy.net_weight, weights)
+        assert copy.num_pins == circuit.num_pins
+
+    def test_loop_shrinks_critical_delay(self, circuit):
+        placer = TimingDrivenPlacer(
+            circuit, PlacementParams(max_iterations=400), rounds=3
+        )
+        result = placer.run()
+        first = result.rounds[0]
+        assert result.critical_delay <= first.critical_delay + 1e-9
+        assert result.delay_improvement >= 0
+        # Weights actually moved.
+        assert result.rounds[-1].max_weight > 1.0
+
+    def test_wirelength_cost_bounded(self, circuit):
+        placer = TimingDrivenPlacer(
+            circuit, PlacementParams(max_iterations=400), rounds=2
+        )
+        result = placer.run()
+        baseline = result.rounds[0].hpwl
+        # Timing weighting trades some HPWL, but not unboundedly.
+        assert result.hpwl < 1.3 * baseline

@@ -1,0 +1,111 @@
+"""Tests for the SVG/ASCII visualization module."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.viz import ascii_density, convergence_svg, density_svg, placement_svg
+
+
+@pytest.fixture(scope="module")
+def placed():
+    nl = generate_circuit(CircuitSpec("viz", num_cells=150, num_macros=2))
+    result = XPlacer(nl, PlacementParams(max_iterations=60, min_iterations=60,
+                                         stop_overflow=1e-12)).run()
+    return nl, result
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestPlacementSVG:
+    def test_well_formed_and_contains_cells(self, placed):
+        nl, result = placed
+        svg = placement_svg(nl, result.x, result.y)
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        circles = root.findall(f"{ns}circle")
+        # Background + cells + macros as rects; pads as circles.
+        assert len(rects) >= nl.num_movable
+        assert len(circles) > 0
+
+    def test_writes_file(self, placed, tmp_path):
+        nl, result = placed
+        out = tmp_path / "placement.svg"
+        placement_svg(nl, result.x, result.y, path=str(out))
+        assert out.exists()
+        _parse(out.read_text())
+
+    def test_max_cells_cap(self, placed):
+        nl, result = placed
+        svg = placement_svg(nl, result.x, result.y, max_cells=10)
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        # background + at most 10 drawn cells + row lines
+        assert len(root.findall(f"{ns}rect")) <= 11
+
+    def test_nan_positions_skipped(self, placed):
+        nl, result = placed
+        x = result.x.copy()
+        x[nl.movable_index[0]] = np.nan
+        svg = placement_svg(nl, x, result.y)
+        _parse(svg)  # still well-formed
+
+
+class TestDensitySVG:
+    def test_heatmap_rect_count(self):
+        density = np.random.default_rng(0).uniform(0, 2, (16, 16))
+        svg = density_svg(density)
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f"{ns}rect")) == 256
+
+    def test_large_map_pooled(self):
+        density = np.random.default_rng(1).uniform(0, 2, (256, 256))
+        svg = density_svg(density, max_resolution=32)
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f"{ns}rect")) == 32 * 32
+
+    def test_zero_map(self):
+        svg = density_svg(np.zeros((8, 8)))
+        _parse(svg)
+
+
+class TestConvergenceSVG:
+    def test_traces_drawn(self, placed):
+        __, result = placed
+        svg = convergence_svg(result.recorder)
+        root = _parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f"{ns}polyline")) == 2
+        labels = [t.text for t in root.findall(f"{ns}text")]
+        assert "hpwl" in labels and "overflow" in labels
+
+    def test_empty_recorder(self):
+        from repro.core import Recorder
+
+        svg = convergence_svg(Recorder())
+        _parse(svg)
+
+
+class TestAscii:
+    def test_shape_and_ramp(self):
+        density = np.zeros((32, 32))
+        density[0, 0] = 1.0  # bottom-left hot spot
+        art = ascii_density(density, width=32)
+        lines = art.split("\n")
+        assert len(lines) == 32
+        # Hot spot renders in the last (bottom) line, first column.
+        assert lines[-1][0] == "@"
+        assert lines[0][0] == " "
+
+    def test_pooling(self):
+        density = np.random.default_rng(0).uniform(0, 1, (64, 64))
+        art = ascii_density(density, width=16)
+        assert len(art.split("\n")) == 16
