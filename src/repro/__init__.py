@@ -32,8 +32,27 @@ from repro.detail import DetailedPlacer
 from repro.route import GlobalRouter, RoutabilityDrivenPlacer
 from repro.quadratic import QuadraticPlacer
 from repro.wirelength import hpwl
-from repro.flow import FlowResult, run_flow
-from repro.flow_mixed import MixedSizeResult, run_mixed_size_flow
+from repro.pipeline import (
+    DetailStage,
+    FlowReport,
+    FreezeStage,
+    GlobalPlaceStage,
+    IterationCallback,
+    LegalizeStage,
+    MacroLegalizeStage,
+    Pipeline,
+    PlacementContext,
+    RecorderCallback,
+    RouteStage,
+    Stage,
+    VerboseCallback,
+)
+from repro.flow import FlowResult, build_standard_pipeline, run_flow
+from repro.flow_mixed import (
+    MixedSizeResult,
+    build_mixed_size_pipeline,
+    run_mixed_size_flow,
+)
 from repro.timing import TimingDrivenPlacer, TimingGraph, run_sta
 
 __version__ = "1.0.0"
@@ -62,8 +81,23 @@ __all__ = [
     "hpwl",
     "FlowResult",
     "run_flow",
+    "build_standard_pipeline",
     "MixedSizeResult",
     "run_mixed_size_flow",
+    "build_mixed_size_pipeline",
+    "Pipeline",
+    "Stage",
+    "PlacementContext",
+    "FlowReport",
+    "GlobalPlaceStage",
+    "MacroLegalizeStage",
+    "FreezeStage",
+    "LegalizeStage",
+    "DetailStage",
+    "RouteStage",
+    "IterationCallback",
+    "RecorderCallback",
+    "VerboseCallback",
     "TimingDrivenPlacer",
     "TimingGraph",
     "run_sta",

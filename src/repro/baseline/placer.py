@@ -3,17 +3,25 @@
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.autograd import Tensor, gather_cells, segment_sum
 from repro.autograd.tensor import Context, Function
+from repro.core.callbacks import (
+    CallbackList,
+    IterationCallback,
+    LoopStart,
+    LoopStop,
+    RecorderCallback,
+    VerboseCallback,
+)
 from repro.core.evaluator import Evaluator
 from repro.core.initializer import initial_positions
 from repro.core.params import PlacementParams
 from repro.core.placer import PlacementResult
-from repro.core.recorder import IterationRecord, Recorder
+from repro.core.recorder import IterationRecord
 from repro.core.scheduler import Scheduler
 from repro.density import BinGrid, DensitySystem
 from repro.netlist import Netlist
@@ -125,10 +133,22 @@ class DreamPlaceStyleBaseline:
         return (Tensor(self._net_weights) * per_net).sum()
 
     # ------------------------------------------------------------------
-    def run(self) -> PlacementResult:
+    def run(
+        self, callbacks: Optional[Sequence[IterationCallback]] = None
+    ) -> PlacementResult:
+        """Run the baseline loop; same callback protocol as XPlacer."""
         params = self.params
         netlist = self.netlist
         start = time.perf_counter()
+
+        recorder_cb = RecorderCallback()
+        events = CallbackList([recorder_cb])
+        if params.verbose:
+            events.add(
+                VerboseCallback(f"baseline {netlist.name}", extended=False)
+            )
+        for callback in callbacks or ():
+            events.add(callback)
 
         x0, y0 = initial_positions(netlist, rng=self._rng)
         mov = netlist.movable_index
@@ -142,8 +162,18 @@ class DreamPlaceStyleBaseline:
         # The baseline never consults should_update_params(): parameters
         # move every iteration, i.e. the stage-aware schedule is off.
         scheduler = Scheduler(params, bin_size)
-        recorder = Recorder()
+        recorder = recorder_cb.recorder
         clamp = self._make_clamp()
+
+        events.on_start(
+            LoopStart(
+                design=netlist.name,
+                placer="baseline",
+                params=params,
+                num_movable=nm,
+                num_fillers=fillers.count,
+            )
+        )
 
         lam = params.initial_lambda
         converged = False
@@ -196,13 +226,13 @@ class DreamPlaceStyleBaseline:
                     float(np.abs(grad_y).max(initial=0.0)),
                 )
                 if max_grad > 0:
-                    optimizer._alpha = 0.1 * bin_size / max_grad
+                    optimizer.bound_first_step(0.1 * bin_size / max_grad)
 
             optimizer.step(grad_x, grad_y)
             optimizer.clamp(clamp)
 
             omega = self.preconditioner.omega(lam)
-            recorder.log(
+            events.on_iteration(
                 IterationRecord(
                     iteration=iteration,
                     hpwl=hpwl_now,
@@ -216,11 +246,6 @@ class DreamPlaceStyleBaseline:
                     step_length=optimizer.step_length,
                 )
             )
-            if params.verbose and iteration % 50 == 0:
-                print(
-                    f"[baseline {netlist.name}] iter {iteration:4d} "
-                    f"hpwl {hpwl_now:.4g} ovfl {overflow:.3f}"
-                )
 
             if scheduler.should_stop(iteration, overflow):
                 converged = overflow < params.stop_overflow
@@ -239,6 +264,16 @@ class DreamPlaceStyleBaseline:
         x[mov], y[mov] = netlist.region.clamp(x[mov], y[mov], hw, hh)
         elapsed = time.perf_counter() - start
         final = self.evaluator.evaluate(x, y)
+        events.on_stop(
+            LoopStop(
+                design=netlist.name,
+                iterations=iteration + 1,
+                converged=converged,
+                gp_seconds=elapsed,
+                hpwl=final.hpwl,
+                overflow=final.overflow,
+            )
+        )
         return PlacementResult(
             x=x,
             y=y,

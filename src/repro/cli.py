@@ -49,40 +49,14 @@ def _cmd_place(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     predictor = None
-    if args.placer == "quadratic":
-        from repro.legalize import FenceAwareLegalizer, check_legal
-        from repro.detail import DetailedPlacer
-        from repro.quadratic import QuadraticPlacer
-        from repro.wirelength import hpwl as hpwl_fn
-        import time as _time
-
-        gp = QuadraticPlacer(netlist, seed=args.seed).run()
-        t0 = _time.perf_counter()
-        lx, ly = FenceAwareLegalizer(netlist).legalize(gp.x, gp.y)
-        dp = DetailedPlacer(netlist, max_passes=args.dp_passes).place(lx, ly)
-        report = check_legal(netlist, dp.x, dp.y)
-        print(
-            f"{netlist.name}: HPWL {dp.hpwl_after:.6g} "
-            f"(quadratic GP {gp.hpwl:.6g} in {gp.gp_seconds:.2f}s, "
-            f"LG+DP {_time.perf_counter() - t0:.2f}s, legal={report.legal})"
-        )
-        if args.out:
-            from repro.bookshelf import write_pl
-
-            write_pl(netlist, args.out, x=dp.x, y=dp.y)
-            print(f"wrote {args.out}")
-        if args.svg:
-            from repro.viz import placement_svg
-
-            placement_svg(netlist, dp.x, dp.y, path=args.svg)
-            print(f"wrote {args.svg}")
-        return 0 if report.legal else 1
     if args.placer == "xplace-nn":
         from repro.nn import get_pretrained_model, make_field_predictor
 
         model = get_pretrained_model(verbose=args.verbose)
         predictor = make_field_predictor(model, netlist.region)
 
+    # Every placer choice — quadratic included — runs through the same
+    # pipeline composition (repro.pipeline) behind run_flow.
     result = run_flow(
         netlist,
         placer=args.placer,
@@ -91,12 +65,19 @@ def _cmd_place(args: argparse.Namespace) -> int:
         dp_passes=args.dp_passes,
         route=args.route,
     )
-    print(
-        f"{netlist.name}: HPWL {result.final_hpwl:.6g} "
-        f"(GP {result.gp_hpwl:.6g} in {result.gp_seconds:.2f}s / "
-        f"{result.gp_iterations} iters, LG+DP {result.dp_seconds:.2f}s, "
-        f"legal={result.legal})"
-    )
+    if args.placer == "quadratic":
+        print(
+            f"{netlist.name}: HPWL {result.final_hpwl:.6g} "
+            f"(quadratic GP {result.gp_hpwl:.6g} in {result.gp_seconds:.2f}s, "
+            f"LG+DP {result.dp_seconds:.2f}s, legal={result.legal})"
+        )
+    else:
+        print(
+            f"{netlist.name}: HPWL {result.final_hpwl:.6g} "
+            f"(GP {result.gp_hpwl:.6g} in {result.gp_seconds:.2f}s / "
+            f"{result.gp_iterations} iters, LG+DP {result.dp_seconds:.2f}s, "
+            f"legal={result.legal})"
+        )
     if args.route:
         print(f"top5 overflow: {result.top5_overflow:.2f} "
               f"(GR {result.gr_seconds:.2f}s)")

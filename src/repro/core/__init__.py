@@ -17,6 +17,14 @@ can be replaced independently:
 from repro.core.params import PlacementParams
 from repro.core.initializer import initial_positions
 from repro.core.recorder import IterationRecord, Recorder
+from repro.core.callbacks import (
+    CallbackList,
+    IterationCallback,
+    LoopStart,
+    LoopStop,
+    RecorderCallback,
+    VerboseCallback,
+)
 from repro.core.evaluator import Evaluator
 from repro.core.scheduler import Scheduler
 from repro.core.gradient_engine import GradientEngine, GradientResult
@@ -27,6 +35,12 @@ __all__ = [
     "initial_positions",
     "IterationRecord",
     "Recorder",
+    "CallbackList",
+    "IterationCallback",
+    "LoopStart",
+    "LoopStop",
+    "RecorderCallback",
+    "VerboseCallback",
     "Evaluator",
     "Scheduler",
     "GradientEngine",

@@ -1,0 +1,124 @@
+"""Iteration callbacks: the observability seam of the GP main loop.
+
+Both :class:`~repro.core.placer.XPlacer` and the DREAMPlace-style
+baseline emit their per-iteration telemetry through the same three-event
+protocol — ``on_start`` once before the first iteration, ``on_iteration``
+once per GP iteration (with the full :class:`IterationRecord`), and
+``on_stop`` exactly once after the loop ends, whether it converged early
+or exhausted ``max_iterations``.  The historical behaviours — the
+:class:`~repro.core.recorder.Recorder` trace store and the ``verbose``
+console line — are the two stock callbacks below; checkpointing,
+live dashboards or convergence watchdogs attach the same way without
+touching the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.core.recorder import IterationRecord, Recorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.params import PlacementParams
+
+
+@dataclass(frozen=True)
+class LoopStart:
+    """Payload of ``on_start``: what is about to be placed, and how."""
+
+    design: str
+    placer: str
+    params: "PlacementParams"
+    num_movable: int
+    num_fillers: int
+
+
+@dataclass(frozen=True)
+class LoopStop:
+    """Payload of ``on_stop``: how the loop ended."""
+
+    design: str
+    iterations: int
+    converged: bool
+    gp_seconds: float
+    hpwl: float
+    overflow: float
+
+
+class IterationCallback:
+    """Protocol for GP-loop observers (subclass or duck-type).
+
+    All three hooks default to no-ops so a callback overrides only the
+    events it cares about.  Hooks must not mutate placement state; they
+    observe it.
+    """
+
+    def on_start(self, info: LoopStart) -> None:
+        """Called once, before the first gradient evaluation."""
+
+    def on_iteration(self, record: IterationRecord) -> None:
+        """Called once per GP iteration with that iteration's metrics."""
+
+    def on_stop(self, info: LoopStop) -> None:
+        """Called exactly once after the loop ends (early stop included)."""
+
+
+class CallbackList(IterationCallback):
+    """Fans one event stream out to many callbacks, in insertion order."""
+
+    def __init__(self, callbacks: Optional[Iterable[IterationCallback]] = None) -> None:
+        self.callbacks: List[IterationCallback] = list(callbacks or [])
+
+    def add(self, callback: IterationCallback) -> "CallbackList":
+        self.callbacks.append(callback)
+        return self
+
+    def on_start(self, info: LoopStart) -> None:
+        for callback in self.callbacks:
+            callback.on_start(info)
+
+    def on_iteration(self, record: IterationRecord) -> None:
+        for callback in self.callbacks:
+            callback.on_iteration(record)
+
+    def on_stop(self, info: LoopStop) -> None:
+        for callback in self.callbacks:
+            callback.on_stop(info)
+
+
+class RecorderCallback(IterationCallback):
+    """Stock callback: appends every iteration to a :class:`Recorder`."""
+
+    def __init__(self, recorder: Optional[Recorder] = None) -> None:
+        self.recorder = recorder if recorder is not None else Recorder()
+
+    def on_iteration(self, record: IterationRecord) -> None:
+        self.recorder.log(record)
+
+
+class VerboseCallback(IterationCallback):
+    """Stock callback: the classic periodic console progress line.
+
+    ``extended`` selects between the XPlacer line (γ/λ/ω included) and
+    the baseline's shorter one.
+    """
+
+    def __init__(self, label: str, every: int = 50, extended: bool = True) -> None:
+        self.label = label
+        self.every = max(1, int(every))
+        self.extended = extended
+
+    def on_iteration(self, record: IterationRecord) -> None:
+        if record.iteration % self.every != 0:
+            return
+        line = (
+            f"[{self.label}] iter {record.iteration:4d} "
+            f"hpwl {record.hpwl:.4g} ovfl {record.overflow:.3f}"
+        )
+        if self.extended:
+            line += (
+                f" gamma {record.gamma:.3g} lambda {record.lam:.3g} "
+                f"omega {record.omega:.3f}"
+            )
+        print(line)

@@ -4,10 +4,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.callbacks import (
+    CallbackList,
+    IterationCallback,
+    LoopStart,
+    LoopStop,
+    RecorderCallback,
+    VerboseCallback,
+)
 from repro.core.evaluator import Evaluator
 from repro.core.gradient_engine import FieldPredictor, GradientEngine, sigma_of_omega
 from repro.core.initializer import initial_positions
@@ -75,17 +83,33 @@ class XPlacer:
                 use_fillers=self.params.use_fillers,
                 rng=rng,
             )
-        predictor = field_predictor if self.params.neural_guidance else field_predictor
+        # The predictor reaches the engine only when guidance is enabled.
+        predictor = field_predictor if self.params.neural_guidance else None
         self.engine = GradientEngine(netlist, self.density, self.params, predictor)
         self.evaluator = Evaluator(netlist, self.density)
         self._rng = rng
 
     # ------------------------------------------------------------------
-    def run(self) -> PlacementResult:
-        """Run global placement to convergence and return the solution."""
+    def run(
+        self, callbacks: Optional[Sequence[IterationCallback]] = None
+    ) -> PlacementResult:
+        """Run global placement to convergence and return the solution.
+
+        ``callbacks`` observe the loop through the
+        :class:`~repro.core.callbacks.IterationCallback` protocol; the
+        recorder trace and the ``verbose`` console line are themselves
+        stock callbacks attached here.
+        """
         params = self.params
         netlist = self.netlist
         start = time.perf_counter()
+
+        recorder_cb = RecorderCallback()
+        events = CallbackList([recorder_cb])
+        if params.verbose:
+            events.add(VerboseCallback(netlist.name, extended=True))
+        for callback in callbacks or ():
+            events.add(callback)
 
         x0, y0 = initial_positions(netlist, rng=self._rng)
         mov = netlist.movable_index
@@ -99,9 +123,19 @@ class XPlacer:
             optimizer = AdamOptimizer(pos_x, pos_y, lr=params.adam_lr * bin_size)
 
         scheduler = Scheduler(params, bin_size)
-        recorder = Recorder()
+        recorder = recorder_cb.recorder
         engine = self.engine
         clamp = self._make_clamp()
+
+        events.on_start(
+            LoopStart(
+                design=netlist.name,
+                placer="xplace-nn" if params.neural_guidance else "xplace",
+                params=params,
+                num_movable=len(mov),
+                num_fillers=self.density.fillers.count,
+            )
+        )
 
         # Bootstrap: evaluate once to balance λ0 against gradient norms.
         vx, vy = optimizer.positions
@@ -132,7 +166,7 @@ class XPlacer:
                     float(np.abs(grad_y).max(initial=0.0)),
                 )
                 if max_grad > 0 and isinstance(optimizer, NesterovOptimizer):
-                    optimizer._alpha = 0.1 * bin_size / max_grad
+                    optimizer.bound_first_step(0.1 * bin_size / max_grad)
 
             optimizer.step(grad_x, grad_y)
             optimizer.clamp(clamp)
@@ -142,7 +176,7 @@ class XPlacer:
                 if result.wl_grad_norm > 1e-20
                 else float("inf")
             )
-            recorder.log(
+            events.on_iteration(
                 IterationRecord(
                     iteration=iteration,
                     hpwl=result.hpwl,
@@ -156,12 +190,6 @@ class XPlacer:
                     step_length=optimizer.step_length,
                 )
             )
-            if params.verbose and iteration % 50 == 0:
-                print(
-                    f"[{netlist.name}] iter {iteration:4d} hpwl {result.hpwl:.4g} "
-                    f"ovfl {result.overflow:.3f} gamma {scheduler.gamma:.3g} "
-                    f"lambda {lam:.3g} omega {omega:.3f}"
-                )
 
             if scheduler.should_stop(iteration, result.overflow):
                 converged = result.overflow < params.stop_overflow
@@ -176,6 +204,16 @@ class XPlacer:
         x, y = self._clamp_real_cells(x, y)
         elapsed = time.perf_counter() - start
         final = self.evaluator.evaluate(x, y)
+        events.on_stop(
+            LoopStop(
+                design=netlist.name,
+                iterations=iteration + 1,
+                converged=converged,
+                gp_seconds=elapsed,
+                hpwl=final.hpwl,
+                overflow=final.overflow,
+            )
+        )
         return PlacementResult(
             x=x,
             y=y,

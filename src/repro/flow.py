@@ -4,23 +4,33 @@ This is the harness behind the paper's Tables 2 and 4: the same LG and
 DP engines are applied to every global placer's output, so reported
 post-DP HPWL and runtimes are comparable (Section 4.1's "for fair
 comparison" protocol).
+
+The flow itself is a thin composition of the stock stages in
+:mod:`repro.pipeline` — :func:`build_standard_pipeline` returns the
+stage list, :func:`run_flow` runs it and repackages the stage metrics
+into the historical :class:`FlowResult` shape.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baseline import DreamPlaceStyleBaseline
-from repro.core import PlacementParams, XPlacer
+from repro.core import PlacementParams
+from repro.core.callbacks import IterationCallback
 from repro.core.gradient_engine import FieldPredictor
-from repro.detail import DetailedPlacer
-from repro.legalize import FenceAwareLegalizer, check_legal
 from repro.netlist import Netlist
-from repro.route import GlobalRouter
+from repro.pipeline import (
+    DetailStage,
+    FlowReport,
+    GlobalPlaceStage,
+    LegalizeStage,
+    Pipeline,
+    PlacementContext,
+    RouteStage,
+)
 
 
 @dataclass
@@ -40,10 +50,28 @@ class FlowResult:
     y: np.ndarray
     top5_overflow: Optional[float] = None
     gr_seconds: Optional[float] = None
+    report: Optional[FlowReport] = None   # per-stage timing/metric breakdown
 
     @property
     def final_hpwl(self) -> float:
         return self.dp_hpwl
+
+
+def build_standard_pipeline(
+    placer: str = "xplace",
+    dp_passes: int = 1,
+    route: bool = False,
+    route_grid_m: int = 32,
+) -> Pipeline:
+    """The GP → LG → DP (→ GR) pipeline behind Tables 2 and 4."""
+    stages = [
+        GlobalPlaceStage(placer),
+        LegalizeStage(),
+        DetailStage(passes=dp_passes),
+    ]
+    if route:
+        stages.append(RouteStage(grid_m=route_grid_m))
+    return Pipeline(stages, name="standard-flow")
 
 
 def run_flow(
@@ -54,60 +82,45 @@ def run_flow(
     dp_passes: int = 1,
     route: bool = False,
     route_grid_m: int = 32,
+    callbacks: Optional[Sequence[IterationCallback]] = None,
 ) -> FlowResult:
     """Run GP (+LG+DP, optionally +GR) and collect the table metrics.
 
     Parameters
     ----------
-    placer : ``"xplace"``, ``"xplace-nn"`` or ``"baseline"``
-        (``"xplace-nn"`` requires ``field_predictor``).
+    placer : ``"xplace"``, ``"xplace-nn"``, ``"baseline"`` or
+        ``"quadratic"`` (``"xplace-nn"`` requires ``field_predictor``).
     route : also run global routing and report top5 overflow (Table 4).
+    callbacks : iteration callbacks attached to the GP loop.
     """
-    params = params or PlacementParams()
-    if placer == "xplace":
-        gp = XPlacer(netlist, params).run()
-    elif placer == "xplace-nn":
-        if field_predictor is None:
-            raise ValueError("xplace-nn flow needs a field_predictor")
-        nn_params = _with_guidance(params)
-        gp = XPlacer(netlist, nn_params, field_predictor=field_predictor).run()
-    elif placer == "baseline":
-        gp = DreamPlaceStyleBaseline(netlist, params).run()
-    else:
-        raise ValueError(f"unknown placer {placer!r}")
+    ctx = PlacementContext(
+        netlist=netlist,
+        params=params or PlacementParams(),
+        placer=placer,
+        field_predictor=field_predictor,
+        callbacks=list(callbacks or ()),
+    )
+    pipeline = build_standard_pipeline(
+        placer=placer, dp_passes=dp_passes, route=route, route_grid_m=route_grid_m
+    )
+    report = pipeline.run(ctx)
 
-    dp_start = time.perf_counter()
-    # FenceAwareLegalizer degrades to plain Abacus on fence-free designs.
-    lx, ly = FenceAwareLegalizer(netlist).legalize(gp.x, gp.y)
-    from repro.wirelength import hpwl as hpwl_fn
-
-    lg_hpwl = hpwl_fn(netlist, lx, ly)
-    dp = DetailedPlacer(netlist, max_passes=dp_passes).place(lx, ly)
-    dp_seconds = time.perf_counter() - dp_start
-    report = check_legal(netlist, dp.x, dp.y)
-
+    metrics = ctx.metrics
     result = FlowResult(
         design=netlist.name,
         placer=placer,
-        gp_hpwl=gp.hpwl,
-        gp_seconds=gp.gp_seconds,
-        gp_iterations=gp.iterations,
-        lg_hpwl=lg_hpwl,
-        dp_hpwl=dp.hpwl_after,
-        dp_seconds=dp_seconds,
-        legal=report.legal,
-        x=dp.x,
-        y=dp.y,
+        gp_hpwl=metrics["gp_hpwl"],
+        gp_seconds=metrics["gp_seconds"],
+        gp_iterations=metrics["gp_iterations"],
+        lg_hpwl=metrics["lg_hpwl"],
+        dp_hpwl=metrics["dp_hpwl"],
+        dp_seconds=report.seconds("lg", "dp"),
+        legal=metrics["legal"],
+        x=ctx.x,
+        y=ctx.y,
+        report=report,
     )
     if route:
-        routing = GlobalRouter(netlist, grid_m=route_grid_m).route(dp.x, dp.y)
-        result.top5_overflow = routing.top5_overflow
-        result.gr_seconds = routing.gr_seconds
+        result.top5_overflow = metrics["top5_overflow"]
+        result.gr_seconds = metrics["gr_seconds"]
     return result
-
-
-def _with_guidance(params: PlacementParams) -> PlacementParams:
-    """Copy of ``params`` with neural guidance switched on."""
-    import dataclasses
-
-    return dataclasses.replace(params, neural_guidance=True)

@@ -2,70 +2,49 @@
 
 The paper builds on ePlace-MS, whose flow places macros and standard
 cells together (mGP), legalizes the macros (mLG), freezes them, and
-finishes the standard cells around them.  This module provides that
-flow on top of the existing engines:
+finishes the standard cells around them.  The flow is a pipeline over
+the stock stages in :mod:`repro.pipeline`:
 
-1. **mGP** — XPlacer with movable macros participating in wirelength and
-   density (the density scatter handles macro-sized movables exactly);
-2. **mLG** — :class:`repro.legalize.macros.MacroLegalizer`;
-3. **freeze** — macros become fixed blockages in a derived netlist;
-4. **cGP + LG + DP** — the standard flow refines the remaining cells.
+1. **mGP** — :class:`GlobalPlaceStage` with movable macros participating
+   in wirelength and density (the density scatter handles macro-sized
+   movables exactly);
+2. **mLG** — :class:`MacroLegalizeStage`
+   (:class:`repro.legalize.macros.MacroLegalizer`);
+3. **freeze** — :class:`FreezeStage`: macros become fixed blockages in a
+   derived netlist;
+4. **cGP + LG + DP** — the standard stages refine the remaining cells.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.core import PlacementParams, XPlacer
-from repro.detail import DetailedPlacer
-from repro.legalize import FenceAwareLegalizer, check_legal
-from repro.legalize.macros import MacroLegalizer
+from repro.core import PlacementParams
 from repro.netlist import Netlist
+from repro.pipeline import (
+    DetailStage,
+    FlowReport,
+    FreezeStage,
+    GlobalPlaceStage,
+    LegalizeStage,
+    MacroLegalizeStage,
+    Pipeline,
+    PlacementContext,
+    freeze_cells,
+    movable_macro_indices,
+)
 from repro.wirelength import hpwl as hpwl_fn
 
-
-def movable_macro_indices(netlist: Netlist, row_multiple: float = 2.0) -> np.ndarray:
-    """Movable cells taller than ``row_multiple`` rows count as macros."""
-    row_height = netlist.region.row_height
-    mov = netlist.movable_index
-    return mov[netlist.cell_h[mov] >= row_multiple * row_height - 1e-9]
-
-
-def freeze_cells(
-    netlist: Netlist, cells: np.ndarray, x: np.ndarray, y: np.ndarray
-) -> Netlist:
-    """Derived netlist with ``cells`` fixed at (x, y) (same connectivity)."""
-    movable = netlist.movable.copy()
-    movable[cells] = False
-    fixed_x = netlist.fixed_x.copy()
-    fixed_y = netlist.fixed_y.copy()
-    fixed_x[cells] = x[cells]
-    fixed_y[cells] = y[cells]
-    cell_fence = netlist.cell_fence.copy()
-    cell_fence[cells] = -1  # fence constraints live on std cells only
-    return Netlist(
-        cell_name=netlist.cell_name,
-        cell_w=netlist.cell_w,
-        cell_h=netlist.cell_h,
-        movable=movable,
-        fixed_x=fixed_x,
-        fixed_y=fixed_y,
-        pin2cell=netlist.pin2cell,
-        pin_dx=netlist.pin_dx,
-        pin_dy=netlist.pin_dy,
-        pin2net=netlist.pin2net,
-        net_start=netlist.net_start,
-        net_name=netlist.net_name,
-        net_weight=netlist.net_weight,
-        region=netlist.region,
-        name=netlist.name,
-        fences=netlist.fences,
-        cell_fence=cell_fence,
-    )
+__all__ = [
+    "MixedSizeResult",
+    "run_mixed_size_flow",
+    "build_mixed_size_pipeline",
+    "freeze_cells",
+    "movable_macro_indices",
+]
 
 
 @dataclass
@@ -80,6 +59,22 @@ class MixedSizeResult:
     mgp_seconds: float
     finish_seconds: float
     legal: bool
+    report: Optional[FlowReport] = None
+
+
+def build_mixed_size_pipeline(dp_passes: int = 1) -> Pipeline:
+    """The mGP → mLG → freeze → cGP → LG → DP pipeline."""
+    return Pipeline(
+        [
+            GlobalPlaceStage(name="mgp"),
+            MacroLegalizeStage(),
+            FreezeStage(),
+            GlobalPlaceStage(name="cgp"),
+            LegalizeStage(),
+            DetailStage(passes=dp_passes),
+        ],
+        name="mixed-size-flow",
+    )
 
 
 def run_mixed_size_flow(
@@ -88,41 +83,20 @@ def run_mixed_size_flow(
     dp_passes: int = 1,
 ) -> MixedSizeResult:
     """Full mGP → mLG → freeze → cGP/LG/DP mixed-size flow."""
-    params = params or PlacementParams()
-    macros = movable_macro_indices(netlist)
+    ctx = PlacementContext(netlist=netlist, params=params or PlacementParams())
+    report = build_mixed_size_pipeline(dp_passes).run(ctx)
 
-    start = time.perf_counter()
-    mgp = XPlacer(netlist, params).run()
-    mgp_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    if len(macros):
-        lx, ly = MacroLegalizer(netlist).legalize(mgp.x, mgp.y, macros)
-        displacement = float(
-            np.mean(
-                np.abs(lx[macros] - mgp.x[macros])
-                + np.abs(ly[macros] - mgp.y[macros])
-            )
-        )
-    else:
-        lx, ly = mgp.x, mgp.y
-        displacement = 0.0
-
-    frozen = freeze_cells(netlist, macros, lx, ly)
-    # cGP: re-spread the standard cells around the frozen macros.
-    cgp = XPlacer(frozen, params).run()
-    sx, sy = FenceAwareLegalizer(frozen).legalize(cgp.x, cgp.y)
-    dp = DetailedPlacer(frozen, max_passes=dp_passes).place(sx, sy)
-    finish_seconds = time.perf_counter() - start
-
-    report = check_legal(frozen, dp.x, dp.y)
+    metrics = ctx.metrics
     return MixedSizeResult(
-        x=dp.x,
-        y=dp.y,
-        hpwl=hpwl_fn(netlist, dp.x, dp.y),
-        num_macros=len(macros),
-        macro_displacement=displacement,
-        mgp_seconds=mgp_seconds,
-        finish_seconds=finish_seconds,
-        legal=report.legal,
+        x=ctx.x,
+        y=ctx.y,
+        # True HPWL is evaluated against the *original* netlist, not the
+        # frozen derivative the finish stages worked on.
+        hpwl=hpwl_fn(ctx.original_netlist, ctx.x, ctx.y),
+        num_macros=int(metrics["num_macros"]),
+        macro_displacement=metrics["macro_displacement"],
+        mgp_seconds=report.stage("mgp").seconds,
+        finish_seconds=report.seconds("mlg", "freeze", "cgp", "lg", "dp"),
+        legal=metrics["legal"],
+        report=report,
     )

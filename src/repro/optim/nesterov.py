@@ -58,6 +58,22 @@ class NesterovOptimizer:
         return self._alpha
 
     # ------------------------------------------------------------------
+    def bound_first_step(self, max_step: float) -> None:
+        """Set the step length used by the very first :meth:`step` call.
+
+        Before any step there is no gradient history, so the Lipschitz
+        predictor cannot run and the initial ``α`` is a blind guess;
+        callers bound it from problem scale (e.g. a fraction of a bin
+        divided by the peak gradient).  Only valid before the first step.
+        """
+        if self._prev_gx is not None:
+            raise RuntimeError(
+                "bound_first_step() must be called before the first step()"
+            )
+        if not np.isfinite(max_step) or max_step <= 0.0:
+            raise ValueError(f"max_step must be positive, got {max_step!r}")
+        self._alpha = float(max_step)
+
     def step(self, grad_x: np.ndarray, grad_y: np.ndarray) -> None:
         """Advance one iteration using g̃(v_k) = (grad_x, grad_y)."""
         profiled("nesterov_step")

@@ -1,0 +1,69 @@
+"""Composable placement pipelines (the extensibility seam).
+
+The paper sells Xplace as an *extensible framework*: routability and
+neural extensions plug into one engine.  This package is that claim as
+an API — every end-to-end flow in the repo is a list of
+:class:`Stage` objects run over one :class:`PlacementContext` by a
+:class:`Pipeline`, which contributes per-stage timing, merged metrics
+and a serializable :class:`FlowReport`:
+
+    from repro.pipeline import (
+        PlacementContext, Pipeline, GlobalPlaceStage, LegalizeStage,
+        DetailStage, RouteStage,
+    )
+
+    ctx = PlacementContext(netlist=netlist)
+    report = Pipeline(
+        [GlobalPlaceStage(), LegalizeStage(), DetailStage(), RouteStage()],
+        name="my-flow",
+    ).run(ctx)
+    print(report.summary(), ctx.metrics["dp_hpwl"])
+
+``repro.flow.run_flow`` and ``repro.flow_mixed.run_mixed_size_flow`` are
+thin compositions of these stages; the GP loop itself is observable
+through the :class:`~repro.core.callbacks.IterationCallback` protocol
+(``ctx.callbacks``).
+"""
+
+from repro.core.callbacks import (
+    CallbackList,
+    IterationCallback,
+    LoopStart,
+    LoopStop,
+    RecorderCallback,
+    VerboseCallback,
+)
+from repro.pipeline.context import FlowReport, PlacementContext, StageReport
+from repro.pipeline.stage import Pipeline, Stage
+from repro.pipeline.stages import (
+    DetailStage,
+    FreezeStage,
+    GlobalPlaceStage,
+    LegalizeStage,
+    MacroLegalizeStage,
+    RouteStage,
+    freeze_cells,
+    movable_macro_indices,
+)
+
+__all__ = [
+    "CallbackList",
+    "IterationCallback",
+    "LoopStart",
+    "LoopStop",
+    "RecorderCallback",
+    "VerboseCallback",
+    "FlowReport",
+    "PlacementContext",
+    "StageReport",
+    "Pipeline",
+    "Stage",
+    "DetailStage",
+    "FreezeStage",
+    "GlobalPlaceStage",
+    "LegalizeStage",
+    "MacroLegalizeStage",
+    "RouteStage",
+    "freeze_cells",
+    "movable_macro_indices",
+]

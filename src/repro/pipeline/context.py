@@ -1,0 +1,144 @@
+"""The state threaded through a placement pipeline, and its reports.
+
+A :class:`PlacementContext` is the single mutable object a
+:class:`~repro.pipeline.stage.Pipeline` hands from stage to stage: the
+working netlist (which :class:`~repro.pipeline.stages.FreezeStage` may
+swap for a derived one), the current cell positions, the parameter set,
+the iteration callbacks to attach to any GP loop, and every artefact a
+stage leaves behind (GP result, legality report, routing result, merged
+metrics).  The pipeline runner turns the per-stage timings and metrics
+into a serializable :class:`FlowReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.callbacks import IterationCallback
+from repro.core.params import PlacementParams
+from repro.netlist import Netlist
+
+
+@dataclass
+class StageReport:
+    """Timing + metrics of one executed stage."""
+
+    name: str
+    seconds: float
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "metrics": {k: _jsonable(v) for k, v in self.metrics.items()},
+            "error": self.error,
+        }
+
+
+@dataclass
+class FlowReport:
+    """Structured, serializable account of one pipeline run."""
+
+    pipeline: str
+    design: str
+    stages: List[StageReport] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def stage(self, name: str) -> StageReport:
+        """The report of the stage called ``name`` (first match)."""
+        for report in self.stages:
+            if report.name == name:
+                return report
+        raise KeyError(f"no stage named {name!r} in pipeline {self.pipeline!r}")
+
+    def seconds(self, *names: str) -> float:
+        """Summed wall-clock of the named stages."""
+        return sum(self.stage(name).seconds for name in names)
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """All stage metrics merged, later stages winning on collision."""
+        merged: Dict[str, Any] = {}
+        for report in self.stages:
+            merged.update(report.metrics)
+        return merged
+
+    @property
+    def ok(self) -> bool:
+        return all(report.error is None for report in self.stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pipeline": self.pipeline,
+            "design": self.design,
+            "total_seconds": self.total_seconds,
+            "ok": self.ok,
+            "stages": [report.to_dict() for report in self.stages],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        parts = [f"{self.pipeline}[{self.design}] {self.total_seconds:.2f}s"]
+        for report in self.stages:
+            mark = "!" if report.error else ""
+            parts.append(f"{report.name}{mark}={report.seconds:.2f}s")
+        return " ".join(parts)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+@dataclass
+class PlacementContext:
+    """Everything a pipeline run reads and writes.
+
+    ``netlist`` is the *working* netlist — stages like
+    :class:`~repro.pipeline.stages.FreezeStage` replace it with a derived
+    design; ``original_netlist`` always refers to the input, so final
+    metrics (e.g. true HPWL of a mixed-size flow) can be evaluated
+    against the real circuit.
+    """
+
+    netlist: Netlist
+    params: PlacementParams = field(default_factory=PlacementParams)
+    placer: str = "xplace"
+    field_predictor: Optional[Any] = None
+    callbacks: List[IterationCallback] = field(default_factory=list)
+
+    # Positions: stages consume and overwrite these (cell centers).
+    x: Optional[np.ndarray] = None
+    y: Optional[np.ndarray] = None
+
+    # Stage artefacts.
+    original_netlist: Optional[Netlist] = None
+    gp_result: Optional[Any] = None          # PlacementResult of the last GP stage
+    macro_indices: Optional[np.ndarray] = None
+    detail_result: Optional[Any] = None      # DetailedPlacementResult
+    legality: Optional[Any] = None           # LegalityReport
+    routing: Optional[Any] = None            # RoutingResult
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    report: Optional[FlowReport] = None
+
+    def __post_init__(self) -> None:
+        if self.original_netlist is None:
+            self.original_netlist = self.netlist
+
+    def positions(self):
+        if self.x is None or self.y is None:
+            raise RuntimeError(
+                "context has no positions yet — run a placement stage first"
+            )
+        return self.x, self.y

@@ -1,0 +1,108 @@
+"""Stage base class and the Pipeline runner.
+
+A placement flow is a list of :class:`Stage` objects applied in order to
+one :class:`~repro.pipeline.context.PlacementContext`.  The
+:class:`Pipeline` runner owns the cross-cutting concerns every flow used
+to hand-roll: per-stage wall-clock timing, metric collection into a
+:class:`~repro.pipeline.context.FlowReport`, and error context (a
+failing stage re-raises its original exception, annotated with the
+pipeline/stage it died in and the partial report gathered so far).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.pipeline.context import FlowReport, PlacementContext, StageReport
+
+
+class Stage:
+    """One step of a placement flow.
+
+    Subclasses implement :meth:`execute`, mutating the context (positions,
+    netlist, artefacts) and returning a metrics dict that the pipeline
+    merges into ``ctx.metrics`` and records in the stage report.  ``name``
+    is the report key; pass one to the constructor to disambiguate two
+    instances of the same stage class in one pipeline (e.g. the mGP and
+    cGP global-place stages of the mixed-size flow).
+    """
+
+    name = "stage"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is not None:
+            self.name = name
+
+    def execute(self, ctx: PlacementContext) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Pipeline:
+    """Runs stages in order, timing each and assembling a FlowReport."""
+
+    def __init__(self, stages: Iterable[Stage], name: str = "pipeline") -> None:
+        self.stages: List[Stage] = list(stages)
+        self.name = name
+
+    def run(self, ctx: PlacementContext) -> FlowReport:
+        """Execute all stages on ``ctx`` and return the flow report.
+
+        On stage failure the original exception propagates (so callers'
+        ``except ValueError`` etc. keep working) with three attributes
+        attached for diagnosis: ``pipeline_name``, ``pipeline_stage`` and
+        ``flow_report`` (the partial report, including the failed stage's
+        elapsed time and error string).  The same partial report is also
+        left on ``ctx.report``.
+        """
+        reports: List[StageReport] = []
+        run_start = time.perf_counter()
+        for stage in self.stages:
+            stage_start = time.perf_counter()
+            try:
+                metrics = stage.execute(ctx) or {}
+            except Exception as err:
+                seconds = time.perf_counter() - stage_start
+                reports.append(
+                    StageReport(
+                        name=stage.name,
+                        seconds=seconds,
+                        error=f"{type(err).__name__}: {err}",
+                    )
+                )
+                report = self._finish(ctx, reports, run_start)
+                err.pipeline_name = self.name
+                err.pipeline_stage = stage.name
+                err.flow_report = report
+                raise
+            ctx.metrics.update(metrics)
+            reports.append(
+                StageReport(
+                    name=stage.name,
+                    seconds=time.perf_counter() - stage_start,
+                    metrics=dict(metrics),
+                )
+            )
+        return self._finish(ctx, reports, run_start)
+
+    def _finish(
+        self,
+        ctx: PlacementContext,
+        reports: Sequence[StageReport],
+        run_start: float,
+    ) -> FlowReport:
+        report = FlowReport(
+            pipeline=self.name,
+            design=ctx.original_netlist.name,
+            stages=list(reports),
+            total_seconds=time.perf_counter() - run_start,
+        )
+        ctx.report = report
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(stage.name for stage in self.stages)
+        return f"Pipeline({self.name!r}: {names})"

@@ -1,0 +1,186 @@
+"""Tests for the GP-loop iteration-callback protocol.
+
+XPlacer and the DREAMPlace-style baseline must share one callback code
+path: on_start once, on_iteration per iteration, on_stop exactly once —
+including when the loop converges early.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baseline import DreamPlaceStyleBaseline
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.core.callbacks import (
+    CallbackList,
+    IterationCallback,
+    LoopStart,
+    LoopStop,
+    RecorderCallback,
+    VerboseCallback,
+)
+from repro.core.recorder import IterationRecord
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return generate_circuit(CircuitSpec("cbnet", num_cells=200, num_pads=8))
+
+
+# Stops early: overflow is < 2.0 from the start, so the loop exits the
+# moment min_iterations allows, far below max_iterations.
+EARLY_STOP = dict(min_iterations=5, max_iterations=500, stop_overflow=2.0)
+
+
+class EventTrace(IterationCallback):
+    """Records the exact event sequence a GP loop emits."""
+
+    def __init__(self):
+        self.events = []
+        self.start_info = None
+        self.stop_info = None
+
+    def on_start(self, info):
+        self.events.append("start")
+        self.start_info = info
+
+    def on_iteration(self, record):
+        self.events.append(record.iteration)
+
+    def on_stop(self, info):
+        self.events.append("stop")
+        self.stop_info = info
+
+
+def _record(iteration=0, **overrides):
+    base = IterationRecord(
+        iteration=iteration,
+        hpwl=100.0,
+        wa=90.0,
+        overflow=0.5,
+        gamma=2.0,
+        lam=0.1,
+        omega=0.2,
+        grad_ratio=0.001,
+        density_computed=True,
+        step_length=1.0,
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestCallbackOrdering:
+    @pytest.mark.parametrize("placer_cls", [XPlacer, DreamPlaceStyleBaseline])
+    def test_on_stop_delivered_on_early_convergence(self, netlist, placer_cls):
+        trace = EventTrace()
+        params = PlacementParams(**EARLY_STOP)
+        result = placer_cls(netlist, params).run(callbacks=[trace])
+
+        assert result.converged
+        assert result.iterations < params.max_iterations
+        # Exact protocol: start, iteration 0..n-1, stop.
+        assert trace.events[0] == "start"
+        assert trace.events[-1] == "stop"
+        assert trace.events.count("start") == 1
+        assert trace.events.count("stop") == 1
+        assert trace.events[1:-1] == list(range(result.iterations))
+
+    @pytest.mark.parametrize("placer_cls,placer_name",
+                             [(XPlacer, "xplace"),
+                              (DreamPlaceStyleBaseline, "baseline")])
+    def test_event_payloads(self, netlist, placer_cls, placer_name):
+        trace = EventTrace()
+        params = PlacementParams(**EARLY_STOP)
+        result = placer_cls(netlist, params).run(callbacks=[trace])
+
+        start = trace.start_info
+        assert isinstance(start, LoopStart)
+        assert start.design == netlist.name
+        assert start.placer == placer_name
+        assert start.params is params
+        assert start.num_movable == netlist.num_movable
+
+        stop = trace.stop_info
+        assert isinstance(stop, LoopStop)
+        assert stop.design == netlist.name
+        assert stop.iterations == result.iterations
+        assert stop.converged is True
+        assert stop.gp_seconds > 0
+        assert stop.hpwl == result.hpwl
+        assert stop.overflow == result.overflow
+
+    def test_on_stop_after_max_iterations(self, netlist):
+        """on_stop also fires when the budget runs out (no convergence)."""
+        trace = EventTrace()
+        params = PlacementParams(min_iterations=8, max_iterations=8,
+                                 stop_overflow=1e-12)
+        result = XPlacer(netlist, params).run(callbacks=[trace])
+        assert result.iterations == 8
+        assert trace.events[-1] == "stop"
+        assert trace.stop_info.converged is False
+
+    def test_multiple_callbacks_called_in_order(self, netlist):
+        calls = []
+
+        class Tagged(IterationCallback):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_iteration(self, record):
+                calls.append(self.tag)
+
+        params = PlacementParams(**EARLY_STOP)
+        XPlacer(netlist, params).run(callbacks=[Tagged("a"), Tagged("b")])
+        # Insertion order within every iteration.
+        assert calls[:2] == ["a", "b"]
+        assert calls == ["a", "b"] * (len(calls) // 2)
+
+
+class TestStockCallbacks:
+    def test_external_recorder_matches_internal(self, netlist):
+        """Recorder-as-callback sees exactly what the result recorder saw."""
+        external = RecorderCallback()
+        params = PlacementParams(**EARLY_STOP)
+        result = XPlacer(netlist, params).run(callbacks=[external])
+        assert len(external.recorder) == len(result.recorder)
+        assert external.recorder.records == result.recorder.records
+
+    def test_baseline_shares_recorder_path(self, netlist):
+        external = RecorderCallback()
+        params = PlacementParams(**EARLY_STOP)
+        result = DreamPlaceStyleBaseline(netlist, params).run(
+            callbacks=[external]
+        )
+        assert external.recorder.records == result.recorder.records
+
+    def test_verbose_callback_line_format(self, capsys):
+        cb = VerboseCallback("mydesign", every=2, extended=True)
+        cb.on_iteration(_record(iteration=0))
+        cb.on_iteration(_record(iteration=1))  # skipped: not on cadence
+        cb.on_iteration(_record(iteration=2))
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[mydesign] iter    0 hpwl 100")
+        assert "gamma" in lines[0] and "omega" in lines[0]
+
+    def test_verbose_callback_short_style(self, capsys):
+        cb = VerboseCallback("baseline d", every=1, extended=False)
+        cb.on_iteration(_record(iteration=0))
+        out = capsys.readouterr().out
+        assert out.startswith("[baseline d] iter    0")
+        assert "gamma" not in out
+
+    def test_verbose_param_prints_through_callback(self, netlist, capsys):
+        params = PlacementParams(verbose=True, **EARLY_STOP)
+        XPlacer(netlist, params).run()
+        out = capsys.readouterr().out
+        assert f"[{netlist.name}] iter    0" in out
+
+    def test_callback_list_fanout(self):
+        a, b = EventTrace(), EventTrace()
+        fan = CallbackList([a]).add(b)
+        fan.on_start(LoopStart("d", "xplace", PlacementParams(), 1, 0))
+        fan.on_iteration(_record())
+        fan.on_stop(LoopStop("d", 1, True, 0.1, 1.0, 0.0))
+        assert a.events == b.events == ["start", 0, "stop"]

@@ -51,6 +51,27 @@ class TestNesterov:
         opt.step(*grad(vx, vy))
         assert opt.step_length <= 0.01
 
+    def test_bound_first_step_sets_initial_alpha(self):
+        grad, __, __ = quadratic_problem()
+        opt = NesterovOptimizer(np.zeros(20), np.zeros(20), initial_step=1.0)
+        opt.bound_first_step(0.025)
+        assert opt.step_length == 0.025
+        vx, vy = opt.positions
+        opt.step(*grad(vx, vy))  # first step uses the bounded alpha
+
+    def test_bound_first_step_rejected_after_stepping(self):
+        grad, __, __ = quadratic_problem()
+        opt = NesterovOptimizer(np.zeros(20), np.zeros(20), initial_step=0.05)
+        vx, vy = opt.positions
+        opt.step(*grad(vx, vy))
+        with pytest.raises(RuntimeError, match="before the first step"):
+            opt.bound_first_step(0.01)
+
+    def test_bound_first_step_rejects_nonpositive(self):
+        opt = NesterovOptimizer(np.zeros(20), np.zeros(20))
+        with pytest.raises(ValueError, match="positive"):
+            opt.bound_first_step(0.0)
+
     def test_clamp_applies_to_both_solutions(self):
         opt = NesterovOptimizer(np.array([5.0]), np.array([5.0]), initial_step=1.0)
         opt.step(np.array([100.0]), np.array([100.0]))
