@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Batch runtime tour: manifest → pool → cache → seed racing.
+
+Builds a 4-job manifest (two designs × two seeds), runs it through the
+parallel worker pool with an on-disk result cache and a JSONL event
+log, reruns it to show every job short-circuiting through the cache,
+then races 4 seeds of one design and prints the winner.
+
+    python examples/batch_runtime.py [num_cells] [workers]
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.runtime import (
+    EventLog,
+    PlacementJob,
+    load_manifest,
+    race_seeds,
+    run_batch,
+    summary_table,
+)
+
+
+def main() -> None:
+    num_cells = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    params = {"max_iterations": 300, "min_iterations": 20}
+
+    with tempfile.TemporaryDirectory() as workdir:
+        manifest_path = os.path.join(workdir, "manifest.json")
+        with open(manifest_path, "w") as fh:
+            json.dump(
+                [
+                    {"design": design, "cells": num_cells, "seed": seed,
+                     "params": params, "timeout": 600, "retries": 1}
+                    for design in ("fft_1", "pci_bridge32_a")
+                    for seed in (1, 2)
+                ],
+                fh, indent=2,
+            )
+        jobs = load_manifest(manifest_path)
+        cache_dir = os.path.join(workdir, "cache")
+        events_path = os.path.join(workdir, "events.jsonl")
+
+        print(f"-- batch: {len(jobs)} jobs, {workers} workers --")
+        with EventLog(path=events_path) as events:
+            results, _ = run_batch(jobs, max_workers=workers,
+                                   cache_dir=cache_dir, events=events)
+        print(summary_table(jobs, results))
+        with open(events_path) as fh:
+            kinds = [json.loads(line)["kind"] for line in fh]
+        print(f"event stream: {len(kinds)} events "
+              f"({kinds.count('heartbeat')} heartbeats)\n")
+
+        print("-- rerun: every job served from the cache --")
+        results, _ = run_batch(jobs, max_workers=workers,
+                               cache_dir=cache_dir)
+        print(summary_table(jobs, results))
+        assert all(r.cached for r in results)
+
+        print("\n-- racing 4 seeds of fft_1 (best final HPWL wins) --")
+        job = PlacementJob(design="fft_1", cells=num_cells, params=params,
+                           timeout=600)
+        race = race_seeds(job, n=4, max_workers=workers)
+        print(race.summary())
+        contenders = race.winner.report.stage("race").metrics["contenders"]
+        spread = (max(c["hpwl"] for c in contenders)
+                  - min(c["hpwl"] for c in contenders))
+        print(f"seed spread: {spread:.4g} HPWL "
+              f"({spread / race.winner.hpwl:.2%} of the winner)")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,13 +47,25 @@ from repro.pipeline import (
     Stage,
     VerboseCallback,
 )
-from repro.flow import FlowResult, build_standard_pipeline, run_flow
+from repro.flow import FlowResult, build_standard_pipeline, run_flow, run_job
 from repro.flow_mixed import (
     MixedSizeResult,
     build_mixed_size_pipeline,
     run_mixed_size_flow,
 )
 from repro.timing import TimingDrivenPlacer, TimingGraph, run_sta
+from repro.runtime import (
+    EventLog,
+    JobResult,
+    PlacementJob,
+    RaceResult,
+    ResultCache,
+    WorkerPool,
+    execute_job,
+    race_seeds,
+    run_batch,
+    sweep_params,
+)
 
 __version__ = "1.0.0"
 
@@ -81,6 +93,7 @@ __all__ = [
     "hpwl",
     "FlowResult",
     "run_flow",
+    "run_job",
     "build_standard_pipeline",
     "MixedSizeResult",
     "run_mixed_size_flow",
@@ -101,4 +114,14 @@ __all__ = [
     "TimingDrivenPlacer",
     "TimingGraph",
     "run_sta",
+    "EventLog",
+    "JobResult",
+    "PlacementJob",
+    "RaceResult",
+    "ResultCache",
+    "WorkerPool",
+    "execute_job",
+    "race_seeds",
+    "run_batch",
+    "sweep_params",
 ]

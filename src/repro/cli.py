@@ -4,6 +4,8 @@ Commands
 --------
 ``place``     run a placement flow on a bookshelf benchmark or a named
               synthetic design and write the result as a ``.pl`` file
+``batch``     run a JSON/JSONL manifest of placement jobs through the
+              parallel runtime (worker pool + result cache + events)
 ``stats``     print Table-1-style statistics for a design
 ``generate``  write a synthetic design as a bookshelf benchmark directory
 ``train-fno`` train (and cache) the neural guidance model
@@ -94,6 +96,31 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0 if result.legal else 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runtime import EventLog, load_manifest, run_batch, summary_table
+
+    jobs = load_manifest(args.manifest)
+    events = EventLog(path=args.events, echo=args.verbose)
+    try:
+        results, _ = run_batch(
+            jobs,
+            max_workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            events=events,
+            start_method=args.start_method,
+            heartbeat_every=args.heartbeat_every,
+        )
+    finally:
+        events.close()
+    print(summary_table(jobs, results))
+    if args.events:
+        print(f"wrote {len(events)} events to {args.events}")
+    failed = [r for r in results if r.status in ("failed", "timeout")]
+    for result in failed:
+        print(f"FAILED {result.job_id}: {result.error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     netlist = _load_design(args.design, args.scale, args.cells)
     stats = compute_stats(netlist)
@@ -157,6 +184,28 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--seed", type=int, default=0)
     place.add_argument("--verbose", action="store_true")
     place.set_defaults(handler=_cmd_place)
+
+    batch = sub.add_parser(
+        "batch", help="run a manifest of placement jobs in parallel"
+    )
+    batch.add_argument("manifest",
+                       help="JSON/JSONL job manifest (see repro.runtime)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (1 = in-process)")
+    batch.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory (default .repro-cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    batch.add_argument("--events", default=None,
+                       help="append runtime events to this JSONL file")
+    batch.add_argument("--start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="multiprocessing start method (default: auto)")
+    batch.add_argument("--heartbeat-every", type=int, default=25,
+                       help="GP iterations between heartbeat events")
+    batch.add_argument("--verbose", action="store_true",
+                       help="echo every runtime event to stdout")
+    batch.set_defaults(handler=_cmd_batch)
 
     stats = sub.add_parser("stats", help="print design statistics")
     add_design_args(stats)

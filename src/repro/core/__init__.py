@@ -22,6 +22,7 @@ from repro.core.callbacks import (
     IterationCallback,
     LoopStart,
     LoopStop,
+    QueueCallback,
     RecorderCallback,
     VerboseCallback,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "IterationCallback",
     "LoopStart",
     "LoopStop",
+    "QueueCallback",
     "RecorderCallback",
     "VerboseCallback",
     "Evaluator",

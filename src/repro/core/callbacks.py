@@ -87,6 +87,62 @@ class CallbackList(IterationCallback):
             callback.on_stop(info)
 
 
+class QueueCallback(IterationCallback):
+    """Bridges loop events into a queue-like sink as plain dicts.
+
+    ``sink`` is anything with a ``put(dict)`` method (e.g. a
+    ``multiprocessing.Queue`` or :class:`repro.runtime.events.EventLog`)
+    or a bare callable.  Every message is a JSON-serializable dict with
+    an ``"event"`` key (``loop_start`` / ``heartbeat`` / ``loop_stop``)
+    and, when ``label`` is set, a ``"job_id"`` key — the schema the
+    :mod:`repro.runtime` worker pool consumes from its worker processes.
+    ``every`` rate-limits heartbeats to one per N iterations (iteration
+    0 and multiples of N).
+    """
+
+    def __init__(self, sink, label: str = "", every: int = 25) -> None:
+        self._put = sink.put if hasattr(sink, "put") else sink
+        self.label = label
+        self.every = max(1, int(every))
+
+    def _send(self, event: str, **payload) -> None:
+        message = {"event": event}
+        if self.label:
+            message["job_id"] = self.label
+        message.update(payload)
+        self._put(message)
+
+    def on_start(self, info: LoopStart) -> None:
+        self._send(
+            "loop_start",
+            design=info.design,
+            placer=info.placer,
+            num_movable=int(info.num_movable),
+            num_fillers=int(info.num_fillers),
+        )
+
+    def on_iteration(self, record: IterationRecord) -> None:
+        if record.iteration % self.every != 0:
+            return
+        self._send(
+            "heartbeat",
+            iteration=int(record.iteration),
+            hpwl=float(record.hpwl),
+            overflow=float(record.overflow),
+        )
+
+    def on_stop(self, info: LoopStop) -> None:
+        self._send(
+            "loop_stop",
+            design=info.design,
+            iterations=int(info.iterations),
+            converged=bool(info.converged),
+            gp_seconds=float(info.gp_seconds),
+            hpwl=float(info.hpwl),
+            overflow=float(info.overflow),
+        )
+
+
 class RecorderCallback(IterationCallback):
     """Stock callback: appends every iteration to a :class:`Recorder`."""
 

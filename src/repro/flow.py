@@ -124,3 +124,25 @@ def run_flow(
         result.top5_overflow = metrics["top5_overflow"]
         result.gr_seconds = metrics["gr_seconds"]
     return result
+
+
+def run_job(job, cache=None, emit=None):
+    """Entry point for one :class:`repro.runtime.PlacementJob`, inline.
+
+    The job-spec twin of :func:`run_flow`: loads the job's design,
+    composes its pipeline and executes it in the current process,
+    consulting/updating an optional
+    :class:`~repro.runtime.cache.ResultCache` and streaming loop events
+    to ``emit``.  For parallel execution, timeouts and retries, hand
+    the job to a :class:`~repro.runtime.pool.WorkerPool` instead.
+    """
+    from repro.runtime.job import execute_job
+
+    if cache is not None:
+        hit = cache.get(job)
+        if hit is not None:
+            return hit
+    result = execute_job(job, emit=emit)
+    if cache is not None:
+        cache.put(job, result)
+    return result

@@ -4,6 +4,18 @@ Every placement operator reports its vectorised-kernel dispatches to the
 active profiler.  The counts model the CPU-side launch overhead that
 dominates small operators on GPU (Section 3.1.3): fewer launches ⇒ less
 fixed overhead per GP iteration.
+
+Scope caveat: the "active" profiler is **thread-local** state.  It is
+not inherited by new threads, and it is silently absent in worker
+*processes* (``multiprocessing`` children start with a fresh
+``threading.local``, under fork and spawn alike), where every
+``profiled(...)`` call lands on the no-op null profiler.  Code that
+fans placements out across processes must install a profiler *inside*
+each worker — :func:`repro.runtime.job.execute_job` does exactly that
+(``with use_profiler() as prof``) and merges the totals into the job's
+``FlowReport`` metrics under the synthetic ``runtime`` stage, so batch
+runs keep per-job kernel accounting even though no profiler was active
+in the parent.
 """
 
 from __future__ import annotations
@@ -40,6 +52,18 @@ class KernelProfiler:
     def since(self, label: str) -> int:
         """Launches recorded since :meth:`mark`\\ (``label``)."""
         return self.total - self._marks.get(label, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of the per-operator counts (JSON-friendly)."""
+        return {name: int(count) for name, count in self.counts.items()}
+
+    def merge(self, counts: Dict[str, int]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        This is how per-process totals from runtime workers are folded
+        back into a parent-side aggregate.
+        """
+        self.counts.update(Counter(counts))
 
     def summary(self, top: int = 10) -> str:
         lines = [f"total kernel launches: {self.total}"]

@@ -30,6 +30,7 @@ from repro.core.callbacks import (
     IterationCallback,
     LoopStart,
     LoopStop,
+    QueueCallback,
     RecorderCallback,
     VerboseCallback,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "IterationCallback",
     "LoopStart",
     "LoopStop",
+    "QueueCallback",
     "RecorderCallback",
     "VerboseCallback",
     "FlowReport",

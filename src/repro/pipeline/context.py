@@ -40,6 +40,15 @@ class StageReport:
             "error": self.error,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageReport":
+        return cls(
+            name=data["name"],
+            seconds=float(data["seconds"]),
+            metrics=dict(data.get("metrics") or {}),
+            error=data.get("error"),
+        )
+
 
 @dataclass
 class FlowReport:
@@ -84,6 +93,20 @@ class FlowReport:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowReport":
+        """Inverse of :meth:`to_dict` (``ok`` is re-derived, not read)."""
+        return cls(
+            pipeline=data["pipeline"],
+            design=data["design"],
+            stages=[StageReport.from_dict(s) for s in data.get("stages", [])],
+            total_seconds=float(data.get("total_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowReport":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> str:
         parts = [f"{self.pipeline}[{self.design}] {self.total_seconds:.2f}s"]

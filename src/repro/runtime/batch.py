@@ -1,0 +1,113 @@
+"""Batch driver: job manifests in, summary table out.
+
+This is the library behind ``repro batch``.  A manifest is either a
+JSON file (a list of job dicts, or ``{"jobs": [...]}``) or a JSONL file
+(one job dict per line); each dict follows the
+:meth:`~repro.runtime.job.PlacementJob.from_dict` schema::
+
+    {"design": "fft_1", "cells": 400, "placer": "xplace", "seed": 1,
+     "params": {"max_iterations": 200}, "timeout": 600, "retries": 1}
+
+:func:`run_batch` wires manifest → cache → pool → events together and
+returns results aligned with the input order; :func:`summary_table`
+renders the human-readable per-job table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.events import EventLog
+from repro.runtime.job import JobResult, PlacementJob
+from repro.runtime.pool import WorkerPool
+
+
+def load_manifest(path: str) -> List[PlacementJob]:
+    """Parse a ``.json``/``.jsonl`` job manifest into jobs."""
+    with open(path) as fh:
+        text = fh.read()
+    if path.endswith(".jsonl"):
+        entries = [json.loads(line) for line in text.splitlines()
+                   if line.strip()]
+    else:
+        data = json.loads(text)
+        if isinstance(data, dict):
+            data = data.get("jobs")
+        if not isinstance(data, list):
+            raise ValueError(
+                f"{path}: manifest must be a JSON list of jobs or "
+                f"{{\"jobs\": [...]}}"
+            )
+        entries = data
+    if not entries:
+        raise ValueError(f"{path}: manifest contains no jobs")
+    jobs = []
+    for i, entry in enumerate(entries):
+        try:
+            jobs.append(PlacementJob.from_dict(entry))
+        except (ValueError, TypeError) as err:
+            raise ValueError(f"{path}: job #{i}: {err}") from None
+    return jobs
+
+
+def run_batch(
+    jobs: List[PlacementJob],
+    max_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    events: Optional[EventLog] = None,
+    start_method: Optional[str] = None,
+    heartbeat_every: int = 25,
+) -> Tuple[List[JobResult], EventLog]:
+    """Run a batch; returns (results in input order, the event log)."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    events = events if events is not None else EventLog()
+    pool = WorkerPool(
+        max_workers=max_workers,
+        start_method=start_method,
+        cache=cache,
+        heartbeat_every=heartbeat_every,
+    )
+    results = pool.run(jobs, events=events)
+    return results, events
+
+
+def summary_table(jobs: List[PlacementJob],
+                  results: List[JobResult]) -> str:
+    """Fixed-width per-job table (plus a one-line totals footer)."""
+    headers = ("job", "design", "placer", "seed", "status", "cached",
+               "hpwl", "seconds", "attempts")
+    rows = [headers]
+    for job, result in zip(jobs, results):
+        design = job.design or os.path.basename(job.aux or "?")
+        rows.append((
+            job.tag or job.job_id.rsplit(":", 1)[0],
+            design,
+            job.placer,
+            str(result.seed),
+            result.status,
+            "true" if result.cached else "false",
+            "-" if result.hpwl is None else format(result.hpwl, ".6g"),
+            format(result.seconds, ".2f"),
+            str(result.attempts),
+        ))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    done = sum(1 for r in results if r.ok and not r.cached)
+    cached = sum(1 for r in results if r.cached)
+    failed = sum(1 for r in results if r.status in ("failed", "timeout"))
+    cancelled = sum(1 for r in results if r.status == "cancelled")
+    footer = (f"{len(results)} jobs: {done} done, "
+              f"{cached} cached: true, {failed} failed")
+    if cancelled:
+        footer += f", {cancelled} cancelled"
+    lines.append(footer)
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""On-disk result cache for placement jobs.
+
+Keyed by :meth:`PlacementJob.content_hash` — netlist digest + effective
+params + placer/flow knobs + cache schema version — so a repeat of the
+same job anywhere on the machine short-circuits to the stored result.
+
+Layout (two-level fan-out to keep directories small)::
+
+    <root>/
+      <hh>/<hash>/result.json      # job spec + JobResult + FlowReport
+      <hh>/<hash>/positions.npy    # float64 (2, N): stacked x, y
+
+Writes are atomic (temp file + ``os.replace``) so concurrent pools
+sharing one cache directory never observe half-written entries; only
+``status == "done"`` results are stored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.job import CACHE_SCHEMA_VERSION, JobResult, PlacementJob
+
+
+class ResultCache:
+    """Content-addressed store of finished :class:`JobResult`\\ s."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key)
+
+    # -- lookup ------------------------------------------------------
+
+    def get(self, job: PlacementJob) -> Optional[JobResult]:
+        """The stored result for ``job``, or None (miss / stale schema).
+
+        Hits come back with ``cached=True`` and ``attempts=0``.
+        """
+        entry = self.path_for(job.content_hash())
+        meta_path = os.path.join(entry, "result.json")
+        pos_path = os.path.join(entry, "positions.npy")
+        if not (os.path.isfile(meta_path) and os.path.isfile(pos_path)):
+            return None
+        try:
+            with open(meta_path) as fh:
+                data = json.load(fh)
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            result = JobResult.from_dict(data["result"])
+            positions = np.load(pos_path)
+            result.x, result.y = positions[0], positions[1]
+        except (KeyError, ValueError, OSError, EOFError):
+            return None    # corrupt entry behaves as a miss
+        result.cached = True
+        result.attempts = 0
+        return result
+
+    # -- store -------------------------------------------------------
+
+    def put(self, job: PlacementJob, result: JobResult) -> bool:
+        """Store a finished result; returns True when written."""
+        if result.status != "done" or result.cached:
+            return False
+        if result.x is None or result.y is None:
+            return False
+        entry = self.path_for(job.content_hash())
+        os.makedirs(entry, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": job.content_hash(),
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        positions = np.stack([result.x, result.y])
+        self._write_atomic(
+            os.path.join(entry, "positions.npy"),
+            # Save through a handle: np.save(path) appends ".npy".
+            lambda path: np.save(open(path, "wb"), positions),
+        )
+        self._write_atomic(
+            os.path.join(entry, "result.json"),
+            lambda path: _dump_json(path, payload),
+        )
+        return True
+
+    @staticmethod
+    def _write_atomic(path: str, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # -- maintenance -------------------------------------------------
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name == "result.json")
+        return count
+
+    def __contains__(self, job: PlacementJob) -> bool:
+        return os.path.isfile(
+            os.path.join(self.path_for(job.content_hash()), "result.json")
+        )
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+        os.makedirs(self.root, exist_ok=True)
+
+
+def _dump_json(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)

@@ -1,0 +1,450 @@
+"""Process-based worker pool for placement jobs.
+
+One :class:`WorkerPool` fans a list of :class:`PlacementJob`\\ s out
+across ``max_workers`` OS processes (process-per-job, so a hung or
+crashed placement can always be killed without poisoning a long-lived
+worker), enforcing per-job wall-clock timeouts, restarting crashed
+workers up to ``job.retries`` times, short-circuiting through an
+optional :class:`~repro.runtime.cache.ResultCache`, and streaming
+:class:`~repro.runtime.events.RuntimeEvent`\\ s — including the GP-loop
+heartbeats each worker bridges through a shared
+``multiprocessing.Queue`` via
+:class:`~repro.core.callbacks.QueueCallback`.
+
+Graceful degradation: with ``max_workers=1``, or on platforms where
+neither ``fork`` nor ``spawn`` contexts are available, the pool runs
+jobs sequentially **in-process**.  Inline mode keeps the same event
+stream and cache behaviour; timeouts are enforced *cooperatively* by a
+:class:`DeadlineCallback` raised from inside the GP loop (a stage that
+never yields to the iteration-callback seam cannot be preempted without
+a process boundary — that is the documented trade-off).
+
+``stop_when`` turns the pool into a race: the first finalized result
+satisfying the predicate cancels every pending and running job (used by
+:func:`repro.runtime.race.race_seeds` in first-past-the-post mode).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.callbacks import IterationCallback
+from repro.pipeline import FlowReport
+from repro.runtime.events import EventLog
+from repro.runtime.job import JobResult, PlacementJob, execute_job
+
+StopPredicate = Callable[[JobResult], bool]
+
+
+class JobTimeoutError(RuntimeError):
+    """Raised inside the GP loop when a cooperative deadline passes."""
+
+
+class DeadlineCallback(IterationCallback):
+    """Aborts an in-process job when its wall-clock budget runs out.
+
+    Piggy-backs on ``on_iteration`` — the only seam an inline run
+    yields control through — so enforcement granularity is one GP
+    iteration.
+    """
+
+    def __init__(self, deadline: float, budget: float) -> None:
+        self.deadline = deadline
+        self.budget = budget
+
+    def _check(self) -> None:
+        if time.perf_counter() > self.deadline:
+            raise JobTimeoutError(
+                f"timeout after {self.budget:g}s (cooperative)"
+            )
+
+    def on_start(self, info) -> None:
+        self._check()
+
+    def on_iteration(self, record) -> None:
+        self._check()
+
+
+def _worker_entry(payload: Dict[str, Any], index: int, out_queue,
+                  heartbeat_every: int) -> None:
+    """Worker-process main: run one job, send events + a final result.
+
+    Every message on ``out_queue`` is a dict; loop progress uses the
+    :class:`QueueCallback` schema (``{"event": ..., "job_id": ...}``)
+    and the terminal message uses the reserved ``"_result"`` kind with
+    the job ``index`` so the parent can match it to its submission.
+    """
+    job = PlacementJob.from_dict(payload)
+    try:
+        result = execute_job(job, emit=out_queue.put,
+                             heartbeat_every=heartbeat_every)
+    except Exception as err:  # noqa: BLE001 — every failure must surface
+        report = getattr(err, "flow_report", None)
+        out_queue.put({
+            "event": "_result",
+            "index": index,
+            "status": "failed",
+            "job_id": job.job_id,
+            "seed": job.effective_seed(),
+            "error": f"{type(err).__name__}: {err}",
+            "report": report.to_dict() if report is not None else None,
+        })
+    else:
+        out_queue.put({
+            "event": "_result",
+            "index": index,
+            "status": "done",
+            "job_id": job.job_id,
+            "result": result.to_dict(),
+            "x": result.x,
+            "y": result.y,
+        })
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for one running worker process."""
+
+    index: int
+    job: PlacementJob
+    process: Any
+    attempt: int
+    started: float
+    deadline: Optional[float] = None
+
+
+class WorkerPool:
+    """Schedules placement jobs across processes (or inline).
+
+    Parameters
+    ----------
+    max_workers : parallel worker processes; ``1`` selects inline mode.
+    start_method : ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default
+        prefers ``fork`` (cheap on Linux), falling back to ``spawn``,
+        falling back to inline execution when neither exists.
+    cache : optional :class:`ResultCache` consulted before dispatch and
+        updated with every finished result.
+    heartbeat_every : GP iterations between heartbeat events.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        start_method: Optional[str] = None,
+        cache=None,
+        heartbeat_every: int = 25,
+    ) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self.cache = cache
+        self.heartbeat_every = heartbeat_every
+        self._mp_context = None
+        if self.max_workers > 1:
+            self._mp_context = _resolve_context(start_method)
+
+    @property
+    def inline(self) -> bool:
+        """True when jobs run sequentially in this process."""
+        return self._mp_context is None
+
+    # -- public API --------------------------------------------------
+
+    def run(
+        self,
+        jobs: List[PlacementJob],
+        events: Optional[EventLog] = None,
+        stop_when: Optional[StopPredicate] = None,
+    ) -> List[JobResult]:
+        """Run all jobs; returns results in submission order."""
+        jobs = list(jobs)
+        events = events if events is not None else EventLog()
+        for job in jobs:
+            events.emit("queued", job.job_id, seed=job.effective_seed(),
+                        placer=job.placer)
+        if self.inline:
+            return self._run_inline(jobs, events, stop_when)
+        return self._run_processes(jobs, events, stop_when)
+
+    # -- inline (degraded) mode --------------------------------------
+
+    def _run_inline(
+        self,
+        jobs: List[PlacementJob],
+        events: EventLog,
+        stop_when: Optional[StopPredicate],
+    ) -> List[JobResult]:
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        stopped = False
+        for index, job in enumerate(jobs):
+            if stopped:
+                results[index] = _cancelled(job, events)
+                continue
+            hit = self._cache_lookup(job, events)
+            if hit is not None:
+                results[index] = hit
+                stopped = stopped or _matches(stop_when, hit)
+                continue
+            events.emit("started", job.job_id, mode="inline", attempt=1)
+            watchdogs: List[IterationCallback] = []
+            if job.timeout is not None:
+                watchdogs.append(
+                    DeadlineCallback(time.perf_counter() + job.timeout,
+                                     job.timeout)
+                )
+            start = time.perf_counter()
+            try:
+                result = execute_job(
+                    job,
+                    emit=events.put,
+                    heartbeat_every=self.heartbeat_every,
+                    callbacks=watchdogs,
+                )
+            except JobTimeoutError as err:
+                result = _failure(job, "timeout", str(err), start,
+                                  getattr(err, "flow_report", None))
+                events.emit("failed", job.job_id, reason="timeout",
+                            error=str(err))
+            except Exception as err:  # noqa: BLE001 — surface, stay healthy
+                message = f"{type(err).__name__}: {err}"
+                result = _failure(job, "failed", message, start,
+                                  getattr(err, "flow_report", None))
+                events.emit("failed", job.job_id, reason="error",
+                            error=message)
+            else:
+                events.emit("finished", job.job_id, hpwl=result.hpwl,
+                            seconds=result.seconds)
+                if self.cache is not None:
+                    self.cache.put(job, result)
+            results[index] = result
+            stopped = stopped or _matches(stop_when, result)
+        return results  # type: ignore[return-value]
+
+    # -- multiprocess mode -------------------------------------------
+
+    def _run_processes(
+        self,
+        jobs: List[PlacementJob],
+        events: EventLog,
+        stop_when: Optional[StopPredicate],
+    ) -> List[JobResult]:
+        ctx = self._mp_context
+        out_queue = ctx.Queue()
+        pending: List[tuple] = [(i, job, 1) for i, job in enumerate(jobs)]
+        active: Dict[int, _Active] = {}
+        received: Dict[int, Dict[str, Any]] = {}
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        stopping = False
+
+        def launch(index: int, job: PlacementJob, attempt: int) -> None:
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(job.to_dict(), index, out_queue,
+                      self.heartbeat_every),
+                daemon=True,
+            )
+            process.start()
+            now = time.perf_counter()
+            active[index] = _Active(
+                index=index,
+                job=job,
+                process=process,
+                attempt=attempt,
+                started=now,
+                deadline=(now + job.timeout) if job.timeout else None,
+            )
+            events.emit("started", job.job_id, pid=process.pid,
+                        attempt=attempt)
+
+        def drain(timeout: float = 0.0) -> None:
+            deadline = time.perf_counter() + timeout
+            while True:
+                try:
+                    message = out_queue.get(
+                        timeout=max(0.0, deadline - time.perf_counter())
+                        or 0.001
+                    )
+                except queue_mod.Empty:
+                    return
+                if message.get("event") == "_result":
+                    received[message["index"]] = message
+                else:
+                    events.put(message)
+                if time.perf_counter() >= deadline:
+                    return
+
+        def finalize(index: int, result: JobResult) -> None:
+            results[index] = result
+            record = active.pop(index, None)
+            if record is not None:
+                record.process.join(timeout=5)
+
+        while pending or active:
+            while (pending and not stopping
+                   and len(active) < self.max_workers):
+                index, job, attempt = pending.pop(0)
+                hit = self._cache_lookup(job, events) if attempt == 1 else None
+                if hit is not None:
+                    results[index] = hit
+                    if _matches(stop_when, hit):
+                        stopping = True
+                    continue
+                launch(index, job, attempt)
+
+            drain(timeout=0.05 if active else 0.0)
+
+            now = time.perf_counter()
+            for index in list(active):
+                record = active[index]
+                job = record.job
+                if index in received:
+                    message = received.pop(index)
+                    result = self._assemble(job, message, record)
+                    if result.ok:
+                        events.emit("finished", job.job_id,
+                                    hpwl=result.hpwl,
+                                    seconds=result.seconds,
+                                    attempt=record.attempt)
+                        if self.cache is not None:
+                            self.cache.put(job, result)
+                    else:
+                        events.emit("failed", job.job_id, reason="error",
+                                    error=result.error,
+                                    attempt=record.attempt)
+                    finalize(index, result)
+                elif record.deadline is not None and now > record.deadline:
+                    record.process.terminate()
+                    message = f"timeout after {job.timeout:g}s (killed)"
+                    events.emit("failed", job.job_id, reason="timeout",
+                                error=message, attempt=record.attempt)
+                    finalize(index, JobResult(
+                        job_id=job.job_id,
+                        status="timeout",
+                        seed=job.effective_seed(),
+                        seconds=now - record.started,
+                        error=message,
+                        attempts=record.attempt,
+                    ))
+                elif not record.process.is_alive():
+                    # The result may still be in the queue's buffer:
+                    # give it one generous drain before declaring death.
+                    drain(timeout=0.2)
+                    if index in received:
+                        continue  # handled on the next sweep
+                    exitcode = record.process.exitcode
+                    if record.attempt <= job.retries:
+                        events.emit("retry", job.job_id,
+                                    exitcode=exitcode,
+                                    attempt=record.attempt + 1)
+                        record.process.join(timeout=5)
+                        del active[index]
+                        pending.insert(0, (index, job, record.attempt + 1))
+                    else:
+                        message = (f"worker crashed "
+                                   f"(exitcode {exitcode})")
+                        events.emit("failed", job.job_id, reason="crash",
+                                    error=message, attempt=record.attempt)
+                        finalize(index, JobResult(
+                            job_id=job.job_id,
+                            status="failed",
+                            seed=job.effective_seed(),
+                            seconds=now - record.started,
+                            error=message,
+                            attempts=record.attempt,
+                        ))
+                result_now = results[index]
+                if result_now is not None and _matches(stop_when, result_now):
+                    stopping = True
+
+            if stopping:
+                for index in list(active):
+                    record = active.pop(index)
+                    record.process.terminate()
+                    record.process.join(timeout=5)
+                    results[index] = _cancelled(record.job, events)
+                while pending:
+                    index, job, _ = pending.pop(0)
+                    results[index] = _cancelled(job, events)
+
+        drain(timeout=0.05)  # tail events (loop_stop racing the result)
+        return results  # type: ignore[return-value]
+
+    # -- helpers -----------------------------------------------------
+
+    def _cache_lookup(self, job: PlacementJob,
+                      events: EventLog) -> Optional[JobResult]:
+        if self.cache is None:
+            return None
+        hit = self.cache.get(job)
+        if hit is not None:
+            events.emit("cached", job.job_id, hpwl=hit.hpwl,
+                        key=job.content_hash())
+        return hit
+
+    def _assemble(self, job: PlacementJob, message: Dict[str, Any],
+                  record: _Active) -> JobResult:
+        """Rebuild a JobResult from a worker's terminal message."""
+        if message["status"] == "done":
+            result = JobResult.from_dict(message["result"])
+            result.x = message.get("x")
+            result.y = message.get("y")
+        else:
+            report = message.get("report")
+            result = JobResult(
+                job_id=message["job_id"],
+                status="failed",
+                seed=message.get("seed", job.effective_seed()),
+                seconds=time.perf_counter() - record.started,
+                error=message.get("error"),
+                report=FlowReport.from_dict(report) if report else None,
+            )
+        result.attempts = record.attempt
+        return result
+
+
+def _resolve_context(start_method: Optional[str]):
+    """A usable multiprocessing context, or None (→ inline mode)."""
+    methods = mp.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            return None
+        return mp.get_context(start_method)
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return mp.get_context(method)
+    return None
+
+
+def _matches(stop_when: Optional[StopPredicate],
+             result: JobResult) -> bool:
+    return stop_when is not None and bool(stop_when(result))
+
+
+def _failure(
+    job: PlacementJob,
+    status: str,
+    message: str,
+    start: float,
+    report: Optional[FlowReport],
+) -> JobResult:
+    return JobResult(
+        job_id=job.job_id,
+        status=status,
+        seed=job.effective_seed(),
+        seconds=time.perf_counter() - start,
+        error=message,
+        report=report,
+    )
+
+
+def _cancelled(job: PlacementJob, events: EventLog) -> JobResult:
+    events.emit("cancelled", job.job_id)
+    return JobResult(
+        job_id=job.job_id,
+        status="cancelled",
+        seed=job.effective_seed(),
+        error="cancelled: race already decided",
+        attempts=0,
+    )

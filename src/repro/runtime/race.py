@@ -1,0 +1,167 @@
+"""Multi-seed racing and parameter sweeps over the worker pool.
+
+Analytical GP is a non-convex descent: different seeds (initial
+positions) land in different local optima, and "Escaping Local Optima
+in Global Placement"-style quality comes from running *many* placements
+and keeping the best.  :func:`race_seeds` launches N seed variants of
+one job and selects a winner; :func:`sweep_params` does the same over
+explicit :class:`~repro.core.params.PlacementParams` overrides.
+
+Two selection modes:
+
+``best``   (default) run every contender to completion, pick the
+           minimum final HPWL — the quality play.
+``first``  first-past-the-post: the first contender to finish wins and
+           every still-running/pending contender is cancelled
+           (terminated) — the latency play, useful when any legal
+           placement will do.
+
+The winner's :class:`~repro.pipeline.context.FlowReport` gains a
+synthetic ``race`` stage whose metrics list **all** contenders (seed,
+status, HPWL, runtime, cache hit), so a stored report is a complete
+account of the race, not just its winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.pipeline import StageReport
+from repro.runtime.events import EventLog
+from repro.runtime.job import JobResult, PlacementJob
+from repro.runtime.pool import WorkerPool
+
+
+@dataclass
+class RaceResult:
+    """Winner + full field of one race or sweep."""
+
+    winner: JobResult
+    results: List[JobResult]
+    mode: str
+    variant_of: str = "seed"            # "seed" or "params"
+
+    @property
+    def contenders(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "job_id": r.job_id,
+                "seed": r.seed,
+                "status": r.status,
+                "hpwl": r.hpwl,
+                "seconds": r.seconds,
+                "cached": r.cached,
+            }
+            for r in self.results
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "variant_of": self.variant_of,
+            "winner": self.winner.to_dict(),
+            "contenders": self.contenders,
+        }
+
+    def summary(self) -> str:
+        lines = [f"race[{self.variant_of}/{self.mode}] "
+                 f"winner seed={self.winner.seed} "
+                 f"hpwl={self.winner.hpwl:.6g}"]
+        for entry in self.contenders:
+            hpwl = entry["hpwl"]
+            lines.append(
+                f"  seed={entry['seed']:<6d} {entry['status']:<9s} "
+                f"hpwl={'-' if hpwl is None else format(hpwl, '.6g')} "
+                f"{entry['seconds']:.2f}s"
+                + (" (cached)" if entry["cached"] else "")
+            )
+        return "\n".join(lines)
+
+
+def race_seeds(
+    job: PlacementJob,
+    n: int = 4,
+    seeds: Optional[Sequence[int]] = None,
+    mode: str = "best",
+    max_workers: Optional[int] = None,
+    cache=None,
+    events: Optional[EventLog] = None,
+    pool: Optional[WorkerPool] = None,
+) -> RaceResult:
+    """Race ``n`` seed variants of ``job``; return the selected winner.
+
+    ``seeds`` defaults to ``base, base+1, …, base+n-1`` from the job's
+    effective seed.  ``pool`` overrides the default pool (which uses
+    ``max_workers`` or one process per contender, capped at 8).
+    """
+    if seeds is None:
+        base = job.effective_seed()
+        seeds = [base + i for i in range(n)]
+    variants = [job.with_seed(seed) for seed in seeds]
+    return _race(variants, mode=mode, max_workers=max_workers, cache=cache,
+                 events=events, pool=pool, variant_of="seed")
+
+
+def sweep_params(
+    job: PlacementJob,
+    variants: Sequence[Dict[str, Any]],
+    mode: str = "best",
+    max_workers: Optional[int] = None,
+    cache=None,
+    events: Optional[EventLog] = None,
+    pool: Optional[WorkerPool] = None,
+) -> RaceResult:
+    """Race explicit params-override variants of ``job``.
+
+    ``variants`` is a sequence of ``PlacementParams`` field overrides,
+    e.g. ``[{"target_density": 0.8}, {"target_density": 0.95}]``.
+    """
+    jobs = [job.with_params(**overrides) for overrides in variants]
+    return _race(jobs, mode=mode, max_workers=max_workers, cache=cache,
+                 events=events, pool=pool, variant_of="params")
+
+
+def _race(
+    variants: List[PlacementJob],
+    mode: str,
+    max_workers: Optional[int],
+    cache,
+    events: Optional[EventLog],
+    pool: Optional[WorkerPool],
+    variant_of: str,
+) -> RaceResult:
+    if mode not in ("best", "first"):
+        raise ValueError(f"unknown race mode {mode!r}")
+    if not variants:
+        raise ValueError("a race needs at least one contender")
+    if pool is None:
+        workers = max_workers if max_workers else min(len(variants), 8)
+        pool = WorkerPool(max_workers=workers, cache=cache)
+    stop_when = (lambda r: r.ok) if mode == "first" else None
+    results = pool.run(variants, events=events, stop_when=stop_when)
+    finishers = [r for r in results if r.ok and r.hpwl is not None]
+    if not finishers:
+        raise RuntimeError(
+            "race produced no successful placement: "
+            + "; ".join(f"{r.job_id}: {r.status} ({r.error})"
+                        for r in results)
+        )
+    winner = min(finishers, key=lambda r: r.hpwl)
+    race = RaceResult(winner=winner, results=results, mode=mode,
+                      variant_of=variant_of)
+    if winner.report is not None:
+        winner.report.stages.append(
+            StageReport(
+                name="race",
+                seconds=0.0,
+                metrics={
+                    "mode": mode,
+                    "variant_of": variant_of,
+                    "winner_job_id": winner.job_id,
+                    "winner_seed": winner.seed,
+                    "contenders": race.contenders,
+                },
+            )
+        )
+    return race

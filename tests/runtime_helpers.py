@@ -1,0 +1,86 @@
+"""Importable pipeline factories for runtime tests.
+
+The worker pool runs jobs in subprocesses that resolve
+``job.pipeline = "module:function"`` via import, so the fault-injection
+stages used by the pool tests must live in a real module (this one),
+not in a test body.  ``fake_pipeline`` is also the cheap stand-in for
+a full placement flow: it "places" every movable cell near the die
+center with a seed-dependent jitter, so pool tests don't pay for GP.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.pipeline import Pipeline, Stage
+from repro.wirelength import hpwl
+
+
+class FakePlaceStage(Stage):
+    """Instant 'placement': center + seeded jitter, HPWL metric."""
+
+    name = "gp"
+
+    def execute(self, ctx):
+        netlist = ctx.netlist
+        region = netlist.region
+        cx = (region.xl + region.xh) / 2.0
+        cy = (region.yl + region.yh) / 2.0
+        x = np.where(np.isfinite(netlist.fixed_x), netlist.fixed_x, cx)
+        y = np.where(np.isfinite(netlist.fixed_y), netlist.fixed_y, cy)
+        rng = np.random.default_rng(ctx.params.seed)
+        movable = netlist.movable
+        span_x = (region.xh - region.xl) * 0.25
+        span_y = (region.yh - region.yl) * 0.25
+        x[movable] = cx + rng.uniform(-span_x, span_x, movable.sum())
+        y[movable] = cy + rng.uniform(-span_y, span_y, movable.sum())
+        ctx.x, ctx.y = x, y
+        return {"gp_hpwl": float(hpwl(netlist, x, y))}
+
+
+class SleepStage(Stage):
+    """Blocks long enough that any sane test timeout fires first."""
+
+    name = "sleep"
+
+    def execute(self, ctx):
+        time.sleep(60.0)
+        return {}
+
+
+class CrashStage(Stage):
+    """Deterministic stage failure."""
+
+    name = "crash"
+
+    def execute(self, ctx):
+        raise ValueError("injected stage crash")
+
+
+class KillStage(Stage):
+    """Dies the hard way: SIGKILL, no result, no cleanup."""
+
+    name = "kill"
+
+    def execute(self, ctx):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def fake_pipeline(job):
+    return Pipeline([FakePlaceStage()], name="fake-flow")
+
+
+def sleepy_pipeline(job):
+    return Pipeline([SleepStage()], name="sleepy-flow")
+
+
+def crashy_pipeline(job):
+    return Pipeline([FakePlaceStage(), CrashStage()], name="crashy-flow")
+
+
+def killer_pipeline(job):
+    return Pipeline([KillStage()], name="killer-flow")

@@ -67,3 +67,51 @@ class TestCommands:
         )
         assert code == 0
         assert "top5 overflow" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _manifest(tmp_path, entries):
+        import json
+
+        path = str(tmp_path / "manifest.json")
+        with open(path, "w") as fh:
+            json.dump(entries, fh)
+        return path
+
+    def test_batch_runs_and_caches(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path, [
+            {"design": "fft_1", "cells": 250, "seed": s,
+             "params": {"max_iterations": 30, "min_iterations": 20},
+             "pipeline": "tests.runtime_helpers:fake_pipeline"}
+            for s in (1, 2)
+        ])
+        cache_dir = str(tmp_path / "cache")
+        events = str(tmp_path / "events.jsonl")
+        argv = ["batch", manifest, "--workers", "1",
+                "--cache-dir", cache_dir, "--events", events]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 done, 0 cached: true, 0 failed" in out
+        assert os.path.exists(events)
+        # Rerun: both jobs must come from the cache, no recompute.
+        assert main(argv[:-2]) == 0
+        out = capsys.readouterr().out
+        assert "0 done, 2 cached: true, 0 failed" in out
+        assert "true" in out
+
+    def test_batch_failure_sets_exit_code(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path, [
+            {"design": "fft_1", "cells": 250,
+             "pipeline": "tests.runtime_helpers:crashy_pipeline"},
+        ])
+        code = main(["batch", manifest, "--no-cache"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "injected stage crash" in captured.err
+
+    def test_batch_bad_manifest(self, tmp_path):
+        manifest = self._manifest(tmp_path, [{"turbo": True}])
+        with pytest.raises(ValueError, match="job #0"):
+            main(["batch", manifest, "--no-cache"])

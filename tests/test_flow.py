@@ -66,3 +66,28 @@ class TestRunFlow:
                                  stop_overflow=1e-12)
         r = run_flow(netlist, params=params, dp_passes=0)
         assert r.gp_iterations == 30
+
+
+class TestFlowDeterminism:
+    """Same seed ⇒ byte-identical flow: the result cache's correctness
+    precondition (repro.runtime keys cached placements by params+seed)."""
+
+    def test_same_seed_identical(self, netlist):
+        params = PlacementParams(max_iterations=40, min_iterations=20,
+                                 seed=3)
+        first = run_flow(netlist, params=params, dp_passes=1)
+        second = run_flow(netlist, params=params, dp_passes=1)
+        assert np.array_equal(first.x, second.x)
+        assert np.array_equal(first.y, second.y)
+        assert first.gp_hpwl == second.gp_hpwl
+        assert first.lg_hpwl == second.lg_hpwl
+        assert first.dp_hpwl == second.dp_hpwl
+        assert first.gp_iterations == second.gp_iterations
+
+    def test_different_seed_differs(self, netlist):
+        base = dict(max_iterations=40, min_iterations=20)
+        first = run_flow(netlist, params=PlacementParams(seed=3, **base),
+                         dp_passes=0)
+        second = run_flow(netlist, params=PlacementParams(seed=4, **base),
+                          dp_passes=0)
+        assert not np.array_equal(first.x, second.x)

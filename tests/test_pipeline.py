@@ -109,6 +109,31 @@ class TestPipelineMechanics:
         assert payload["stages"][0]["metrics"] == {"a": 1.5}
         assert "tinyctx" in report.summary()
 
+    def test_report_json_round_trip(self):
+        ctx = _tiny_context()
+        report = Pipeline(
+            [AddMetric("a", 1.5, name="s1"), AddMetric("b", 2, name="s2")],
+            name="rt",
+        ).run(ctx)
+        restored = FlowReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.pipeline == "rt"
+        assert restored.design == "tinyctx"
+        assert [s.name for s in restored.stages] == ["s1", "s2"]
+        assert restored.stage("s1").metrics == {"a": 1.5}
+        assert restored.total_seconds == report.total_seconds
+        assert restored.ok
+
+    def test_failed_report_round_trip(self):
+        ctx = _tiny_context()
+        pipeline = Pipeline([Boom()], name="failing-rt")
+        with pytest.raises(RuntimeError):
+            pipeline.run(ctx)
+        report = ctx.report
+        restored = FlowReport.from_dict(report.to_dict())
+        assert not restored.ok
+        assert restored.stage("boom").error == report.stage("boom").error
+
     def test_error_context_attached(self):
         ctx = _tiny_context()
         pipeline = Pipeline([AddMetric("a", 1), Boom()], name="failing")

@@ -1,0 +1,96 @@
+"""On-disk result cache: hits, misses, corruption, lifecycle."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import JobResult, PlacementJob, ResultCache, execute_job
+
+
+@pytest.fixture(scope="module")
+def job():
+    return PlacementJob(
+        design="fft_1",
+        cells=250,
+        seed=1,
+        params={"max_iterations": 30, "min_iterations": 20},
+        pipeline="tests.runtime_helpers:fake_pipeline",
+    )
+
+
+@pytest.fixture(scope="module")
+def result(job):
+    return execute_job(job)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, cache, job):
+        assert cache.get(job) is None
+        assert job not in cache
+
+    def test_put_get_round_trip(self, cache, job, result):
+        assert cache.put(job, result)
+        assert job in cache
+        assert len(cache) == 1
+        hit = cache.get(job)
+        assert hit.cached and hit.attempts == 0
+        assert hit.status == "done"
+        assert hit.hpwl == result.hpwl
+        assert np.array_equal(hit.x, result.x)
+        assert np.array_equal(hit.y, result.y)
+        assert hit.report.to_dict() == result.report.to_dict()
+
+    def test_variant_jobs_do_not_collide(self, cache, job, result):
+        cache.put(job, result)
+        assert cache.get(job.with_seed(99)) is None
+        assert cache.get(job.with_params(target_density=0.5)) is None
+
+    def test_only_done_results_stored(self, cache, job):
+        failed = JobResult(job_id=job.job_id, status="failed",
+                           seed=1, error="boom")
+        assert not cache.put(job, failed)
+        assert job not in cache
+
+    def test_cached_results_not_restored(self, cache, job, result):
+        cache.put(job, result)
+        hit = cache.get(job)
+        other = ResultCache(cache.root + "-other")
+        assert not other.put(job, hit)  # a hit must not be re-stored
+
+    def test_corrupt_entry_is_a_miss(self, cache, job, result):
+        cache.put(job, result)
+        entry = cache.path_for(job.content_hash())
+        with open(os.path.join(entry, "result.json"), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(job) is None
+
+    def test_schema_bump_invalidates(self, cache, job, result):
+        cache.put(job, result)
+        meta_path = os.path.join(cache.path_for(job.content_hash()),
+                                 "result.json")
+        with open(meta_path) as fh:
+            data = json.load(fh)
+        data["schema"] = -1
+        with open(meta_path, "w") as fh:
+            json.dump(data, fh)
+        assert cache.get(job) is None
+
+    def test_clear(self, cache, job, result):
+        cache.put(job, result)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(job) is None
+
+    def test_layout_two_level_fanout(self, cache, job, result):
+        cache.put(job, result)
+        key = job.content_hash()
+        entry = cache.path_for(key)
+        assert os.path.dirname(entry).endswith(key[:2])
+        assert sorted(os.listdir(entry)) == ["positions.npy", "result.json"]

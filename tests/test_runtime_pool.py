@@ -1,0 +1,186 @@
+"""WorkerPool scheduling: parallelism, crash/timeout/kill recovery.
+
+The fault-injection pipelines live in ``tests/runtime_helpers.py`` so
+worker subprocesses can import them by dotted name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    EventLog,
+    PlacementJob,
+    ResultCache,
+    WorkerPool,
+)
+
+FAKE = "tests.runtime_helpers:fake_pipeline"
+SLEEPY = "tests.runtime_helpers:sleepy_pipeline"
+CRASHY = "tests.runtime_helpers:crashy_pipeline"
+KILLER = "tests.runtime_helpers:killer_pipeline"
+
+
+def make_job(seed=1, **overrides):
+    base = dict(
+        design="fft_1",
+        cells=250,
+        seed=seed,
+        params={"max_iterations": 30, "min_iterations": 20},
+        pipeline=FAKE,
+    )
+    base.update(overrides)
+    return PlacementJob(**base)
+
+
+class TestInlinePool:
+    def test_max_workers_one_is_inline(self):
+        assert WorkerPool(max_workers=1).inline
+        assert not WorkerPool(max_workers=2).inline
+
+    def test_unknown_start_method_degrades_to_inline(self):
+        assert WorkerPool(max_workers=4, start_method="no-such-method").inline
+
+    def test_runs_jobs_in_order(self):
+        log = EventLog()
+        jobs = [make_job(seed=s) for s in (1, 2, 3)]
+        results = WorkerPool(max_workers=1).run(jobs, events=log)
+        assert [r.status for r in results] == ["done"] * 3
+        assert [r.seed for r in results] == [1, 2, 3]
+        assert log.count("queued") == 3
+        assert log.count("started") == 3
+        assert log.count("finished") == 3
+        assert not log.failures
+
+    def test_stage_error_surfaces_and_pool_stays_healthy(self):
+        log = EventLog()
+        jobs = [make_job(seed=1, pipeline=CRASHY), make_job(seed=2)]
+        results = WorkerPool(max_workers=1).run(jobs, events=log)
+        assert results[0].status == "failed"
+        assert "injected stage crash" in results[0].error
+        # The partial FlowReport of the failed pipeline is preserved.
+        assert results[0].report is not None
+        assert results[0].report.stage("crash").error is not None
+        assert results[1].status == "done"
+        failed = log.failures
+        assert len(failed) == 1
+        assert failed[0].payload["reason"] == "error"
+        assert "injected stage crash" in failed[0].payload["error"]
+
+    def test_cooperative_timeout(self):
+        # A real GP loop that cannot converge, with a tiny budget: the
+        # DeadlineCallback must abort it from inside the iteration seam.
+        log = EventLog()
+        hog = PlacementJob(
+            design="fft_1",
+            cells=250,
+            seed=1,
+            params={"max_iterations": 100000, "min_iterations": 20,
+                    "stop_overflow": 1e-9},
+            timeout=0.3,
+        )
+        results = WorkerPool(max_workers=1).run([hog, make_job(seed=2)],
+                                                events=log)
+        assert results[0].status == "timeout"
+        assert "timeout" in results[0].error
+        assert results[1].status == "done"
+        assert log.failures[0].payload["reason"] == "timeout"
+
+    def test_cache_short_circuits(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = make_job()
+        pool = WorkerPool(max_workers=1, cache=cache)
+        first = pool.run([job])[0]
+        log = EventLog()
+        second = pool.run([job], events=log)[0]
+        assert not first.cached and second.cached
+        assert second.hpwl == first.hpwl
+        assert log.count("cached") == 1
+        assert log.count("started") == 0
+
+
+class TestProcessPool:
+    def test_parallel_jobs_all_finish(self):
+        log = EventLog()
+        jobs = [make_job(seed=s) for s in (1, 2, 3)]
+        pool = WorkerPool(max_workers=2)
+        results = pool.run(jobs, events=log)
+        assert [r.status for r in results] == ["done"] * 3
+        # Deterministic content regardless of scheduling.
+        assert results[0].hpwl != results[1].hpwl
+        for result in results:
+            assert np.isfinite(result.x).all()
+        started = log.of_kind("started")
+        assert len(started) == 3
+        assert all("pid" in e.payload for e in started)
+
+    def test_worker_bridges_loop_events(self):
+        # A real (tiny) GP run in a worker process: heartbeats must
+        # cross the process boundary through the queue bridge.
+        log = EventLog()
+        job = make_job(pipeline=None)
+        results = WorkerPool(max_workers=2, heartbeat_every=5).run(
+            [job], events=log
+        )
+        assert results[0].status == "done"
+        assert log.count("loop_start") == 1
+        assert log.count("loop_stop") == 1
+        assert log.count("heartbeat") >= 2
+        runtime = results[0].report.stage("runtime")
+        assert runtime.metrics["kernel_launches"] > 0
+
+    def test_crash_in_stage_reports_failed(self):
+        log = EventLog()
+        jobs = [make_job(seed=1, pipeline=CRASHY), make_job(seed=2)]
+        results = WorkerPool(max_workers=2).run(jobs, events=log)
+        assert results[0].status == "failed"
+        assert "injected stage crash" in results[0].error
+        assert results[1].status == "done"
+        assert len(log.failures) == 1
+
+    def test_timeout_kills_worker(self):
+        log = EventLog()
+        jobs = [make_job(seed=1, pipeline=SLEEPY, timeout=1.0),
+                make_job(seed=2)]
+        results = WorkerPool(max_workers=2).run(jobs, events=log)
+        assert results[0].status == "timeout"
+        assert "timeout" in results[0].error
+        assert results[1].status == "done"
+        failed = log.failures
+        assert failed[0].payload["reason"] == "timeout"
+
+    def test_killed_worker_reports_crash(self):
+        log = EventLog()
+        jobs = [make_job(seed=1, pipeline=KILLER), make_job(seed=2)]
+        results = WorkerPool(max_workers=2).run(jobs, events=log)
+        assert results[0].status == "failed"
+        assert "crashed" in results[0].error
+        assert results[0].attempts == 1
+        assert results[1].status == "done"
+        assert log.failures[0].payload["reason"] == "crash"
+
+    def test_crashed_worker_retried(self):
+        log = EventLog()
+        job = make_job(seed=1, pipeline=KILLER, retries=1)
+        results = WorkerPool(max_workers=2).run([job], events=log)
+        assert results[0].status == "failed"
+        assert results[0].attempts == 2
+        assert log.count("retry") == 1
+        assert log.count("started") == 2
+
+    def test_stop_when_cancels_the_field(self):
+        log = EventLog()
+        jobs = [make_job(seed=1), make_job(seed=2, pipeline=SLEEPY)]
+        pool = WorkerPool(max_workers=2)
+        results = pool.run(jobs, events=log,
+                           stop_when=lambda r: r.ok)
+        statuses = sorted(r.status for r in results)
+        assert statuses == ["cancelled", "done"]
+        assert log.count("cancelled") == 1
+
+    def test_cache_shared_across_modes(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = make_job()
+        inline = WorkerPool(max_workers=1, cache=cache).run([job])[0]
+        hit = WorkerPool(max_workers=2, cache=cache).run([job])[0]
+        assert not inline.cached and hit.cached
+        assert hit.hpwl == inline.hpwl

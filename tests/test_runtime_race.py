@@ -1,0 +1,108 @@
+"""Multi-seed racing and parameter sweeps."""
+
+import pytest
+
+from repro.runtime import (
+    EventLog,
+    PlacementJob,
+    ResultCache,
+    WorkerPool,
+    race_seeds,
+    sweep_params,
+)
+
+FAKE = "tests.runtime_helpers:fake_pipeline"
+
+
+def make_job(**overrides):
+    base = dict(
+        design="fft_1",
+        cells=250,
+        seed=1,
+        params={"max_iterations": 30, "min_iterations": 20},
+        pipeline=FAKE,
+    )
+    base.update(overrides)
+    return PlacementJob(**base)
+
+
+def inline_pool():
+    return WorkerPool(max_workers=1)
+
+
+class TestRaceSeeds:
+    def test_best_mode_picks_min_hpwl(self):
+        race = race_seeds(make_job(), n=4, pool=inline_pool())
+        assert race.mode == "best" and race.variant_of == "seed"
+        assert len(race.results) == 4
+        assert all(r.ok for r in race.results)
+        assert race.winner.hpwl == min(r.hpwl for r in race.results)
+        # Four distinct seeds → four distinct placements.
+        assert len({r.hpwl for r in race.results}) == 4
+        assert [r.seed for r in race.results] == [1, 2, 3, 4]
+
+    def test_explicit_seeds(self):
+        race = race_seeds(make_job(), seeds=[10, 20], pool=inline_pool())
+        assert [r.seed for r in race.results] == [10, 20]
+
+    def test_winner_report_lists_all_contenders(self):
+        race = race_seeds(make_job(), n=3, pool=inline_pool())
+        metrics = race.winner.report.stage("race").metrics
+        assert metrics["winner_seed"] == race.winner.seed
+        assert metrics["mode"] == "best"
+        contenders = metrics["contenders"]
+        assert len(contenders) == 3
+        assert {c["seed"] for c in contenders} == {1, 2, 3}
+        assert all(c["status"] == "done" for c in contenders)
+        assert race.summary().count("seed=") >= 3
+
+    def test_first_mode_cancels_losers(self):
+        log = EventLog()
+        race = race_seeds(make_job(), n=3, mode="first",
+                          pool=inline_pool(), events=log)
+        assert race.mode == "first"
+        assert race.winner.ok
+        statuses = sorted(r.status for r in race.results)
+        assert statuses == ["cancelled", "cancelled", "done"]
+        assert log.count("cancelled") == 2
+
+    def test_all_failures_raise(self):
+        crashy = make_job(pipeline="tests.runtime_helpers:crashy_pipeline")
+        with pytest.raises(RuntimeError, match="no successful placement"):
+            race_seeds(crashy, n=2, pool=inline_pool())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown race mode"):
+            race_seeds(make_job(), n=2, mode="median", pool=inline_pool())
+
+    def test_race_over_processes(self):
+        race = race_seeds(make_job(), n=2, max_workers=2)
+        assert race.winner.ok
+        assert len(race.results) == 2
+
+    def test_cached_contenders_join_the_race(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = race_seeds(make_job(), n=2,
+                           pool=WorkerPool(max_workers=1, cache=cache))
+        second = race_seeds(make_job(), n=2,
+                            pool=WorkerPool(max_workers=1, cache=cache))
+        assert all(r.cached for r in second.results)
+        assert second.winner.hpwl == first.winner.hpwl
+
+
+class TestSweepParams:
+    def test_sweeps_param_variants(self):
+        race = sweep_params(
+            make_job(),
+            variants=[{"seed": 11}, {"seed": 12}, {"seed": 13}],
+            pool=inline_pool(),
+        )
+        assert race.variant_of == "params"
+        assert len(race.results) == 3
+        assert race.winner.hpwl == min(r.hpwl for r in race.results)
+        metrics = race.winner.report.stage("race").metrics
+        assert metrics["variant_of"] == "params"
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one contender"):
+            sweep_params(make_job(), variants=[], pool=inline_pool())
