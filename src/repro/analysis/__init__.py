@@ -1,0 +1,56 @@
+"""Static analysis + runtime sanitizing for the placement kernels.
+
+Two prongs (see DESIGN.md §8):
+
+* a pluggable AST lint engine (:mod:`repro.analysis.engine`) running the
+  repo-specific invariant catalogue (:mod:`repro.analysis.rules`) behind
+  the ``repro lint`` CLI subcommand, and
+* an opt-in runtime numerical sanitizer
+  (:mod:`repro.analysis.sanitizer`, ``REPRO_SANITIZE=1``) validating
+  every op's outputs and gradients as a placement runs.
+"""
+
+from repro.analysis.engine import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    LintConfig,
+    LintEngine,
+    Rule,
+    Violation,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import RULES, default_rules
+from repro.analysis.sanitizer import (
+    NumericalFault,
+    Sanitizer,
+    active,
+    disable,
+    enable,
+    env_enabled,
+    install_from_env,
+    sanitized,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_USAGE",
+    "EXIT_VIOLATIONS",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "Violation",
+    "render_json",
+    "render_text",
+    "RULES",
+    "default_rules",
+    "NumericalFault",
+    "Sanitizer",
+    "active",
+    "disable",
+    "enable",
+    "env_enabled",
+    "install_from_env",
+    "sanitized",
+]

@@ -1,0 +1,284 @@
+"""Pluggable AST lint engine enforcing repo-specific invariants.
+
+The engine is deliberately small: a :class:`Rule` walks one parsed
+module and yields :class:`Violation`\\ s; the :class:`LintEngine`
+discovers files, decides which rules apply to which paths (via
+:class:`LintConfig`), honours inline ``# repro: noqa[rule]``
+suppressions, and renders text or JSON reports with stable exit codes
+(0 clean, 1 violations, 2 usage error).
+
+Scoping
+-------
+Rules that encode *kernel* discipline (vectorisation, dtype policy) set
+``kernel_only = True`` and run only on paths matching
+``LintConfig.kernel_globs`` — by default the density, wirelength,
+autograd and optim subpackages, the modules whose per-op dispatch cost
+is the CPU analogue of CUDA launch overhead (paper Table 3).
+``LintConfig.per_path`` carves out documented exemptions (e.g. the
+autograd tape walker iterates *graph nodes*, bounded by op arity, not
+array elements — see :data:`DEFAULT_PER_PATH`).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "LintConfig",
+    "LintEngine",
+    "render_text",
+    "render_json",
+    "EXIT_CLEAN",
+    "EXIT_VIOLATIONS",
+    "EXIT_USAGE",
+]
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+#: Path globs (matched against ``/``-separated paths) that count as
+#: kernel modules for ``kernel_only`` rules.
+DEFAULT_KERNEL_GLOBS: Tuple[str, ...] = (
+    "*/density/*.py",
+    "*/wirelength/*.py",
+    "*/autograd/*.py",
+    "*/optim/*.py",
+)
+
+#: Documented per-path exemptions: (glob, disabled rule names, why).
+#: The tape walker (tensor.py) iterates recorded graph nodes — trip
+#: count is bounded by op arity, not by array length — so lockstep-zip
+#: iteration there is not a per-element scalar loop.
+DEFAULT_PER_PATH: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
+    (
+        "*/autograd/tensor.py",
+        ("hot-loop-scalar-iteration",),
+        "tape walker iterates graph nodes (bounded by op arity), not array elements",
+    ),
+)
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule breach at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`
+    as a generator of :class:`Violation`\\ s over one parsed module.
+    ``kernel_only`` restricts the rule to kernel-module paths.
+    """
+
+    name: str = ""
+    description: str = ""
+    kernel_only: bool = False
+
+    def check(
+        self, tree: ast.Module, path: str, source: str
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    ``select`` (when given) whitelists rule names; ``ignore`` always
+    subtracts.  ``per_path`` maps path globs to rules disabled there —
+    the mechanism for documented infrastructure exemptions, distinct
+    from inline ``noqa`` suppressions.
+    """
+
+    select: Optional[frozenset] = None
+    ignore: frozenset = frozenset()
+    kernel_globs: Tuple[str, ...] = DEFAULT_KERNEL_GLOBS
+    per_path: Tuple[Tuple[str, Tuple[str, ...], str], ...] = DEFAULT_PER_PATH
+
+    def validate(self, known: Set[str]) -> None:
+        """Raise ValueError on rule names that do not exist."""
+        requested = set(self.select or ()) | set(self.ignore)
+        unknown = requested - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+
+    def enabled_for(self, rule: Rule, path: str) -> bool:
+        norm = _normalize(path)
+        if self.select is not None and rule.name not in self.select:
+            return False
+        if rule.name in self.ignore:
+            return False
+        if rule.kernel_only and not any(
+            fnmatch.fnmatch(norm, glob) for glob in self.kernel_globs
+        ):
+            return False
+        for glob, disabled, _why in self.per_path:
+            if rule.name in disabled and fnmatch.fnmatch(norm, glob):
+                return False
+        return True
+
+
+def _normalize(path: str) -> str:
+    norm = path.replace(os.sep, "/")
+    return norm if norm.startswith(("/", "*")) else "/" + norm
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number → suppressed rule names (None = all rules)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return table
+
+
+class LintEngine:
+    """Runs a rule set over files/directories and collects violations."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        config: Optional[LintConfig] = None,
+    ) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: List[Rule] = list(rules)
+        self.config = config or LintConfig()
+        self.config.validate({r.name for r in self.rules})
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Iterable[str]) -> List[Violation]:
+        violations: List[Violation] = []
+        for path in self._discover(paths):
+            violations.extend(self.lint_file(path))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return violations
+
+    def lint_file(self, path: str) -> List[Violation]:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return self.lint_source(source, path)
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Violation]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as err:
+            return [
+                Violation(
+                    path=path,
+                    line=err.lineno or 0,
+                    col=(err.offset or 0),
+                    rule="parse-error",
+                    message=f"could not parse: {err.msg}",
+                )
+            ]
+        suppressed = _suppressions(source)
+        out: List[Violation] = []
+        for rule in self.rules:
+            if not self.config.enabled_for(rule, path):
+                continue
+            for violation in rule.check(tree, path, source):
+                mask = suppressed.get(violation.line, "unset")
+                if mask is None:  # bare noqa: every rule
+                    continue
+                if isinstance(mask, set) and violation.rule in mask:
+                    continue
+                out.append(violation)
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _discover(paths: Iterable[str]) -> Iterator[str]:
+        for path in paths:
+            if os.path.isdir(path):
+                for root, dirs, files in os.walk(path):
+                    dirs[:] = sorted(
+                        d for d in dirs
+                        if not d.startswith(".") and d != "__pycache__"
+                    )
+                    for name in sorted(files):
+                        if name.endswith(".py"):
+                            yield os.path.join(root, name)
+            elif path.endswith(".py") or os.path.isfile(path):
+                yield path
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(violations: Sequence[Violation]) -> str:
+    """One line per violation plus a summary line."""
+    lines = [v.format() for v in violations]
+    if violations:
+        by_rule: Dict[str, int] = {}
+        for v in violations:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        breakdown = ", ".join(f"{name}: {n}" for name, n in sorted(by_rule.items()))
+        lines.append(f"{len(violations)} violation(s) ({breakdown})")
+    else:
+        lines.append("clean: no violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(
+        {
+            "count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,395 @@
+"""The invariant catalogue: concrete lint rules for this repository.
+
+Each rule encodes one discipline the placement kernels rely on but the
+interpreter never checks:
+
+``autograd-contract``
+    Every ``Function`` subclass defines paired ``forward``/``backward``
+    staticmethods taking ``ctx`` first, and literal-tuple returns from
+    ``backward`` match the ``forward`` argument arity — the static twin
+    of the numerical :func:`repro.autograd.gradcheck.gradcheck_all`
+    sweep.
+``hot-loop-scalar-iteration``
+    No per-element Python loops over arrays in kernel modules
+    (``zip`` lockstep loops, ``range(len(...))``, iteration over
+    ``np.flatnonzero``/``np.nonzero``/``np.argwhere``/``np.nditer``).
+    Per-op dispatch is our analogue of CUDA launch overhead (Table 3).
+``dtype-drift``
+    Kernel allocations must pass an explicit ``dtype=`` and must not
+    hardcode float dtype literals — precision policy lives in
+    :mod:`repro.dtypes` (``FLOAT``), so implicit int→float promotions
+    and silent ``float32``/``float64`` mixtures cannot creep in.
+``silent-except``
+    No exception handler whose entire body is ``pass``/``continue``/
+    ``...`` — diverging placements must never vanish silently.
+``mutable-default-arg``
+    No mutable default argument values (lists/dicts/sets).
+``mp-unsafe-capture``
+    No lambdas or locally-defined closures handed to worker processes
+    (``target=`` of a ``Process``, ``submit``/``apply_async`` args) —
+    they break ``spawn`` pickling and capture parent state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import Rule, Violation
+
+__all__ = ["default_rules", "RULES"]
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _is_numpy_call(node: ast.expr, names: Set[str]) -> bool:
+    """True for ``np.<name>(...)`` / ``numpy.<name>(...)`` calls."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in names
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in _NUMPY_ALIASES
+    )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+class AutogradContractRule(Rule):
+    name = "autograd-contract"
+    description = (
+        "Function subclasses define paired forward/backward staticmethods "
+        "(ctx first); backward tuple returns match forward arity"
+    )
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and self._extends_function(node):
+                yield from self._check_class(node, path)
+
+    @staticmethod
+    def _extends_function(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            if isinstance(base, ast.Name) and base.id == "Function":
+                return True
+            if isinstance(base, ast.Attribute) and base.attr == "Function":
+                return True
+        return False
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> Iterator[Violation]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for required in ("forward", "backward"):
+            if required not in methods:
+                yield self.violation(
+                    path, cls, f"{cls.name} lacks a {required}() staticmethod"
+                )
+        for name in ("forward", "backward"):
+            method = methods.get(name)
+            if method is None:
+                continue
+            if not any(
+                isinstance(d, ast.Name) and d.id == "staticmethod"
+                for d in method.decorator_list
+            ):
+                yield self.violation(
+                    path, method, f"{cls.name}.{name} must be a @staticmethod"
+                )
+            args = method.args.args
+            if not args or not args[0].arg.startswith("ctx"):
+                yield self.violation(
+                    path,
+                    method,
+                    f"{cls.name}.{name} must take ctx as its first argument",
+                )
+        forward = methods.get("forward")
+        backward = methods.get("backward")
+        if forward is None or backward is None:
+            return
+        if len(backward.args.args) < 2 and backward.args.vararg is None:
+            yield self.violation(
+                path,
+                backward,
+                f"{cls.name}.backward must accept the output gradient "
+                "(ctx, grad)",
+            )
+        if forward.args.vararg is not None:
+            return  # variadic forward: arity is dynamic, skip the check
+        arity = max(len(forward.args.args) - 1, 0)
+        for ret in self._returns(backward):
+            if isinstance(ret.value, ast.Tuple) and not any(
+                isinstance(e, ast.Starred) for e in ret.value.elts
+            ):
+                if len(ret.value.elts) != arity:
+                    yield self.violation(
+                        path,
+                        ret,
+                        f"{cls.name}.backward returns {len(ret.value.elts)} "
+                        f"gradient(s) but forward takes {arity} input(s)",
+                    )
+
+    @staticmethod
+    def _returns(func: ast.FunctionDef) -> List[ast.Return]:
+        """Return statements of ``func`` itself (not nested defs)."""
+        out: List[ast.Return] = []
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Return) and node.value is not None:
+                out.append(node)
+            elif not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+        return out
+
+
+# ----------------------------------------------------------------------
+class HotLoopScalarIterationRule(Rule):
+    name = "hot-loop-scalar-iteration"
+    description = (
+        "no per-element Python loops over arrays in kernel modules "
+        "(zip lockstep, range(len(...)), np.flatnonzero/nonzero/argwhere)"
+    )
+    kernel_only = True
+
+    _INDEX_ITERATORS = {"flatnonzero", "nonzero", "argwhere", "nditer", "ndenumerate"}
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            reason = self._diagnose(node.iter)
+            if reason:
+                yield self.violation(
+                    path,
+                    node,
+                    f"{reason}; vectorise with masked array ops / np.add.at "
+                    "windows instead of per-element Python iteration",
+                )
+
+    def _diagnose(self, iterable: ast.expr) -> Optional[str]:
+        if not isinstance(iterable, ast.Call):
+            return None
+        name = _call_name(iterable)
+        if name == "zip":
+            return "lockstep zip(...) loop over parallel arrays"
+        if name == "range" and any(
+            isinstance(arg, ast.Call) and _call_name(arg) == "len"
+            for arg in iterable.args
+        ):
+            return "range(len(...)) scalar index loop"
+        if _is_numpy_call(iterable, self._INDEX_ITERATORS):
+            return f"per-element iteration over np.{iterable.func.attr}(...)"
+        return None
+
+
+# ----------------------------------------------------------------------
+class DtypeDriftRule(Rule):
+    name = "dtype-drift"
+    description = (
+        "kernel allocations need an explicit dtype= and must not hardcode "
+        "float dtype literals (use repro.dtypes.FLOAT)"
+    )
+    kernel_only = True
+
+    _ALLOCATORS = {"zeros", "ones", "empty", "full", "arange"}
+    _REDUCED = {"float32", "float16", "half", "single"}
+    _LITERALS = {"float64", "double"} | _REDUCED
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if _is_numpy_call(node, self._ALLOCATORS) and not any(
+                kw.arg == "dtype" for kw in node.keywords
+            ):
+                yield self.violation(
+                    path,
+                    node,
+                    f"np.{node.func.attr}(...) without an explicit dtype= "
+                    "(implicit default promotes silently; use "
+                    "repro.dtypes.FLOAT)",
+                )
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._LITERALS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _NUMPY_ALIASES
+            ):
+                kind = (
+                    "reduced-precision"
+                    if node.attr in self._REDUCED
+                    else "stray float64"
+                )
+                yield self.violation(
+                    path,
+                    node,
+                    f"{kind} dtype literal np.{node.attr}; kernel precision "
+                    "policy lives in repro.dtypes (FLOAT)",
+                )
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "dtype"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                        and kw.value.value in self._LITERALS
+                    ):
+                        yield self.violation(
+                            path,
+                            kw.value,
+                            f"string dtype literal {kw.value.value!r}; use "
+                            "repro.dtypes.FLOAT",
+                        )
+
+
+# ----------------------------------------------------------------------
+class SilentExceptRule(Rule):
+    name = "silent-except"
+    description = "exception handlers must not swallow errors with a bare pass"
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if all(self._is_noop(stmt) for stmt in handler.body):
+                    label = self._label(handler)
+                    yield self.violation(
+                        path,
+                        handler,
+                        f"except {label} silently swallows the error; log, "
+                        "re-raise, or narrow the handler",
+                    )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+    @staticmethod
+    def _label(handler: ast.ExceptHandler) -> str:
+        if handler.type is None:
+            return "<bare>"
+        try:
+            return ast.unparse(handler.type)
+        except Exception:  # pragma: no cover - unparse is best-effort
+            return "<type>"
+
+
+# ----------------------------------------------------------------------
+class MutableDefaultArgRule(Rule):
+    name = "mutable-default-arg"
+    description = "no mutable default argument values ([], {}, set())"
+
+    _MUTABLE_CALLS = {"list", "dict", "set"}
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        path,
+                        default,
+                        f"{name}() has a mutable default argument; default to "
+                        "None and construct inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+            and not node.args
+            and not node.keywords
+        )
+
+
+# ----------------------------------------------------------------------
+class MpUnsafeCaptureRule(Rule):
+    name = "mp-unsafe-capture"
+    description = (
+        "no lambdas/closures handed to worker processes (Process target=, "
+        "submit/apply_async) — they break spawn pickling"
+    )
+
+    _SUBMITTERS = {"submit", "apply_async", "map_async", "starmap_async"}
+
+    def check(self, tree, path, source) -> Iterator[Violation]:
+        nested = self._nested_function_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    yield from self._check_callable(kw.value, nested, path)
+            name = _call_name(node)
+            if name in self._SUBMITTERS:
+                for arg in node.args[:1]:
+                    yield from self._check_callable(arg, nested, path)
+
+    def _check_callable(
+        self, value: ast.expr, nested: Set[str], path: str
+    ) -> Iterator[Violation]:
+        if isinstance(value, ast.Lambda):
+            yield self.violation(
+                path,
+                value,
+                "lambda handed to a worker process cannot be pickled under "
+                "spawn; use a module-level function",
+            )
+        elif isinstance(value, ast.Name) and value.id in nested:
+            yield self.violation(
+                path,
+                value,
+                f"locally-defined function {value.id!r} handed to a worker "
+                "process captures enclosing scope; move it to module level",
+            )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> Set[str]:
+        """Names of functions defined inside another function's body."""
+        nested: Set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested
+
+
+# ----------------------------------------------------------------------
+RULES = (
+    AutogradContractRule,
+    HotLoopScalarIterationRule,
+    DtypeDriftRule,
+    SilentExceptRule,
+    MutableDefaultArgRule,
+    MpUnsafeCaptureRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULES]

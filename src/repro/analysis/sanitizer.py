@@ -1,0 +1,211 @@
+"""Runtime numerical sanitizer: NaN/Inf and gradient-contract checking.
+
+Opt-in (``REPRO_SANITIZE=1`` or :func:`enable`): every autograd op's
+forward output is checked for non-finite values, every backward gradient
+is checked for finiteness plus shape/dtype consistency against its
+forward input, and the closed-form gradient engine's wirelength/density
+components are validated each iteration.  A breach raises
+:class:`NumericalFault` naming the op and its provenance (iteration,
+stage) — the runtime analogue of the static ``autograd-contract`` and
+``dtype-drift`` lint rules.
+
+The hooks live behind ``is None`` guards on the hot paths
+(:func:`repro.autograd.tensor.Function.apply`, the tape's backward walk,
+:meth:`repro.core.gradient_engine.GradientEngine.compute`), so the
+disabled cost is one attribute read per op.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "NumericalFault",
+    "Sanitizer",
+    "enable",
+    "disable",
+    "active",
+    "sanitized",
+    "env_enabled",
+    "install_from_env",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class NumericalFault(RuntimeError):
+    """A numerical invariant broke at runtime.
+
+    Carries the offending op name, the pipeline stage/path where it was
+    detected, and (when known) the GP iteration — the provenance a
+    diagnostic needs to be actionable.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        stage: str,
+        detail: str,
+        iteration: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.stage = stage
+        self.detail = detail
+        self.iteration = iteration
+        where = f" at iteration {iteration}" if iteration is not None else ""
+        super().__init__(f"[{stage}] {op}{where}: {detail}")
+
+
+def _describe_nonfinite(arr: np.ndarray) -> str:
+    finite = np.isfinite(arr)
+    bad = int(arr.size - int(finite.sum()))
+    nans = int(np.isnan(arr).sum())
+    infs = bad - nans
+    return (
+        f"{bad}/{arr.size} non-finite value(s) ({nans} NaN, {infs} Inf), "
+        f"shape {arr.shape}, dtype {arr.dtype}"
+    )
+
+
+class Sanitizer:
+    """Stateful checker; counts checks/faults for smoke-run reporting."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.faults = 0
+
+    # ------------------------------------------------------------------
+    def check_array(
+        self,
+        op: str,
+        arr,
+        stage: str = "gradient-engine",
+        iteration: Optional[int] = None,
+    ) -> None:
+        """Validate one named array (or scalar) for finiteness."""
+        self.checks += 1
+        data = np.asarray(arr)
+        if data.dtype.kind not in "fc":
+            return
+        if not np.isfinite(data).all():
+            self.faults += 1
+            raise NumericalFault(
+                op, stage, _describe_nonfinite(data), iteration=iteration
+            )
+
+    def check_forward(self, op: str, out) -> None:
+        """Validate a Function's forward output."""
+        self.check_array(op, out, stage="autograd.forward")
+
+    def check_backward(self, op: str, input_data: np.ndarray, grad: np.ndarray) -> None:
+        """Validate one backward gradient against its forward input.
+
+        Checks finiteness, that the gradient can be broadcast-reduced to
+        the input's shape, and that its dtype does not promote (complex
+        gradient for a real input) or downcast (float32 gradient for a
+        float64 input) the parameter it will accumulate into.
+        """
+        self.checks += 1
+        stage = "autograd.backward"
+        if grad.dtype.kind in "fc" and not np.isfinite(grad).all():
+            self.faults += 1
+            raise NumericalFault(op, stage, _describe_nonfinite(grad))
+        try:
+            combined = np.broadcast_shapes(grad.shape, input_data.shape)
+        except ValueError:
+            combined = None
+        if combined != grad.shape:
+            self.faults += 1
+            raise NumericalFault(
+                op,
+                stage,
+                f"gradient shape {grad.shape} cannot be reduced to input "
+                f"shape {input_data.shape}",
+            )
+        if input_data.dtype.kind == "f":
+            if grad.dtype.kind == "c":
+                self.faults += 1
+                raise NumericalFault(
+                    op,
+                    stage,
+                    f"complex gradient ({grad.dtype}) for real input "
+                    f"({input_data.dtype})",
+                )
+            if (
+                grad.dtype.kind == "f"
+                and grad.dtype.itemsize < input_data.dtype.itemsize
+            ):
+                self.faults += 1
+                raise NumericalFault(
+                    op,
+                    stage,
+                    f"gradient dtype {grad.dtype} downcasts input dtype "
+                    f"{input_data.dtype}",
+                )
+
+
+# ----------------------------------------------------------------------
+# Activation plumbing
+# ----------------------------------------------------------------------
+_active: Optional[Sanitizer] = None
+
+
+def active() -> Optional[Sanitizer]:
+    """The currently installed sanitizer, or None when disabled."""
+    return _active
+
+
+def _tensor_module():
+    # importlib, not ``from repro.autograd import tensor``: the package
+    # rebinds the name ``tensor`` to a factory function, shadowing the
+    # submodule attribute.
+    import importlib
+
+    return importlib.import_module("repro.autograd.tensor")
+
+
+def enable(sanitizer: Optional[Sanitizer] = None) -> Sanitizer:
+    """Install a sanitizer into the autograd tape and gradient engine."""
+    global _active
+    _active = sanitizer if sanitizer is not None else Sanitizer()
+    _tensor_module().set_sanitizer(_active)
+    return _active
+
+
+def disable() -> None:
+    """Remove the installed sanitizer (hot paths revert to no checks)."""
+    global _active
+    _active = None
+    _tensor_module().set_sanitizer(None)
+
+
+@contextlib.contextmanager
+def sanitized(sanitizer: Optional[Sanitizer] = None) -> Iterator[Sanitizer]:
+    """Enable sanitizing inside the block, restoring the previous state."""
+    previous = _active
+    installed = enable(sanitizer)
+    try:
+        yield installed
+    finally:
+        if previous is None:
+            disable()
+        else:
+            enable(previous)
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests sanitizing."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in ("1", "true", "on", "yes")
+
+
+def install_from_env() -> Optional[Sanitizer]:
+    """Enable from the environment (idempotent); returns the sanitizer."""
+    if not env_enabled():
+        return _active
+    if _active is None:
+        return enable()
+    return _active

@@ -18,7 +18,7 @@ from repro.autograd.tensor import Function, Tensor, no_grad, is_grad_enabled
 from repro.autograd import ops as _ops  # registers Tensor methods
 from repro.autograd.segment import gather_cells, segment_sum
 from repro.autograd.spectral import irfft2, rfft2, spectral_low_pass
-from repro.autograd.gradcheck import gradcheck
+from repro.autograd.gradcheck import discover_functions, gradcheck, gradcheck_all
 from repro.autograd.hybrid import hybrid_gradient
 
 tensor = Tensor.as_tensor

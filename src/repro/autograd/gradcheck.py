@@ -1,12 +1,20 @@
-"""Numerical gradient verification for Functions and models."""
+"""Numerical gradient verification for Functions and models.
+
+``gradcheck`` verifies one callable against central finite differences;
+``gradcheck_all`` sweeps every :class:`Function` registered in
+:mod:`repro.autograd.ops` through an input-spec table, so a newly added
+op without a spec (or with a broken backward) fails loudly in CI instead
+of shipping silently.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Function, Tensor
+from repro.dtypes import FLOAT
 
 
 def gradcheck(
@@ -66,3 +74,121 @@ def gradcheck(
                         f"(axis {axis}): numeric {numeric}, analytic {analytic}"
                     )
     return True
+
+
+# ----------------------------------------------------------------------
+# Registry sweep
+# ----------------------------------------------------------------------
+def discover_functions(module=None) -> Dict[str, type]:
+    """All :class:`Function` subclasses *defined in* ``module``.
+
+    Defaults to :mod:`repro.autograd.ops`.  Re-exports are excluded via
+    the ``__module__`` check, so each op is attributed to (and checked
+    in) the module that owns it.
+    """
+    if module is None:
+        import repro.autograd.ops as module
+    found: Dict[str, type] = {}
+    for name in dir(module):
+        obj = getattr(module, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, Function)
+            and obj is not Function
+            and obj.__module__ == module.__name__
+        ):
+            found[name] = obj
+    return found
+
+
+def _default_specs(
+    rng: np.random.Generator,
+) -> Dict[str, Tuple[Callable[..., Tensor], List[Tensor]]]:
+    """Input specs for every op in :mod:`repro.autograd.ops`.
+
+    Each entry maps an op name to ``(callable, tensor_inputs)`` with
+    inputs chosen inside the op's smooth domain: positive for Log/Sqrt,
+    away from zero for Div's denominator and the ReLU/Abs kinks.
+    """
+    from repro.autograd import ops
+
+    def T(values) -> Tensor:
+        return Tensor(np.asarray(values, dtype=FLOAT), requires_grad=True)
+
+    def randn(*shape):
+        return rng.standard_normal(shape)
+
+    def positive(*shape):
+        return rng.uniform(0.5, 1.5, shape)
+
+    def nonzero(*shape):
+        return np.where(rng.random(shape) < 0.5, -1.0, 1.0) * rng.uniform(
+            0.3, 1.2, shape
+        )
+
+    return {
+        "Add": (ops.Add.apply, [T(randn(3, 4)), T(randn(4))]),
+        "Sub": (ops.Sub.apply, [T(randn(3, 4)), T(randn(4))]),
+        "Mul": (ops.Mul.apply, [T(randn(3, 4)), T(randn(4))]),
+        "Div": (ops.Div.apply, [T(randn(3, 4)), T(nonzero(4))]),
+        "Neg": (ops.Neg.apply, [T(randn(3, 4))]),
+        "PowConst": (lambda a: ops.PowConst.apply(a, 1.7), [T(positive(3, 4))]),
+        "Exp": (ops.Exp.apply, [T(randn(3, 4))]),
+        "Log": (ops.Log.apply, [T(positive(3, 4))]),
+        "Sqrt": (ops.Sqrt.apply, [T(positive(3, 4))]),
+        "Tanh": (ops.Tanh.apply, [T(randn(3, 4))]),
+        "Sigmoid": (ops.Sigmoid.apply, [T(randn(3, 4))]),
+        "ReLU": (ops.ReLU.apply, [T(nonzero(3, 4))]),
+        "GELU": (ops.GELU.apply, [T(randn(3, 4))]),
+        "Abs": (ops.Abs.apply, [T(nonzero(3, 4))]),
+        "Sum": (lambda a: ops.Sum.apply(a, 1, False), [T(randn(3, 4))]),
+        "Mean": (lambda a: ops.Mean.apply(a, 0, True), [T(randn(3, 4))]),
+        "Reshape": (lambda a: ops.Reshape.apply(a, (4, 3)), [T(randn(3, 4))]),
+        "Transpose": (
+            lambda a: ops.Transpose.apply(a, (1, 0)),
+            [T(randn(3, 4))],
+        ),
+        "MatMul": (ops.MatMul.apply, [T(randn(3, 4)), T(randn(4, 2))]),
+        "ChannelLinear": (
+            ops.ChannelLinear.apply,
+            [T(randn(2, 3, 3)), T(randn(4, 2)), T(randn(4))],
+        ),
+        "Concat": (
+            lambda a, b: ops.Concat.apply(a, b, 0),
+            [T(randn(2, 3)), T(randn(3, 3))],
+        ),
+        # Duplicate indices exercise the scatter-add backward.
+        "GetItem": (
+            lambda a: ops.GetItem.apply(a, (np.array([0, 2, 2]),)),
+            [T(randn(4, 5))],
+        ),
+    }
+
+
+def gradcheck_all(
+    rng: Optional[np.random.Generator] = None,
+    specs: Optional[Dict[str, Tuple[Callable[..., Tensor], List[Tensor]]]] = None,
+    **gradcheck_kwargs,
+) -> List[str]:
+    """Gradcheck every Function discovered in :mod:`repro.autograd.ops`.
+
+    Raises AssertionError if an op has no input spec (forcing new ops to
+    register one) or if any gradient disagrees with finite differences.
+    Returns the sorted list of op names that passed.
+    """
+    rng = rng or np.random.default_rng(0)
+    functions = discover_functions()
+    table = specs if specs is not None else _default_specs(rng)
+    missing = sorted(set(functions) - set(table))
+    if missing:
+        raise AssertionError(
+            "no gradcheck spec for registered Function(s): "
+            + ", ".join(missing)
+            + " — add them to _default_specs"
+        )
+    passed: List[str] = []
+    for name in sorted(functions):
+        func, inputs = table[name]
+        gradcheck(func, inputs, rng=rng, **gradcheck_kwargs)
+        passed.append(name)
+    return passed

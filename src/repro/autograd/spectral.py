@@ -16,12 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Function, Tensor
+from repro.dtypes import FLOAT
 
 
 def _mirror_weights(width: int) -> np.ndarray:
     """Per-column weight d_l for a one-sided spectrum of a width-W signal."""
     half = width // 2 + 1
-    d = np.full(half, 2.0)
+    d = np.full(half, 2.0, dtype=FLOAT)
     d[0] = 1.0
     if width % 2 == 0:
         d[-1] = 1.0

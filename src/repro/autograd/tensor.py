@@ -19,6 +19,20 @@ from repro.ops import profiled
 
 _state = threading.local()
 
+# Numerical sanitizer hook (repro.analysis.sanitizer).  None by default:
+# the enabled check on the apply/backward hot paths is one global read.
+_sanitizer = None
+
+
+def set_sanitizer(sanitizer) -> None:
+    """Install (or remove, with None) the runtime numerical sanitizer."""
+    global _sanitizer
+    _sanitizer = sanitizer
+
+
+def get_sanitizer():
+    return _sanitizer
+
 
 def is_grad_enabled() -> bool:
     return getattr(_state, "grad_enabled", True)
@@ -155,7 +169,10 @@ class Tensor:
             for inp, ig in zip(node.inputs, input_grads):
                 if ig is None or not (inp.requires_grad or inp._node is not None):
                     continue
-                ig = _unbroadcast(np.asarray(ig), inp.data.shape)
+                ig = np.asarray(ig)
+                if _sanitizer is not None:
+                    _sanitizer.check_backward(node.function.__name__, inp.data, ig)
+                ig = _unbroadcast(ig, inp.data.shape)
                 key = id(inp)
                 if key in grads:
                     grads[key] = grads[key] + ig
@@ -222,6 +239,8 @@ class Function:
         ctx = Context()
         raw = [a.data if isinstance(a, Tensor) else a for a in args]
         out_data = cls.forward(ctx, *raw)
+        if _sanitizer is not None:
+            _sanitizer.check_forward(cls.__name__, out_data)
         tensor_inputs = tuple(a for a in args if isinstance(a, Tensor))
         needs_grad = is_grad_enabled() and any(
             t.requires_grad or t._node is not None for t in tensor_inputs
@@ -242,8 +261,6 @@ def _wrap_backward(cls: type, ctx: Context) -> type:
     mask = ctx.meta["arg_is_tensor"]
 
     class _Adapted:
-        __name__ = cls.__name__
-
         @staticmethod
         def backward(ctx_inner: Context, grad: np.ndarray):
             result = cls.backward(ctx_inner, grad)
@@ -253,4 +270,9 @@ def _wrap_backward(cls: type, ctx: Context) -> type:
                 return tuple(g for g, is_t in zip(result, mask) if is_t)
             return result
 
+    # A class-body ``__name__ = ...`` is shadowed by the ``type.__name__``
+    # descriptor; assign after creation so profiling and sanitizer
+    # diagnostics report the wrapped op, not "_Adapted".
+    _Adapted.__name__ = cls.__name__
+    _Adapted.__qualname__ = cls.__qualname__
     return _Adapted

@@ -158,6 +158,19 @@ def _read_nets(path: str):
         yield current_name, current_pins
 
 
+def _parse_float(token: str) -> Optional[float]:
+    """Parse one numeric token, ``None`` for malformed input.
+
+    Names the tolerant-parser intent: bookshelf files in the wild carry
+    junk tokens, and callers skip those lines explicitly instead of
+    swallowing errors inline.
+    """
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
 def _read_pl(path: str):
     """Return ({cell: (x_lowleft, y_lowleft)}, {fixed cell names})."""
     positions: Dict[str, Tuple[float, float]] = {}
@@ -168,9 +181,8 @@ def _read_pl(path: str):
         if len(tokens) < 3:
             continue
         cell = tokens[0]
-        try:
-            x, y = float(tokens[1]), float(tokens[2])
-        except ValueError:
+        x, y = _parse_float(tokens[1]), _parse_float(tokens[2])
+        if x is None or y is None:
             continue
         positions[cell] = (x, y)
         if "/fixed" in line.lower():
@@ -232,10 +244,9 @@ def _read_wts(path: Optional[str]) -> Dict[str, float]:
     for line in lines:
         tokens = line.split()
         if len(tokens) >= 2:
-            try:
-                weights[tokens[0]] = float(tokens[1])
-            except ValueError:
-                continue
+            value = _parse_float(tokens[1])
+            if value is not None:
+                weights[tokens[0]] = value
     return weights
 
 

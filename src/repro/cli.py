@@ -9,6 +9,8 @@ Commands
 ``stats``     print Table-1-style statistics for a design
 ``generate``  write a synthetic design as a bookshelf benchmark directory
 ``train-fno`` train (and cache) the neural guidance model
+``lint``      run the repo-specific static analysis rules (repro.analysis)
+              over source paths; exit 0 clean / 1 violations / 2 usage
 
 Every command accepts either a ``.aux`` path or a named design from the
 ISPD-like suites (``adaptec1`` … ``superblue16_a``).
@@ -155,6 +157,51 @@ def _cmd_train_fno(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rules(value: Optional[str]):
+    if not value:
+        return None
+    return frozenset(name.strip() for name in value.split(",") if name.strip())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        EXIT_CLEAN,
+        EXIT_USAGE,
+        EXIT_VIOLATIONS,
+        LintConfig,
+        LintEngine,
+        default_rules,
+        render_json,
+        render_text,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = "kernel-only" if rule.kernel_only else "repo-wide"
+            print(f"{rule.name:28s} [{scope}] {rule.description}")
+        return EXIT_CLEAN
+    config = LintConfig(
+        select=_split_rules(args.select), ignore=_split_rules(args.ignore) or frozenset()
+    )
+    try:
+        config.validate(frozenset(rule.name for rule in rules))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    engine = LintEngine(rules=rules, config=config)
+    try:
+        violations = engine.lint_paths(args.paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(violations))
+    else:
+        print(render_text(violations))
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train-fno", help="train/cache the guidance model")
     train.add_argument("--cache", default=None, help="weights cache path")
     train.set_defaults(handler=_cmd_train_fno)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific static analysis rules"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default src/repro)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="report format")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule names to run exclusively")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule names to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the available rules and exit")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

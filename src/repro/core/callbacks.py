@@ -46,6 +46,23 @@ class LoopStop:
     overflow: float
 
 
+@dataclass(frozen=True)
+class Diagnostic:
+    """Payload of ``on_diagnostic``: a numerical fault caught in the loop.
+
+    Emitted (before the loop aborts) by the non-finite guard in
+    :class:`~repro.core.placer.XPlacer` and by sanitize-mode checks, so
+    runtime consumers see *why* a placement died, with provenance: the
+    GP iteration, the stage that detected it, and the offending op.
+    """
+
+    design: str
+    iteration: int
+    stage: str
+    op: str
+    message: str
+
+
 class IterationCallback:
     """Protocol for GP-loop observers (subclass or duck-type).
 
@@ -62,6 +79,9 @@ class IterationCallback:
 
     def on_stop(self, info: LoopStop) -> None:
         """Called exactly once after the loop ends (early stop included)."""
+
+    def on_diagnostic(self, info: Diagnostic) -> None:
+        """Called when a numerical fault aborts the loop (before raising)."""
 
 
 class CallbackList(IterationCallback):
@@ -85,6 +105,13 @@ class CallbackList(IterationCallback):
     def on_stop(self, info: LoopStop) -> None:
         for callback in self.callbacks:
             callback.on_stop(info)
+
+    def on_diagnostic(self, info: Diagnostic) -> None:
+        for callback in self.callbacks:
+            # Duck-typed callbacks predating the diagnostic hook are fine.
+            handler = getattr(callback, "on_diagnostic", None)
+            if handler is not None:
+                handler(info)
 
 
 class QueueCallback(IterationCallback):
@@ -140,6 +167,16 @@ class QueueCallback(IterationCallback):
             gp_seconds=float(info.gp_seconds),
             hpwl=float(info.hpwl),
             overflow=float(info.overflow),
+        )
+
+    def on_diagnostic(self, info: Diagnostic) -> None:
+        self._send(
+            "diagnostic",
+            design=info.design,
+            iteration=int(info.iteration),
+            stage=info.stage,
+            op=info.op,
+            message=info.message,
         )
 
 

@@ -17,6 +17,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import active as _sanitizer_active
 from repro.core.params import PlacementParams
 from repro.density import DensitySystem
 from repro.netlist import Netlist
@@ -184,11 +185,35 @@ class GradientEngine:
             density_grad_norm=density_norm,
         )
         self._cache = result
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            self._sanitize(sanitizer, result, iteration)
         ratio = (
             lam_for_skip * density_norm / wl_norm if wl_norm > 1e-20 else float("inf")
         )
         self.skip.observe_ratio(ratio)
         return result
+
+    @staticmethod
+    def _sanitize(sanitizer, result: GradientResult, iteration: int) -> None:
+        """Validate the closed-form gradient components (sanitize mode).
+
+        Names the offending operator so a fault points at the kernel
+        that produced it, not at the optimizer step that consumed it.
+        """
+        checks = (
+            ("wirelength.wa", result.wa),
+            ("wirelength.hpwl", result.hpwl),
+            ("wirelength.grad_x", result.wl_grad_x),
+            ("wirelength.grad_y", result.wl_grad_y),
+            ("density.overflow", result.overflow),
+            ("density.grad_x", result.density_grad_x),
+            ("density.grad_y", result.density_grad_y),
+        )
+        for op, value in checks:
+            sanitizer.check_array(
+                op, value, stage="gradient-engine", iteration=iteration
+            )
 
     # ------------------------------------------------------------------
     def assemble(

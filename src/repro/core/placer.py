@@ -8,8 +8,10 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import NumericalFault, install_from_env
 from repro.core.callbacks import (
     CallbackList,
+    Diagnostic,
     IterationCallback,
     LoopStart,
     LoopStop,
@@ -103,6 +105,7 @@ class XPlacer:
         params = self.params
         netlist = self.netlist
         start = time.perf_counter()
+        install_from_env()  # REPRO_SANITIZE=1 → per-op numerical checks
 
         recorder_cb = RecorderCallback()
         events = CallbackList([recorder_cb])
@@ -170,6 +173,7 @@ class XPlacer:
 
             optimizer.step(grad_x, grad_y)
             optimizer.clamp(clamp)
+            self._guard_finite(events, iteration, optimizer, grad_x, grad_y, result)
 
             ratio = (
                 lam * result.density_grad_norm / result.wl_grad_norm
@@ -223,6 +227,53 @@ class XPlacer:
             gp_seconds=elapsed,
             recorder=recorder,
             converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _guard_finite(
+        self, events, iteration, optimizer, grad_x, grad_y, result
+    ) -> None:
+        """Abort on non-finite positions instead of silently diverging.
+
+        Attributes the fault to the gradient component (wirelength,
+        density, preconditioner) or the optimizer step that produced
+        it, then surfaces a :class:`Diagnostic` through the callback
+        seam before raising — so runtime consumers (batch events,
+        recorders) see the provenance, not just a dead worker.
+        """
+        vx, vy = optimizer.positions
+        if np.isfinite(vx).all() and np.isfinite(vy).all():
+            return
+        if not (np.isfinite(grad_x).all() and np.isfinite(grad_y).all()):
+            if not (
+                np.isfinite(result.wl_grad_x).all()
+                and np.isfinite(result.wl_grad_y).all()
+            ):
+                op = "wirelength.grad"
+            elif not (
+                np.isfinite(result.density_grad_x).all()
+                and np.isfinite(result.density_grad_y).all()
+            ):
+                op = "density.grad"
+            else:
+                op = "preconditioner.apply"
+        else:
+            op = f"optimizer.step(alpha={optimizer.step_length:.3g})"
+        message = (
+            "non-finite cell positions after the optimizer step "
+            f"(overflow {result.overflow:.3f}); offending component: {op}"
+        )
+        events.on_diagnostic(
+            Diagnostic(
+                design=self.netlist.name,
+                iteration=iteration,
+                stage="global-place",
+                op=op,
+                message=message,
+            )
+        )
+        raise NumericalFault(
+            op=op, stage="global-place", detail=message, iteration=iteration
         )
 
     # ------------------------------------------------------------------

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from repro.dtypes import FLOAT, INT
 
 from repro.netlist import Netlist, PlacementRegion
 
@@ -45,14 +46,14 @@ class BinGrid:
 
     def centers(self):
         """(x centers (m,), y centers (m,)) of the bin rows/columns."""
-        xs = self.region.xl + (np.arange(self.m) + 0.5) * self.bin_w
-        ys = self.region.yl + (np.arange(self.m) + 0.5) * self.bin_h
+        xs = self.region.xl + (np.arange(self.m, dtype=FLOAT) + 0.5) * self.bin_w
+        ys = self.region.yl + (np.arange(self.m, dtype=FLOAT) + 0.5) * self.bin_h
         return xs, ys
 
     def bin_index(self, x: np.ndarray, y: np.ndarray):
         """Clamped (i, j) bin indices of points."""
-        i = np.clip(((x - self.region.xl) / self.bin_w).astype(np.int64), 0, self.m - 1)
-        j = np.clip(((y - self.region.yl) / self.bin_h).astype(np.int64), 0, self.m - 1)
+        i = np.clip(((x - self.region.xl) / self.bin_w).astype(INT), 0, self.m - 1)
+        j = np.clip(((y - self.region.yl) / self.bin_h).astype(INT), 0, self.m - 1)
         return i, j
 
     @staticmethod

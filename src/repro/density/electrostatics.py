@@ -22,6 +22,7 @@ import numpy as np
 from scipy import fft as sfft
 
 from repro.density.bins import BinGrid
+from repro.dtypes import FLOAT
 from repro.ops import profiled
 
 
@@ -70,15 +71,15 @@ class ElectrostaticSolver:
         self.grid = grid
         m = grid.m
         # Angular frequencies in physical units: w_u = π u / extent.
-        self._wu = np.pi * np.arange(m) / grid.region.width
-        self._wv = np.pi * np.arange(m) / grid.region.height
+        self._wu = np.pi * np.arange(m, dtype=FLOAT) / grid.region.width
+        self._wv = np.pi * np.arange(m, dtype=FLOAT) / grid.region.height
         wu2 = self._wu[:, None] ** 2
         wv2 = self._wv[None, :] ** 2
         denom = wu2 + wv2
         denom[0, 0] = 1.0  # the DC mode is projected out, value irrelevant
         self._inv_denom = 1.0 / denom
         # Orthonormal DCT-II scale factors per axis.
-        beta = np.full(m, np.sqrt(2.0 / m))
+        beta = np.full(m, np.sqrt(2.0 / m), dtype=FLOAT)
         beta[0] = np.sqrt(1.0 / m)
         self._beta2d = beta[:, None] * beta[None, :]
 
@@ -123,11 +124,11 @@ class ElectrostaticSolver:
         coef = sfft.dctn(rho, type=2, norm="ortho")
         phi = coef * self._inv_denom
         phi[0, 0] = 0.0
-        beta = np.full(m, np.sqrt(2.0 / m))
+        beta = np.full(m, np.sqrt(2.0 / m), dtype=FLOAT)
         beta[0] = np.sqrt(1.0 / m)
-        xs = (np.arange(m) + 0.5) * np.pi / m  # w_u x in grid angle units
-        cos_u = np.cos(np.outer(np.arange(m), xs))  # [u, i]
-        sin_u = np.sin(np.outer(np.arange(m), xs))
+        xs = (np.arange(m, dtype=FLOAT) + 0.5) * np.pi / m  # w_u x in grid angle units
+        cos_u = np.cos(np.outer(np.arange(m, dtype=FLOAT), xs))  # [u, i]
+        sin_u = np.sin(np.outer(np.arange(m, dtype=FLOAT), xs))
         c = phi * beta[:, None] * beta[None, :]
         potential = np.einsum("uv,ui,vj->ij", c, cos_u, cos_u)
         field_x = np.einsum("uv,ui,vj->ij", c * self._wu[:, None], sin_u, cos_u)

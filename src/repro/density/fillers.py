@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Tuple
 
 import numpy as np
+from repro.dtypes import FLOAT
 
 from repro.netlist import Netlist
 
@@ -33,11 +34,11 @@ class FillerCells:
 
     @property
     def w(self) -> np.ndarray:
-        return np.full(self.count, self.width)
+        return np.full(self.count, self.width, dtype=FLOAT)
 
     @property
     def h(self) -> np.ndarray:
-        return np.full(self.count, self.height)
+        return np.full(self.count, self.height, dtype=FLOAT)
 
     @property
     def total_area(self) -> float:

@@ -24,6 +24,7 @@ from repro.density.fillers import FillerCells
 from repro.density.overflow import overflow_ratio
 from repro.density.scatter import DensityScatter, rasterize_exact
 from repro.density.system import DensityResult
+from repro.dtypes import FLOAT
 from repro.netlist import Netlist
 
 
@@ -79,8 +80,8 @@ class _Group:
             fx = region.xl + (picks[:, 0] + jitter[:, 0]) * grid.bin_w
             fy = region.yl + (picks[:, 1] + jitter[:, 1]) * grid.bin_h
         else:
-            fx = np.empty(0)
-            fy = np.empty(0)
+            fx = np.empty(0, dtype=FLOAT)
+            fy = np.empty(0, dtype=FLOAT)
         self.fillers = FillerCells(width=fw, height=fh, x=fx, y=fy)
 
 
@@ -148,7 +149,9 @@ class MultiRegionDensitySystem:
             )
         if not use_fillers:
             for group in self.groups:
-                group.fillers = FillerCells(1.0, 1.0, np.empty(0), np.empty(0))
+                group.fillers = FillerCells(
+                    1.0, 1.0, np.empty(0, dtype=FLOAT), np.empty(0, dtype=FLOAT)
+                )
         # Aggregate filler view for the engine/preconditioner: sizes vary
         # per group, so expose explicit per-filler extents.
         self._filler_slices: List[Tuple[int, int]] = []
@@ -160,13 +163,13 @@ class MultiRegionDensitySystem:
             cursor += f.count
             xs.append(f.x)
             ys.append(f.y)
-            ws.append(np.full(f.count, f.width))
-            hs.append(np.full(f.count, f.height))
+            ws.append(np.full(f.count, f.width, dtype=FLOAT))
+            hs.append(np.full(f.count, f.height, dtype=FLOAT))
         self.fillers = _AggregateFillers(
-            np.concatenate(xs) if xs else np.empty(0),
-            np.concatenate(ys) if ys else np.empty(0),
-            np.concatenate(ws) if ws else np.empty(0),
-            np.concatenate(hs) if hs else np.empty(0),
+            np.concatenate(xs) if xs else np.empty(0, dtype=FLOAT),
+            np.concatenate(ys) if ys else np.empty(0, dtype=FLOAT),
+            np.concatenate(ws) if ws else np.empty(0, dtype=FLOAT),
+            np.concatenate(hs) if hs else np.empty(0, dtype=FLOAT),
         )
 
     # ------------------------------------------------------------------
@@ -184,10 +187,10 @@ class MultiRegionDensitySystem:
         mov_x = x[self._mov_idx]
         mov_y = y[self._mov_idx]
 
-        grad_x = np.zeros(netlist.num_cells)
-        grad_y = np.zeros(netlist.num_cells)
-        filler_grad_x = np.zeros(len(filler_x))
-        filler_grad_y = np.zeros(len(filler_y))
+        grad_x = np.zeros(netlist.num_cells, dtype=FLOAT)
+        grad_y = np.zeros(netlist.num_cells, dtype=FLOAT)
+        filler_grad_x = np.zeros(len(filler_x), dtype=FLOAT)
+        filler_grad_y = np.zeros(len(filler_y), dtype=FLOAT)
 
         # Global movable map (shared by overflow; operator extraction).
         global_mov = self.scatter.scatter(mov_x, mov_y, self._mov_w, self._mov_h)
@@ -198,7 +201,8 @@ class MultiRegionDensitySystem:
 
         energy = 0.0
         total = density.copy()
-        for group, (f_lo, f_hi) in zip(self.groups, self._filler_slices):
+        for gi, group in enumerate(self.groups):
+            f_lo, f_hi = self._filler_slices[gi]
             cells = self._mov_idx[group.members]
             gx = mov_x[group.members]
             gy = mov_y[group.members]

@@ -20,9 +20,26 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.density.bins import BinGrid
+from repro.dtypes import FLOAT, INT
 from repro.ops import profiled
 
 _SQRT2 = math.sqrt(2.0)
+
+
+def _overlap_matrix(
+    lo: np.ndarray, hi: np.ndarray, m: int, bin_size: float
+) -> np.ndarray:
+    """(N, m) overlap lengths of the intervals ``[lo, hi]`` with all bins.
+
+    One broadcasted min/max against the full bin-edge vector; the basis
+    of the einsum paths that handle cells spanning many bins without
+    per-cell Python iteration.
+    """
+    edges = np.arange(m + 1, dtype=FLOAT) * bin_size
+    ov = np.minimum(hi[:, None], edges[None, 1:]) - np.maximum(
+        lo[:, None], edges[None, :-1]
+    )
+    return np.clip(ov, 0.0, None)
 
 
 class DensityScatter:
@@ -78,7 +95,7 @@ class DensityScatter:
         larger than a bin (movable macros) take an exact per-cell path.
         """
         grid = self.grid
-        density = out if out is not None else np.zeros(grid.shape)
+        density = out if out is not None else np.zeros(grid.shape, dtype=FLOAT)
         if x.size == 0:
             return density
         small, large = self._partition_large(w, h)
@@ -93,8 +110,8 @@ class DensityScatter:
         xl = x - we / 2 - grid.region.xl
         yl = y - he / 2 - grid.region.yl
         bw, bh = grid.bin_w, grid.bin_h
-        ix0 = np.floor(xl / bw).astype(np.int64)
-        iy0 = np.floor(yl / bh).astype(np.int64)
+        ix0 = np.floor(xl / bw).astype(INT)
+        iy0 = np.floor(yl / bh).astype(INT)
         # Window sizes derived from the largest cell this call sees.
         kx = int(np.ceil(we.max() / bw)) + 1
         ky = int(np.ceil(he.max() / bh)) + 1
@@ -139,13 +156,20 @@ class DensityScatter:
         i whose charge q_i was distributed by :meth:`scatter`.
         """
         grid = self.grid
-        result = np.zeros(x.shape)
+        result = np.zeros(x.shape, dtype=FLOAT)
         if x.size == 0:
             return result
         small, large = self._partition_large(w, h)
         if large.any():
-            for i in np.flatnonzero(large):
-                result[i] = self._gather_one_exact(field, x[i], y[i], w[i], h[i])
+            # Large cells (movable macros) span many bins: build the full
+            # (L, m) overlap matrices and contract against the field in
+            # one einsum instead of iterating cells in Python.
+            idx = np.flatnonzero(large)
+            xl = x[idx] - w[idx] / 2 - grid.region.xl
+            yl = y[idx] - h[idx] / 2 - grid.region.yl
+            ov_x = _overlap_matrix(xl, xl + w[idx], grid.m, grid.bin_w)
+            ov_y = _overlap_matrix(yl, yl + h[idx], grid.m, grid.bin_h)
+            result[idx] = np.einsum("im,in,mn->i", ov_x, ov_y, field)
             if not small.any():
                 return result
             small_idx = np.flatnonzero(small)
@@ -157,8 +181,8 @@ class DensityScatter:
         xl = x - we / 2 - grid.region.xl
         yl = y - he / 2 - grid.region.yl
         bw, bh = grid.bin_w, grid.bin_h
-        ix0 = np.floor(xl / bw).astype(np.int64)
-        iy0 = np.floor(yl / bh).astype(np.int64)
+        ix0 = np.floor(xl / bw).astype(INT)
+        iy0 = np.floor(yl / bh).astype(INT)
         kx = int(np.ceil(we.max() / bw)) + 1
         ky = int(np.ceil(he.max() / bh)) + 1
         profiled("density_gather", kx * ky)
@@ -187,63 +211,65 @@ class DensityScatter:
         return result
 
 
-    def _gather_one_exact(
-        self, field: np.ndarray, cx: float, cy: float, cw: float, ch: float
-    ) -> float:
-        """Exact overlap-weighted field sum for one (large) cell."""
-        grid = self.grid
-        bw, bh = grid.bin_w, grid.bin_h
-        m = grid.m
-        xl = cx - cw / 2 - grid.region.xl
-        yl = cy - ch / 2 - grid.region.yl
-        xh, yh = xl + cw, yl + ch
-        i0 = max(int(math.floor(xl / bw)), 0)
-        i1 = min(int(math.ceil(xh / bw)), m)
-        j0 = max(int(math.floor(yl / bh)), 0)
-        j1 = min(int(math.ceil(yh / bh)), m)
-        if i0 >= i1 or j0 >= j1:
-            return 0.0
-        cols = np.arange(i0, i1)
-        rows = np.arange(j0, j1)
-        ov_x = np.clip(
-            np.minimum(xh, (cols + 1) * bw) - np.maximum(xl, cols * bw), 0, None
-        )
-        ov_y = np.clip(
-            np.minimum(yh, (rows + 1) * bh) - np.maximum(yl, rows * bh), 0, None
-        )
-        return float(np.einsum("i,j,ij->", ov_x, ov_y, field[i0:i1, j0:j1]))
-
-
 def rasterize_exact(
     grid: BinGrid,
     x: np.ndarray,
     y: np.ndarray,
     w: np.ndarray,
     h: np.ndarray,
+    window_limit: int = 6,
 ) -> np.ndarray:
-    """Exact (unsmoothed) overlap-area rasterisation, one cell at a time.
+    """Exact (unsmoothed) overlap-area rasterisation, fully vectorised.
 
-    O(cells × covered bins); used for fixed macros at setup and as the
-    reference implementation in tests.
+    Cells at most ``window_limit`` bins wide take the windowed
+    ``np.add.at`` path (a bounded number of all-cell passes — exact here
+    because nothing is smoothed); wider cells (fixed macros spanning the
+    die) are rasterised through full (L, m) overlap matrices contracted
+    in one einsum.  Used for fixed macros at setup and as the reference
+    implementation in tests.
     """
-    density = np.zeros(grid.shape)
+    density = np.zeros(grid.shape, dtype=FLOAT)
+    if x.size == 0:
+        return density
     bw, bh = grid.bin_w, grid.bin_h
     m = grid.m
-    for cx, cy, cw, ch in zip(x, y, w, h):
-        if cw <= 0 or ch <= 0:
+    alive = (w > 0) & (h > 0)
+    wide = alive & ((w > window_limit * bw) | (h > window_limit * bh))
+    narrow = alive & ~wide
+
+    if wide.any():
+        xl = x[wide] - w[wide] / 2 - grid.region.xl
+        yl = y[wide] - h[wide] / 2 - grid.region.yl
+        ov_x = _overlap_matrix(xl, xl + w[wide], m, bw)
+        ov_y = _overlap_matrix(yl, yl + h[wide], m, bh)
+        density += np.einsum("im,in->mn", ov_x, ov_y)
+    if not narrow.any():
+        return density
+
+    cw, ch = w[narrow], h[narrow]
+    xl = x[narrow] - cw / 2 - grid.region.xl
+    yl = y[narrow] - ch / 2 - grid.region.yl
+    ix0 = np.floor(xl / bw).astype(INT)
+    iy0 = np.floor(yl / bh).astype(INT)
+    kx = int(np.ceil(cw.max() / bw)) + 1
+    ky = int(np.ceil(ch.max() / bh)) + 1
+    for dx in range(kx):
+        cols = ix0 + dx
+        ov_x = np.minimum(xl + cw, (cols + 1) * bw) - np.maximum(xl, cols * bw)
+        ov_x = np.clip(ov_x, 0.0, None)
+        valid_x = (cols >= 0) & (cols < m) & (ov_x > 0)
+        if not valid_x.any():
             continue
-        xl = cx - cw / 2 - grid.region.xl
-        yl = cy - ch / 2 - grid.region.yl
-        xh, yh = xl + cw, yl + ch
-        i0 = max(int(math.floor(xl / bw)), 0)
-        i1 = min(int(math.ceil(xh / bw)), m)
-        j0 = max(int(math.floor(yl / bh)), 0)
-        j1 = min(int(math.ceil(yh / bh)), m)
-        if i0 >= i1 or j0 >= j1:
-            continue
-        cols = np.arange(i0, i1)
-        rows = np.arange(j0, j1)
-        ov_x = np.minimum(xh, (cols + 1) * bw) - np.maximum(xl, cols * bw)
-        ov_y = np.minimum(yh, (rows + 1) * bh) - np.maximum(yl, rows * bh)
-        density[i0:i1, j0:j1] += np.outer(np.clip(ov_x, 0, None), np.clip(ov_y, 0, None))
+        for dy in range(ky):
+            rows = iy0 + dy
+            ov_y = np.minimum(yl + ch, (rows + 1) * bh) - np.maximum(yl, rows * bh)
+            ov_y = np.clip(ov_y, 0.0, None)
+            valid = valid_x & (rows >= 0) & (rows < m) & (ov_y > 0)
+            if not valid.any():
+                continue
+            np.add.at(
+                density,
+                (cols[valid], rows[valid]),
+                ov_x[valid] * ov_y[valid],
+            )
     return density

@@ -28,6 +28,7 @@ from repro.density.electrostatics import ElectrostaticSolver, FieldSolution
 from repro.density.fillers import FillerCells
 from repro.density.overflow import overflow_ratio
 from repro.density.scatter import DensityScatter, rasterize_exact
+from repro.dtypes import FLOAT
 from repro.netlist import Netlist
 from repro.ops import profiled
 
@@ -93,7 +94,7 @@ class DensitySystem:
             )
         else:
             self.fillers = FillerCells(
-                width=1.0, height=1.0, x=np.empty(0), y=np.empty(0)
+                width=1.0, height=1.0, x=np.empty(0, dtype=FLOAT), y=np.empty(0, dtype=FLOAT)
             )
 
     # ------------------------------------------------------------------
@@ -136,8 +137,8 @@ class DensitySystem:
         field = self.solver.solve(total)
 
         # Force on charge q is qE; the descent gradient of the energy is -qE.
-        grad_x = np.zeros(self.netlist.num_cells)
-        grad_y = np.zeros(self.netlist.num_cells)
+        grad_x = np.zeros(self.netlist.num_cells, dtype=FLOAT)
+        grad_y = np.zeros(self.netlist.num_cells, dtype=FLOAT)
         grad_x[self._mov_idx] = -self.scatter.gather(
             field.field_x, mov_x, mov_y, self._mov_w, self._mov_h
         )

@@ -1,0 +1,26 @@
+"""Canonical numeric dtype policy for kernel modules.
+
+Every array kernel (density, wirelength, autograd, optim) allocates with
+an explicit dtype drawn from this module instead of scattering
+``np.float64`` literals or relying on NumPy's implicit defaults.  The
+``dtype-drift`` lint rule (:mod:`repro.analysis.rules`) enforces this:
+switching the whole placer to another precision is a one-line change
+here, and accidental ``float64``/``float32`` mixtures — the silent
+promotions that double kernel memory traffic — become machine-checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Working floating-point precision of all placement kernels.
+FLOAT = np.float64
+
+#: Index / count dtype (bin indices, CSR offsets, cell ids).
+INT = np.int64
+
+#: Mask dtype.
+BOOL = np.bool_
+
+#: Spectral (FFT) dtype matching :data:`FLOAT` precision.
+COMPLEX = np.complex128

@@ -60,8 +60,10 @@ def get_pretrained_model(
             try:
                 model.load_state_dict(payload)
                 return model
-            except ValueError:
-                pass  # architecture drift: retrain below
+            except ValueError as exc:
+                # Architecture drift: report why, then retrain below.
+                if verbose:
+                    print(f"cached guidance weights rejected ({exc}); retraining")
     model = train_guidance_model(verbose=verbose)
     os.makedirs(os.path.dirname(cache_path), exist_ok=True)
     state = model.state_dict()

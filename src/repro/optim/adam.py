@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from repro.dtypes import FLOAT
 
 from repro.ops import profiled
 
@@ -26,8 +27,8 @@ class AdamOptimizer:
         beta2: float = 0.999,
         eps: float = 1e-8,
     ) -> None:
-        self.x = x0.astype(np.float64).copy()
-        self.y = y0.astype(np.float64).copy()
+        self.x = x0.astype(FLOAT).copy()
+        self.y = y0.astype(FLOAT).copy()
         self.lr = float(lr)
         self.beta1, self.beta2, self.eps = beta1, beta2, eps
         self._mx = np.zeros_like(self.x)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from repro.dtypes import FLOAT
 
 from repro.ops import profiled
 
@@ -30,8 +31,8 @@ class NesterovOptimizer:
         initial_step: float = 1.0,
         max_step: float = None,
     ) -> None:
-        self.ux = x0.astype(np.float64).copy()
-        self.uy = y0.astype(np.float64).copy()
+        self.ux = x0.astype(FLOAT).copy()
+        self.uy = y0.astype(FLOAT).copy()
         self.vx = self.ux.copy()
         self.vy = self.uy.copy()
         self._a = 1.0

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from repro.dtypes import FLOAT
 
 from repro.density.fillers import FillerCells
 from repro.netlist import Netlist
@@ -33,8 +34,8 @@ class Preconditioner:
         movable = netlist.movable_index
         self._hw = np.concatenate(
             [
-                netlist.cell_num_nets[movable].astype(np.float64),
-                np.zeros(fillers.count),  # fillers touch no nets
+                netlist.cell_num_nets[movable].astype(FLOAT),
+                np.zeros(fillers.count, dtype=FLOAT),  # fillers touch no nets
             ]
         )
         filler_area = np.asarray(fillers.w) * np.asarray(fillers.h)

@@ -25,6 +25,8 @@ Event kinds
 ``failed``      job gave up (stage error, timeout or crash) — the
                 payload carries ``reason`` and ``error``
 ``cancelled``   job abandoned because a race was already decided
+``diagnostic``  a numerical fault aborted the GP loop (from the worker)
+                — the payload names the iteration, stage and op
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ EVENT_KINDS = (
     "retry",
     "failed",
     "cancelled",
+    "diagnostic",
 )
 
 

@@ -12,6 +12,7 @@ differs — which is exactly what the Table 3 ablation measures.
 from __future__ import annotations
 
 import numpy as np
+from repro.dtypes import FLOAT
 
 from repro.autograd import Tensor, gather_cells, segment_sum
 from repro.netlist import Netlist
@@ -26,7 +27,7 @@ class AutogradWirelengthOp:
     def __init__(self, netlist: Netlist) -> None:
         self.netlist = netlist
         self._weights = netlist.net_weight * netlist.net_mask
-        self._empty_guard = (~netlist.net_mask).astype(np.float64)
+        self._empty_guard = (~netlist.net_mask).astype(FLOAT)
 
     def __call__(self, x: np.ndarray, y: np.ndarray, gamma: float) -> WAResult:
         tx = Tensor(x, requires_grad=True)

@@ -1,0 +1,350 @@
+"""Tests for the repro.analysis lint engine and its rule catalogue."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    LintConfig,
+    LintEngine,
+    default_rules,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+
+KERNEL = "src/repro/density/example.py"
+PLAIN = "src/repro/flow/example.py"
+
+
+def lint(source, path=PLAIN, **config_kwargs):
+    engine = LintEngine(config=LintConfig(**config_kwargs))
+    return engine.lint_source(source, path)
+
+
+def rule_names(violations):
+    return [v.rule for v in violations]
+
+
+class TestAutogradContract:
+    GOOD = """
+class Mul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        return a * b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad, grad
+"""
+
+    def test_compliant_class_passes(self):
+        assert lint(self.GOOD) == []
+
+    def test_missing_backward(self):
+        src = """
+class Broken(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return a
+"""
+        out = lint(src)
+        assert rule_names(out) == ["autograd-contract"]
+        assert "lacks a backward()" in out[0].message
+
+    def test_not_staticmethod(self):
+        src = """
+class Broken(Function):
+    def forward(ctx, a):
+        return a
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)
+"""
+        out = lint(src)
+        assert any("must be a @staticmethod" in v.message for v in out)
+
+    def test_ctx_not_first(self):
+        src = """
+class Broken(Function):
+    @staticmethod
+    def forward(a, b):
+        return a
+
+    @staticmethod
+    def backward(ctx, grad):
+        return grad, grad
+"""
+        out = lint(src)
+        assert any("ctx as its first argument" in v.message for v in out)
+
+    def test_arity_mismatch(self):
+        src = """
+class Broken(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        return a * b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)
+"""
+        out = lint(src)
+        assert any("1 gradient(s) but forward takes 2" in v.message for v in out)
+
+    def test_variadic_forward_skips_arity(self):
+        src = """
+class Concat(Function):
+    @staticmethod
+    def forward(ctx, *arrays):
+        return arrays[0]
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)
+"""
+        assert lint(src) == []
+
+    def test_unrelated_class_ignored(self):
+        assert lint("class Foo:\n    pass\n") == []
+
+
+class TestHotLoopScalarIteration:
+    def test_zip_loop_flagged_in_kernel(self):
+        src = "for a, b in zip(xs, ys):\n    total += a * b\n"
+        out = lint(src, path=KERNEL)
+        assert rule_names(out) == ["hot-loop-scalar-iteration"]
+        assert "zip" in out[0].message
+
+    def test_kernel_rule_silent_outside_kernels(self):
+        src = "for a, b in zip(xs, ys):\n    total += a * b\n"
+        assert lint(src, path=PLAIN) == []
+
+    def test_range_len_flagged(self):
+        src = "for i in range(len(xs)):\n    xs[i] += 1\n"
+        out = lint(src, path=KERNEL)
+        assert rule_names(out) == ["hot-loop-scalar-iteration"]
+
+    def test_flatnonzero_flagged(self):
+        src = "for i in np.flatnonzero(mask):\n    out[i] = f(i)\n"
+        out = lint(src, path=KERNEL)
+        assert "np.flatnonzero" in out[0].message
+
+    def test_plain_range_and_enumerate_allowed(self):
+        src = (
+            "for dx in range(k):\n    pass\n"
+            "for i, g in enumerate(groups):\n    pass\n"
+        )
+        assert lint(src, path=KERNEL) == []
+
+    def test_tape_walker_exemption(self):
+        src = "for inp, ig in zip(node.inputs, grads):\n    accumulate(inp, ig)\n"
+        assert lint(src, path="src/repro/autograd/tensor.py") == []
+        assert lint(src, path="src/repro/autograd/ops.py") != []
+
+
+class TestDtypeDrift:
+    def test_allocator_without_dtype(self):
+        out = lint("d = np.zeros(grid.shape)\n", path=KERNEL)
+        assert rule_names(out) == ["dtype-drift"]
+        assert "without an explicit dtype=" in out[0].message
+
+    def test_allocator_with_dtype_passes(self):
+        assert lint("d = np.zeros(3, dtype=FLOAT)\n", path=KERNEL) == []
+
+    def test_float64_literal(self):
+        out = lint("x = a.astype(np.float64)\n", path=KERNEL)
+        assert "stray float64" in out[0].message
+
+    def test_float32_literal(self):
+        out = lint("x = a.astype(np.float32)\n", path=KERNEL)
+        assert "reduced-precision" in out[0].message
+
+    def test_string_dtype_in_allocator_kwarg(self):
+        out = lint('x = np.zeros(3, dtype="float64")\n', path=KERNEL)
+        assert rule_names(out) == ["dtype-drift"]
+        assert "string dtype literal" in out[0].message
+
+    def test_silent_outside_kernels(self):
+        assert lint("d = np.zeros(3)\n", path=PLAIN) == []
+
+
+class TestSilentExcept:
+    def test_pass_body_flagged(self):
+        src = "try:\n    risky()\nexcept ValueError:\n    pass\n"
+        out = lint(src)
+        assert rule_names(out) == ["silent-except"]
+        assert "ValueError" in out[0].message
+
+    def test_continue_body_flagged(self):
+        src = (
+            "for x in items:\n"
+            "    try:\n        risky(x)\n"
+            "    except Exception:\n        continue\n"
+        )
+        assert rule_names(lint(src)) == ["silent-except"]
+
+    def test_handled_exception_passes(self):
+        src = "try:\n    risky()\nexcept ValueError as e:\n    log(e)\n"
+        assert lint(src) == []
+
+
+class TestMutableDefaultArg:
+    def test_list_default_flagged(self):
+        out = lint("def f(items=[]):\n    return items\n")
+        assert rule_names(out) == ["mutable-default-arg"]
+
+    def test_dict_call_default_flagged(self):
+        out = lint("def f(opts=dict()):\n    return opts\n")
+        assert rule_names(out) == ["mutable-default-arg"]
+
+    def test_none_default_passes(self):
+        assert lint("def f(items=None):\n    return items or []\n") == []
+
+
+class TestMpUnsafeCapture:
+    def test_lambda_target_flagged(self):
+        out = lint("p = Process(target=lambda: work())\n")
+        assert rule_names(out) == ["mp-unsafe-capture"]
+
+    def test_nested_function_to_submit_flagged(self):
+        src = (
+            "def run(pool):\n"
+            "    def task():\n        return 1\n"
+            "    pool.submit(task)\n"
+        )
+        out = lint(src)
+        assert any("captures enclosing scope" in v.message for v in out)
+
+    def test_module_level_function_passes(self):
+        src = (
+            "def task():\n    return 1\n"
+            "def run(pool):\n    pool.submit(task)\n"
+        )
+        assert lint(src) == []
+
+
+class TestSuppressions:
+    SRC = "for a, b in zip(xs, ys):  # repro: noqa[hot-loop-scalar-iteration]\n    pass\n"
+
+    def test_rule_scoped_noqa(self):
+        assert lint(self.SRC, path=KERNEL) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = "d = np.zeros(grid.shape)  # repro: noqa\n"
+        assert lint(src, path=KERNEL) == []
+
+    def test_wrong_rule_noqa_does_not_suppress(self):
+        src = "d = np.zeros(grid.shape)  # repro: noqa[silent-except]\n"
+        assert rule_names(lint(src, path=KERNEL)) == ["dtype-drift"]
+
+
+class TestEngineAndConfig:
+    def test_select_restricts_rules(self):
+        src = "d = np.zeros(3)\nfor a, b in zip(xs, ys):\n    pass\n"
+        out = lint(src, path=KERNEL, select=frozenset({"dtype-drift"}))
+        assert rule_names(out) == ["dtype-drift"]
+
+    def test_ignore_subtracts(self):
+        src = "d = np.zeros(3)\n"
+        assert lint(src, path=KERNEL, ignore=frozenset({"dtype-drift"})) == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintEngine(config=LintConfig(select=frozenset({"no-such-rule"})))
+
+    def test_parse_error_reported_not_raised(self):
+        out = lint("def broken(:\n")
+        assert rule_names(out) == ["parse-error"]
+
+    def test_lint_paths_sorted_and_recursive(self, tmp_path):
+        pkg = tmp_path / "density"
+        pkg.mkdir()
+        (pkg / "b.py").write_text("x = np.zeros(3)\n")
+        (pkg / "a.py").write_text("y = np.ones(4)\n")
+        out = LintEngine().lint_paths([str(tmp_path)])
+        assert [os.path.basename(v.path) for v in out] == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            LintEngine().lint_paths(["/no/such/dir-xyz"])
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert render_text([]) == "clean: no violations"
+
+    def test_text_summary_counts(self):
+        out = lint("d = np.zeros(3)\ne = np.ones(4)\n", path=KERNEL)
+        text = render_text(out)
+        assert "2 violation(s)" in text and "dtype-drift: 2" in text
+
+    def test_json_roundtrip(self):
+        out = lint("d = np.zeros(3)\n", path=KERNEL)
+        payload = json.loads(render_json(out))
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "dtype-drift"
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        pkg = tmp_path / "density"
+        pkg.mkdir()
+        target = pkg / "bad.py"
+        target.write_text("d = np.zeros(3)\n")
+        assert main(["lint", str(target)]) == EXIT_VIOLATIONS
+        assert "dtype-drift" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target), "--format", "json"]) == EXIT_CLEAN
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+    def test_unknown_rule_exits_usage(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        code = main(["lint", str(target), "--select", "bogus"])
+        assert code == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in default_rules():
+            assert rule.name in out
+
+
+class TestShippedTree:
+    def test_source_tree_lints_clean(self):
+        """The shipped tree passes with zero inline suppressions."""
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        violations = LintEngine().lint_paths([src])
+        assert violations == [], render_text(violations)
+
+    def test_no_inline_suppressions_in_tree(self):
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        offenders = []
+        for root, _dirs, files in os.walk(src):
+            # The analysis package documents the marker syntax itself.
+            if os.path.basename(root) == "analysis":
+                continue
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                with open(path, encoding="utf-8") as fh:
+                    if "repro: noqa" in fh.read():
+                        offenders.append(path)
+        assert offenders == []

@@ -1,0 +1,296 @@
+"""Tests for the runtime numerical sanitizer and the placer's guard."""
+
+import numpy as np
+import pytest
+
+from repro import PlacementParams, make_design
+from repro.analysis.sanitizer import (
+    NumericalFault,
+    Sanitizer,
+    active,
+    disable,
+    enable,
+    install_from_env,
+    sanitized,
+)
+from repro.autograd import gradcheck_all
+from repro.autograd.tensor import Function, Tensor
+from repro.core import XPlacer, initial_positions
+from repro.core.callbacks import Diagnostic, IterationCallback, QueueCallback
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_off_afterwards():
+    yield
+    disable()
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return make_design("fft_1", num_cells=120)
+
+
+class TestSanitizerUnit:
+    def test_check_array_accepts_finite(self):
+        s = Sanitizer()
+        s.check_array("op", np.ones(4))
+        assert s.checks == 1 and s.faults == 0
+
+    def test_check_array_rejects_nan_with_provenance(self):
+        s = Sanitizer()
+        arr = np.array([1.0, np.nan, np.inf])
+        with pytest.raises(NumericalFault) as err:
+            s.check_array("density.grad_x", arr, iteration=7)
+        fault = err.value
+        assert fault.op == "density.grad_x"
+        assert fault.iteration == 7
+        assert "1 NaN, 1 Inf" in str(fault)
+        assert s.faults == 1
+
+    def test_check_array_skips_integer_arrays(self):
+        Sanitizer().check_array("op", np.array([1, 2, 3]))
+
+    def test_backward_shape_mismatch(self):
+        s = Sanitizer()
+        with pytest.raises(NumericalFault, match="cannot be reduced"):
+            s.check_backward("Mul", np.ones(3), np.ones((7, 9)))
+
+    def test_backward_broadcastable_grad_ok(self):
+        # (4,) grad against a (3, 4) input is fine pre-_unbroadcast; the
+        # other direction — grad smaller than what broadcasting implies —
+        # is too ((3,4) grad for (4,) input sums down).
+        Sanitizer().check_backward("Add", np.ones((3, 4)), np.ones((3, 4)))
+        Sanitizer().check_backward("Add", np.ones(4), np.ones((3, 4)))
+
+    def test_backward_complex_grad_for_real_input(self):
+        s = Sanitizer()
+        with pytest.raises(NumericalFault, match="complex gradient"):
+            s.check_backward("Op", np.ones(3), np.ones(3, dtype=np.complex128))
+
+    def test_backward_downcast_grad(self):
+        s = Sanitizer()
+        with pytest.raises(NumericalFault, match="downcasts"):
+            s.check_backward("Op", np.ones(3), np.ones(3, dtype=np.float32))
+
+
+class TestActivation:
+    def test_enable_disable_roundtrip(self):
+        assert active() is None
+        s = enable()
+        assert active() is s
+        disable()
+        assert active() is None
+
+    def test_sanitized_restores_previous(self):
+        outer = enable()
+        with sanitized() as inner:
+            assert active() is inner and inner is not outer
+        assert active() is outer
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        first = install_from_env()
+        assert first is not None
+        assert install_from_env() is first  # idempotent
+
+    def test_env_off_means_inactive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert install_from_env() is None
+
+
+class _NaNForward(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = a.copy()
+        out[0] = np.nan
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)
+
+
+class _NaNBackward(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return a * 1.0
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (np.full_like(grad, np.nan),)
+
+
+class TestTapePath:
+    def test_forward_nan_caught_with_op_name(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        with sanitized():
+            with pytest.raises(NumericalFault, match="_NaNForward"):
+                _NaNForward.apply(t)
+
+    def test_backward_nan_caught_with_op_name(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        with sanitized():
+            out = _NaNBackward.apply(t)
+            with pytest.raises(NumericalFault) as err:
+                out.sum().backward()
+        assert err.value.op == "_NaNBackward"
+        assert err.value.stage == "autograd.backward"
+
+    def test_disabled_sanitizer_lets_nan_through(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        out = _NaNForward.apply(t)  # no raise: hooks are off
+        assert np.isnan(out.data[0])
+
+    def test_clean_graph_unaffected(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        with sanitized() as s:
+            (t * 2.0).sum().backward()
+            assert s.checks > 0 and s.faults == 0
+        assert np.allclose(t.grad, 2.0)
+
+    def test_gradcheck_sweep_runs_under_sanitizer(self):
+        with sanitized() as s:
+            names = gradcheck_all()
+        assert len(names) >= 20
+        assert s.faults == 0
+
+
+class TestGradientEnginePath:
+    def test_injected_nan_names_wirelength_op(self, netlist):
+        placer = XPlacer(
+            netlist, PlacementParams(max_iterations=5, min_iterations=1)
+        )
+        engine = placer.engine
+        n = netlist.num_cells
+
+        class _PoisonedWL:
+            def __call__(self, x, y, gamma):
+                class R:
+                    grad_x = np.full(n, np.nan)
+                    grad_y = np.zeros(n)
+                    wa = 1.0
+                    hpwl = 1.0
+
+                return R()
+
+        engine.wirelength = _PoisonedWL()
+        mov = netlist.movable_index
+        x0, y0 = initial_positions(netlist, rng=np.random.default_rng(0))
+        pos_x = np.concatenate([x0[mov], placer.density.fillers.x])
+        pos_y = np.concatenate([y0[mov], placer.density.fillers.y])
+        with sanitized():
+            with pytest.raises(NumericalFault) as err:
+                engine.compute(3, pos_x, pos_y, 1.0, 0.0)
+        assert err.value.op == "wirelength.grad_x"
+        assert err.value.stage == "gradient-engine"
+        assert err.value.iteration == 3
+
+    def test_clean_compute_passes(self, netlist):
+        from repro.core import Scheduler
+
+        placer = XPlacer(
+            netlist, PlacementParams(max_iterations=5, min_iterations=1)
+        )
+        grid = placer.density.grid
+        gamma = Scheduler(placer.params, min(grid.bin_w, grid.bin_h)).gamma
+        mov = netlist.movable_index
+        x0, y0 = initial_positions(netlist, rng=np.random.default_rng(0))
+        pos_x = np.concatenate([x0[mov], placer.density.fillers.x])
+        pos_y = np.concatenate([y0[mov], placer.density.fillers.y])
+        with sanitized() as s:
+            placer.engine.compute(0, pos_x, pos_y, gamma, 0.0)
+        assert s.checks > 0 and s.faults == 0
+
+
+class _DiagnosticRecorder(IterationCallback):
+    def __init__(self):
+        self.diagnostics = []
+
+    def on_diagnostic(self, info):
+        self.diagnostics.append(info)
+
+
+class TestPlacerGuard:
+    def test_divergence_aborts_with_provenance(self, netlist):
+        placer = XPlacer(
+            netlist, PlacementParams(max_iterations=20, min_iterations=5)
+        )
+        original = placer.engine.assemble
+
+        def poisoned(result, px, py, lam, sigma=0.0):
+            gx, gy = original(result, px, py, lam, sigma)
+            if poisoned.calls >= 2:
+                gx = gx.copy()
+                gx[0] = np.nan
+            poisoned.calls += 1
+            return gx, gy
+
+        poisoned.calls = 0
+        placer.engine.assemble = poisoned
+        recorder = _DiagnosticRecorder()
+        with pytest.raises(NumericalFault) as err:
+            placer.run(callbacks=[recorder])
+        fault = err.value
+        assert fault.stage == "global-place"
+        assert fault.iteration is not None and fault.iteration >= 2
+        assert "non-finite cell positions" in str(fault)
+        assert len(recorder.diagnostics) == 1
+        diag = recorder.diagnostics[0]
+        assert diag.design == netlist.name
+        assert diag.iteration == fault.iteration
+        assert diag.op == fault.op
+
+    def test_sanitize_mode_full_run_is_clean(self, netlist, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        placer = XPlacer(
+            netlist, PlacementParams(max_iterations=30, min_iterations=10)
+        )
+        result = placer.run()
+        sanitizer = active()
+        assert sanitizer is not None
+        assert sanitizer.checks > 0
+        assert sanitizer.faults == 0
+        assert np.isfinite(result.hpwl)
+
+
+class TestDiagnosticEvent:
+    def test_queue_callback_bridges_diagnostic(self):
+        messages = []
+        callback = QueueCallback(messages.append, label="job-1")
+        callback.on_diagnostic(
+            Diagnostic(
+                design="d",
+                iteration=4,
+                stage="global-place",
+                op="density.grad",
+                message="boom",
+            )
+        )
+        assert messages == [
+            {
+                "event": "diagnostic",
+                "job_id": "job-1",
+                "design": "d",
+                "iteration": 4,
+                "stage": "global-place",
+                "op": "density.grad",
+                "message": "boom",
+            }
+        ]
+
+    def test_event_log_accepts_diagnostic_kind(self, tmp_path):
+        from repro.runtime.events import EventLog
+
+        log = EventLog()
+        QueueCallback(log, label="job-2").on_diagnostic(
+            Diagnostic(
+                design="d",
+                iteration=1,
+                stage="gradient-engine",
+                op="wirelength.wa",
+                message="m",
+            )
+        )
+        assert log.count("diagnostic") == 1
+        event = log.of_kind("diagnostic")[0]
+        assert event.payload["op"] == "wirelength.wa"
