@@ -54,6 +54,13 @@ from repro.flow_mixed import (
     run_mixed_size_flow,
 )
 from repro.timing import TimingDrivenPlacer, TimingGraph, run_sta
+from repro.recovery import (
+    CheckpointManager,
+    DivergenceMonitor,
+    LoopSnapshot,
+    RecoveryController,
+)
+from repro.faults import FaultCallback, FaultPlan, FaultSpec, InjectedFault
 from repro.runtime import (
     EventLog,
     JobResult,
@@ -114,6 +121,14 @@ __all__ = [
     "TimingDrivenPlacer",
     "TimingGraph",
     "run_sta",
+    "CheckpointManager",
+    "DivergenceMonitor",
+    "LoopSnapshot",
+    "RecoveryController",
+    "FaultCallback",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "EventLog",
     "JobResult",
     "PlacementJob",

@@ -51,6 +51,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         verbose=args.verbose,
         seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
     )
     predictor = None
     if args.placer == "xplace-nn":
@@ -68,7 +69,19 @@ def _cmd_place(args: argparse.Namespace) -> int:
         field_predictor=predictor,
         dp_passes=args.dp_passes,
         route=args.route,
+        checkpoint_dir=args.recover,
+        resume=args.recover is not None,
     )
+    if result.report is not None:
+        gp_metrics = result.report.metrics
+        if gp_metrics.get("gp_resumed_from") is not None:
+            print(f"resumed from checkpoint at iteration "
+                  f"{gp_metrics['gp_resumed_from']}")
+        if gp_metrics.get("gp_rollbacks"):
+            print(f"recovered from {gp_metrics['gp_rollbacks']} "
+                  f"divergence rollback(s)"
+                  + (" — degraded to best checkpoint"
+                     if gp_metrics.get("gp_degraded") else ""))
     if args.placer == "quadratic":
         print(
             f"{netlist.name}: HPWL {result.final_hpwl:.6g} "
@@ -102,6 +115,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.runtime import EventLog, load_manifest, run_batch, summary_table
 
     jobs = load_manifest(args.manifest)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     events = EventLog(path=args.events, echo=args.verbose)
     try:
         results, _ = run_batch(
@@ -111,6 +127,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             events=events,
             start_method=args.start_method,
             heartbeat_every=args.heartbeat_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     finally:
         events.close()
@@ -229,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--target-density", type=float, default=0.9)
     place.add_argument("--max-iterations", type=int, default=1000)
     place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--recover", default=None, metavar="DIR",
+                       help="arm checkpoint/rollback recovery, spilling "
+                            "GP checkpoints to DIR and resuming from any "
+                            "checkpoint a killed run left there")
+    place.add_argument("--checkpoint-every", type=int, default=0,
+                       help="GP iterations between recovery checkpoints "
+                            "(0 = default cadence when --recover is set)")
     place.add_argument("--verbose", action="store_true")
     place.set_defaults(handler=_cmd_place)
 
@@ -250,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiprocessing start method (default: auto)")
     batch.add_argument("--heartbeat-every", type=int, default=25,
                        help="GP iterations between heartbeat events")
+    batch.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="spill GP checkpoints under DIR so crash/"
+                            "timeout retries resume mid-run")
+    batch.add_argument("--resume", action="store_true",
+                       help="resume jobs from checkpoints a killed batch "
+                            "left in --checkpoint-dir")
     batch.add_argument("--verbose", action="store_true",
                        help="echo every runtime event to stdout")
     batch.set_defaults(handler=_cmd_batch)

@@ -14,6 +14,7 @@ touching the loop.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
@@ -54,6 +55,9 @@ class Diagnostic:
     :class:`~repro.core.placer.XPlacer` and by sanitize-mode checks, so
     runtime consumers see *why* a placement died, with provenance: the
     GP iteration, the stage that detected it, and the offending op.
+    ``best_hpwl``/``best_iteration`` situate the fault against the run's
+    best-seen solution (how far back a rollback would have to reach);
+    they default to "no best seen" for emitters without that context.
     """
 
     design: str
@@ -61,6 +65,29 @@ class Diagnostic:
     stage: str
     op: str
     message: str
+    best_hpwl: float = float("inf")
+    best_iteration: int = -1
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """Payload of ``on_recovery``: one self-healing action by the loop.
+
+    ``action`` is one of ``checkpoint`` (snapshot saved), ``rollback``
+    (state restored from a snapshot with a mutated continuation),
+    ``resumed`` (a fresh process restored a spilled checkpoint), or
+    ``degraded`` (rollback budget exhausted; best-seen snapshot
+    returned).  ``iteration`` is where the loop was when it acted;
+    ``snapshot_iteration`` is the iteration the involved snapshot had
+    captured (they coincide for ``checkpoint``).
+    """
+
+    design: str
+    action: str
+    iteration: int
+    snapshot_iteration: int
+    reason: str
+    rollbacks: int
 
 
 class IterationCallback:
@@ -82,6 +109,9 @@ class IterationCallback:
 
     def on_diagnostic(self, info: Diagnostic) -> None:
         """Called when a numerical fault aborts the loop (before raising)."""
+
+    def on_recovery(self, info: RecoveryEvent) -> None:
+        """Called on every checkpoint/rollback/resume/degrade action."""
 
 
 class CallbackList(IterationCallback):
@@ -110,6 +140,12 @@ class CallbackList(IterationCallback):
         for callback in self.callbacks:
             # Duck-typed callbacks predating the diagnostic hook are fine.
             handler = getattr(callback, "on_diagnostic", None)
+            if handler is not None:
+                handler(info)
+
+    def on_recovery(self, info: RecoveryEvent) -> None:
+        for callback in self.callbacks:
+            handler = getattr(callback, "on_recovery", None)
             if handler is not None:
                 handler(info)
 
@@ -177,6 +213,22 @@ class QueueCallback(IterationCallback):
             stage=info.stage,
             op=info.op,
             message=info.message,
+            # inf (no best seen yet) is not valid JSON — send null instead.
+            best_hpwl=(
+                float(info.best_hpwl) if math.isfinite(info.best_hpwl) else None
+            ),
+            best_iteration=int(info.best_iteration),
+        )
+
+    def on_recovery(self, info: RecoveryEvent) -> None:
+        self._send(
+            "recovery",
+            design=info.design,
+            action=info.action,
+            iteration=int(info.iteration),
+            snapshot_iteration=int(info.snapshot_iteration),
+            reason=info.reason,
+            rollbacks=int(info.rollbacks),
         )
 
 

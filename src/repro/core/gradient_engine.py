@@ -13,7 +13,7 @@ the final preconditioned descent direction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -214,6 +214,64 @@ class GradientEngine:
             sanitizer.check_array(
                 op, value, stage="gradient-engine", iteration=iteration
             )
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable snapshot of the engine's cross-iteration state.
+
+        Captures the skip controller's decision state and the *density*
+        half of the cached :class:`GradientResult` — exactly the fields
+        a skipped iteration reuses — so that a restored run makes the
+        same skip/recompute decisions, on the same cached gradients, as
+        an uninterrupted one.  Wirelength fields are recomputed every
+        iteration and need no snapshot.  Flat layout (arrays + scalars
+        only) so the checkpoint spill can split it across npz/json.
+        """
+        state: Dict[str, Any] = {"cached": self._cache is not None}
+        for key, value in self.skip.state_dict().items():
+            state[f"skip_{key}"] = value
+        if self._cache is not None:
+            cache = self._cache
+            state["cache_density_grad_x"] = cache.density_grad_x.copy()
+            state["cache_density_grad_y"] = cache.density_grad_y.copy()
+            state["cache_density_map"] = cache.density_map.copy()
+            state["cache_overflow"] = float(cache.overflow)
+            state["cache_energy"] = float(cache.energy)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict` (bit-exact restore).
+
+        The rebuilt cache carries zeroed wirelength fields: the skip
+        branch of :meth:`compute` only ever reads the density fields,
+        and every other path recomputes before reading.
+        """
+        self.skip.load_state_dict(
+            {
+                "last_computed": state["skip_last_computed"],
+                "last_ratio": state["skip_last_ratio"],
+            }
+        )
+        if not state.get("cached"):
+            self._cache = None
+            return
+        dgx = np.asarray(state["cache_density_grad_x"]).copy()
+        dgy = np.asarray(state["cache_density_grad_y"]).copy()
+        zeros = np.zeros_like(dgx)
+        self._cache = GradientResult(
+            wl_grad_x=zeros,
+            wl_grad_y=zeros,
+            density_grad_x=dgx,
+            density_grad_y=dgy,
+            wa=0.0,
+            hpwl=0.0,
+            overflow=float(state["cache_overflow"]),
+            energy=float(state["cache_energy"]),
+            density_map=np.asarray(state["cache_density_map"]).copy(),
+            density_computed=False,
+            wl_grad_norm=0.0,
+            density_grad_norm=0.0,
+        )
 
     # ------------------------------------------------------------------
     def assemble(

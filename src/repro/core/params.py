@@ -72,9 +72,27 @@ class PlacementParams:
     # letting σ → 1 makes the spreading phase stall on NN error.
     neural_sigma_max: float = 0.5
 
+    # Checkpoint/rollback recovery (repro.recovery).  ``checkpoint_every``
+    # is the master switch: 0 disables recovery entirely; N > 0 snapshots
+    # the loop state every N iterations and arms the divergence monitor.
+    # The runtime also arms recovery when it supplies a spill directory
+    # (``repro batch --resume``), defaulting the cadence if unset.
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 4           # ring-buffer capacity
+    rollback_budget: int = 3           # rollbacks before degrading
+    rollback_step_cut: float = 0.5     # step-length factor per rollback
+    rollback_perturb: float = 0.25     # movable-cell jitter, in bin sizes
+    divergence_hpwl_factor: float = 50.0   # trip at k x best-seen HPWL
+    divergence_plateau_window: int = 0     # 0 → plateau check off
+
     # Misc
     seed: int = 0
     verbose: bool = False
+
+    @property
+    def recovery_enabled(self) -> bool:
+        """Whether the GP loop should checkpoint and self-heal."""
+        return self.checkpoint_every > 0
 
     def __post_init__(self) -> None:
         if not 0 < self.target_density <= 1:
@@ -89,6 +107,20 @@ class PlacementParams:
             raise ValueError("slow_update_period must be >= 1")
         if self.fence_mode not in ("projection", "multi"):
             raise ValueError(f"unknown fence_mode {self.fence_mode!r}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
+        if self.rollback_budget < 0:
+            raise ValueError("rollback_budget must be >= 0")
+        if not 0.0 < self.rollback_step_cut <= 1.0:
+            raise ValueError("rollback_step_cut must be in (0, 1]")
+        if self.rollback_perturb < 0.0:
+            raise ValueError("rollback_perturb must be >= 0")
+        if self.divergence_hpwl_factor <= 1.0:
+            raise ValueError("divergence_hpwl_factor must be > 1")
+        if self.divergence_plateau_window < 0:
+            raise ValueError("divergence_plateau_window must be >= 0")
 
     def gamma(self, overflow: float, bin_size: float) -> float:
         """WA smoothing parameter for the current overflow level."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
@@ -31,7 +32,15 @@ from repro.optim import AdamOptimizer, NesterovOptimizer
 
 @dataclass
 class PlacementResult:
-    """Output of one global placement run."""
+    """Output of one global placement run.
+
+    The recovery fields record how eventful the run was: ``rollbacks``
+    and ``checkpoints`` count self-healing actions, ``degraded`` flags
+    that the rollback budget ran out and the best-seen snapshot was
+    returned instead of a converged solution, and ``resumed_from`` is
+    the checkpoint iteration a restarted process picked up from (None
+    for a fresh run).
+    """
 
     x: np.ndarray              # final cell centers (all cells)
     y: np.ndarray
@@ -41,6 +50,10 @@ class PlacementResult:
     gp_seconds: float
     recorder: Recorder
     converged: bool
+    rollbacks: int = 0
+    checkpoints: int = 0
+    degraded: bool = False
+    resumed_from: Optional[int] = None
 
     def positions(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.x, self.y
@@ -93,7 +106,10 @@ class XPlacer:
 
     # ------------------------------------------------------------------
     def run(
-        self, callbacks: Optional[Sequence[IterationCallback]] = None
+        self,
+        callbacks: Optional[Sequence[IterationCallback]] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> PlacementResult:
         """Run global placement to convergence and return the solution.
 
@@ -101,6 +117,11 @@ class XPlacer:
         :class:`~repro.core.callbacks.IterationCallback` protocol; the
         recorder trace and the ``verbose`` console line are themselves
         stock callbacks attached here.
+
+        Recovery (checkpoint/rollback, :mod:`repro.recovery`) arms when
+        ``params.checkpoint_every > 0`` or a ``checkpoint_dir`` is given;
+        ``checkpoint_dir`` additionally spills each snapshot to disk so a
+        fresh process can pick the run up mid-flight with ``resume=True``.
         """
         params = self.params
         netlist = self.netlist
@@ -130,6 +151,26 @@ class XPlacer:
         engine = self.engine
         clamp = self._make_clamp()
 
+        recovery = None
+        if params.recovery_enabled or checkpoint_dir is not None:
+            from repro.recovery import CheckpointManager
+            from repro.recovery.controller import (
+                DEFAULT_CHECKPOINT_EVERY,
+                RecoveryController,
+            )
+
+            recovery = RecoveryController(
+                params=params,
+                manager=CheckpointManager(
+                    keep=params.checkpoint_keep, spill_dir=checkpoint_dir
+                ),
+                events=events,
+                design=netlist.name,
+                bin_size=bin_size,
+                num_movable=len(mov),
+                every=params.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+            )
+
         events.on_start(
             LoopStart(
                 design=netlist.name,
@@ -140,60 +181,108 @@ class XPlacer:
             )
         )
 
-        # Bootstrap: evaluate once to balance λ0 against gradient norms.
-        vx, vy = optimizer.positions
-        boot = engine.compute(0, vx, vy, scheduler.gamma, lam_for_skip=0.0)
-        lam = scheduler.initialize_lambda(boot.wl_grad_norm, boot.density_grad_norm)
+        start_iteration = 0
+        if recovery is not None and resume:
+            start_iteration = recovery.maybe_resume(optimizer, scheduler, engine)
+
+        result = None
+        if start_iteration == 0:
+            # Bootstrap: evaluate once to balance λ0 against gradient norms.
+            vx, vy = optimizer.positions
+            result = engine.compute(0, vx, vy, scheduler.gamma, lam_for_skip=0.0)
+            lam = scheduler.initialize_lambda(
+                result.wl_grad_norm, result.density_grad_norm
+            )
+        else:
+            # Restored runs carry λ (and the engine's gradient cache) in
+            # the snapshot; re-bootstrapping would fork the trajectory.
+            lam = scheduler.lam
 
         converged = False
-        iteration = 0
-        result = boot
-        for iteration in range(params.max_iterations):
-            omega = engine.preconditioner.omega(lam)
-            sigma = (
-                params.neural_sigma_max * sigma_of_omega(omega)
-                if params.neural_guidance and engine.field_predictor is not None
-                else 0.0
-            )
-            if sigma < 0.02:
-                sigma = 0.0  # predictor cost isn't worth a ~0 blend weight
-            vx, vy = optimizer.positions
-            if iteration > 0:
-                result = engine.compute(iteration, vx, vy, scheduler.gamma, lam)
-            grad_x, grad_y = engine.assemble(result, vx, vy, lam, sigma)
-
-            if iteration == 0:
-                # Bound the very first step to a fraction of a bin.
-                max_grad = max(
-                    float(np.abs(grad_x).max(initial=0.0)),
-                    float(np.abs(grad_y).max(initial=0.0)),
+        degraded = False
+        best_hpwl = math.inf
+        best_iteration = -1
+        last_iteration = start_iteration - 1
+        iteration = start_iteration
+        while iteration < params.max_iterations:
+            try:
+                omega = engine.preconditioner.omega(lam)
+                sigma = (
+                    params.neural_sigma_max * sigma_of_omega(omega)
+                    if params.neural_guidance and engine.field_predictor is not None
+                    else 0.0
                 )
-                if max_grad > 0 and isinstance(optimizer, NesterovOptimizer):
-                    optimizer.bound_first_step(0.1 * bin_size / max_grad)
+                if sigma < 0.02:
+                    sigma = 0.0  # predictor cost isn't worth a ~0 blend weight
+                vx, vy = optimizer.positions
+                if iteration > 0:
+                    result = engine.compute(
+                        iteration, vx, vy, scheduler.gamma, lam
+                    )
+                grad_x, grad_y = engine.assemble(result, vx, vy, lam, sigma)
 
-            optimizer.step(grad_x, grad_y)
-            optimizer.clamp(clamp)
-            self._guard_finite(events, iteration, optimizer, grad_x, grad_y, result)
+                if iteration == 0:
+                    # Bound the very first step to a fraction of a bin.
+                    max_grad = max(
+                        float(np.abs(grad_x).max(initial=0.0)),
+                        float(np.abs(grad_y).max(initial=0.0)),
+                    )
+                    if max_grad > 0 and isinstance(optimizer, NesterovOptimizer):
+                        optimizer.bound_first_step(0.1 * bin_size / max_grad)
 
-            ratio = (
-                lam * result.density_grad_norm / result.wl_grad_norm
-                if result.wl_grad_norm > 1e-20
-                else float("inf")
-            )
-            events.on_iteration(
-                IterationRecord(
-                    iteration=iteration,
-                    hpwl=result.hpwl,
-                    wa=result.wa,
-                    overflow=result.overflow,
-                    gamma=scheduler.gamma,
-                    lam=lam,
-                    omega=omega,
-                    grad_ratio=ratio,
-                    density_computed=result.density_computed,
-                    step_length=optimizer.step_length,
+                optimizer.step(grad_x, grad_y)
+                optimizer.clamp(clamp)
+                self._guard_finite(
+                    events,
+                    iteration,
+                    optimizer,
+                    grad_x,
+                    grad_y,
+                    result,
+                    best_hpwl,
+                    best_iteration,
                 )
-            )
+
+                ratio = (
+                    lam * result.density_grad_norm / result.wl_grad_norm
+                    if result.wl_grad_norm > 1e-20
+                    else float("inf")
+                )
+                events.on_iteration(
+                    IterationRecord(
+                        iteration=iteration,
+                        hpwl=result.hpwl,
+                        wa=result.wa,
+                        overflow=result.overflow,
+                        gamma=scheduler.gamma,
+                        lam=lam,
+                        omega=omega,
+                        grad_ratio=ratio,
+                        density_computed=result.density_computed,
+                        step_length=optimizer.step_length,
+                    )
+                )
+            except NumericalFault as fault:
+                if recovery is not None:
+                    reason = f"numerical-fault: {fault.op}"
+                    resume_at = recovery.rollback(
+                        reason, iteration, optimizer, scheduler, engine, clamp
+                    )
+                    if resume_at is not None:
+                        iteration = resume_at
+                        lam = scheduler.lam
+                        continue
+                    if recovery.degrade(
+                        reason, iteration, optimizer, scheduler, engine
+                    ):
+                        degraded = True
+                        break
+                raise
+
+            last_iteration = iteration
+            if math.isfinite(result.hpwl) and result.hpwl < best_hpwl:
+                best_hpwl = result.hpwl
+                best_iteration = iteration
 
             if scheduler.should_stop(iteration, result.overflow):
                 converged = result.overflow < params.stop_overflow
@@ -203,6 +292,41 @@ class XPlacer:
                 scheduler.update(result.overflow, result.hpwl)
                 lam = scheduler.lam
 
+            if recovery is not None:
+                trip = recovery.observe(iteration, result.hpwl, result.overflow)
+                if trip is not None:
+                    resume_at = recovery.rollback(
+                        trip, iteration, optimizer, scheduler, engine, clamp
+                    )
+                    if resume_at is not None:
+                        iteration = resume_at
+                        lam = scheduler.lam
+                        continue
+                    if recovery.degrade(
+                        trip, iteration, optimizer, scheduler, engine
+                    ):
+                        degraded = True
+                        break
+                    # Nothing restorable: press on with what we have.
+                elif recovery.should_checkpoint(iteration):
+                    recovery.checkpoint(
+                        iteration,
+                        lam,
+                        result.hpwl,
+                        result.overflow,
+                        optimizer,
+                        scheduler,
+                        engine,
+                    )
+
+            iteration += 1
+
+        if recovery is not None:
+            # The run ended on its own terms — a stale spill must not
+            # hijack the next resume.  (A killed run never reaches this,
+            # which is exactly what keeps its spill resumable.)
+            recovery.manager.clear_spill()
+
         sol_x, sol_y = optimizer.solution
         x, y = engine.full_positions(sol_x, sol_y)
         x, y = self._clamp_real_cells(x, y)
@@ -211,7 +335,7 @@ class XPlacer:
         events.on_stop(
             LoopStop(
                 design=netlist.name,
-                iterations=iteration + 1,
+                iterations=last_iteration + 1,
                 converged=converged,
                 gp_seconds=elapsed,
                 hpwl=final.hpwl,
@@ -223,15 +347,27 @@ class XPlacer:
             y=y,
             hpwl=final.hpwl,
             overflow=final.overflow,
-            iterations=iteration + 1,
+            iterations=last_iteration + 1,
             gp_seconds=elapsed,
             recorder=recorder,
             converged=converged,
+            rollbacks=recovery.rollbacks if recovery is not None else 0,
+            checkpoints=recovery.checkpoints if recovery is not None else 0,
+            degraded=degraded,
+            resumed_from=recovery.resumed_from if recovery is not None else None,
         )
 
     # ------------------------------------------------------------------
     def _guard_finite(
-        self, events, iteration, optimizer, grad_x, grad_y, result
+        self,
+        events,
+        iteration,
+        optimizer,
+        grad_x,
+        grad_y,
+        result,
+        best_hpwl=float("inf"),
+        best_iteration=-1,
     ) -> None:
         """Abort on non-finite positions instead of silently diverging.
 
@@ -239,7 +375,9 @@ class XPlacer:
         density, preconditioner) or the optimizer step that produced
         it, then surfaces a :class:`Diagnostic` through the callback
         seam before raising — so runtime consumers (batch events,
-        recorders) see the provenance, not just a dead worker.
+        recorders) see the provenance, not just a dead worker.  The
+        best-seen HPWL and its iteration ride along so consumers can
+        tell how far back a recovery would have to reach.
         """
         vx, vy = optimizer.positions
         if np.isfinite(vx).all() and np.isfinite(vy).all():
@@ -270,6 +408,8 @@ class XPlacer:
                 stage="global-place",
                 op=op,
                 message=message,
+                best_hpwl=best_hpwl,
+                best_iteration=best_iteration,
             )
         )
         raise NumericalFault(

@@ -9,7 +9,7 @@ penalty level before the weights move again.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -70,6 +70,25 @@ class Scheduler:
             mu = float(np.clip(mu, params.mu_min, params.mu_max))
         self.lam *= mu
         self._prev_hpwl = hpwl
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable snapshot of the γ/λ schedule state."""
+        return {
+            "gamma": float(self.gamma),
+            "lam": None if self.lam is None else float(self.lam),
+            "prev_hpwl": self._prev_hpwl,
+            "iterations_since_update": int(self._iterations_since_update),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict` (bit-exact restore)."""
+        self.gamma = float(state["gamma"])
+        lam = state["lam"]
+        self.lam = None if lam is None else float(lam)
+        prev = state["prev_hpwl"]
+        self._prev_hpwl = None if prev is None else float(prev)
+        self._iterations_since_update = int(state["iterations_since_update"])
 
     # ------------------------------------------------------------------
     def should_stop(self, iteration: int, overflow: float) -> bool:

@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+Recovery code that is only exercised by real outages is recovery code
+that does not work.  This package injects the failure modes the
+:mod:`repro.recovery` and :mod:`repro.runtime` layers claim to survive
+— NaN gradients mid-loop, worker crashes, pathological slowdowns,
+corrupted cache entries — at *pinned, reproducible* points, so CI can
+assert "a NaN at 80% progress recovers to within 5% of the fault-free
+HPWL" as a regression test rather than folklore.
+
+See :mod:`repro.faults.plan` for the fault vocabulary and
+:mod:`repro.faults.inject` for how each kind is delivered.
+"""
+
+from repro.faults.inject import (
+    FaultCallback,
+    InjectedFault,
+    corrupt_cache_entry,
+    loop_fault_callback,
+)
+from repro.faults.plan import FAULT_KINDS, LOOP_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "LOOP_KINDS",
+    "FaultCallback",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_cache_entry",
+    "loop_fault_callback",
+]

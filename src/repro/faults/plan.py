@@ -1,0 +1,172 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultSpec` names one deterministic fault — *the* point of this
+harness is that a chaos run is exactly reproducible, so faults are
+pinned to a kind, an iteration and (optionally) a job rather than drawn
+at runtime.  A :class:`FaultPlan` is an ordered collection of specs plus
+the seed that generated it; it serializes to a flat JSON dict so it can
+ride inside a :class:`~repro.runtime.job.PlacementJob` manifest across
+the worker process boundary.
+
+Fault kinds
+-----------
+``nan-grad``       raise a :class:`~repro.analysis.sanitizer.NumericalFault`
+                   from the GP loop at the given iteration — the same
+                   signal a real NaN gradient produces, so it exercises
+                   the rollback path end to end.  Fires once per process.
+``abort``          raise :class:`~repro.faults.inject.InjectedFault` at
+                   the given iteration.  Deliberately *not* a
+                   ``NumericalFault``: recovery does not catch it, so it
+                   simulates an external kill (SIGKILL, OOM) for
+                   resume-determinism tests.
+``crash``          hard-exit the worker process (``os._exit``) at the
+                   given iteration; inline runs raise ``InjectedFault``
+                   instead.  Skipped when the run resumed from a
+                   checkpoint, so a crash-retry cannot loop forever.
+``slow``           sleep ``seconds`` at the given iteration (exercises
+                   timeout enforcement, cooperative and hard).
+``corrupt-cache``  not a loop fault: tests and the chaos harness apply
+                   it to a :class:`~repro.runtime.cache.ResultCache`
+                   entry via :func:`repro.faults.inject.corrupt_cache_entry`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: Kinds injected through the GP loop's iteration-callback seam.
+LOOP_KINDS = ("nan-grad", "abort", "crash", "slow")
+
+FAULT_KINDS = LOOP_KINDS + ("corrupt-cache",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault.
+
+    ``job_id`` restricts the fault to jobs whose id starts with it
+    (job ids embed a content-hash suffix callers usually cannot
+    predict); None applies to every job.
+    """
+
+    kind: str
+    iteration: int = 0
+    job_id: Optional[str] = None
+    seconds: float = 0.0           # "slow" only
+    exitcode: int = 173            # "crash" only; distinctive on purpose
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+    def applies_to(self, job_id: str) -> bool:
+        return self.job_id is None or job_id.startswith(self.job_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "job_id": self.job_id,
+            "seconds": self.seconds,
+            "exitcode": self.exitcode,
+        }
+        return {k: v for k, v in data.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            iteration=int(data.get("iteration", 0)),
+            job_id=data.get("job_id"),
+            seconds=float(data.get("seconds", 0.0)),
+            exitcode=int(data.get("exitcode", 173)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible set of faults for one run (or one batch)."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.faults = [
+            f if isinstance(f, FaultSpec) else FaultSpec.from_dict(f)
+            for f in self.faults
+        ]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_job(self, job_id: str) -> List[FaultSpec]:
+        """The subset of faults that apply to ``job_id``."""
+        return [f for f in self.faults if f.applies_to(job_id)]
+
+    def loop_faults(self, job_id: str) -> List[FaultSpec]:
+        """The applicable faults injectable through the GP loop."""
+        return [f for f in self.for_job(job_id) if f.kind in LOOP_KINDS]
+
+    # -- (de)serialization -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            faults=[FaultSpec.from_dict(f) for f in data.get("faults", [])],
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- generation ---------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        max_iteration: int,
+        kinds: tuple = ("nan-grad",),
+        count: int = 1,
+        slow_seconds: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from a seed (chaos-testing helper).
+
+        Iterations are drawn uniformly from ``[1, max_iteration)`` — the
+        same ``(seed, kinds, count)`` always yields the same plan, which
+        is what makes a failing chaos run replayable.
+        """
+        if max_iteration < 2:
+            raise ValueError("max_iteration must be >= 2")
+        rng = np.random.default_rng([seed, len(kinds), count])
+        faults = []
+        for index in range(count):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    iteration=int(rng.integers(1, max_iteration)),
+                    seconds=slow_seconds if kind == "slow" else 0.0,
+                )
+            )
+        return cls(faults=faults, seed=seed)

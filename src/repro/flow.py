@@ -83,6 +83,8 @@ def run_flow(
     route: bool = False,
     route_grid_m: int = 32,
     callbacks: Optional[Sequence[IterationCallback]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> FlowResult:
     """Run GP (+LG+DP, optionally +GR) and collect the table metrics.
 
@@ -92,6 +94,10 @@ def run_flow(
         ``"quadratic"`` (``"xplace-nn"`` requires ``field_predictor``).
     route : also run global routing and report top5 overflow (Table 4).
     callbacks : iteration callbacks attached to the GP loop.
+    checkpoint_dir : arm GP-loop checkpoint spilling into this
+        directory (crash/rollback recovery, see :mod:`repro.recovery`).
+    resume : resume the GP loop from the spilled checkpoint in
+        ``checkpoint_dir`` when one exists.
     """
     ctx = PlacementContext(
         netlist=netlist,
@@ -99,6 +105,8 @@ def run_flow(
         placer=placer,
         field_predictor=field_predictor,
         callbacks=list(callbacks or ()),
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     pipeline = build_standard_pipeline(
         placer=placer, dp_passes=dp_passes, route=route, route_grid_m=route_grid_m
@@ -126,15 +134,17 @@ def run_flow(
     return result
 
 
-def run_job(job, cache=None, emit=None):
+def run_job(job, cache=None, emit=None, checkpoint_dir=None, resume=False):
     """Entry point for one :class:`repro.runtime.PlacementJob`, inline.
 
     The job-spec twin of :func:`run_flow`: loads the job's design,
     composes its pipeline and executes it in the current process,
     consulting/updating an optional
     :class:`~repro.runtime.cache.ResultCache` and streaming loop events
-    to ``emit``.  For parallel execution, timeouts and retries, hand
-    the job to a :class:`~repro.runtime.pool.WorkerPool` instead.
+    to ``emit``.  ``checkpoint_dir``/``resume`` arm GP-loop checkpoint
+    recovery exactly as in :func:`run_flow`.  For parallel execution,
+    timeouts and retries, hand the job to a
+    :class:`~repro.runtime.pool.WorkerPool` instead.
     """
     from repro.runtime.job import execute_job
 
@@ -142,7 +152,8 @@ def run_job(job, cache=None, emit=None):
         hit = cache.get(job)
         if hit is not None:
             return hit
-    result = execute_job(job, emit=emit)
+    result = execute_job(job, emit=emit, checkpoint_dir=checkpoint_dir,
+                         resume=resume)
     if cache is not None:
         cache.put(job, result)
     return result

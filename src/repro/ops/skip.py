@@ -49,3 +49,16 @@ class DensitySkipController:
     def skipping(self) -> bool:
         """Whether the controller is currently in the skipping regime."""
         return self.enabled and self._last_ratio < self.ratio_threshold
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable snapshot of the skip decision state."""
+        return {
+            "last_computed": int(self._last_computed),
+            "last_ratio": float(self._last_ratio),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (bit-exact restore)."""
+        self._last_computed = int(state["last_computed"])
+        self._last_ratio = float(state["last_ratio"])

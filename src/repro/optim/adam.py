@@ -7,7 +7,7 @@ benchmarks an ablation axis.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 from repro.dtypes import FLOAT
@@ -75,3 +75,37 @@ class AdamOptimizer:
         self._vx[:] = 0
         self._vy[:] = 0
         self._t = 0
+
+    def scale_step(self, factor: float) -> None:
+        """Cut (or grow) the learning rate by ``factor`` (rollback use)."""
+        if not np.isfinite(factor) or factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor!r}")
+        self.lr *= float(factor)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Deep-copied, checkpointable snapshot of the optimizer state."""
+        return {
+            "kind": "adam",
+            "x": self.x.copy(),
+            "y": self.y.copy(),
+            "mx": self._mx.copy(),
+            "my": self._my.copy(),
+            "vx": self._vx.copy(),
+            "vy": self._vy.copy(),
+            "t": int(self._t),
+            "lr": float(self.lr),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict` (bit-exact restore)."""
+        if state.get("kind") != "adam":
+            raise ValueError(f"not an adam state dict: {state.get('kind')!r}")
+        self.x = np.asarray(state["x"], dtype=FLOAT).copy()
+        self.y = np.asarray(state["y"], dtype=FLOAT).copy()
+        self._mx = np.asarray(state["mx"], dtype=FLOAT).copy()
+        self._my = np.asarray(state["my"], dtype=FLOAT).copy()
+        self._vx = np.asarray(state["vx"], dtype=FLOAT).copy()
+        self._vy = np.asarray(state["vy"], dtype=FLOAT).copy()
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])

@@ -13,7 +13,7 @@ current reference solution.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 from repro.dtypes import FLOAT
@@ -121,3 +121,59 @@ class NesterovOptimizer:
         self.vy = self.uy.copy()
         self._prev_gx = self._prev_gy = None
         self._prev_vx = self._prev_vy = None
+
+    def scale_step(self, factor: float) -> None:
+        """Cut (or grow) the current step length by ``factor``.
+
+        Used by rollback recovery to restart more cautiously; with the
+        momentum history cleared the scaled α seeds the next step, after
+        which the Lipschitz predictor takes over again.
+        """
+        if not np.isfinite(factor) or factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor!r}")
+        self._alpha *= float(factor)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Deep-copied, checkpointable snapshot of the optimizer state."""
+        state: Dict[str, Any] = {
+            "kind": "nesterov",
+            "ux": self.ux.copy(),
+            "uy": self.uy.copy(),
+            "vx": self.vx.copy(),
+            "vy": self.vy.copy(),
+            "a": float(self._a),
+            "alpha": float(self._alpha),
+            "max_step": self._max_step,
+        }
+        for key, value in (
+            ("prev_vx", self._prev_vx),
+            ("prev_vy", self._prev_vy),
+            ("prev_gx", self._prev_gx),
+            ("prev_gy", self._prev_gy),
+        ):
+            if value is not None:
+                state[key] = value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict` (bit-exact restore)."""
+        if state.get("kind") != "nesterov":
+            raise ValueError(f"not a nesterov state dict: {state.get('kind')!r}")
+        self.ux = np.asarray(state["ux"], dtype=FLOAT).copy()
+        self.uy = np.asarray(state["uy"], dtype=FLOAT).copy()
+        self.vx = np.asarray(state["vx"], dtype=FLOAT).copy()
+        self.vy = np.asarray(state["vy"], dtype=FLOAT).copy()
+        self._a = float(state["a"])
+        self._alpha = float(state["alpha"])
+        self._max_step = state.get("max_step")
+        self._prev_vx = _optional_array(state.get("prev_vx"))
+        self._prev_vy = _optional_array(state.get("prev_vy"))
+        self._prev_gx = _optional_array(state.get("prev_gx"))
+        self._prev_gy = _optional_array(state.get("prev_gy"))
+
+
+def _optional_array(value) -> Optional[np.ndarray]:
+    if value is None:
+        return None
+    return np.asarray(value, dtype=FLOAT).copy()

@@ -141,6 +141,12 @@ class PlacementContext:
     field_predictor: Optional[Any] = None
     callbacks: List[IterationCallback] = field(default_factory=list)
 
+    # Recovery policy for GP stages: a directory to spill checkpoints
+    # into (arms checkpoint/rollback even when params leave it off) and
+    # whether to resume from a spilled checkpoint found there.
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+
     # Positions: stages consume and overwrite these (cell centers).
     x: Optional[np.ndarray] = None
     y: Optional[np.ndarray] = None

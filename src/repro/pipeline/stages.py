@@ -50,7 +50,11 @@ class GlobalPlaceStage(Stage):
         params = ctx.params
         callbacks = ctx.callbacks
         if placer == "xplace":
-            gp = XPlacer(ctx.netlist, params).run(callbacks=callbacks)
+            gp = XPlacer(ctx.netlist, params).run(
+                callbacks=callbacks,
+                checkpoint_dir=ctx.checkpoint_dir,
+                resume=ctx.resume,
+            )
         elif placer == "xplace-nn":
             if ctx.field_predictor is None:
                 raise ValueError("xplace-nn flow needs a field_predictor")
@@ -58,7 +62,11 @@ class GlobalPlaceStage(Stage):
                 ctx.netlist,
                 _with_guidance(params),
                 field_predictor=ctx.field_predictor,
-            ).run(callbacks=callbacks)
+            ).run(
+                callbacks=callbacks,
+                checkpoint_dir=ctx.checkpoint_dir,
+                resume=ctx.resume,
+            )
         elif placer == "baseline":
             gp = DreamPlaceStyleBaseline(ctx.netlist, params).run(
                 callbacks=callbacks
@@ -71,13 +79,22 @@ class GlobalPlaceStage(Stage):
             raise ValueError(f"unknown placer {placer!r}")
         ctx.gp_result = gp
         ctx.x, ctx.y = gp.x, gp.y
-        return {
+        metrics = {
             "gp_hpwl": gp.hpwl,
             "gp_overflow": gp.overflow,
             "gp_iterations": gp.iterations,
             "gp_seconds": gp.gp_seconds,
             "gp_converged": gp.converged,
         }
+        # Recovery telemetry (quadratic/baseline results have none).
+        rollbacks = getattr(gp, "rollbacks", 0)
+        if getattr(gp, "checkpoints", 0) or rollbacks:
+            metrics["gp_rollbacks"] = rollbacks
+            metrics["gp_checkpoints"] = gp.checkpoints
+            metrics["gp_degraded"] = gp.degraded
+        if getattr(gp, "resumed_from", None) is not None:
+            metrics["gp_resumed_from"] = gp.resumed_from
+        return metrics
 
 
 def movable_macro_indices(netlist: Netlist, row_multiple: float = 2.0) -> np.ndarray:

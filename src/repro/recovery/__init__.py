@@ -1,0 +1,50 @@
+"""repro.recovery — checkpoint/rollback recovery for placement flows.
+
+PR 3 (``repro.analysis``) made numerical faults *visible*; this package
+makes them *survivable*.  Three cooperating parts:
+
+:class:`CheckpointManager`
+    Snapshots the full GP-loop state — optimizer positions and momenta,
+    scheduler (γ/λ) state, the gradient engine's skip/cache state, and
+    the iteration counter — into a bounded in-memory ring buffer, with
+    an optional atomic on-disk spill (written next to the
+    :class:`~repro.runtime.cache.ResultCache`) so a crashed worker's
+    retry can resume mid-run instead of restarting at iteration 0.
+
+:class:`DivergenceMonitor`
+    An :class:`~repro.core.callbacks.IterationCallback` that watches the
+    per-iteration metric stream and trips on HPWL explosion (current
+    HPWL > k× best-seen) or an overflow plateau; non-finite positions
+    and gradients are caught separately by the loop's guard and the
+    PR 3 sanitizer, both of which raise
+    :class:`~repro.analysis.sanitizer.NumericalFault`.
+
+:class:`RecoveryController`
+    The glue the :class:`~repro.core.placer.XPlacer` loop drives: it
+    decides when to checkpoint, answers faults and divergence trips by
+    rolling back to the last good checkpoint with a mutated
+    continuation (step-size cut, bounded random perturbation of movable
+    cells, fresh optimizer momentum) under a bounded rollback budget,
+    and degrades to "return the best-seen snapshot" once the budget is
+    exhausted.  Every action is surfaced as an ``on_recovery`` callback
+    event (``checkpoint`` / ``rollback`` / ``resumed`` / ``degraded``)
+    which :class:`~repro.core.callbacks.QueueCallback` bridges onto the
+    runtime's JSONL event stream.
+
+Recovery is opt-in: it activates when
+``PlacementParams.checkpoint_every > 0`` or when a manager is handed to
+the placer (the runtime does this for ``repro batch --resume``).  With
+no faults injected and no divergence, checkpointing is observation-only
+— the placement trajectory is bit-identical to a run without it.
+"""
+
+from repro.recovery.checkpoint import CheckpointManager, LoopSnapshot
+from repro.recovery.controller import RecoveryController
+from repro.recovery.monitor import DivergenceMonitor
+
+__all__ = [
+    "CheckpointManager",
+    "DivergenceMonitor",
+    "LoopSnapshot",
+    "RecoveryController",
+]

@@ -1,0 +1,238 @@
+"""GP-loop checkpoints: in-memory ring buffer + atomic on-disk spill.
+
+A :class:`LoopSnapshot` captures *everything* the GP loop carries across
+iterations — the optimizer state dict (positions, momenta, step
+length), the scheduler state (γ, λ, HPWL history), the gradient
+engine's skip-controller state and cached density gradient, and the
+iteration/best-seen bookkeeping — so that a run restored from a
+snapshot replays the remaining iterations bit-for-bit identically to an
+uninterrupted run.
+
+The :class:`CheckpointManager` keeps the newest ``keep`` snapshots in a
+ring buffer (rollback targets) plus one pinned *best* snapshot (the
+degradation fallback, judged by ``(overflow, hpwl)``), and optionally
+spills the newest snapshot to disk.  The spill is two files —
+``checkpoint.npz`` (every array, flattened keys) and ``checkpoint.json``
+(every scalar, written last as the commit marker) — each written via
+temp-file + ``os.replace`` so a reader never observes a half-written
+checkpoint, mirroring the :class:`~repro.runtime.cache.ResultCache`
+protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Bump when snapshot contents change shape/meaning — stale spills are
+#: ignored (the run restarts from iteration 0 instead of crashing).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LoopSnapshot:
+    """One recoverable moment of a GP run (end of ``iteration``)."""
+
+    iteration: int                      # last completed iteration
+    lam: float
+    hpwl: float
+    overflow: float
+    best_hpwl: float
+    best_iteration: int
+    optimizer: Dict[str, Any] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
+    engine: Dict[str, Any] = field(default_factory=dict)
+
+    def quality(self) -> Tuple[float, float]:
+        """Ordering key for "best" selection: spread first, then HPWL."""
+        return (self.overflow, self.hpwl)
+
+
+class CheckpointManager:
+    """Bounded snapshot store with an optional durable spill.
+
+    Parameters
+    ----------
+    keep : ring-buffer capacity (newest ``keep`` snapshots are rollback
+        candidates); the best-quality snapshot is pinned separately and
+        never evicted.
+    spill_dir : when set, every :meth:`save` atomically (re)writes the
+        newest snapshot under this directory so a fresh process can
+        :meth:`load_spilled` it after a crash.
+    """
+
+    def __init__(self, keep: int = 4, spill_dir: Optional[str] = None) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.keep = int(keep)
+        self.spill_dir = os.path.abspath(spill_dir) if spill_dir else None
+        self._ring: List[LoopSnapshot] = []
+        self._best: Optional[LoopSnapshot] = None
+        self.saved = 0                   # lifetime save count (telemetry)
+
+    # -- store -------------------------------------------------------
+
+    def save(self, snapshot: LoopSnapshot) -> None:
+        """Append to the ring (evicting the oldest) and spill to disk."""
+        self._ring.append(snapshot)
+        if len(self._ring) > self.keep:
+            self._ring.pop(0)
+        if self._best is None or snapshot.quality() < self._best.quality():
+            self._best = snapshot
+        self.saved += 1
+        if self.spill_dir is not None:
+            self._spill(snapshot)
+
+    def adopt(self, snapshot: LoopSnapshot) -> None:
+        """Seed the ring with an already-durable snapshot (resume path).
+
+        Like :meth:`save` but without re-spilling: the snapshot just
+        came *from* the spill, and rewriting an identical checkpoint
+        would only churn the disk.
+        """
+        self._ring.append(snapshot)
+        if len(self._ring) > self.keep:
+            self._ring.pop(0)
+        if self._best is None or snapshot.quality() < self._best.quality():
+            self._best = snapshot
+
+    # -- lookup ------------------------------------------------------
+
+    def latest(self) -> Optional[LoopSnapshot]:
+        """The newest snapshot (the default rollback target)."""
+        return self._ring[-1] if self._ring else None
+
+    def best(self) -> Optional[LoopSnapshot]:
+        """The best-quality snapshot ever saved (degradation target)."""
+        return self._best
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._best = None
+
+    # -- durable spill -----------------------------------------------
+
+    def _spill(self, snapshot: LoopSnapshot) -> None:
+        os.makedirs(self.spill_dir, exist_ok=True)
+        arrays, scalars = _flatten_snapshot(snapshot)
+        _write_atomic(
+            os.path.join(self.spill_dir, "checkpoint.npz"),
+            lambda path: np.savez(open(path, "wb"), **arrays),
+        )
+        payload = {"schema": SNAPSHOT_SCHEMA_VERSION, "scalars": scalars}
+        _write_atomic(
+            os.path.join(self.spill_dir, "checkpoint.json"),
+            lambda path: _dump_json(path, payload),
+        )
+
+    def load_spilled(self) -> Optional[LoopSnapshot]:
+        """The spilled snapshot, or None (nothing spilled / unreadable).
+
+        A corrupt or stale-schema spill is removed and reported as
+        absent: resuming from iteration 0 is always safe, crashing on a
+        bad checkpoint is not.
+        """
+        if self.spill_dir is None:
+            return None
+        meta_path = os.path.join(self.spill_dir, "checkpoint.json")
+        data_path = os.path.join(self.spill_dir, "checkpoint.npz")
+        if not (os.path.isfile(meta_path) and os.path.isfile(data_path)):
+            return None
+        try:
+            with open(meta_path) as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+                raise ValueError("stale checkpoint schema")
+            with np.load(data_path) as npz:
+                arrays = {key: npz[key] for key in npz.files}
+            return _unflatten_snapshot(arrays, payload["scalars"])
+        except (KeyError, ValueError, OSError, EOFError, json.JSONDecodeError):
+            self.clear_spill()
+            return None
+
+    def clear_spill(self) -> None:
+        """Remove the on-disk spill (called after a successful run)."""
+        if self.spill_dir is not None:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Snapshot (de)serialization: arrays → npz under "section/key" names,
+# scalars → a JSON tree.  None is JSON-native; arrays never collide with
+# scalars because each leaf goes to exactly one side.
+
+_SECTIONS = ("optimizer", "scheduler", "engine")
+
+
+def _flatten_snapshot(
+    snapshot: LoopSnapshot,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, Any] = {
+        "iteration": int(snapshot.iteration),
+        "lam": float(snapshot.lam),
+        "hpwl": float(snapshot.hpwl),
+        "overflow": float(snapshot.overflow),
+        "best_hpwl": float(snapshot.best_hpwl),
+        "best_iteration": int(snapshot.best_iteration),
+    }
+    for section in _SECTIONS:
+        tree: Dict[str, Any] = {}
+        for key, value in getattr(snapshot, section).items():
+            if isinstance(value, np.ndarray):
+                arrays[f"{section}/{key}"] = value
+            elif isinstance(value, (np.floating, np.integer, np.bool_)):
+                tree[key] = value.item()
+            else:
+                tree[key] = value
+        scalars[section] = tree
+    return arrays, scalars
+
+
+def _unflatten_snapshot(
+    arrays: Dict[str, np.ndarray], scalars: Dict[str, Any]
+) -> LoopSnapshot:
+    sections: Dict[str, Dict[str, Any]] = {
+        section: dict(scalars.get(section) or {}) for section in _SECTIONS
+    }
+    for name, value in arrays.items():
+        section, _, key = name.partition("/")
+        if section not in sections:
+            raise ValueError(f"unknown checkpoint array section {section!r}")
+        sections[section][key] = value
+    return LoopSnapshot(
+        iteration=int(scalars["iteration"]),
+        lam=float(scalars["lam"]),
+        hpwl=float(scalars["hpwl"]),
+        overflow=float(scalars["overflow"]),
+        best_hpwl=float(scalars["best_hpwl"]),
+        best_iteration=int(scalars["best_iteration"]),
+        optimizer=sections["optimizer"],
+        scheduler=sections["scheduler"],
+        engine=sections["engine"],
+    )
+
+
+def _write_atomic(path: str, writer) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    os.close(fd)
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _dump_json(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)

@@ -1,0 +1,260 @@
+"""RecoveryController: the self-healing policy the GP loop drives.
+
+The :class:`~repro.core.placer.XPlacer` loop stays in charge of *when*
+things happen (it calls :meth:`maybe_resume` before the first iteration,
+:meth:`observe`/:meth:`checkpoint` at the end of each one, and
+:meth:`rollback`/:meth:`degrade` when a fault or divergence trip needs
+answering); this controller owns *what* happens — which snapshot to
+restore, how to mutate the continuation so the retry does not walk
+straight back into the same divergence, and when to give up.
+
+The mutated continuation after a rollback is the restart recipe from the
+escaping-local-optima literature: restore the last good snapshot, add a
+bounded uniform perturbation to the movable cells (fillers are left
+alone — they re-spread on their own), drop the optimizer's momentum
+history, and cut the step length, the cut compounding with each
+successive rollback.  The perturbation RNG is seeded from
+``(seed, rollback count, snapshot iteration)`` so recovery trajectories
+are as reproducible as fault-free ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.callbacks import CallbackList, RecoveryEvent
+from repro.core.params import PlacementParams
+from repro.recovery.checkpoint import CheckpointManager, LoopSnapshot
+from repro.recovery.monitor import DivergenceMonitor
+
+#: Namespaces the perturbation RNG seed so it can never collide with the
+#: placer's own ``default_rng(seed)`` stream.
+_PERTURB_SEED_TAG = 0x7EC0
+
+#: Checkpoint cadence used when recovery was armed by a spill directory
+#: (runtime resume support) without the user choosing ``checkpoint_every``.
+DEFAULT_CHECKPOINT_EVERY = 25
+
+
+class RecoveryController:
+    """Checkpoint cadence + rollback/degrade policy for one GP run."""
+
+    def __init__(
+        self,
+        params: PlacementParams,
+        manager: CheckpointManager,
+        events: CallbackList,
+        design: str,
+        bin_size: float,
+        num_movable: int,
+        every: Optional[int] = None,
+    ) -> None:
+        self.params = params
+        self.manager = manager
+        self.events = events
+        self.design = design
+        self.bin_size = float(bin_size)
+        self.num_movable = int(num_movable)
+        self.monitor = DivergenceMonitor(
+            hpwl_factor=params.divergence_hpwl_factor,
+            plateau_window=params.divergence_plateau_window,
+        )
+        # ``every`` overrides ``params.checkpoint_every`` — the placer
+        # substitutes DEFAULT_CHECKPOINT_EVERY when recovery was armed
+        # by a spill directory with no explicit cadence.
+        if every is None:
+            every = params.checkpoint_every
+        self.every = max(1, int(every))
+        self.rollbacks = 0
+        self.degraded = False
+        self.resumed_from: Optional[int] = None
+
+    # -- derived telemetry -------------------------------------------
+
+    @property
+    def checkpoints(self) -> int:
+        """Snapshots saved this run (resume adoption not counted)."""
+        return self.manager.saved
+
+    @property
+    def best_hpwl(self) -> float:
+        return self.monitor.best_hpwl
+
+    @property
+    def best_iteration(self) -> int:
+        return self.monitor.best_iteration
+
+    # -- resume -------------------------------------------------------
+
+    def maybe_resume(self, optimizer: Any, scheduler: Any, engine: Any) -> int:
+        """Restore a spilled checkpoint if one exists.
+
+        Returns the iteration the loop should *start* at: one past the
+        snapshot's, or 0 when there is nothing (valid) to resume from.
+        The adopted snapshot also seeds the ring so the resumed run has
+        an immediate rollback target.
+        """
+        snap = self.manager.load_spilled()
+        if snap is None:
+            return 0
+        self._restore(snap, optimizer, scheduler, engine)
+        self.manager.adopt(snap)
+        self.resumed_from = snap.iteration
+        self._emit(
+            "resumed",
+            iteration=snap.iteration + 1,
+            snapshot_iteration=snap.iteration,
+            reason=f"spilled checkpoint at iteration {snap.iteration}",
+        )
+        return snap.iteration + 1
+
+    # -- steady state -------------------------------------------------
+
+    def observe(self, iteration: int, hpwl: float, overflow: float) -> Optional[str]:
+        """Feed one iteration's metrics; returns a divergence trip reason."""
+        if self.degraded:
+            return None
+        return self.monitor.feed(iteration, hpwl, overflow)
+
+    def should_checkpoint(self, iteration: int) -> bool:
+        return iteration % self.every == 0
+
+    def checkpoint(
+        self,
+        iteration: int,
+        lam: float,
+        hpwl: float,
+        overflow: float,
+        optimizer: Any,
+        scheduler: Any,
+        engine: Any,
+    ) -> None:
+        """Snapshot end-of-iteration state (everything the loop carries)."""
+        best_hpwl = self.monitor.best_hpwl
+        snap = LoopSnapshot(
+            iteration=int(iteration),
+            lam=float(lam),
+            hpwl=float(hpwl),
+            overflow=float(overflow),
+            best_hpwl=best_hpwl if math.isfinite(best_hpwl) else float(hpwl),
+            best_iteration=int(self.monitor.best_iteration),
+            optimizer=optimizer.state_dict(),
+            scheduler=scheduler.state_dict(),
+            engine=engine.state_dict(),
+        )
+        self.manager.save(snap)
+        self._emit(
+            "checkpoint",
+            iteration=iteration,
+            snapshot_iteration=iteration,
+            reason=f"cadence ({self.every})",
+        )
+
+    # -- fault response -----------------------------------------------
+
+    def rollback(
+        self,
+        reason: str,
+        iteration: int,
+        optimizer: Any,
+        scheduler: Any,
+        engine: Any,
+        clamp: Any,
+    ) -> Optional[int]:
+        """Restore the last checkpoint with a mutated continuation.
+
+        Returns the iteration to continue from, or None when the
+        rollback budget is exhausted or no snapshot exists (the caller
+        then degrades or re-raises).
+        """
+        if self.rollbacks >= self.params.rollback_budget:
+            return None
+        snap = self.manager.latest()
+        if snap is None:
+            return None
+        self.rollbacks += 1
+        self._restore(snap, optimizer, scheduler, engine)
+        self._perturb(snap, optimizer, clamp)
+        self._emit(
+            "rollback",
+            iteration=iteration,
+            snapshot_iteration=snap.iteration,
+            reason=reason,
+        )
+        return snap.iteration + 1
+
+    def degrade(
+        self,
+        reason: str,
+        iteration: int,
+        optimizer: Any,
+        scheduler: Any,
+        engine: Any,
+    ) -> bool:
+        """Budget exhausted: fall back to the best-seen snapshot.
+
+        Restores the best snapshot into the live objects and tells the
+        caller to end the run with it (True), or reports that nothing
+        can be restored (False) — in which case a fault must propagate.
+        """
+        snap = self.manager.best()
+        if snap is None:
+            return False
+        self._restore(snap, optimizer, scheduler, engine)
+        self.degraded = True
+        self._emit(
+            "degraded",
+            iteration=iteration,
+            snapshot_iteration=snap.iteration,
+            reason=reason,
+        )
+        return True
+
+    # -- internals ----------------------------------------------------
+
+    def _restore(
+        self, snap: LoopSnapshot, optimizer: Any, scheduler: Any, engine: Any
+    ) -> None:
+        optimizer.load_state_dict(snap.optimizer)
+        scheduler.load_state_dict(snap.scheduler)
+        engine.load_state_dict(snap.engine)
+        self.monitor.rewind(snap.best_hpwl, snap.best_iteration, snap.iteration)
+
+    def _perturb(self, snap: LoopSnapshot, optimizer: Any, clamp: Any) -> None:
+        """Mutate the restored continuation so the retry takes a new path.
+
+        Movable cells get a bounded uniform jitter (deterministic in
+        ``(seed, rollback count, snapshot iteration)``), momentum is
+        dropped, and the step length is cut — compounding per rollback,
+        so each retry is more cautious than the last.
+        """
+        params = self.params
+        n = self.num_movable
+        if params.rollback_perturb > 0.0 and n > 0:
+            rng = np.random.default_rng(
+                [params.seed, _PERTURB_SEED_TAG, self.rollbacks, snap.iteration]
+            )
+            radius = params.rollback_perturb * self.bin_size
+            sx, sy = optimizer.solution
+            sx[:n] += rng.uniform(-radius, radius, size=n)
+            sy[:n] += rng.uniform(-radius, radius, size=n)
+        optimizer.reset_momentum()
+        optimizer.scale_step(params.rollback_step_cut**self.rollbacks)
+        optimizer.clamp(clamp)
+
+    def _emit(
+        self, action: str, iteration: int, snapshot_iteration: int, reason: str
+    ) -> None:
+        self.events.on_recovery(
+            RecoveryEvent(
+                design=self.design,
+                action=action,
+                iteration=int(iteration),
+                snapshot_iteration=int(snapshot_iteration),
+                reason=reason,
+                rollbacks=self.rollbacks,
+            )
+        )

@@ -1,0 +1,130 @@
+"""Divergence detection over the GP loop's metric stream.
+
+Analytical placers are known to diverge — the density penalty ramps
+faster than the optimizer can follow and HPWL explodes — and the
+cheapest fix is detecting it early and restarting from a perturbed good
+state (DG-RePlAce builds the check into its Nesterov loop; *Escaping
+Local Optima in Global Placement* shows restart-with-perturbation beats
+both plain restarts and pressing on).  The :class:`DivergenceMonitor`
+is the detection half: it watches ``(iteration, hpwl, overflow)``
+triples and trips on
+
+* **HPWL explosion** — current HPWL exceeds ``hpwl_factor`` × the
+  best (minimum) HPWL seen this run.  The factor defaults high (50×)
+  because HPWL legitimately *grows* several-fold while cells spread
+  from the clustered initial placement; genuine divergence overshoots
+  by orders of magnitude, not a handful.
+* **Overflow plateau** — the density overflow has not improved for
+  ``plateau_window`` iterations while still above ``plateau_overflow``
+  (0 disables; the GP schedule stalls legitimately near convergence, so
+  the plateau check only fires while the placement is still congested).
+
+Non-finite positions/gradients are *not* this monitor's job: the loop
+guard and the PR 3 sanitizer raise
+:class:`~repro.analysis.sanitizer.NumericalFault` for those, and the
+:class:`~repro.recovery.controller.RecoveryController` funnels both
+signals into the same rollback path.
+
+The monitor is also a well-behaved
+:class:`~repro.core.callbacks.IterationCallback` — attach one to any GP
+loop for detection-only auditing; :meth:`feed` returns the trip reason
+so embedders (the recovery controller) can poll instead of subclassing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.callbacks import IterationCallback
+
+
+class DivergenceMonitor(IterationCallback):
+    """Trips on HPWL explosion or overflow plateau; tracks best-seen."""
+
+    def __init__(
+        self,
+        hpwl_factor: float = 50.0,
+        plateau_window: int = 0,
+        plateau_overflow: float = 0.25,
+    ) -> None:
+        if hpwl_factor <= 1.0:
+            raise ValueError("hpwl_factor must be > 1")
+        if plateau_window < 0:
+            raise ValueError("plateau_window must be >= 0")
+        self.hpwl_factor = float(hpwl_factor)
+        self.plateau_window = int(plateau_window)
+        self.plateau_overflow = float(plateau_overflow)
+        self.best_hpwl = math.inf
+        self.best_iteration = -1
+        self.best_overflow = math.inf
+        self._overflow_improved_at = -1
+        self.reason: Optional[str] = None
+
+    # -- IterationCallback face --------------------------------------
+
+    def on_iteration(self, record) -> None:
+        self.feed(record.iteration, record.hpwl, record.overflow)
+
+    # -- polling face ------------------------------------------------
+
+    @property
+    def tripped(self) -> bool:
+        return self.reason is not None
+
+    def feed(self, iteration: int, hpwl: float, overflow: float) -> Optional[str]:
+        """Observe one iteration; returns the trip reason, or None.
+
+        Best-seen bookkeeping happens *before* the explosion check so a
+        single good iteration never trips against itself.
+        """
+        if math.isfinite(hpwl) and hpwl < self.best_hpwl:
+            self.best_hpwl = hpwl
+            self.best_iteration = iteration
+        if math.isfinite(overflow) and overflow < self.best_overflow:
+            self.best_overflow = overflow
+            self._overflow_improved_at = iteration
+        reason = self._judge(iteration, hpwl, overflow)
+        if reason is not None:
+            self.reason = reason
+        return reason
+
+    def _judge(self, iteration: int, hpwl: float, overflow: float) -> Optional[str]:
+        if not math.isfinite(hpwl):
+            return "non-finite-hpwl"
+        if (
+            math.isfinite(self.best_hpwl)
+            and hpwl > self.hpwl_factor * self.best_hpwl
+        ):
+            return (
+                f"hpwl-explosion: {hpwl:.4g} > {self.hpwl_factor:g} x "
+                f"best {self.best_hpwl:.4g} (iteration {self.best_iteration})"
+            )
+        if (
+            self.plateau_window > 0
+            and overflow > self.plateau_overflow
+            and self._overflow_improved_at >= 0
+            and iteration - self._overflow_improved_at >= self.plateau_window
+        ):
+            return (
+                f"overflow-plateau: no improvement below "
+                f"{self.best_overflow:.4f} for {self.plateau_window} "
+                f"iterations (overflow {overflow:.4f})"
+            )
+        return None
+
+    # -- rollback cooperation ----------------------------------------
+
+    def rewind(
+        self, best_hpwl: float, best_iteration: int, iteration: int
+    ) -> None:
+        """Reset to a snapshot's view of history after a rollback.
+
+        The plateau clock restarts at the rollback point — the replayed
+        iterations should get a full window before re-tripping.
+        """
+        self.best_hpwl = float(best_hpwl)
+        self.best_iteration = int(best_iteration)
+        self.best_overflow = math.inf
+        self._overflow_improved_at = int(iteration)
+        self.reason = None

@@ -34,6 +34,7 @@ from repro.runtime.job import (
     JobResult,
     PlacementJob,
     execute_job,
+    job_checkpoint_dir,
 )
 from repro.runtime.pool import (
     DeadlineCallback,
@@ -55,6 +56,7 @@ __all__ = [
     "RuntimeEvent",
     "WorkerPool",
     "execute_job",
+    "job_checkpoint_dir",
     "load_manifest",
     "race_seeds",
     "read_event_log",

@@ -60,8 +60,17 @@ def run_batch(
     events: Optional[EventLog] = None,
     start_method: Optional[str] = None,
     heartbeat_every: int = 25,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[List[JobResult], EventLog]:
-    """Run a batch; returns (results in input order, the event log)."""
+    """Run a batch; returns (results in input order, the event log).
+
+    ``checkpoint_dir`` arms GP-loop checkpoint spilling (one
+    content-addressed subdirectory per job), which lets crash/timeout
+    retries resume mid-run; ``resume=True`` additionally makes *first*
+    attempts pick up any checkpoint a previously killed batch left
+    behind (``repro batch --resume``).
+    """
     cache = ResultCache(cache_dir) if cache_dir else None
     events = events if events is not None else EventLog()
     pool = WorkerPool(
@@ -69,6 +78,8 @@ def run_batch(
         start_method=start_method,
         cache=cache,
         heartbeat_every=heartbeat_every,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     results = pool.run(jobs, events=events)
     return results, events

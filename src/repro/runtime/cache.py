@@ -21,7 +21,7 @@ import json
 import os
 import shutil
 import tempfile
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -33,6 +33,7 @@ class ResultCache:
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
+        self.evictions = 0           # corrupt entries removed (telemetry)
         os.makedirs(self.root, exist_ok=True)
 
     def path_for(self, key: str) -> str:
@@ -40,12 +41,21 @@ class ResultCache:
 
     # -- lookup ------------------------------------------------------
 
-    def get(self, job: PlacementJob) -> Optional[JobResult]:
+    def get(
+        self,
+        job: PlacementJob,
+        on_evict: Optional[Callable[[str, str], None]] = None,
+    ) -> Optional[JobResult]:
         """The stored result for ``job``, or None (miss / stale schema).
 
-        Hits come back with ``cached=True`` and ``attempts=0``.
+        Hits come back with ``cached=True`` and ``attempts=0``.  A
+        corrupt entry (unreadable JSON, truncated positions, missing
+        keys) is *evicted* — its files are unlinked so the damage cannot
+        shadow the key forever — and reported through ``on_evict(key,
+        reason)`` before the lookup returns a plain miss.
         """
-        entry = self.path_for(job.content_hash())
+        key = job.content_hash()
+        entry = self.path_for(key)
         meta_path = os.path.join(entry, "result.json")
         pos_path = os.path.join(entry, "positions.npy")
         if not (os.path.isfile(meta_path) and os.path.isfile(pos_path)):
@@ -54,15 +64,24 @@ class ResultCache:
             with open(meta_path) as fh:
                 data = json.load(fh)
             if data.get("schema") != CACHE_SCHEMA_VERSION:
-                return None
+                return None    # stale but well-formed: leave it alone
             result = JobResult.from_dict(data["result"])
             positions = np.load(pos_path)
             result.x, result.y = positions[0], positions[1]
-        except (KeyError, ValueError, OSError, EOFError):
-            return None    # corrupt entry behaves as a miss
+        except (KeyError, ValueError, OSError, EOFError) as err:
+            reason = f"{type(err).__name__}: {err}"
+            self.evict(key)
+            self.evictions += 1
+            if on_evict is not None:
+                on_evict(key, reason)
+            return None
         result.cached = True
         result.attempts = 0
         return result
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (by content hash) from the store."""
+        shutil.rmtree(self.path_for(key), ignore_errors=True)
 
     # -- store -------------------------------------------------------
 

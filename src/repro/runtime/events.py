@@ -27,6 +27,12 @@ Event kinds
 ``cancelled``   job abandoned because a race was already decided
 ``diagnostic``  a numerical fault aborted the GP loop (from the worker)
                 — the payload names the iteration, stage and op
+``recovery``    the GP loop self-healed (from the worker) — the payload
+                carries the ``action`` (``checkpoint`` / ``rollback`` /
+                ``resumed`` / ``degraded``), the iteration, the snapshot
+                iteration involved and the rollback count
+``cache-evicted``  the result cache detected a corrupt entry and
+                removed it (the lookup then proceeds as a miss)
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ EVENT_KINDS = (
     "failed",
     "cancelled",
     "diagnostic",
+    "recovery",
+    "cache-evicted",
 )
 
 

@@ -43,7 +43,9 @@ from repro.wirelength import hpwl as hpwl_fn
 
 #: Bump when the meaning of cached results changes (stage semantics,
 #: metric definitions, hash inputs) — invalidates every existing entry.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fault plans joined the hash inputs (a chaos run and a clean run
+#: of the same spec are different results).
+CACHE_SCHEMA_VERSION = 2
 
 #: Param knobs that cannot change the computed placement and therefore
 #: must not contribute to the content hash (a verbose rerun of a quiet
@@ -79,6 +81,8 @@ class PlacementJob:
     pipeline: Optional[str] = None       # "module:function" factory
     timeout: Optional[float] = None      # seconds, None = unbounded
     retries: int = 0                     # restarts after worker crashes
+    timeout_retries: int = 0             # restarts after timeouts
+    faults: Optional[Dict[str, Any]] = None   # serialized FaultPlan
     tag: Optional[str] = None            # free-form label for humans
 
     def __post_init__(self) -> None:
@@ -93,7 +97,21 @@ class PlacementJob:
             raise ValueError("timeout must be positive (or None)")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.timeout_retries < 0:
+            raise ValueError("timeout_retries must be >= 0")
+        if self.faults is not None and not isinstance(self.faults, dict):
+            # Accept a FaultPlan object for convenience; store its dict
+            # form so the job stays JSON-serializable.
+            self.faults = self.faults.to_dict()
         self._hash: Optional[str] = None
+
+    def fault_plan(self):
+        """The job's :class:`~repro.faults.FaultPlan`, or None."""
+        if self.faults is None:
+            return None
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_dict(self.faults)
 
     # -- identity ----------------------------------------------------
 
@@ -153,6 +171,9 @@ class PlacementJob:
                 "route": self.route,
                 "route_grid_m": self.route_grid_m if self.route else None,
                 "pipeline": self.pipeline,
+                # An injected fault changes the computed result, so a
+                # chaos run must never be served a clean cached one.
+                "faults": self.faults,
             }
             canonical = json.dumps(payload, sort_keys=True,
                                    separators=(",", ":"))
@@ -183,6 +204,8 @@ class PlacementJob:
             "pipeline": self.pipeline,
             "timeout": self.timeout,
             "retries": self.retries,
+            "timeout_retries": self.timeout_retries,
+            "faults": self.faults,
             "tag": self.tag,
         }
         return {k: v for k, v in data.items() if v is not None}
@@ -308,11 +331,27 @@ class JobResult:
         )
 
 
+def job_checkpoint_dir(root: Optional[str], job: PlacementJob) -> Optional[str]:
+    """The per-job checkpoint spill directory under ``root``.
+
+    Mirrors the result cache's two-level content-hash fan-out, so a
+    retried/resumed attempt of the *same* job finds the same spill and
+    different jobs never collide.
+    """
+    if root is None:
+        return None
+    key = job.content_hash()
+    return os.path.join(os.path.abspath(root), key[:2], key)
+
+
 def execute_job(
     job: PlacementJob,
     emit=None,
     heartbeat_every: int = 25,
     callbacks: Optional[Sequence[IterationCallback]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    in_worker: bool = False,
 ) -> JobResult:
     """Run one job in this process and return its :class:`JobResult`.
 
@@ -322,11 +361,32 @@ def execute_job(
     pool passes its cooperative deadline watchdog here).  Exceptions
     propagate to the caller — the worker wrapper and the inline pool
     turn them into ``failed`` results/events.
+
+    ``checkpoint_dir`` is the pool's spill *root*: the GP loop spills
+    checkpoints under a per-job subdirectory so a crash/timeout retry
+    launched with ``resume=True`` picks the run up from its last
+    checkpoint instead of iteration 0.  ``in_worker`` tells the fault
+    injector it may hard-exit the process for ``crash`` faults.
     """
     start = time.perf_counter()
     params = job.effective_params()
     netlist = job.load_netlist()
     attached: List[IterationCallback] = list(callbacks or ())
+    spill_dir = job_checkpoint_dir(checkpoint_dir, job)
+    resuming = bool(
+        resume
+        and spill_dir is not None
+        and os.path.isfile(os.path.join(spill_dir, "checkpoint.json"))
+    )
+    plan = job.fault_plan()
+    if plan is not None:
+        from repro.faults import loop_fault_callback
+
+        injector = loop_fault_callback(
+            plan, job.job_id, hard_exit=in_worker, resumed=resuming
+        )
+        if injector is not None:
+            attached.append(injector)
     if emit is not None:
         attached.append(
             QueueCallback(emit, label=job.job_id, every=heartbeat_every)
@@ -336,6 +396,8 @@ def execute_job(
         params=params,
         placer=job.placer,
         callbacks=attached,
+        checkpoint_dir=spill_dir,
+        resume=resuming,
     )
     pipeline = job.build_pipeline()
     # The profiler is thread-local, so a worker process starts without
@@ -355,6 +417,7 @@ def execute_job(
                 "final_hpwl": final_hpwl,
                 "kernel_launches": profiler.total,
                 "kernel_counts": profiler.snapshot(),
+                "resumed": resuming,
             },
         )
     )

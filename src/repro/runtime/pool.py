@@ -3,8 +3,11 @@
 One :class:`WorkerPool` fans a list of :class:`PlacementJob`\\ s out
 across ``max_workers`` OS processes (process-per-job, so a hung or
 crashed placement can always be killed without poisoning a long-lived
-worker), enforcing per-job wall-clock timeouts, restarting crashed
-workers up to ``job.retries`` times, short-circuiting through an
+worker), enforcing per-job wall-clock timeouts, retrying crashes up to
+``job.retries`` times and timeouts up to ``job.timeout_retries`` times
+(separate budgets, jittered exponential backoff between attempts, and —
+when a ``checkpoint_dir`` is armed — each retry resumes from the last
+spilled GP checkpoint), short-circuiting through an
 optional :class:`~repro.runtime.cache.ResultCache`, and streaming
 :class:`~repro.runtime.events.RuntimeEvent`\\ s — including the GP-loop
 heartbeats each worker bridges through a shared
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -70,18 +74,24 @@ class DeadlineCallback(IterationCallback):
 
 
 def _worker_entry(payload: Dict[str, Any], index: int, out_queue,
-                  heartbeat_every: int) -> None:
+                  heartbeat_every: int, checkpoint_dir: Optional[str] = None,
+                  resume: bool = False) -> None:
     """Worker-process main: run one job, send events + a final result.
 
     Every message on ``out_queue`` is a dict; loop progress uses the
     :class:`QueueCallback` schema (``{"event": ..., "job_id": ...}``)
     and the terminal message uses the reserved ``"_result"`` kind with
     the job ``index`` so the parent can match it to its submission.
+    ``checkpoint_dir``/``resume`` thread the pool's recovery policy
+    through: a retried attempt resumes from the previous attempt's
+    spilled checkpoint instead of iteration 0.
     """
     job = PlacementJob.from_dict(payload)
     try:
         result = execute_job(job, emit=out_queue.put,
-                             heartbeat_every=heartbeat_every)
+                             heartbeat_every=heartbeat_every,
+                             checkpoint_dir=checkpoint_dir,
+                             resume=resume, in_worker=True)
     except Exception as err:  # noqa: BLE001 — every failure must surface
         report = getattr(err, "flow_report", None)
         out_queue.put({
@@ -129,6 +139,15 @@ class WorkerPool:
     cache : optional :class:`ResultCache` consulted before dispatch and
         updated with every finished result.
     heartbeat_every : GP iterations between heartbeat events.
+    checkpoint_dir : spill root for GP-loop checkpoints; arms recovery
+        in every job and lets crash/timeout retries (and ``resume=True``
+        reruns) pick runs up from their last checkpoint.
+    resume : start even *first* attempts with ``resume`` semantics —
+        the ``repro batch --resume`` path after a killed batch.
+    retry_backoff : base seconds of the jittered exponential backoff
+        between retry attempts (attempt n waits
+        ``retry_backoff · 2^(n−1) · (1 + jitter)``, jitter ∈ [0, 0.5)
+        deterministic per (job, n)).
     """
 
     def __init__(
@@ -137,13 +156,29 @@ class WorkerPool:
         start_method: Optional[str] = None,
         cache=None,
         heartbeat_every: int = 25,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        retry_backoff: float = 0.25,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.cache = cache
         self.heartbeat_every = heartbeat_every
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = bool(resume)
+        self.retry_backoff = float(retry_backoff)
         self._mp_context = None
         if self.max_workers > 1:
             self._mp_context = _resolve_context(start_method)
+
+    def _backoff_delay(self, job_id: str, retry_number: int) -> float:
+        """Jittered exponential backoff before retry ``retry_number``.
+
+        Deterministic in (job, retry ordinal): reruns of the same batch
+        wait the same amounts, so chaos tests can assert on schedules.
+        """
+        base = self.retry_backoff * (2 ** max(0, retry_number - 1))
+        jitter = random.Random(f"{job_id}:{retry_number}").uniform(0.0, 0.5)
+        return base * (1.0 + jitter)
 
     @property
     def inline(self) -> bool:
@@ -187,7 +222,27 @@ class WorkerPool:
                 results[index] = hit
                 stopped = stopped or _matches(stop_when, hit)
                 continue
-            events.emit("started", job.job_id, mode="inline", attempt=1)
+            result = self._run_one_inline(job, events)
+            if result.ok and self.cache is not None:
+                self.cache.put(job, result)
+            results[index] = result
+            stopped = stopped or _matches(stop_when, result)
+        return results  # type: ignore[return-value]
+
+    def _run_one_inline(self, job: PlacementJob,
+                        events: EventLog) -> JobResult:
+        """One job in-process, with cooperative timeout retries.
+
+        Crashes cannot be retried without a process boundary, but a
+        cooperative timeout can: each retry resumes from the last
+        spilled checkpoint (when a ``checkpoint_dir`` is armed), so the
+        budget buys *progress*, not repetition.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            events.emit("started", job.job_id, mode="inline",
+                        attempt=attempt)
             watchdogs: List[IterationCallback] = []
             if job.timeout is not None:
                 watchdogs.append(
@@ -201,26 +256,37 @@ class WorkerPool:
                     emit=events.put,
                     heartbeat_every=self.heartbeat_every,
                     callbacks=watchdogs,
+                    checkpoint_dir=self.checkpoint_dir,
+                    resume=self.resume or attempt > 1,
                 )
             except JobTimeoutError as err:
-                result = _failure(job, "timeout", str(err), start,
-                                  getattr(err, "flow_report", None))
+                timeouts = attempt  # every inline retry is a timeout retry
+                if timeouts <= job.timeout_retries:
+                    events.emit(
+                        "retry", job.job_id, reason="timeout",
+                        attempt=attempt + 1, timeouts=timeouts,
+                        resume=self.checkpoint_dir is not None,
+                    )
+                    continue
+                message = (f"{err} — timeout budget exhausted "
+                           f"({timeouts} timeout(s), "
+                           f"{job.timeout_retries} retry(ies) allowed)")
                 events.emit("failed", job.job_id, reason="timeout",
-                            error=str(err))
+                            error=message, attempt=attempt,
+                            timeouts=timeouts, crashes=0)
+                result = _failure(job, "timeout", message, start,
+                                  getattr(err, "flow_report", None))
             except Exception as err:  # noqa: BLE001 — surface, stay healthy
                 message = f"{type(err).__name__}: {err}"
+                events.emit("failed", job.job_id, reason="error",
+                            error=message, attempt=attempt)
                 result = _failure(job, "failed", message, start,
                                   getattr(err, "flow_report", None))
-                events.emit("failed", job.job_id, reason="error",
-                            error=message)
             else:
                 events.emit("finished", job.job_id, hpwl=result.hpwl,
-                            seconds=result.seconds)
-                if self.cache is not None:
-                    self.cache.put(job, result)
-            results[index] = result
-            stopped = stopped or _matches(stop_when, result)
-        return results  # type: ignore[return-value]
+                            seconds=result.seconds, attempt=attempt)
+            result.attempts = attempt
+            return result
 
     # -- multiprocess mode -------------------------------------------
 
@@ -232,17 +298,26 @@ class WorkerPool:
     ) -> List[JobResult]:
         ctx = self._mp_context
         out_queue = ctx.Queue()
-        pending: List[tuple] = [(i, job, 1) for i, job in enumerate(jobs)]
+        # Pending entries: (index, job, attempt, not_before, resume).
+        # ``not_before`` is the perf_counter instant the backoff allows
+        # a relaunch; ``resume`` makes the worker pick the job up from
+        # its last spilled checkpoint instead of iteration 0.
+        pending: List[tuple] = [
+            (i, job, 1, 0.0, self.resume) for i, job in enumerate(jobs)
+        ]
         active: Dict[int, _Active] = {}
         received: Dict[int, Dict[str, Any]] = {}
         results: List[Optional[JobResult]] = [None] * len(jobs)
+        crash_counts: Dict[int, int] = {}    # per-job crash retries used
+        timeout_counts: Dict[int, int] = {}  # per-job timeout kills
         stopping = False
 
-        def launch(index: int, job: PlacementJob, attempt: int) -> None:
+        def launch(index: int, job: PlacementJob, attempt: int,
+                   resume: bool) -> None:
             process = ctx.Process(
                 target=_worker_entry,
                 args=(job.to_dict(), index, out_queue,
-                      self.heartbeat_every),
+                      self.heartbeat_every, self.checkpoint_dir, resume),
                 daemon=True,
             )
             process.start()
@@ -256,7 +331,21 @@ class WorkerPool:
                 deadline=(now + job.timeout) if job.timeout else None,
             )
             events.emit("started", job.job_id, pid=process.pid,
-                        attempt=attempt)
+                        attempt=attempt, resume=resume)
+
+        def requeue(index: int, job: PlacementJob, attempt: int,
+                    reason: str) -> None:
+            """Schedule a retry with jittered exponential backoff."""
+            backoff = self._backoff_delay(job.job_id, attempt - 1)
+            events.emit(
+                "retry", job.job_id, reason=reason, attempt=attempt,
+                backoff=round(backoff, 4),
+                resume=self.checkpoint_dir is not None,
+                crashes=crash_counts.get(index, 0),
+                timeouts=timeout_counts.get(index, 0),
+            )
+            pending.insert(0, (index, job, attempt,
+                               time.perf_counter() + backoff, True))
 
         def drain(timeout: float = 0.0) -> None:
             deadline = time.perf_counter() + timeout
@@ -282,18 +371,26 @@ class WorkerPool:
                 record.process.join(timeout=5)
 
         while pending or active:
+            deferred: List[tuple] = []
             while (pending and not stopping
                    and len(active) < self.max_workers):
-                index, job, attempt = pending.pop(0)
+                entry = pending.pop(0)
+                index, job, attempt, not_before, resume = entry
+                if not_before > time.perf_counter():
+                    deferred.append(entry)  # backoff window still open
+                    continue
                 hit = self._cache_lookup(job, events) if attempt == 1 else None
                 if hit is not None:
                     results[index] = hit
                     if _matches(stop_when, hit):
                         stopping = True
                     continue
-                launch(index, job, attempt)
+                launch(index, job, attempt, resume)
+            pending[:0] = deferred
 
-            drain(timeout=0.05 if active else 0.0)
+            # Sleep while anything is running *or* backing off — an
+            # all-deferred queue must not busy-spin the dispatch loop.
+            drain(timeout=0.05 if (active or pending) else 0.0)
 
             now = time.perf_counter()
             for index in list(active):
@@ -316,17 +413,32 @@ class WorkerPool:
                     finalize(index, result)
                 elif record.deadline is not None and now > record.deadline:
                     record.process.terminate()
-                    message = f"timeout after {job.timeout:g}s (killed)"
-                    events.emit("failed", job.job_id, reason="timeout",
-                                error=message, attempt=record.attempt)
-                    finalize(index, JobResult(
-                        job_id=job.job_id,
-                        status="timeout",
-                        seed=job.effective_seed(),
-                        seconds=now - record.started,
-                        error=message,
-                        attempts=record.attempt,
-                    ))
+                    record.process.join(timeout=5)
+                    del active[index]
+                    timeout_counts[index] = timeout_counts.get(index, 0) + 1
+                    if timeout_counts[index] <= job.timeout_retries:
+                        requeue(index, job, record.attempt + 1, "timeout")
+                    else:
+                        message = (
+                            f"timeout after {job.timeout:g}s (killed); "
+                            f"budget exhausted "
+                            f"({timeout_counts[index]} timeout(s), "
+                            f"{job.timeout_retries} retry(ies) allowed)"
+                        )
+                        events.emit(
+                            "failed", job.job_id, reason="timeout",
+                            error=message, attempt=record.attempt,
+                            crashes=crash_counts.get(index, 0),
+                            timeouts=timeout_counts[index],
+                        )
+                        results[index] = JobResult(
+                            job_id=job.job_id,
+                            status="timeout",
+                            seed=job.effective_seed(),
+                            seconds=now - record.started,
+                            error=message,
+                            attempts=record.attempt,
+                        )
                 elif not record.process.is_alive():
                     # The result may still be in the queue's buffer:
                     # give it one generous drain before declaring death.
@@ -334,26 +446,32 @@ class WorkerPool:
                     if index in received:
                         continue  # handled on the next sweep
                     exitcode = record.process.exitcode
-                    if record.attempt <= job.retries:
-                        events.emit("retry", job.job_id,
-                                    exitcode=exitcode,
-                                    attempt=record.attempt + 1)
-                        record.process.join(timeout=5)
-                        del active[index]
-                        pending.insert(0, (index, job, record.attempt + 1))
+                    record.process.join(timeout=5)
+                    del active[index]
+                    crash_counts[index] = crash_counts.get(index, 0) + 1
+                    if crash_counts[index] <= job.retries:
+                        requeue(index, job, record.attempt + 1, "crash")
                     else:
-                        message = (f"worker crashed "
-                                   f"(exitcode {exitcode})")
-                        events.emit("failed", job.job_id, reason="crash",
-                                    error=message, attempt=record.attempt)
-                        finalize(index, JobResult(
+                        message = (
+                            f"worker crashed (exitcode {exitcode}); "
+                            f"budget exhausted "
+                            f"({crash_counts[index]} crash(es), "
+                            f"{job.retries} retry(ies) allowed)"
+                        )
+                        events.emit(
+                            "failed", job.job_id, reason="crash",
+                            error=message, attempt=record.attempt,
+                            crashes=crash_counts[index],
+                            timeouts=timeout_counts.get(index, 0),
+                        )
+                        results[index] = JobResult(
                             job_id=job.job_id,
                             status="failed",
                             seed=job.effective_seed(),
                             seconds=now - record.started,
                             error=message,
                             attempts=record.attempt,
-                        ))
+                        )
                 result_now = results[index]
                 if result_now is not None and _matches(stop_when, result_now):
                     stopping = True
@@ -365,7 +483,7 @@ class WorkerPool:
                     record.process.join(timeout=5)
                     results[index] = _cancelled(record.job, events)
                 while pending:
-                    index, job, _ = pending.pop(0)
+                    index, job = pending.pop(0)[:2]
                     results[index] = _cancelled(job, events)
 
         drain(timeout=0.05)  # tail events (loop_stop racing the result)
@@ -377,7 +495,12 @@ class WorkerPool:
                       events: EventLog) -> Optional[JobResult]:
         if self.cache is None:
             return None
-        hit = self.cache.get(job)
+        hit = self.cache.get(
+            job,
+            on_evict=lambda key, reason: events.emit(
+                "cache-evicted", job.job_id, key=key, reason=reason
+            ),
+        )
         if hit is not None:
             events.emit("cached", job.job_id, hpwl=hit.hpwl,
                         key=job.content_hash())

@@ -1,0 +1,280 @@
+"""Checkpoint/rollback recovery: monitor, manager, and the GP loop.
+
+The integration tests run the real :class:`XPlacer` on a tiny circuit —
+recovery's contract is about the *loop*, so a fake pipeline cannot
+stand in.  Fault injection rides the iteration-callback seam
+(:mod:`repro.faults`) exactly as the chaos harness does.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.core import PlacementParams, XPlacer
+from repro.faults import FaultCallback, FaultSpec, InjectedFault
+from repro.recovery import CheckpointManager, DivergenceMonitor, LoopSnapshot
+from repro.recovery.checkpoint import SNAPSHOT_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return generate_circuit(
+        CircuitSpec("recovery", num_cells=150, num_macros=0, num_pads=8)
+    )
+
+
+def run_placer(netlist, checkpoint_dir=None, resume=False, callbacks=None,
+               **overrides):
+    params = PlacementParams(max_iterations=60, checkpoint_every=10,
+                             **overrides)
+    return XPlacer(netlist, params).run(
+        callbacks=callbacks, checkpoint_dir=checkpoint_dir, resume=resume
+    )
+
+
+class TestDivergenceMonitor:
+    def test_normal_growth_does_not_trip(self):
+        monitor = DivergenceMonitor(hpwl_factor=50.0)
+        # HPWL legitimately grows several-fold during spreading.
+        assert monitor.feed(0, 100.0, 0.9) is None
+        assert monitor.feed(1, 800.0, 0.8) is None
+        assert not monitor.tripped
+
+    def test_explosion_trips(self):
+        monitor = DivergenceMonitor(hpwl_factor=50.0)
+        monitor.feed(0, 100.0, 0.9)
+        reason = monitor.feed(1, 100.0 * 51, 0.9)
+        assert reason is not None and "hpwl-explosion" in reason
+        assert monitor.tripped
+
+    def test_non_finite_hpwl_trips(self):
+        monitor = DivergenceMonitor()
+        monitor.feed(0, 100.0, 0.9)
+        assert monitor.feed(1, float("nan"), 0.9) == "non-finite-hpwl"
+
+    def test_single_iteration_never_trips_against_itself(self):
+        monitor = DivergenceMonitor(hpwl_factor=2.0)
+        assert monitor.feed(0, 1e12, 0.9) is None
+
+    def test_plateau_requires_opt_in(self):
+        monitor = DivergenceMonitor()  # plateau_window=0 → disabled
+        for i in range(200):
+            assert monitor.feed(i, 100.0, 0.9) is None
+
+    def test_plateau_trips_when_armed(self):
+        monitor = DivergenceMonitor(plateau_window=5, plateau_overflow=0.25)
+        monitor.feed(0, 100.0, 0.9)
+        for i in range(1, 5):
+            assert monitor.feed(i, 100.0, 0.9) is None
+        reason = monitor.feed(5, 100.0, 0.9)
+        assert reason is not None and "overflow-plateau" in reason
+
+    def test_plateau_clock_resets_on_improvement(self):
+        monitor = DivergenceMonitor(plateau_window=5)
+        overflow = 0.9
+        for i in range(20):
+            overflow *= 0.99  # always improving → never trips
+            assert monitor.feed(i, 100.0, overflow) is None
+
+    def test_rewind_clears_the_trip(self):
+        monitor = DivergenceMonitor(hpwl_factor=2.0, plateau_window=3)
+        monitor.feed(0, 100.0, 0.9)
+        monitor.feed(1, 500.0, 0.9)
+        assert monitor.tripped
+        monitor.rewind(best_hpwl=100.0, best_iteration=0, iteration=1)
+        assert not monitor.tripped
+        assert monitor.best_hpwl == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceMonitor(hpwl_factor=1.0)
+        with pytest.raises(ValueError):
+            DivergenceMonitor(plateau_window=-1)
+
+
+def make_snapshot(iteration, hpwl=100.0, overflow=0.5):
+    return LoopSnapshot(
+        iteration=iteration,
+        lam=1e-3,
+        hpwl=hpwl,
+        overflow=overflow,
+        best_hpwl=hpwl,
+        best_iteration=iteration,
+        optimizer={"pos_x": np.arange(4.0), "alpha": 1.5, "epoch": iteration},
+        scheduler={"gamma": 80.0, "lam": 1e-3},
+        engine={"cached": False, "skip_last_ratio": 0.0},
+    )
+
+
+class TestCheckpointManager:
+    def test_ring_evicts_oldest(self):
+        manager = CheckpointManager(keep=2)
+        for i in (10, 20, 30):
+            manager.save(make_snapshot(i))
+        assert len(manager) == 2
+        assert manager.latest().iteration == 30
+        assert manager.saved == 3
+
+    def test_best_pinned_beyond_the_ring(self):
+        manager = CheckpointManager(keep=1)
+        manager.save(make_snapshot(10, hpwl=50.0, overflow=0.1))  # the best
+        manager.save(make_snapshot(20, hpwl=90.0, overflow=0.8))
+        manager.save(make_snapshot(30, hpwl=95.0, overflow=0.9))
+        assert manager.latest().iteration == 30
+        assert manager.best().iteration == 10
+
+    def test_quality_orders_overflow_first(self):
+        spread = make_snapshot(1, hpwl=200.0, overflow=0.1)
+        clumped = make_snapshot(2, hpwl=100.0, overflow=0.9)
+        assert spread.quality() < clumped.quality()
+
+    def test_spill_round_trip(self, tmp_path):
+        spill = str(tmp_path / "ckpt")
+        manager = CheckpointManager(keep=2, spill_dir=spill)
+        manager.save(make_snapshot(25))
+        loaded = CheckpointManager(spill_dir=spill).load_spilled()
+        assert loaded is not None
+        assert loaded.iteration == 25
+        assert loaded.lam == pytest.approx(1e-3)
+        np.testing.assert_array_equal(loaded.optimizer["pos_x"],
+                                      np.arange(4.0))
+        assert loaded.optimizer["alpha"] == 1.5
+        assert loaded.optimizer["epoch"] == 25
+        assert loaded.scheduler["gamma"] == 80.0
+        assert loaded.engine["cached"] is False
+
+    def test_missing_spill_is_none(self, tmp_path):
+        manager = CheckpointManager(spill_dir=str(tmp_path / "nothing"))
+        assert manager.load_spilled() is None
+
+    def test_corrupt_spill_removed_and_treated_as_absent(self, tmp_path):
+        spill = str(tmp_path / "ckpt")
+        manager = CheckpointManager(spill_dir=spill)
+        manager.save(make_snapshot(25))
+        with open(os.path.join(spill, "checkpoint.json"), "w") as fh:
+            fh.write("{broken")
+        assert manager.load_spilled() is None
+        assert not os.path.exists(os.path.join(spill, "checkpoint.json"))
+
+    def test_stale_schema_is_absent(self, tmp_path):
+        spill = str(tmp_path / "ckpt")
+        manager = CheckpointManager(spill_dir=spill)
+        manager.save(make_snapshot(25))
+        meta = os.path.join(spill, "checkpoint.json")
+        text = open(meta).read().replace(
+            f'"schema": {SNAPSHOT_SCHEMA_VERSION}', '"schema": -1'
+        )
+        with open(meta, "w") as fh:
+            fh.write(text)
+        assert manager.load_spilled() is None
+
+    def test_clear_spill(self, tmp_path):
+        spill = str(tmp_path / "ckpt")
+        manager = CheckpointManager(spill_dir=spill)
+        manager.save(make_snapshot(25))
+        manager.clear_spill()
+        assert manager.load_spilled() is None
+
+    def test_adopt_does_not_respill_or_count(self, tmp_path):
+        spill = str(tmp_path / "ckpt")
+        manager = CheckpointManager(spill_dir=spill)
+        manager.adopt(make_snapshot(25))
+        assert manager.latest().iteration == 25
+        assert manager.saved == 0
+        assert not os.path.exists(os.path.join(spill, "checkpoint.json"))
+
+
+class TestRecoveryLoop:
+    def test_observation_only_is_bit_identical(self, netlist):
+        """Checkpointing with no faults must not change the trajectory."""
+        plain = XPlacer(netlist, PlacementParams(max_iterations=60)).run()
+        recov = run_placer(netlist)
+        assert recov.checkpoints > 0
+        assert recov.rollbacks == 0
+        assert np.array_equal(plain.x, recov.x)
+        assert np.array_equal(plain.y, recov.y)
+        assert plain.hpwl == recov.hpwl
+
+    def test_nan_late_in_the_run_recovers(self, netlist):
+        """A NaN at ~80% progress rolls back and lands within 5%."""
+        clean = run_placer(netlist)
+        fault_at = int(clean.iterations * 0.8)
+        faults = FaultCallback([FaultSpec("nan-grad", iteration=fault_at)])
+        result = run_placer(netlist, callbacks=[faults])
+        assert len(faults.fired) == 1
+        assert result.rollbacks >= 1
+        assert not result.degraded
+        assert math.isfinite(result.hpwl)
+        assert result.hpwl <= clean.hpwl * 1.05
+
+    def test_nan_without_recovery_still_raises(self, netlist):
+        from repro.analysis.sanitizer import NumericalFault
+
+        faults = FaultCallback([FaultSpec("nan-grad", iteration=20)])
+        with pytest.raises(NumericalFault):
+            XPlacer(netlist, PlacementParams(max_iterations=60)).run(
+                callbacks=[faults]
+            )
+
+    def test_zero_budget_degrades_to_best_seen(self, netlist):
+        faults = FaultCallback([FaultSpec("nan-grad", iteration=30)])
+        result = run_placer(netlist, callbacks=[faults], rollback_budget=0)
+        assert result.degraded
+        assert result.rollbacks == 0
+        assert math.isfinite(result.hpwl)
+
+    def test_recovery_is_deterministic(self, netlist):
+        runs = []
+        for _ in range(2):
+            faults = FaultCallback([FaultSpec("nan-grad", iteration=30)])
+            runs.append(run_placer(netlist, callbacks=[faults]))
+        assert runs[0].rollbacks == runs[1].rollbacks == 1
+        assert np.array_equal(runs[0].x, runs[1].x)
+        assert runs[0].hpwl == runs[1].hpwl
+
+    def test_killed_run_resumes_bit_for_bit(self, netlist, tmp_path):
+        """abort ≈ SIGKILL: the resumed run must match an unkilled one."""
+        spill = str(tmp_path / "ckpt")
+        clean = run_placer(netlist)
+        faults = FaultCallback([FaultSpec("abort", iteration=35)])
+        with pytest.raises(InjectedFault):
+            run_placer(netlist, checkpoint_dir=spill, callbacks=[faults])
+        # The kill left a spilled checkpoint behind...
+        assert os.path.exists(os.path.join(spill, "checkpoint.json"))
+        resumed = run_placer(netlist, checkpoint_dir=spill, resume=True)
+        assert resumed.resumed_from == 30  # last cadence-10 checkpoint
+        assert np.array_equal(clean.x, resumed.x)
+        assert np.array_equal(clean.y, resumed.y)
+        assert clean.hpwl == resumed.hpwl
+        # ...and a successful finish clears it.
+        assert not os.path.exists(os.path.join(spill, "checkpoint.json"))
+
+    def test_checkpoint_dir_arms_recovery_without_params(self, netlist,
+                                                         tmp_path):
+        result = XPlacer(netlist, PlacementParams(max_iterations=60)).run(
+            checkpoint_dir=str(tmp_path / "ckpt")
+        )
+        assert result.checkpoints > 0  # default cadence kicked in
+
+
+class TestParamsValidation:
+    def test_recovery_enabled_property(self):
+        assert not PlacementParams().recovery_enabled
+        assert PlacementParams(checkpoint_every=10).recovery_enabled
+
+    @pytest.mark.parametrize("field, bad", [
+        ("checkpoint_every", -1),
+        ("checkpoint_keep", 0),
+        ("rollback_budget", -1),
+        ("rollback_step_cut", 0.0),
+        ("rollback_step_cut", 1.5),
+        ("rollback_perturb", -0.1),
+        ("divergence_hpwl_factor", 1.0),
+        ("divergence_plateau_window", -1),
+    ])
+    def test_bad_recovery_knobs_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            PlacementParams(**{field: bad})

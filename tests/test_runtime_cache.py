@@ -94,3 +94,81 @@ class TestResultCache:
         entry = cache.path_for(key)
         assert os.path.dirname(entry).endswith(key[:2])
         assert sorted(os.listdir(entry)) == ["positions.npy", "result.json"]
+
+
+class TestCorruptEntryEviction:
+    def test_corrupt_entry_evicted_from_disk(self, cache, job, result):
+        cache.put(job, result)
+        entry = cache.path_for(job.content_hash())
+        with open(os.path.join(entry, "result.json"), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(job) is None
+        # The damaged entry is gone, not left to shadow the key.
+        assert not os.path.exists(entry)
+        assert cache.evictions == 1
+        # A fresh put works again after the eviction.
+        assert cache.put(job, result)
+        assert cache.get(job) is not None
+
+    def test_on_evict_reports_key_and_reason(self, cache, job, result):
+        cache.put(job, result)
+        entry = cache.path_for(job.content_hash())
+        with open(os.path.join(entry, "positions.npy"), "wb") as fh:
+            fh.write(b"\x00garbage\x00")
+        seen = []
+        assert cache.get(job, on_evict=lambda k, r: seen.append((k, r))) is None
+        assert seen and seen[0][0] == job.content_hash()
+        assert seen[0][1]  # a non-empty reason string
+
+    def test_fault_injector_corrupts_then_cache_self_heals(self, cache, job,
+                                                           result):
+        from repro.faults import corrupt_cache_entry
+
+        cache.put(job, result)
+        path = corrupt_cache_entry(cache, job)
+        assert path is not None and path.endswith("positions.npy")
+        assert cache.get(job) is None
+        assert cache.evictions == 1
+        assert job not in cache
+
+    def test_corrupting_a_missing_entry_is_none(self, cache, job):
+        from repro.faults import corrupt_cache_entry
+
+        assert corrupt_cache_entry(cache, job) is None
+
+    def test_stale_schema_not_evicted(self, cache, job, result):
+        """Stale-but-well-formed entries are left alone (a rollback of
+        the code could still read them); only corruption is evicted."""
+        cache.put(job, result)
+        meta_path = os.path.join(cache.path_for(job.content_hash()),
+                                 "result.json")
+        with open(meta_path) as fh:
+            data = json.load(fh)
+        data["schema"] = -1
+        with open(meta_path, "w") as fh:
+            json.dump(data, fh)
+        assert cache.get(job) is None
+        assert cache.evictions == 0
+        assert os.path.exists(meta_path)
+
+    def test_pool_emits_cache_evicted_event(self, tmp_path):
+        from repro.faults import corrupt_cache_entry
+        from repro.runtime import EventLog, WorkerPool
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = PlacementJob(
+            design="fft_1", cells=250, seed=1,
+            params={"max_iterations": 30, "min_iterations": 20},
+            pipeline="tests.runtime_helpers:fake_pipeline",
+        )
+        pool = WorkerPool(max_workers=1, cache=cache)
+        pool.run([job])
+        corrupt_cache_entry(cache, job)
+        log = EventLog()
+        results = pool.run([job], events=log)
+        evicted = log.of_kind("cache-evicted")
+        assert len(evicted) == 1
+        assert evicted[0].payload["key"] == job.content_hash()
+        assert "reason" in evicted[0].payload
+        # The run was re-executed (miss), not served corrupt data.
+        assert results[0].status == "done" and not results[0].cached

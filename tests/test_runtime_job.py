@@ -224,3 +224,46 @@ class TestEventLog:
         # iterations 0, 2, 4
         assert log.count("heartbeat") == 3
         assert all(e.job_id == "j9" for e in log.events)
+
+
+class TestFaultedJobs:
+    def test_faults_join_the_content_hash(self):
+        base = small_job().content_hash()
+        faulty = small_job(
+            faults={"faults": [{"kind": "nan-grad", "iteration": 5}]}
+        )
+        assert faulty.content_hash() != base
+
+    def test_timeout_retries_is_non_semantic(self):
+        assert small_job(timeout_retries=3).content_hash() == \
+            small_job().content_hash()
+
+    def test_negative_timeout_retries_rejected(self):
+        with pytest.raises(ValueError):
+            small_job(timeout_retries=-1)
+
+    def test_fault_plan_coercion_and_round_trip(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(faults=[FaultSpec("slow", iteration=3)], seed=9)
+        job = small_job(faults=plan)
+        assert isinstance(job.faults, dict)  # stored serialized
+        again = PlacementJob.from_dict(job.to_dict())
+        assert again.fault_plan().faults == plan.faults
+        assert small_job().fault_plan() is None
+
+    def test_job_checkpoint_dir_mirrors_cache_layout(self, tmp_path):
+        from repro.runtime import job_checkpoint_dir
+
+        job = small_job()
+        path = job_checkpoint_dir(str(tmp_path), job)
+        key = job.content_hash()
+        assert path == str(tmp_path / key[:2] / key)
+
+    def test_execute_job_reports_resumed_flag(self, tmp_path):
+        job = small_job(params={"max_iterations": 40,
+                                "checkpoint_every": 10})
+        result = execute_job(job, checkpoint_dir=str(tmp_path))
+        assert result.status == "done"
+        runtime = result.report.stage("runtime")
+        assert runtime.metrics["resumed"] is False

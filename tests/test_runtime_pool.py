@@ -4,6 +4,8 @@ The fault-injection pipelines live in ``tests/runtime_helpers.py`` so
 worker subprocesses can import them by dotted name.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -184,3 +186,154 @@ class TestProcessPool:
         hit = WorkerPool(max_workers=2, cache=cache).run([job])[0]
         assert not inline.cached and hit.cached
         assert hit.hpwl == inline.hpwl
+
+
+class TestDeadlineCallback:
+    def test_within_budget_is_quiet(self):
+        from repro.runtime import DeadlineCallback
+
+        cb = DeadlineCallback(time.perf_counter() + 60.0, 60.0)
+        cb.on_start(None)
+        cb.on_iteration(None)  # must not raise
+
+    def test_expired_deadline_raises_on_iteration(self):
+        from repro.runtime import DeadlineCallback, JobTimeoutError
+
+        cb = DeadlineCallback(time.perf_counter() - 0.01, 0.25)
+        with pytest.raises(JobTimeoutError, match="0.25"):
+            cb.on_iteration(None)
+
+    def test_expired_deadline_raises_on_start(self):
+        from repro.runtime import DeadlineCallback, JobTimeoutError
+
+        cb = DeadlineCallback(time.perf_counter() - 0.01, 0.25)
+        with pytest.raises(JobTimeoutError):
+            cb.on_start(None)
+
+
+class TestRetryBackoff:
+    def test_backoff_is_deterministic_per_job_and_attempt(self):
+        pool = WorkerPool(retry_backoff=0.25)
+        first = pool._backoff_delay("job-a", 1)
+        assert first == pool._backoff_delay("job-a", 1)
+        assert first != pool._backoff_delay("job-b", 1)
+
+    def test_backoff_grows_exponentially_with_bounded_jitter(self):
+        pool = WorkerPool(retry_backoff=0.25)
+        for n in (1, 2, 3):
+            base = 0.25 * 2 ** (n - 1)
+            delay = pool._backoff_delay("j", n)
+            assert base <= delay <= base * 1.5
+
+    def test_crash_retry_event_carries_backoff_and_reason(self):
+        log = EventLog()
+        job = make_job(seed=1, pipeline=KILLER, retries=1)
+        results = WorkerPool(max_workers=2, retry_backoff=0.01).run(
+            [job], events=log
+        )
+        assert results[0].status == "failed"
+        retries = log.of_kind("retry")
+        assert len(retries) == 1
+        assert retries[0].payload["reason"] == "crash"
+        assert retries[0].payload["backoff"] > 0
+        assert retries[0].payload["crashes"] == 1
+        failed = log.failures[0].payload
+        assert failed["reason"] == "crash"
+        assert failed["crashes"] == 2 and failed["timeouts"] == 0
+
+
+class TestTimeoutRetries:
+    def test_inline_timeout_retry_then_exhaustion(self):
+        log = EventLog()
+        hog = PlacementJob(
+            design="fft_1",
+            cells=250,
+            seed=1,
+            params={"max_iterations": 100000, "min_iterations": 20,
+                    "stop_overflow": 1e-9},
+            timeout=0.3,
+            timeout_retries=1,
+        )
+        results = WorkerPool(max_workers=1).run([hog], events=log)
+        assert results[0].status == "timeout"
+        assert results[0].attempts == 2
+        retries = log.of_kind("retry")
+        assert len(retries) == 1
+        assert retries[0].payload["reason"] == "timeout"
+        assert log.failures[0].payload["timeouts"] == 2
+
+    def test_process_timeout_retry_then_exhaustion(self):
+        log = EventLog()
+        job = make_job(seed=1, pipeline=SLEEPY, timeout=0.5,
+                       timeout_retries=1)
+        results = WorkerPool(max_workers=2, retry_backoff=0.01).run(
+            [job], events=log
+        )
+        assert results[0].status == "timeout"
+        retries = log.of_kind("retry")
+        assert len(retries) == 1
+        assert retries[0].payload["reason"] == "timeout"
+        failed = log.failures[0].payload
+        assert failed["reason"] == "timeout"
+        assert failed["timeouts"] == 2 and failed["crashes"] == 0
+
+
+class TestCheckpointedRetries:
+    def test_crashed_worker_resumes_from_checkpoint(self, tmp_path):
+        """A worker killed mid-GP must finish on retry — from mid-run,
+        not iteration 0 — with the fault-free HPWL."""
+        log = EventLog()
+        base_params = {"max_iterations": 60, "checkpoint_every": 10}
+        job = PlacementJob(
+            design="fft_1", cells=120, seed=1, tag="chaos",
+            params=base_params, retries=1,
+            faults={"faults": [{"kind": "crash", "iteration": 35}]},
+        )
+        pool = WorkerPool(max_workers=2, retry_backoff=0.01,
+                          checkpoint_dir=str(tmp_path / "ckpt"))
+        results = pool.run([job], events=log)
+        assert results[0].status == "done"
+        assert results[0].attempts == 2
+        retries = log.of_kind("retry")
+        assert retries and retries[0].payload["reason"] == "crash"
+        assert retries[0].payload["resume"] is True
+        resumed = [e for e in log.of_kind("recovery")
+                   if e.payload["action"] == "resumed"]
+        assert len(resumed) == 1
+        assert resumed[0].payload["snapshot_iteration"] == 30
+        # Same trajectory as an uninterrupted run of the same job.
+        clean_job = PlacementJob(design="fft_1", cells=120, seed=1,
+                                 params=base_params)
+        clean = WorkerPool(max_workers=1).run([clean_job])[0]
+        assert results[0].hpwl == clean.hpwl
+
+    def test_first_attempt_resumes_with_resume_flag(self, tmp_path):
+        """repro batch --resume: a killed batch's spill is picked up by
+        the *first* attempt of the rerun."""
+        from repro.faults import InjectedFault  # noqa: F401 — doc import
+
+        ckpt = str(tmp_path / "ckpt")
+        params = {"max_iterations": 60, "checkpoint_every": 10}
+        dying = PlacementJob(design="fft_1", cells=120, seed=1, tag="kill",
+                             params=params,
+                             faults={"faults": [
+                                 {"kind": "abort", "iteration": 35}]})
+        log = EventLog()
+        first = WorkerPool(max_workers=1, checkpoint_dir=ckpt).run(
+            [dying], events=log
+        )[0]
+        assert first.status == "failed"
+        assert "injected abort" in first.error
+        # Rerun without the fault, resuming: picks up at the checkpoint.
+        rerun = PlacementJob(design="fft_1", cells=120, seed=1, tag="kill",
+                             params=params,
+                             faults={"faults": [
+                                 {"kind": "abort", "iteration": 35}]})
+        log2 = EventLog()
+        second = WorkerPool(max_workers=1, checkpoint_dir=ckpt,
+                            resume=True).run([rerun], events=log2)[0]
+        assert second.status == "failed"  # abort re-fires on resume...
+        resumed = [e for e in log2.of_kind("recovery")
+                   if e.payload["action"] == "resumed"]
+        assert len(resumed) == 1  # ...but the run DID resume from spill
+        assert resumed[0].payload["snapshot_iteration"] == 30

@@ -239,6 +239,9 @@ class TestPlacerGuard:
         assert diag.design == netlist.name
         assert diag.iteration == fault.iteration
         assert diag.op == fault.op
+        # The guard reports how far back a recovery would have to reach.
+        assert np.isfinite(diag.best_hpwl)
+        assert 0 <= diag.best_iteration < fault.iteration
 
     def test_sanitize_mode_full_run_is_clean(self, netlist, monkeypatch):
         monkeypatch.setenv("REPRO_SANITIZE", "1")
@@ -275,8 +278,28 @@ class TestDiagnosticEvent:
                 "stage": "global-place",
                 "op": "density.grad",
                 "message": "boom",
+                # No best-seen yet: inf is not valid JSON, so None rides.
+                "best_hpwl": None,
+                "best_iteration": -1,
             }
         ]
+
+    def test_best_seen_hpwl_rides_the_diagnostic(self):
+        messages = []
+        callback = QueueCallback(messages.append, label="job-1")
+        callback.on_diagnostic(
+            Diagnostic(
+                design="d",
+                iteration=9,
+                stage="global-place",
+                op="optimizer.step",
+                message="boom",
+                best_hpwl=1234.5,
+                best_iteration=7,
+            )
+        )
+        assert messages[0]["best_hpwl"] == 1234.5
+        assert messages[0]["best_iteration"] == 7
 
     def test_event_log_accepts_diagnostic_kind(self, tmp_path):
         from repro.runtime.events import EventLog
