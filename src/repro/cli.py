@@ -11,6 +11,9 @@ Commands
 ``train-fno`` train (and cache) the neural guidance model
 ``lint``      run the repo-specific static analysis rules (repro.analysis)
               over source paths; exit 0 clean / 1 violations / 2 usage
+``bench``     benchmark the hot placement operators (workspace arena vs
+              allocating fallback) and write BENCH_operator.json; with
+              ``--compare`` gate against a saved report
 
 Every command accepts either a ``.aux`` path or a named design from the
 ISPD-like suites (``adaptec1`` … ``superblue16_a``).
@@ -220,6 +223,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare_reports,
+        format_report,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        size=args.size,
+        iters=args.iters,
+        warmup=args.warmup,
+        seed=args.seed,
+        trajectory_iters=args.trajectory_iters,
+    )
+    print(format_report(report))
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    if not report["gradients_identical"]:
+        print("error: workspace and fallback gradients differ",
+              file=sys.stderr)
+        return 1
+    traj = report.get("trajectory")
+    if traj and not (traj["hpwl_identical"] and traj["positions_identical"]):
+        print("error: workspace run diverged from fallback trajectory",
+              file=sys.stderr)
+        return 1
+    if args.compare:
+        try:
+            previous = load_report(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = compare_reports(report, previous,
+                                   threshold=args.threshold)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +361,31 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list the available rules and exit")
     lint.set_defaults(handler=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the hot operators (workspace vs fallback)"
+    )
+    bench.add_argument("--size", default="tiny",
+                       choices=["tiny", "small", "medium"],
+                       help="synthetic design size (default tiny)")
+    bench.add_argument("--iters", type=int, default=None,
+                       help="measured gradient steps (default per size)")
+    bench.add_argument("--warmup", type=int, default=3,
+                       help="unmeasured warm-up steps (default 3)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--trajectory-iters", type=int, default=0,
+                       metavar="N",
+                       help="also replay N real GP iterations in both "
+                            "modes and require bit-identical HPWL "
+                            "trajectories (0 = skip)")
+    bench.add_argument("--out", default="BENCH_operator.json",
+                       help="report path (default BENCH_operator.json)")
+    bench.add_argument("--compare", default=None, metavar="JSON",
+                       help="gate against a previously saved report")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="fractional slowdown considered a regression "
+                            "with --compare (default 0.25)")
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

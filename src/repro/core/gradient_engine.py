@@ -23,6 +23,7 @@ from repro.density import DensitySystem
 from repro.netlist import Netlist
 from repro.ops import DensitySkipController, profiled
 from repro.optim import Preconditioner
+from repro.perf.workspace import Workspace, maybe_workspace
 from repro.wirelength import WirelengthOp
 
 # predictor(total_density_map) -> (field_x_map, field_y_map)
@@ -96,6 +97,17 @@ class GradientEngine:
         self._num_movable = len(self._mov_idx)
         self._num_fillers = density.fillers.count
         self._cache: Optional[GradientResult] = None
+        # The buffer arena the hot operators share (repro.perf).  The
+        # engine owns it; operators receive it via attach_workspace so
+        # ablation configs without the hook (e.g. the autograd op, the
+        # duck-typed multi-electrostatics system) simply stay allocating.
+        self.workspace: Optional[Workspace] = maybe_workspace(params.workspace)
+        if self.workspace is not None:
+            for op in (self.wirelength, density):
+                attach = getattr(op, "attach_workspace", None)
+                if attach is not None:
+                    attach(self.workspace)
+        self._init_x, self._init_y = netlist.initial_positions()
 
     # ------------------------------------------------------------------
     @property
@@ -109,8 +121,20 @@ class GradientEngine:
     def full_positions(
         self, pos_x: np.ndarray, pos_y: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """All-cell position arrays from the optimizer layout."""
-        x, y = self.netlist.initial_positions()
+        """All-cell position arrays from the optimizer layout.
+
+        With a workspace the template copy lands in reused ``eng.*``
+        buffers (safe: consumers read them within the iteration and the
+        density system re-gathers what it keeps).
+        """
+        ws = self.workspace
+        if ws is not None:
+            x = ws.get("eng.full_x", self._init_x.shape)
+            y = ws.get("eng.full_y", self._init_y.shape)
+            np.copyto(x, self._init_x)
+            np.copyto(y, self._init_y)
+        else:
+            x, y = self.netlist.initial_positions()
         x[self._mov_idx] = pos_x[: self._num_movable]
         y[self._mov_idx] = pos_y[: self._num_movable]
         return x, y
@@ -132,26 +156,55 @@ class GradientEngine:
         mov_x, filler_x = self.split(pos_x)
         mov_y, filler_y = self.split(pos_y)
         x, y = self.full_positions(pos_x, pos_y)
+        ws = self.workspace
+        nm, nv = self._num_movable, self.num_variables
 
         wl = self.wirelength(x, y, gamma)
-        wl_grad_x = np.concatenate(
-            [wl.grad_x[self._mov_idx], np.zeros(self._num_fillers)]
-        )
-        wl_grad_y = np.concatenate(
-            [wl.grad_y[self._mov_idx], np.zeros(self._num_fillers)]
-        )
-        wl_norm = float(
-            np.linalg.norm(np.concatenate([wl_grad_x, wl_grad_y]))
-        )
+        if ws is not None:
+            # Same [movable; fillers] layout as the concatenations below,
+            # assembled into reused eng.* buffers.  Safe to recycle: the
+            # cached GradientResult's wirelength half is never read on
+            # the skip path, and checkpoints copy what they keep.
+            wl_grad_x = ws.get("eng.wl_gx", nv)
+            wl_grad_y = ws.get("eng.wl_gy", nv)
+            np.take(wl.grad_x, self._mov_idx, out=wl_grad_x[:nm])
+            np.take(wl.grad_y, self._mov_idx, out=wl_grad_y[:nm])
+            wl_grad_x[nm:] = 0.0
+            wl_grad_y[nm:] = 0.0
+            norm_cat = ws.get("eng.norm_cat", 2 * nv)
+            norm_cat[:nv] = wl_grad_x
+            norm_cat[nv:] = wl_grad_y
+            wl_norm = float(np.linalg.norm(norm_cat))
+        else:
+            wl_grad_x = np.concatenate(
+                [wl.grad_x[self._mov_idx], np.zeros(self._num_fillers)]
+            )
+            wl_grad_y = np.concatenate(
+                [wl.grad_y[self._mov_idx], np.zeros(self._num_fillers)]
+            )
+            wl_norm = float(
+                np.linalg.norm(np.concatenate([wl_grad_x, wl_grad_y]))
+            )
 
         if self.skip.should_compute(iteration) or self._cache is None:
             dres = self.density.evaluate(x, y, filler_x, filler_y)
-            density_grad_x = np.concatenate(
-                [dres.grad_x[self._mov_idx], dres.filler_grad_x]
-            )
-            density_grad_y = np.concatenate(
-                [dres.grad_y[self._mov_idx], dres.filler_grad_y]
-            )
+            if ws is not None:
+                # These buffers ARE the skip cache between density
+                # recomputes — nothing else writes eng.d_g* until the
+                # next computed iteration replaces their contents.
+                density_grad_x = ws.get("eng.d_gx", nv)
+                density_grad_y = ws.get("eng.d_gy", nv)
+                np.take(dres.grad_x, self._mov_idx, out=density_grad_x[:nm])
+                np.take(dres.grad_y, self._mov_idx, out=density_grad_y[:nm])
+                density_grad_x[nm:] = dres.filler_grad_x
+                density_grad_y[nm:] = dres.filler_grad_y
+            else:
+                density_grad_x = np.concatenate(
+                    [dres.grad_x[self._mov_idx], dres.filler_grad_x]
+                )
+                density_grad_y = np.concatenate(
+                    [dres.grad_y[self._mov_idx], dres.filler_grad_y]
+                )
             overflow = dres.overflow
             energy = dres.energy
             density_map = dres.total_map
@@ -167,9 +220,15 @@ class GradientEngine:
             density_map = cached.density_map
             density_computed = False
 
-        density_norm = float(
-            np.linalg.norm(np.concatenate([density_grad_x, density_grad_y]))
-        )
+        if ws is not None:
+            norm_cat = ws.get("eng.norm_cat", 2 * nv)
+            norm_cat[:nv] = density_grad_x
+            norm_cat[nv:] = density_grad_y
+            density_norm = float(np.linalg.norm(norm_cat))
+        else:
+            density_norm = float(
+                np.linalg.norm(np.concatenate([density_grad_x, density_grad_y]))
+            )
         result = GradientResult(
             wl_grad_x=wl_grad_x,
             wl_grad_y=wl_grad_y,
@@ -294,9 +353,18 @@ class GradientEngine:
             profiled("nn_blend", 2)
             dgx = (1.0 - sigma) * dgx + sigma * nn_gx
             dgy = (1.0 - sigma) * dgy + sigma * nn_gy
-        grad_x = result.wl_grad_x + lam * dgx
-        grad_y = result.wl_grad_y + lam * dgy
-        return self.preconditioner.apply(grad_x, grad_y, lam)
+        ws = self.workspace
+        if ws is not None:
+            grad_x = ws.get("eng.asm_x", result.wl_grad_x.shape)
+            grad_y = ws.get("eng.asm_y", result.wl_grad_y.shape)
+            np.multiply(dgx, lam, out=grad_x)
+            np.add(grad_x, result.wl_grad_x, out=grad_x)
+            np.multiply(dgy, lam, out=grad_y)
+            np.add(grad_y, result.wl_grad_y, out=grad_y)
+        else:
+            grad_x = result.wl_grad_x + lam * dgx
+            grad_y = result.wl_grad_y + lam * dgy
+        return self.preconditioner.apply(grad_x, grad_y, lam, workspace=ws)
 
     def _neural_density_grad(
         self, density_map: np.ndarray, pos_x: np.ndarray, pos_y: np.ndarray

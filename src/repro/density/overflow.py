@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.density.bins import BinGrid
@@ -13,15 +15,23 @@ def overflow_ratio(
     grid: BinGrid,
     target_density: float,
     movable_area: float,
+    scratch: Optional[np.ndarray] = None,
 ) -> float:
     """OVFL = Σ_b max(D_b − D_t, 0)·A_b / Σ_{i∈V_mov} A_i.
 
     ``density`` is the dimensionless cell-density map D (movable + fixed,
     no fillers).  Values near 0 mean the density constraint (1b) is met
     everywhere; analytical placers stop GP when OVFL drops below ~0.07.
+    ``scratch`` reuses a map-sized buffer for the clipped excess instead
+    of allocating one (same subtract/clip, bit-identical result).
     """
     profiled("overflow")
     if movable_area <= 0:
         return 0.0
-    excess = np.clip(density - target_density, 0.0, None)
+    if scratch is None:
+        excess = np.clip(density - target_density, 0.0, None)
+    else:
+        np.subtract(density, target_density, out=scratch)
+        np.clip(scratch, 0.0, None, out=scratch)
+        excess = scratch
     return float(np.sum(excess) * grid.bin_area / movable_area)

@@ -31,6 +31,7 @@ from repro.density.scatter import DensityScatter, rasterize_exact
 from repro.dtypes import FLOAT
 from repro.netlist import Netlist
 from repro.ops import profiled
+from repro.perf.workspace import Workspace
 
 
 @dataclass
@@ -66,6 +67,7 @@ class DensitySystem:
         self.target_density = target_density
         self.grid = grid or BinGrid.for_netlist(netlist)
         self.extraction = extraction
+        self.workspace: Optional[Workspace] = None
         self.scatter = DensityScatter(self.grid)
         self.solver = ElectrostaticSolver(self.grid)
 
@@ -97,6 +99,18 @@ class DensitySystem:
                 width=1.0, height=1.0, x=np.empty(0, dtype=FLOAT), y=np.empty(0, dtype=FLOAT)
             )
 
+    def attach_workspace(self, workspace: Optional[Workspace]) -> None:
+        """Thread a buffer arena through the scatter and solver kernels.
+
+        The maps and gradients placed in :class:`DensityResult` stay
+        freshly allocated either way — the gradient engine caches them by
+        object identity across iterations, so they must never live in
+        reused arena buffers.  Only true scratch goes through the arena.
+        """
+        self.workspace = workspace
+        self.scatter.attach_workspace(workspace)
+        self.solver.attach_workspace(workspace)
+
     # ------------------------------------------------------------------
     def evaluate(
         self,
@@ -108,11 +122,49 @@ class DensitySystem:
         """Density penalty at cell centers ``(x, y)`` (+ filler positions)."""
         if filler_x is None:
             filler_x, filler_y = self.fillers.x, self.fillers.y
-        mov_x = x[self._mov_idx]
-        mov_y = y[self._mov_idx]
+        ws = self.workspace
         bin_area = self.grid.bin_area
+        if ws is not None:
+            mov_x = ws.get("ds.mov_x", self._mov_idx.shape[0])
+            mov_y = ws.get("ds.mov_y", self._mov_idx.shape[0])
+            np.take(x, self._mov_idx, out=mov_x)
+            np.take(y, self._mov_idx, out=mov_y)
+        else:
+            mov_x = x[self._mov_idx]
+            mov_y = y[self._mov_idx]
 
-        if self.extraction:
+        # Shared window handles: the scatter and the force gathers below
+        # run over the same cell geometry, so the boxes/overlap rows are
+        # computed once per population per iteration.
+        win_mov = win_fil = None
+        if ws is not None:
+            win_mov = self.scatter.prepare_windows(
+                mov_x, mov_y, self._mov_w, self._mov_h, tag="@mov"
+            )
+
+        if self.extraction and ws is not None:
+            # Same dataflow as below, but the fresh scatter outputs are
+            # finalised in place: D = map/A_b + fixed needs no extra
+            # temporaries because the scatter already returned new arrays.
+            mov_map = self.scatter.scatter(
+                mov_x, mov_y, self._mov_w, self._mov_h, windows=win_mov
+            )
+            np.divide(mov_map, bin_area, out=mov_map)
+            np.add(mov_map, self._fixed_density, out=mov_map)
+            density = mov_map
+            win_fil = self.scatter.prepare_windows(
+                filler_x, filler_y, self.fillers.w, self.fillers.h,
+                tag="@fil",
+            )
+            filler_map = self.scatter.scatter(
+                filler_x, filler_y, self.fillers.w, self.fillers.h,
+                windows=win_fil,
+            )
+            profiled("density_add")
+            np.divide(filler_map, bin_area, out=filler_map)
+            np.add(density, filler_map, out=filler_map)
+            total = filler_map
+        elif self.extraction:
             # D computed once, shared by overflow and D̃ (Fig. 2a).
             mov_map = self.scatter.scatter(mov_x, mov_y, self._mov_w, self._mov_h)
             density = mov_map / bin_area + self._fixed_density
@@ -130,27 +182,64 @@ class DensitySystem:
             fused = self.scatter.scatter(all_x, all_y, all_w, all_h)
             total = fused / bin_area + self._fixed_density
             # ...and a second, duplicated scatter for the overflow map.
-            mov_map = self.scatter.scatter(mov_x, mov_y, self._mov_w, self._mov_h)
+            mov_map = self.scatter.scatter(
+                mov_x, mov_y, self._mov_w, self._mov_h, windows=win_mov
+            )
             density = mov_map / bin_area + self._fixed_density
 
-        ovfl = overflow_ratio(density, self.grid, self.target_density, self.movable_area)
+        ovfl = overflow_ratio(
+            density,
+            self.grid,
+            self.target_density,
+            self.movable_area,
+            scratch=None if ws is None else ws.get("ds.ovfl", self.grid.shape),
+        )
         field = self.solver.solve(total)
 
         # Force on charge q is qE; the descent gradient of the energy is -qE.
+        # gather() returns a fresh array, so the negation can run in place
+        # (the result arrays below are cached by the engine and must not
+        # alias arena storage).
         grad_x = np.zeros(self.netlist.num_cells, dtype=FLOAT)
         grad_y = np.zeros(self.netlist.num_cells, dtype=FLOAT)
-        grad_x[self._mov_idx] = -self.scatter.gather(
-            field.field_x, mov_x, mov_y, self._mov_w, self._mov_h
-        )
-        grad_y[self._mov_idx] = -self.scatter.gather(
-            field.field_y, mov_x, mov_y, self._mov_w, self._mov_h
-        )
-        filler_grad_x = -self.scatter.gather(
-            field.field_x, filler_x, filler_y, self.fillers.w, self.fillers.h
-        )
-        filler_grad_y = -self.scatter.gather(
-            field.field_y, filler_x, filler_y, self.fillers.w, self.fillers.h
-        )
+        if ws is not None:
+            # Paired gather: both field axes share one window computation
+            # (identical cell geometry) — bit-identical per-cell values.
+            # The windows themselves are reused from the scatter above.
+            if win_fil is None:
+                win_fil = self.scatter.prepare_windows(
+                    filler_x, filler_y, self.fillers.w, self.fillers.h,
+                    tag="@fil",
+                )
+            mgx, mgy = self.scatter.gather_pair(
+                field.field_x, field.field_y,
+                mov_x, mov_y, self._mov_w, self._mov_h,
+                windows=win_mov,
+            )
+            filler_grad_x, filler_grad_y = self.scatter.gather_pair(
+                field.field_x, field.field_y,
+                filler_x, filler_y, self.fillers.w, self.fillers.h,
+                windows=win_fil,
+            )
+        else:
+            mgx = self.scatter.gather(
+                field.field_x, mov_x, mov_y, self._mov_w, self._mov_h
+            )
+            mgy = self.scatter.gather(
+                field.field_y, mov_x, mov_y, self._mov_w, self._mov_h
+            )
+            filler_grad_x = self.scatter.gather(
+                field.field_x, filler_x, filler_y, self.fillers.w, self.fillers.h
+            )
+            filler_grad_y = self.scatter.gather(
+                field.field_y, filler_x, filler_y, self.fillers.w, self.fillers.h
+            )
+        np.negative(mgx, out=mgx)
+        grad_x[self._mov_idx] = mgx
+        np.negative(mgy, out=mgy)
+        grad_y[self._mov_idx] = mgy
+        np.negative(filler_grad_x, out=filler_grad_x)
+        np.negative(filler_grad_y, out=filler_grad_y)
         return DensityResult(
             overflow=ovfl,
             energy=field.energy,

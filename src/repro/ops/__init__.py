@@ -8,13 +8,20 @@ combination / extraction / skipping really shrink the launch count, not
 just wall-clock noise.
 """
 
-from repro.ops.profiler import KernelProfiler, get_profiler, profiled, use_profiler
+from repro.ops.profiler import (
+    KernelProfiler,
+    get_profiler,
+    profiled,
+    timed,
+    use_profiler,
+)
 from repro.ops.skip import DensitySkipController
 
 __all__ = [
     "KernelProfiler",
     "get_profiler",
     "profiled",
+    "timed",
     "use_profiler",
     "DensitySkipController",
 ]

@@ -17,7 +17,7 @@ function σ(ω) both key off it.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from repro.dtypes import FLOAT
@@ -25,6 +25,7 @@ from repro.dtypes import FLOAT
 from repro.density.fillers import FillerCells
 from repro.netlist import Netlist
 from repro.ops import profiled
+from repro.perf.workspace import Workspace
 
 
 class Preconditioner:
@@ -47,11 +48,27 @@ class Preconditioner:
 
     # ------------------------------------------------------------------
     def apply(
-        self, grad_x: np.ndarray, grad_y: np.ndarray, lam: float
+        self,
+        grad_x: np.ndarray,
+        grad_y: np.ndarray,
+        lam: float,
+        workspace: Optional[Workspace] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Return H̃⁻¹·grad for both axes (clamped denominator ≥ 1)."""
+        """Return H̃⁻¹·grad for both axes (clamped denominator ≥ 1).
+
+        The returned arrays are always freshly allocated — the Nesterov
+        optimizer retains them across iterations as its previous-gradient
+        state, so they must never alias arena buffers.  ``workspace``
+        only recycles the denominator scratch.
+        """
         profiled("precondition", 2)
-        denom = np.maximum(self._hw + lam * self._hd, 1.0)
+        if workspace is None:
+            denom = np.maximum(self._hw + lam * self._hd, 1.0)
+        else:
+            denom = workspace.get("pre.denom", self._hw.shape)
+            np.multiply(self._hd, lam, out=denom)
+            np.add(denom, self._hw, out=denom)
+            np.maximum(denom, 1.0, out=denom)
         return grad_x / denom, grad_y / denom
 
     def omega(self, lam: float) -> float:

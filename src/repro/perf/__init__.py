@@ -1,0 +1,11 @@
+"""Performance layer: the workspace buffer arena and the bench harness.
+
+``Workspace`` (:mod:`repro.perf.workspace`) is the preallocated scratch
+arena the gradient engine threads through the hot operators;
+:mod:`repro.perf.bench` is the ``repro bench`` harness that proves the
+arena's speedup (and catches regressions) on sized synthetic designs.
+"""
+
+from repro.perf.workspace import Workspace, maybe_workspace
+
+__all__ = ["Workspace", "maybe_workspace"]

@@ -1,0 +1,382 @@
+"""Operator benchmark harness behind ``repro bench``.
+
+Runs the combined wirelength + density gradient step (the hot loop of
+global placement) on a sized synthetic design, once with the
+:class:`~repro.perf.workspace.Workspace` arena and once with the plain
+allocating kernels, and reports per operator:
+
+* **launches** — vectorised-kernel dispatch counts (``profiled``),
+* **seconds** — wall time inside the ``timed(...)`` operator spans,
+* **peak temporary bytes** — ``tracemalloc`` peak of one isolated
+  operator invocation (the allocating cost the arena removes), plus the
+  arena's resident bytes per operator namespace for the workspace mode.
+
+Both modes drive *identical* inputs through *identical* math; the
+harness asserts the assembled gradients match bit-for-bit before it
+trusts any timing, and (optionally) replays a short real GP run in both
+modes to check the HPWL trajectory is bit-identical too.
+
+The report is JSON-friendly and written to ``BENCH_operator.json`` at
+the repo root by the CLI; ``--compare`` diffs a fresh run against a
+saved report and flags per-operator and per-step slowdowns beyond a
+threshold, which is what the CI ``bench-smoke`` step gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.ops import KernelProfiler, use_profiler
+
+DEFAULT_REPORT = "BENCH_operator.json"
+SCHEMA_VERSION = 1
+
+#: size name -> (suite design, scale factor, default measured iterations)
+SIZES: Dict[str, tuple] = {
+    "tiny": ("adaptec1", 0.01, 30),
+    "small": ("adaptec1", 0.05, 15),
+    "medium": ("adaptec3", 0.05, 10),
+}
+
+#: the timed operator spans, in hot-loop order
+OPERATORS = ("wirelength", "density_scatter", "field_solve", "density_gather")
+
+
+# ----------------------------------------------------------------------
+def _build(netlist, workspace: bool, seed: int):
+    """One (engine, pos_x, pos_y, gamma, lam) harness for a mode.
+
+    ``operator_skipping`` is off so every measured iteration pays the
+    full wirelength + density cost — the quantity being compared.
+    """
+    from repro.core.gradient_engine import GradientEngine
+    from repro.core.initializer import initial_positions
+    from repro.core.params import PlacementParams
+    from repro.density.system import DensitySystem
+
+    params = PlacementParams(workspace=workspace, operator_skipping=False,
+                             seed=seed)
+    density = DensitySystem(
+        netlist,
+        target_density=params.target_density,
+        extraction=params.density_extraction,
+        rng=np.random.default_rng(seed + 1),
+    )
+    engine = GradientEngine(netlist, density, params)
+    x0, y0 = initial_positions(netlist, rng=np.random.default_rng(seed))
+    mov = netlist.movable_index
+    pos_x = np.concatenate([x0[mov], density.fillers.x])
+    pos_y = np.concatenate([y0[mov], density.fillers.y])
+    bin_size = min(density.grid.bin_w, density.grid.bin_h)
+    gamma = params.gamma(1.0, bin_size)  # iteration-0 smoothing
+    lam = 1e-4
+    return engine, pos_x, pos_y, gamma, lam
+
+
+def _step(engine, pos_x, pos_y, gamma, lam, iteration):
+    """One combined gradient step: compute + assemble."""
+    result = engine.compute(iteration, pos_x, pos_y, gamma, lam)
+    grad_x, grad_y = engine.assemble(result, pos_x, pos_y, lam)
+    return result, grad_x, grad_y
+
+
+def _operator_peaks(engine, pos_x, pos_y, gamma) -> Dict[str, int]:
+    """tracemalloc peak bytes of one isolated call per hot operator."""
+    density = engine.density
+    full_x, full_y = engine.full_positions(pos_x, pos_y)
+    mov_idx = density._mov_idx
+    mov_x, mov_y = full_x[mov_idx], full_y[mov_idx]
+    mov_w, mov_h = density._mov_w, density._mov_h
+    total = density.scatter.scatter(mov_x, mov_y, mov_w, mov_h)
+    total = total / density.grid.bin_area + density._fixed_density
+    field = density.solver.solve(total)
+
+    calls = {
+        "wirelength": lambda: engine.wirelength(full_x, full_y, gamma),
+        "density_scatter": lambda: density.scatter.scatter(
+            mov_x, mov_y, mov_w, mov_h),
+        "field_solve": lambda: density.solver.solve(total),
+        "density_gather": lambda: density.scatter.gather(
+            field.field_x, mov_x, mov_y, mov_w, mov_h),
+    }
+    peaks = {}
+    for name, call in calls.items():
+        call()  # warm the arena/caches so the peak is steady-state
+        tracemalloc.start()
+        call()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[name] = int(peak)
+    return peaks
+
+
+def _mode_dict(workspace: bool, step_seconds: List[float],
+               profiler: KernelProfiler, peaks: Dict[str, int],
+               arena_stats: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    mode: Dict[str, Any] = {
+        "workspace": workspace,
+        "step_seconds_mean": float(np.mean(step_seconds)),
+        "step_seconds_median": float(np.median(step_seconds)),
+        "step_seconds_min": float(np.min(step_seconds)),
+        "step_seconds_total": float(np.sum(step_seconds)),
+        "operator_seconds": {
+            op: float(profiler.seconds.get(op, 0.0)) for op in OPERATORS
+        },
+        "operator_launches": {
+            op: int(profiler.counts.get(op, 0))
+            for op in sorted(profiler.counts)
+        },
+        "operator_peak_temp_bytes": peaks,
+        "total_launches": int(profiler.total),
+    }
+    if arena_stats is not None:
+        mode["arena"] = arena_stats
+    return mode
+
+
+def _run_modes(netlist, iters: int, warmup: int, seed: int):
+    """Time steady-state gradient steps in both modes, interleaved.
+
+    Alternating workspace/fallback steps (instead of one long block per
+    mode) means slow machine drift — frequency scaling, noisy
+    neighbours — lands on both sides equally; the per-mode medians stay
+    comparable even on a loaded host.
+    """
+    eng_ws, px_ws, py_ws, gamma, lam = _build(netlist, True, seed)
+    eng_al, px_al, py_al, _gamma, _lam = _build(netlist, False, seed)
+    prof_ws = KernelProfiler(timed=True)
+    prof_al = KernelProfiler(timed=True)
+    ws_seconds: List[float] = []
+    al_seconds: List[float] = []
+
+    for i in range(warmup):
+        with use_profiler(prof_ws):
+            _step(eng_ws, px_ws, py_ws, gamma, lam, i)
+        with use_profiler(prof_al):
+            _step(eng_al, px_al, py_al, gamma, lam, i)
+    prof_ws.reset()
+    prof_al.reset()
+    eng_ws.workspace.reset_counters()
+
+    for i in range(iters):
+        with use_profiler(prof_ws):
+            start = time.perf_counter()
+            _step(eng_ws, px_ws, py_ws, gamma, lam, warmup + i)
+            ws_seconds.append(time.perf_counter() - start)
+        with use_profiler(prof_al):
+            start = time.perf_counter()
+            _step(eng_al, px_al, py_al, gamma, lam, warmup + i)
+            al_seconds.append(time.perf_counter() - start)
+
+    # Steady-state arena stats before the probes below touch buffers
+    # outside the hot loop.
+    arena_stats = eng_ws.workspace.stats()
+    # Outside the profiler contexts: the peaks probe re-invokes the
+    # operators and must not pollute the measured launch/span totals.
+    ws_peaks = _operator_peaks(eng_ws, px_ws, py_ws, gamma)
+    al_peaks = _operator_peaks(eng_al, px_al, py_al, gamma)
+
+    # One final step per mode just for the gradient fingerprint (mode
+    # identity check) — outside the timing, after the peaks probes.
+    _r, ws_gx, ws_gy = _step(eng_ws, px_ws, py_ws, gamma, lam,
+                             warmup + iters)
+    ws_grads = (np.array(ws_gx, copy=True), np.array(ws_gy, copy=True))
+    _r, al_gx, al_gy = _step(eng_al, px_al, py_al, gamma, lam,
+                             warmup + iters)
+    al_grads = (np.array(al_gx, copy=True), np.array(al_gy, copy=True))
+
+    ws_mode = _mode_dict(True, ws_seconds, prof_ws, ws_peaks, arena_stats)
+    al_mode = _mode_dict(False, al_seconds, prof_al, al_peaks, None)
+    return ws_mode, al_mode, ws_grads, al_grads
+
+
+def _trajectory_check(netlist, iterations: int, seed: int) -> Dict[str, Any]:
+    """Replay a short real GP run in both modes; trajectories must match."""
+    from repro.core.params import PlacementParams
+    from repro.core.placer import XPlacer
+
+    traces = {}
+    for workspace in (True, False):
+        params = PlacementParams(
+            workspace=workspace,
+            max_iterations=iterations,
+            min_iterations=min(5, iterations),
+            seed=seed,
+        )
+        result = XPlacer(netlist, params).run()
+        traces[workspace] = (result.recorder.trace("hpwl"),
+                             result.x, result.y)
+    hpwl_ws, x_ws, y_ws = traces[True]
+    hpwl_al, x_al, y_al = traces[False]
+    return {
+        "iterations": int(len(hpwl_ws)),
+        "hpwl_identical": bool(np.array_equal(hpwl_ws, hpwl_al)),
+        "positions_identical": bool(
+            np.array_equal(x_ws, x_al) and np.array_equal(y_ws, y_al)
+        ),
+        "final_hpwl": float(hpwl_ws[-1]) if len(hpwl_ws) else None,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_bench(
+    size: str = "tiny",
+    iters: Optional[int] = None,
+    warmup: int = 3,
+    seed: int = 0,
+    trajectory_iters: int = 0,
+) -> Dict[str, Any]:
+    """Benchmark the gradient step in both modes; return the report dict."""
+    if size not in SIZES:
+        raise ValueError(f"unknown bench size {size!r}; pick from "
+                         f"{sorted(SIZES)}")
+    from repro.benchgen import make_design
+
+    design, scale, default_iters = SIZES[size]
+    if iters is None:
+        iters = default_iters
+    netlist = make_design(design, scale=scale)
+
+    ws_mode, al_mode, ws_grads, al_grads = _run_modes(
+        netlist, iters, warmup, seed
+    )
+    identical = bool(
+        np.array_equal(ws_grads[0], al_grads[0])
+        and np.array_equal(ws_grads[1], al_grads[1])
+    )
+    # Median over interleaved steps: robust to the occasional step that
+    # catches a scheduler hiccup, and both modes sample the same
+    # machine-state timeline.
+    ws_step = ws_mode["step_seconds_median"]
+    al_step = al_mode["step_seconds_median"]
+    reduction = (1.0 - ws_step / al_step) * 100.0 if al_step > 0 else 0.0
+
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "size": size,
+        "design": design,
+        "scale": scale,
+        "num_cells": int(netlist.num_cells),
+        "num_nets": int(netlist.num_nets),
+        "num_pins": int(netlist.num_pins),
+        "iters": int(iters),
+        "warmup": int(warmup),
+        "seed": int(seed),
+        "modes": {"workspace": ws_mode, "fallback": al_mode},
+        "step_reduction_pct": float(reduction),
+        "gradients_identical": identical,
+    }
+    if trajectory_iters > 0:
+        report["trajectory"] = _trajectory_check(
+            netlist, trajectory_iters, seed
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+def write_report(report: Dict[str, Any], path: str = DEFAULT_REPORT) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_reports(
+    new: Dict[str, Any],
+    old: Dict[str, Any],
+    threshold: float = 0.25,
+) -> List[str]:
+    """Regressions of ``new`` vs ``old``: list of human-readable strings.
+
+    A regression is a workspace-mode per-operator or per-step time more
+    than ``threshold`` (fractional) slower than the saved report.  Wall
+    time is noisy across hosts, so the default tolerance is generous —
+    this gate is for order-of-magnitude breakage (a lost fast path),
+    not micro-variance.
+    """
+    problems: List[str] = []
+    if new.get("size") != old.get("size"):
+        problems.append(
+            f"size mismatch: new={new.get('size')!r} old={old.get('size')!r}"
+            " — benchmarks are only comparable at the same size"
+        )
+        return problems
+    new_ws = new["modes"]["workspace"]
+    old_ws = old["modes"]["workspace"]
+    limit = 1.0 + threshold
+
+    new_step = new_ws.get("step_seconds_median", new_ws["step_seconds_mean"])
+    old_step = old_ws.get("step_seconds_median", old_ws["step_seconds_mean"])
+    if old_step > 0 and new_step > old_step * limit:
+        problems.append(
+            f"step seconds (median) regressed: {new_step:.6f}s vs "
+            f"{old_step:.6f}s (+{(new_step / old_step - 1) * 100:.1f}%, "
+            f"threshold {threshold * 100:.0f}%)"
+        )
+    for op in OPERATORS:
+        new_sec = new_ws["operator_seconds"].get(op, 0.0)
+        old_sec = old_ws["operator_seconds"].get(op, 0.0)
+        if old_sec > 0 and new_sec > old_sec * limit:
+            problems.append(
+                f"{op} regressed: {new_sec:.6f}s vs {old_sec:.6f}s "
+                f"(+{(new_sec / old_sec - 1) * 100:.1f}%, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+    if not new.get("gradients_identical", False):
+        problems.append("workspace/fallback gradients are no longer "
+                        "bit-identical")
+    return problems
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Console rendering of one benchmark report."""
+    ws = report["modes"]["workspace"]
+    al = report["modes"]["fallback"]
+    lines = [
+        f"bench {report['size']} ({report['design']} scale="
+        f"{report['scale']}, {report['num_cells']} cells, "
+        f"{report['num_nets']} nets), {report['iters']} iters",
+        f"  step median: workspace {ws['step_seconds_median'] * 1e3:.2f}ms  "
+        f"fallback {al['step_seconds_median'] * 1e3:.2f}ms  "
+        f"(reduction {report['step_reduction_pct']:.1f}%)",
+        f"  step mean:   workspace {ws['step_seconds_mean'] * 1e3:.2f}ms  "
+        f"fallback {al['step_seconds_mean'] * 1e3:.2f}ms",
+        f"  gradients bit-identical: {report['gradients_identical']}",
+        f"  {'operator':<18s} {'ws sec':>9s} {'alloc sec':>10s} "
+        f"{'ws peak B':>10s} {'alloc peak B':>12s}",
+    ]
+    for op in OPERATORS:
+        lines.append(
+            f"  {op:<18s} {ws['operator_seconds'][op]:>9.4f} "
+            f"{al['operator_seconds'][op]:>10.4f} "
+            f"{ws['operator_peak_temp_bytes'].get(op, 0):>10d} "
+            f"{al['operator_peak_temp_bytes'].get(op, 0):>12d}"
+        )
+    arena = ws.get("arena")
+    if arena:
+        per_op = ", ".join(
+            f"{k}={v}" for k, v in sorted(
+                arena["nbytes_by_operator"].items())
+        )
+        lines.append(
+            f"  arena: {arena['buffers']} buffers, {arena['nbytes']} B "
+            f"(hit rate {arena['hit_rate'] * 100:.1f}%), by ns: {per_op}"
+        )
+    traj = report.get("trajectory")
+    if traj:
+        lines.append(
+            f"  trajectory ({traj['iterations']} iters): hpwl identical="
+            f"{traj['hpwl_identical']} positions identical="
+            f"{traj['positions_identical']}"
+        )
+    return "\n".join(lines)

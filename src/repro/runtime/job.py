@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.callbacks import IterationCallback, QueueCallback
 from repro.core.params import PlacementParams
 from repro.netlist import Netlist
-from repro.ops.profiler import use_profiler
+from repro.ops.profiler import KernelProfiler, use_profiler
 from repro.pipeline import FlowReport, Pipeline, PlacementContext, StageReport
 from repro.wirelength import hpwl as hpwl_fn
 
@@ -401,9 +401,11 @@ def execute_job(
     )
     pipeline = job.build_pipeline()
     # The profiler is thread-local, so a worker process starts without
-    # one: install a fresh profiler here and fold its totals into the
-    # report, whichever process we are running in.
-    with use_profiler() as profiler:
+    # one: install a fresh timed profiler here and fold its totals into
+    # the report, whichever process we are running in.  Timing is cheap
+    # at this granularity (a few clock reads per GP iteration) and gives
+    # every batch job a per-operator wall-time breakdown for free.
+    with use_profiler(KernelProfiler(timed=True)) as profiler:
         report = pipeline.run(ctx)
     x, y = ctx.positions()
     final_hpwl = float(hpwl_fn(ctx.original_netlist, x, y))
@@ -417,6 +419,8 @@ def execute_job(
                 "final_hpwl": final_hpwl,
                 "kernel_launches": profiler.total,
                 "kernel_counts": profiler.snapshot(),
+                "kernel_seconds": profiler.snapshot_seconds(),
+                "kernel_seconds_total": profiler.total_seconds,
                 "resumed": resuming,
             },
         )

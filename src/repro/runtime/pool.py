@@ -284,7 +284,8 @@ class WorkerPool:
                                   getattr(err, "flow_report", None))
             else:
                 events.emit("finished", job.job_id, hpwl=result.hpwl,
-                            seconds=result.seconds, attempt=attempt)
+                            seconds=result.seconds, attempt=attempt,
+                            kernel_seconds=_kernel_seconds(result))
             result.attempts = attempt
             return result
 
@@ -403,7 +404,8 @@ class WorkerPool:
                         events.emit("finished", job.job_id,
                                     hpwl=result.hpwl,
                                     seconds=result.seconds,
-                                    attempt=record.attempt)
+                                    attempt=record.attempt,
+                                    kernel_seconds=_kernel_seconds(result))
                         if self.cache is not None:
                             self.cache.put(job, result)
                     else:
@@ -543,6 +545,22 @@ def _resolve_context(start_method: Optional[str]):
 def _matches(stop_when: Optional[StopPredicate],
              result: JobResult) -> bool:
     return stop_when is not None and bool(stop_when(result))
+
+
+def _kernel_seconds(result: JobResult) -> Optional[float]:
+    """Total in-kernel wall time from the job's runtime stage metrics.
+
+    ``None`` when the worker ran without a timed profiler (or the job
+    failed before producing a report) — the event payload stays honest
+    instead of reporting 0.0 for "not measured".
+    """
+    if result.report is None:
+        return None
+    for stage in result.report.stages:
+        if stage.name == "runtime":
+            value = stage.metrics.get("kernel_seconds_total")
+            return float(value) if value is not None else None
+    return None
 
 
 def _failure(

@@ -4,9 +4,18 @@ These helpers are the NumPy equivalent of the per-net CUDA reduction
 kernels: given per-pin values and the ``net_start`` offsets, they reduce
 each net's contiguous slice.  Empty nets are tolerated (their reduction
 output is unspecified and must be masked by the caller via ``net_mask``).
+
+All three reductions accept an optional ``out=`` destination plus
+precomputed ``starts``/``empty`` vectors so workspace-backed callers
+(:class:`repro.wirelength.wa.WirelengthOp`) can run the steady-state
+loop without allocating; the results are bit-identical to the
+allocating spelling because ``ufunc.reduceat`` performs the same
+reduction regardless of where it writes.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -21,33 +30,76 @@ def _safe_starts(net_start: np.ndarray, num_values: int) -> np.ndarray:
     return np.minimum(starts, num_values - 1)
 
 
-def segment_max(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+def segment_max(
+    values: np.ndarray,
+    net_start: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    starts: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Per-net maximum of ``values`` (undefined for empty nets)."""
     profiled("segment_max")
     if values.size == 0:
+        if out is not None:
+            out.fill(0)
+            return out
         return np.zeros(len(net_start) - 1, dtype=values.dtype)
-    return np.maximum.reduceat(values, _safe_starts(net_start, values.size))
+    if starts is None:
+        starts = _safe_starts(net_start, values.size)
+    if out is None:
+        return np.maximum.reduceat(values, starts)
+    np.maximum.reduceat(values, starts, out=out)
+    return out
 
 
-def segment_min(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+def segment_min(
+    values: np.ndarray,
+    net_start: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    starts: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Per-net minimum of ``values`` (undefined for empty nets)."""
     profiled("segment_min")
     if values.size == 0:
+        if out is not None:
+            out.fill(0)
+            return out
         return np.zeros(len(net_start) - 1, dtype=values.dtype)
-    return np.minimum.reduceat(values, _safe_starts(net_start, values.size))
+    if starts is None:
+        starts = _safe_starts(net_start, values.size)
+    if out is None:
+        return np.minimum.reduceat(values, starts)
+    np.minimum.reduceat(values, starts, out=out)
+    return out
 
 
-def segment_sum(values: np.ndarray, net_start: np.ndarray) -> np.ndarray:
+def segment_sum(
+    values: np.ndarray,
+    net_start: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    starts: Optional[np.ndarray] = None,
+    empty: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Per-net sum of ``values`` (0 for empty nets)."""
     profiled("segment_sum")
     num_nets = len(net_start) - 1
     if values.size == 0:
+        if out is not None:
+            out.fill(0)
+            return out
         return np.zeros(num_nets, dtype=values.dtype)
-    out = np.add.reduceat(values, _safe_starts(net_start, values.size))
-    # reduceat yields values[start] for empty segments; zero them.
-    empty = np.diff(net_start) == 0
+    if starts is None:
+        starts = _safe_starts(net_start, values.size)
+    if empty is None:
+        empty = np.diff(net_start) == 0
+    if out is None:
+        result = np.add.reduceat(values, starts)
+        # reduceat yields values[start] for empty segments; zero them.
+        if np.any(empty):
+            result = np.where(empty, 0.0, result)
+        return result
+    np.add.reduceat(values, starts, out=out)
     if np.any(empty):
-        out = np.where(empty, 0.0, out)
+        out[empty] = 0.0
     return out
 
 

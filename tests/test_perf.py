@@ -1,0 +1,371 @@
+"""Tests for the performance layer: Workspace arena, bit-identity, bench.
+
+The arena's contract is strict: every workspace-threaded operator must
+produce *bit-identical* results to its allocating fallback, and the
+steady-state hot loop must perform zero new arena allocations.  Both are
+asserted here directly, plus the ``repro bench`` harness end to end.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import PlacementParams, make_design
+from repro.analysis.sanitizer import active, disable
+from repro.autograd import gradcheck_all
+from repro.core import XPlacer
+from repro.density import BinGrid, DensityScatter, DensitySystem
+from repro.density.electrostatics import ElectrostaticSolver
+from repro.dtypes import FLOAT, INT
+from repro.perf import Workspace, maybe_workspace
+from repro.perf import bench as bench_mod
+from repro.wirelength import WirelengthOp
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return make_design("fft_1", num_cells=150)
+
+
+@pytest.fixture(scope="module")
+def grid(netlist):
+    return BinGrid.for_netlist(netlist)
+
+
+@pytest.fixture(scope="module")
+def cells(netlist, grid):
+    """Random movable-cell geometry inside the region (no large cells)."""
+    rng = np.random.default_rng(3)
+    n = 80
+    region = netlist.region
+    x = rng.uniform(region.xl + 5, region.xh - 5, n)
+    y = rng.uniform(region.yl + 5, region.yh - 5, n)
+    w = rng.uniform(0.5, 1.5 * grid.bin_w, n)
+    h = rng.uniform(0.5, 1.5 * grid.bin_h, n)
+    return x, y, w, h
+
+
+class TestWorkspace:
+    def test_get_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.get("op.tmp", 16)
+        b = ws.get("op.tmp", 16)
+        assert a is b
+        assert ws.misses == 1 and ws.hits == 1
+
+    def test_distinct_shapes_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.get("op.tmp", 16)
+        b = ws.get("op.tmp", 32)
+        assert a is not b and ws.num_buffers == 2
+
+    def test_distinct_dtypes_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.get("op.tmp", 8, dtype=FLOAT)
+        b = ws.get("op.tmp", 8, dtype=INT)
+        assert a.dtype == FLOAT and b.dtype == INT and a is not b
+
+    def test_zeros_clears_every_time(self):
+        ws = Workspace()
+        a = ws.zeros("op.z", 4)
+        a[:] = 7.0
+        b = ws.zeros("op.z", 4)
+        assert b is a and np.array_equal(b, np.zeros(4))
+
+    def test_arange_cached_and_readonly(self):
+        ws = Workspace()
+        r = ws.arange(10)
+        assert np.array_equal(r, np.arange(10)) and r.dtype == INT
+        assert ws.arange(10) is r
+        with pytest.raises(ValueError):
+            r[0] = 5
+
+    def test_nbytes_by_prefix_groups_namespaces(self):
+        ws = Workspace()
+        ws.get("wa.px", 10)
+        ws.get("wa.py", 10)
+        ws.get("sc.scale", 5)
+        by_op = ws.nbytes_by_prefix()
+        assert set(by_op) == {"wa", "sc"}
+        assert by_op["wa"] == 4 * by_op["sc"]
+
+    def test_stats_and_reset_counters(self):
+        ws = Workspace()
+        ws.get("a.x", 4)
+        ws.get("a.x", 4)
+        stats = ws.stats()
+        assert stats["buffers"] == 1 and stats["hit_rate"] == 0.5
+        ws.reset_counters()
+        assert ws.hits == 0 and ws.misses == 0
+        assert ws.num_buffers == 1  # buffers stay warm
+
+    def test_clear_drops_everything(self):
+        ws = Workspace()
+        ws.get("a.x", 4)
+        ws.clear()
+        assert ws.num_buffers == 0 and ws.nbytes == 0
+
+    def test_maybe_workspace(self):
+        assert maybe_workspace(False) is None
+        assert isinstance(maybe_workspace(True), Workspace)
+
+
+class TestBitIdentity:
+    """Every arena path must match the allocating path bit-for-bit."""
+
+    def test_wirelength_op(self, netlist):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(10, 90, netlist.num_cells)
+        y = rng.uniform(10, 90, netlist.num_cells)
+        op_al = WirelengthOp(netlist)
+        op_ws = WirelengthOp(netlist, workspace=Workspace())
+        for gamma in (0.5, 4.0):
+            for _ in range(3):  # steady-state reuse must stay identical
+                ra = op_al(x, y, gamma)
+                rw = op_ws(x, y, gamma)
+                assert rw.wa == ra.wa and rw.hpwl == ra.hpwl
+                assert np.array_equal(rw.grad_x, ra.grad_x)
+                assert np.array_equal(rw.grad_y, ra.grad_y)
+
+    def test_scatter_and_gather(self, grid, cells):
+        x, y, w, h = cells
+        sc_al = DensityScatter(grid)
+        sc_ws = DensityScatter(grid, workspace=Workspace())
+        field = np.random.default_rng(5).normal(size=grid.shape)
+        for _ in range(3):
+            assert np.array_equal(
+                sc_ws.scatter(x, y, w, h), sc_al.scatter(x, y, w, h)
+            )
+            assert np.array_equal(
+                sc_ws.gather(field, x, y, w, h),
+                sc_al.gather(field, x, y, w, h),
+            )
+
+    def test_gather_pair_matches_two_gathers(self, grid, cells):
+        x, y, w, h = cells
+        rng = np.random.default_rng(6)
+        fa = rng.normal(size=grid.shape)
+        fb = rng.normal(size=grid.shape)
+        for ws in (None, Workspace()):
+            sc = DensityScatter(grid, workspace=ws)
+            for _ in range(3):
+                ga, gb = sc.gather_pair(fa, fb, x, y, w, h)
+                assert np.array_equal(ga, sc.gather(fa, x, y, w, h))
+                assert np.array_equal(gb, sc.gather(fb, x, y, w, h))
+
+    def test_prepare_windows_handle(self, grid, cells):
+        x, y, w, h = cells
+        sc = DensityScatter(grid, workspace=Workspace())
+        fa = np.random.default_rng(7).normal(size=grid.shape)
+        fb = np.random.default_rng(8).normal(size=grid.shape)
+        win = sc.prepare_windows(x, y, w, h, tag="@t")
+        assert win is not None
+        assert np.array_equal(
+            sc.scatter(x, y, w, h, windows=win), sc.scatter(x, y, w, h)
+        )
+        assert np.array_equal(
+            sc.gather(fa, x, y, w, h, windows=win), sc.gather(fa, x, y, w, h)
+        )
+        ga, gb = sc.gather_pair(fa, fb, x, y, w, h, windows=win)
+        assert np.array_equal(ga, sc.gather(fa, x, y, w, h))
+        assert np.array_equal(gb, sc.gather(fb, x, y, w, h))
+
+    def test_prepare_windows_none_without_arena(self, grid, cells):
+        x, y, w, h = cells
+        assert DensityScatter(grid).prepare_windows(x, y, w, h) is None
+
+    def test_field_solver(self, grid):
+        rng = np.random.default_rng(9)
+        density = rng.normal(size=grid.shape)
+        solver_al = ElectrostaticSolver(grid)
+        solver_ws = ElectrostaticSolver(grid, workspace=Workspace())
+        for _ in range(3):
+            fa = solver_al.solve(density)
+            fw = solver_ws.solve(density)
+            assert fw.energy == fa.energy
+            assert np.array_equal(fw.potential, fa.potential)
+            assert np.array_equal(fw.field_x, fa.field_x)
+            assert np.array_equal(fw.field_y, fa.field_y)
+
+    def test_density_system_evaluate(self, netlist):
+        rng = np.random.default_rng(13)
+        systems = []
+        for attach in (False, True):
+            system = DensitySystem(netlist, rng=np.random.default_rng(1))
+            if attach:
+                system.attach_workspace(Workspace())
+            systems.append(system)
+        sys_al, sys_ws = systems
+        x = rng.uniform(10, 90, netlist.num_cells)
+        y = rng.uniform(10, 90, netlist.num_cells)
+        for _ in range(3):
+            ra = sys_al.evaluate(x, y)
+            rw = sys_ws.evaluate(x, y)
+            assert rw.overflow == ra.overflow and rw.energy == ra.energy
+            for name in ("grad_x", "grad_y", "filler_grad_x",
+                         "filler_grad_y", "density_map", "total_map"):
+                assert np.array_equal(getattr(rw, name), getattr(ra, name)), name
+
+    def test_gp_trajectory_identical(self, netlist):
+        traces = {}
+        for workspace in (True, False):
+            params = PlacementParams(
+                workspace=workspace, max_iterations=25, min_iterations=5,
+                seed=2,
+            )
+            result = XPlacer(netlist, params).run()
+            traces[workspace] = (
+                result.recorder.trace("hpwl"), result.x, result.y
+            )
+        assert np.array_equal(traces[True][0], traces[False][0])
+        assert np.array_equal(traces[True][1], traces[False][1])
+        assert np.array_equal(traces[True][2], traces[False][2])
+
+
+class TestSanitizedAndGradcheck:
+    def test_gradcheck_all_passes(self):
+        assert len(gradcheck_all()) > 0
+
+    def test_sanitized_workspace_run_is_clean(self, netlist, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        try:
+            params = PlacementParams(
+                workspace=True, max_iterations=20, min_iterations=5
+            )
+            result = XPlacer(netlist, params).run()
+            sanitizer = active()
+            assert sanitizer is not None and sanitizer.checks > 0
+            assert sanitizer.faults == 0
+            assert np.isfinite(result.hpwl)
+        finally:
+            disable()
+
+
+class TestArenaSteadyState:
+    def test_no_new_allocations_after_warmup(self, netlist):
+        engine, pos_x, pos_y, gamma, lam = bench_mod._build(
+            netlist, workspace=True, seed=0
+        )
+        ws = engine.workspace
+        assert ws is not None
+        for i in range(3):  # warm the arena
+            bench_mod._step(engine, pos_x, pos_y, gamma, lam, i)
+        buffers = ws.num_buffers
+        ws.reset_counters()
+        for i in range(10):  # steady state: hits only
+            bench_mod._step(engine, pos_x, pos_y, gamma, lam, 3 + i)
+        assert ws.misses == 0 and ws.hits > 0
+        assert ws.num_buffers == buffers
+        assert ws.stats()["hit_rate"] == 1.0
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return bench_mod.run_bench(
+            "tiny", iters=2, warmup=1, trajectory_iters=8
+        )
+
+    def test_report_structure(self, report):
+        assert report["schema"] == bench_mod.SCHEMA_VERSION
+        assert report["size"] == "tiny" and report["iters"] == 2
+        assert isinstance(report["step_reduction_pct"], float)
+        for mode in ("workspace", "fallback"):
+            ops = report["modes"][mode]["operator_seconds"]
+            assert set(ops) == set(bench_mod.OPERATORS)
+            peaks = report["modes"][mode]["operator_peak_temp_bytes"]
+            assert all(peaks[op] >= 0 for op in bench_mod.OPERATORS)
+
+    def test_gradients_identical(self, report):
+        assert report["gradients_identical"] is True
+
+    def test_arena_steady_state_in_report(self, report):
+        arena = report["modes"]["workspace"]["arena"]
+        assert arena["hit_rate"] == 1.0 and arena["misses"] == 0
+
+    def test_trajectory_identical(self, report):
+        traj = report["trajectory"]
+        assert traj["hpwl_identical"] and traj["positions_identical"]
+
+    def test_write_load_roundtrip(self, report, tmp_path):
+        path = bench_mod.write_report(report, str(tmp_path / "b.json"))
+        assert bench_mod.load_report(path) == json.loads(
+            json.dumps(report)
+        )
+
+    def test_compare_no_regressions_vs_self(self, report):
+        assert bench_mod.compare_reports(report, report) == []
+
+    def test_compare_flags_step_regression(self, report):
+        old = json.loads(json.dumps(report))
+        old["modes"]["workspace"]["step_seconds_median"] /= 10.0
+        problems = bench_mod.compare_reports(report, old)
+        assert any("step seconds" in p for p in problems)
+
+    def test_compare_flags_operator_regression(self, report):
+        old = json.loads(json.dumps(report))
+        old["modes"]["workspace"]["operator_seconds"]["wirelength"] /= 10.0
+        problems = bench_mod.compare_reports(report, old)
+        assert any("wirelength regressed" in p for p in problems)
+
+    def test_compare_flags_size_mismatch(self, report):
+        old = json.loads(json.dumps(report))
+        old["size"] = "medium"
+        problems = bench_mod.compare_reports(report, old)
+        assert len(problems) == 1 and "size mismatch" in problems[0]
+
+    def test_compare_flags_nonidentical_gradients(self, report):
+        new = json.loads(json.dumps(report))
+        new["gradients_identical"] = False
+        problems = bench_mod.compare_reports(new, report)
+        assert any("bit-identical" in p for p in problems)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench size"):
+            bench_mod.run_bench("galactic")
+
+    def test_format_report(self, report):
+        text = bench_mod.format_report(report)
+        assert "step median" in text
+        assert "gradients bit-identical: True" in text
+        for op in bench_mod.OPERATORS:
+            assert op in text
+        assert "arena:" in text and "trajectory" in text
+
+
+class TestBenchCLI:
+    def test_bench_writes_report_and_compares(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "BENCH_operator.json")
+        assert main(["bench", "--size", "tiny", "--iters", "1",
+                     "--warmup", "1", "--out", out]) == 0
+        report = bench_mod.load_report(out)
+        assert report["gradients_identical"] is True
+        assert "wrote" in capsys.readouterr().out
+
+        # Self-compare: a fresh run against the saved report with a huge
+        # threshold cannot regress.
+        out2 = str(tmp_path / "second.json")
+        assert main(["bench", "--size", "tiny", "--iters", "1",
+                     "--warmup", "1", "--out", out2,
+                     "--compare", out, "--threshold", "50"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # A doctored baseline 1000x faster must trip the gate.
+        report["modes"]["workspace"]["step_seconds_median"] /= 1000.0
+        report["modes"]["workspace"]["step_seconds_mean"] /= 1000.0
+        fast = str(tmp_path / "fast.json")
+        bench_mod.write_report(report, fast)
+        assert main(["bench", "--size", "tiny", "--iters", "1",
+                     "--warmup", "1", "--out", out2,
+                     "--compare", fast]) == 1
+
+    def test_compare_missing_file_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        out = str(tmp_path / "r.json")
+        assert main(["bench", "--size", "tiny", "--iters", "1",
+                     "--warmup", "1", "--out", out,
+                     "--compare", str(tmp_path / "nope.json")]) == 2
