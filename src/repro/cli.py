@@ -115,18 +115,21 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.runtime import EventLog, load_manifest, run_batch, summary_table
+    from repro.runtime import (
+        EventLog, ResultCache, load_manifest, run_batch, summary_table,
+    )
 
     jobs = load_manifest(args.manifest)
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     events = EventLog(path=args.events, echo=args.verbose)
     try:
         results, _ = run_batch(
             jobs,
             max_workers=args.workers,
-            cache_dir=None if args.no_cache else args.cache_dir,
+            cache=cache,
             events=events,
             start_method=args.start_method,
             heartbeat_every=args.heartbeat_every,
@@ -135,7 +138,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     finally:
         events.close()
-    print(summary_table(jobs, results))
+    print(summary_table(jobs, results, cache=cache))
     if args.events:
         print(f"wrote {len(events)} events to {args.events}")
     failed = [r for r in results if r.status in ("failed", "timeout")]
@@ -224,6 +227,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.warm:
+        from repro.service.bench import (
+            format_warm_report,
+            warm_latency_bench,
+            write_warm_report,
+        )
+
+        report = warm_latency_bench(
+            design=args.warm_design,
+            cells=args.warm_cells,
+            repeats=args.warm_repeats,
+            start_method=args.warm_start_method,
+        )
+        print(format_warm_report(report))
+        out = args.out if args.out != "BENCH_operator.json" \
+            else "BENCH_service.json"
+        print(f"wrote {write_warm_report(report, out)}")
+        return 0
+
     from repro.perf.bench import (
         compare_reports,
         format_report,
@@ -267,6 +289,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"no regressions vs {args.compare} "
               f"(threshold {args.threshold * 100:.0f}%)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import serve
+
+    return serve(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        start_method=args.start_method,
+        heartbeat_every=args.heartbeat_every,
+        default_quota=args.quota,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,7 +421,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="fractional slowdown considered a regression "
                             "with --compare (default 0.25)")
+    bench.add_argument("--warm", action="store_true",
+                       help="benchmark warm-worker submit-to-first-"
+                            "iteration latency instead (service layer); "
+                            "writes BENCH_service.json")
+    bench.add_argument("--warm-design", default="fft_1",
+                       help="design for --warm (default fft_1)")
+    bench.add_argument("--warm-cells", type=int, default=120,
+                       help="cell count for --warm (default 120)")
+    bench.add_argument("--warm-repeats", type=int, default=5,
+                       help="measured samples per mode for --warm")
+    bench.add_argument("--warm-start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="worker start method for --warm")
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the placement daemon (HTTP job API)"
+    )
+    serve.add_argument("--state-dir", default=".repro-serve",
+                       help="durable state root: journal, events, cache "
+                            "and checkpoints (default .repro-serve)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port, 0 = ephemeral (default 8787)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm worker processes (default 2)")
+    serve.add_argument("--start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="multiprocessing start method (default: auto)")
+    serve.add_argument("--heartbeat-every", type=int, default=25,
+                       help="GP iterations between heartbeat events")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="max concurrently running jobs per tenant "
+                            "(default: unlimited)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

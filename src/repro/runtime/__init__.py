@@ -38,6 +38,7 @@ from repro.runtime.job import (
 )
 from repro.runtime.pool import (
     DeadlineCallback,
+    JobInterruptedError,
     JobTimeoutError,
     WorkerPool,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "DeadlineCallback",
     "EVENT_KINDS",
     "EventLog",
+    "JobInterruptedError",
     "JobResult",
     "JobTimeoutError",
     "PlacementJob",

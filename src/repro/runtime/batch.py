@@ -62,6 +62,7 @@ def run_batch(
     heartbeat_every: int = 25,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    cache: Optional[ResultCache] = None,
 ) -> Tuple[List[JobResult], EventLog]:
     """Run a batch; returns (results in input order, the event log).
 
@@ -69,9 +70,13 @@ def run_batch(
     content-addressed subdirectory per job), which lets crash/timeout
     retries resume mid-run; ``resume=True`` additionally makes *first*
     attempts pick up any checkpoint a previously killed batch left
-    behind (``repro batch --resume``).
+    behind (``repro batch --resume``).  Pass a ``cache`` *object* (takes
+    precedence over ``cache_dir``) when the caller wants to read its
+    hit/miss/eviction counters afterwards, e.g. for
+    :func:`summary_table`.
     """
-    cache = ResultCache(cache_dir) if cache_dir else None
+    if cache is None:
+        cache = ResultCache(cache_dir) if cache_dir else None
     events = events if events is not None else EventLog()
     pool = WorkerPool(
         max_workers=max_workers,
@@ -86,8 +91,13 @@ def run_batch(
 
 
 def summary_table(jobs: List[PlacementJob],
-                  results: List[JobResult]) -> str:
-    """Fixed-width per-job table (plus a one-line totals footer)."""
+                  results: List[JobResult],
+                  cache: Optional[ResultCache] = None) -> str:
+    """Fixed-width per-job table (plus a one-line totals footer).
+
+    With a ``cache`` handle, a second footer line reports its lookup
+    counters (hits / misses / evictions) for the run.
+    """
     headers = ("job", "design", "placer", "seed", "status", "cached",
                "hpwl", "seconds", "attempts")
     rows = [headers]
@@ -118,7 +128,16 @@ def summary_table(jobs: List[PlacementJob],
     cancelled = sum(1 for r in results if r.status == "cancelled")
     footer = (f"{len(results)} jobs: {done} done, "
               f"{cached} cached: true, {failed} failed")
+    interrupted = sum(1 for r in results if r.status == "interrupted")
     if cancelled:
         footer += f", {cancelled} cancelled"
+    if interrupted:
+        footer += f", {interrupted} interrupted"
     lines.append(footer)
+    if cache is not None:
+        stats = cache.stats()
+        lines.append(
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['evictions']} eviction(s)"
+        )
     return "\n".join(lines)

@@ -33,8 +33,18 @@ class ResultCache:
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
-        self.evictions = 0           # corrupt entries removed (telemetry)
+        # Per-handle telemetry (not persisted): a lookup counts as a
+        # hit or a miss; corrupt entries removed count as evictions
+        # (their lookups also count as misses).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         os.makedirs(self.root, exist_ok=True)
+
+    def stats(self) -> dict:
+        """Lookup counters of this cache handle (for summaries/events)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key)
@@ -59,11 +69,13 @@ class ResultCache:
         meta_path = os.path.join(entry, "result.json")
         pos_path = os.path.join(entry, "positions.npy")
         if not (os.path.isfile(meta_path) and os.path.isfile(pos_path)):
+            self.misses += 1
             return None
         try:
             with open(meta_path) as fh:
                 data = json.load(fh)
             if data.get("schema") != CACHE_SCHEMA_VERSION:
+                self.misses += 1
                 return None    # stale but well-formed: leave it alone
             result = JobResult.from_dict(data["result"])
             positions = np.load(pos_path)
@@ -72,11 +84,13 @@ class ResultCache:
             reason = f"{type(err).__name__}: {err}"
             self.evict(key)
             self.evictions += 1
+            self.misses += 1
             if on_evict is not None:
                 on_evict(key, reason)
             return None
         result.cached = True
         result.attempts = 0
+        self.hits += 1
         return result
 
     def evict(self, key: str) -> None:

@@ -33,11 +33,18 @@ Event kinds
                 iteration involved and the rollback count
 ``cache-evicted``  the result cache detected a corrupt entry and
                 removed it (the lookup then proceeds as a miss)
+``deduped``     an identical in-flight job (same content hash) already
+                covers this submission; the follower resolves with the
+                leader's result (service scheduler only)
+``interrupted`` a shutdown signal stopped the pool before the job could
+                finish — the payload says whether the job is resumable
+                from its spilled checkpoint
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -57,6 +64,8 @@ EVENT_KINDS = (
     "diagnostic",
     "recovery",
     "cache-evicted",
+    "deduped",
+    "interrupted",
 )
 
 
@@ -142,6 +151,13 @@ class EventLog:
         return [e for e in self.events if e.job_id == job_id]
 
     # -- lifecycle ---------------------------------------------------
+
+    def flush(self) -> None:
+        """Force the JSONL mirror to disk (no-op for in-memory logs)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         with self._lock:

@@ -352,6 +352,8 @@ def execute_job(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     in_worker: bool = False,
+    netlist: Optional[Netlist] = None,
+    extra_metrics: Optional[Dict[str, Any]] = None,
 ) -> JobResult:
     """Run one job in this process and return its :class:`JobResult`.
 
@@ -367,10 +369,17 @@ def execute_job(
     launched with ``resume=True`` picks the run up from its last
     checkpoint instead of iteration 0.  ``in_worker`` tells the fault
     injector it may hard-exit the process for ``crash`` faults.
+
+    ``netlist`` injects an already-loaded design (warm workers keep
+    designs resident and share arrays via shared memory) — the caller
+    guarantees it matches what :meth:`PlacementJob.load_netlist` would
+    produce.  ``extra_metrics`` are folded into the synthetic
+    ``runtime`` stage (e.g. the warm/cold design-load path taken).
     """
     start = time.perf_counter()
     params = job.effective_params()
-    netlist = job.load_netlist()
+    if netlist is None:
+        netlist = job.load_netlist()
     attached: List[IterationCallback] = list(callbacks or ())
     spill_dir = job_checkpoint_dir(checkpoint_dir, job)
     resuming = bool(
@@ -422,6 +431,7 @@ def execute_job(
                 "kernel_seconds": profiler.snapshot_seconds(),
                 "kernel_seconds_total": profiler.total_seconds,
                 "resumed": resuming,
+                **(extra_metrics or {}),
             },
         )
     )

@@ -1,18 +1,20 @@
-"""Process-based worker pool for placement jobs.
+"""Process-based executor for placement jobs.
 
-One :class:`WorkerPool` fans a list of :class:`PlacementJob`\\ s out
-across ``max_workers`` OS processes (process-per-job, so a hung or
-crashed placement can always be killed without poisoning a long-lived
-worker), enforcing per-job wall-clock timeouts, retrying crashes up to
-``job.retries`` times and timeouts up to ``job.timeout_retries`` times
-(separate budgets, jittered exponential backoff between attempts, and —
-when a ``checkpoint_dir`` is armed — each retry resumes from the last
-spilled GP checkpoint), short-circuiting through an
-optional :class:`~repro.runtime.cache.ResultCache`, and streaming
-:class:`~repro.runtime.events.RuntimeEvent`\\ s — including the GP-loop
-heartbeats each worker bridges through a shared
+A :class:`WorkerPool` is the *executor* half of the runtime: job
+lifecycle (who runs next, states, cancellation, dedupe, retry queues)
+lives in the :class:`~repro.service.scheduler.Scheduler` core; the pool
+leases runnable entries from it and owns everything process-shaped —
+spawning one OS process per attempt (so a hung or crashed placement can
+always be killed without poisoning a long-lived worker), enforcing
+per-job wall-clock timeouts, deciding crash/timeout retries up to
+``job.retries`` / ``job.timeout_retries`` (separate budgets, jittered
+exponential backoff between attempts, and — when a ``checkpoint_dir``
+is armed — each retry resumes from the last spilled GP checkpoint),
+and streaming :class:`~repro.runtime.events.RuntimeEvent`\\ s —
+including the GP-loop heartbeats each worker bridges through a shared
 ``multiprocessing.Queue`` via
-:class:`~repro.core.callbacks.QueueCallback`.
+:class:`~repro.core.callbacks.QueueCallback`.  Cache short-circuiting
+goes through :meth:`Scheduler.cache_lookup` at dispatch time.
 
 Graceful degradation: with ``max_workers=1``, or on platforms where
 neither ``fork`` nor ``spawn`` contexts are available, the pool runs
@@ -25,13 +27,24 @@ a process boundary — that is the documented trade-off).
 ``stop_when`` turns the pool into a race: the first finalized result
 satisfying the predicate cancels every pending and running job (used by
 :func:`repro.runtime.race.race_seeds` in first-past-the-post mode).
+
+Graceful shutdown: during :meth:`WorkerPool.run` the pool traps
+SIGINT/SIGTERM (main thread only).  On a signal it stops dispatching,
+gives in-flight jobs ``drain_grace`` seconds to finish, terminates the
+stragglers, marks every undrained job ``interrupted`` (resumable from
+its spilled checkpoint when a ``checkpoint_dir`` is armed — a rerun
+with ``resume=True`` picks it up mid-run), flushes the JSONL event
+stream and returns — no orphaned worker processes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import queue as queue_mod
 import random
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -43,9 +56,16 @@ from repro.runtime.job import JobResult, PlacementJob, execute_job
 
 StopPredicate = Callable[[JobResult], bool]
 
+#: Reason string used when a race winner cancels the remaining field.
+_RACE_DECIDED = "race already decided"
+
 
 class JobTimeoutError(RuntimeError):
     """Raised inside the GP loop when a cooperative deadline passes."""
+
+
+class JobInterruptedError(RuntimeError):
+    """Raised inside an inline GP loop when a shutdown signal arrived."""
 
 
 class DeadlineCallback(IterationCallback):
@@ -73,6 +93,23 @@ class DeadlineCallback(IterationCallback):
         self._check()
 
 
+class _ShutdownCallback(IterationCallback):
+    """Aborts an inline job when the pool received a shutdown signal."""
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self._pool = pool
+
+    def _check(self) -> None:
+        if self._pool._shutdown:
+            raise JobInterruptedError("shutdown requested")
+
+    def on_start(self, info) -> None:
+        self._check()
+
+    def on_iteration(self, record) -> None:
+        self._check()
+
+
 def _worker_entry(payload: Dict[str, Any], index: int, out_queue,
                   heartbeat_every: int, checkpoint_dir: Optional[str] = None,
                   resume: bool = False) -> None:
@@ -86,6 +123,13 @@ def _worker_entry(payload: Dict[str, Any], index: int, out_queue,
     through: a retried attempt resumes from the previous attempt's
     spilled checkpoint instead of iteration 0.
     """
+    # A worker forked while the parent's shutdown handlers were armed
+    # inherits them — and the parent's handler only flips a flag on the
+    # (now copied) pool object, so ``terminate()`` would never kill the
+    # child.  Workers must die on SIGTERM: restore the defaults.
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(ValueError, OSError):  # platform-dependent
+            signal.signal(sig, signal.SIG_DFL)
     job = PlacementJob.from_dict(payload)
     try:
         result = execute_job(job, emit=out_queue.put,
@@ -120,15 +164,19 @@ class _Active:
     """Bookkeeping for one running worker process."""
 
     index: int
-    job: PlacementJob
+    entry: Any                    # the leased ScheduledJob
     process: Any
     attempt: int
     started: float
     deadline: Optional[float] = None
 
+    @property
+    def job(self) -> PlacementJob:
+        return self.entry.job
+
 
 class WorkerPool:
-    """Schedules placement jobs across processes (or inline).
+    """Executes placement jobs across processes (or inline).
 
     Parameters
     ----------
@@ -137,7 +185,7 @@ class WorkerPool:
         prefers ``fork`` (cheap on Linux), falling back to ``spawn``,
         falling back to inline execution when neither exists.
     cache : optional :class:`ResultCache` consulted before dispatch and
-        updated with every finished result.
+        updated with every finished result (via the scheduler).
     heartbeat_every : GP iterations between heartbeat events.
     checkpoint_dir : spill root for GP-loop checkpoints; arms recovery
         in every job and lets crash/timeout retries (and ``resume=True``
@@ -148,6 +196,9 @@ class WorkerPool:
         between retry attempts (attempt n waits
         ``retry_backoff · 2^(n−1) · (1 + jitter)``, jitter ∈ [0, 0.5)
         deterministic per (job, n)).
+    drain_grace : seconds in-flight jobs get to finish after a
+        SIGINT/SIGTERM before they are terminated and marked
+        ``interrupted``.
     """
 
     def __init__(
@@ -159,6 +210,7 @@ class WorkerPool:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         retry_backoff: float = 0.25,
+        drain_grace: float = 5.0,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.cache = cache
@@ -166,24 +218,45 @@ class WorkerPool:
         self.checkpoint_dir = checkpoint_dir
         self.resume = bool(resume)
         self.retry_backoff = float(retry_backoff)
+        self.drain_grace = float(drain_grace)
+        self._shutdown = False
         self._mp_context = None
         if self.max_workers > 1:
             self._mp_context = _resolve_context(start_method)
 
     def _backoff_delay(self, job_id: str, retry_number: int) -> float:
-        """Jittered exponential backoff before retry ``retry_number``.
-
-        Deterministic in (job, retry ordinal): reruns of the same batch
-        wait the same amounts, so chaos tests can assert on schedules.
-        """
-        base = self.retry_backoff * (2 ** max(0, retry_number - 1))
-        jitter = random.Random(f"{job_id}:{retry_number}").uniform(0.0, 0.5)
-        return base * (1.0 + jitter)
+        return backoff_delay(job_id, retry_number, self.retry_backoff)
 
     @property
     def inline(self) -> bool:
         """True when jobs run sequentially in this process."""
         return self._mp_context is None
+
+    # -- shutdown signalling -----------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask a running :meth:`run` to drain and stop (signal-safe)."""
+        self._shutdown = True
+
+    def _install_signal_handlers(self):
+        """Trap SIGINT/SIGTERM for the duration of a run (main thread
+        only — executors driven from daemon threads keep the process
+        handlers and use :meth:`request_shutdown` instead)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+        def handler(signum, frame):  # noqa: ARG001 — signal signature
+            self._shutdown = True
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(ValueError, OSError):  # platform-dependent
+                previous[sig] = signal.signal(sig, handler)
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous) -> None:
+        for sig, old in (previous or {}).items():
+            with contextlib.suppress(ValueError, OSError):  # platform-dependent
+                signal.signal(sig, old)
 
     # -- public API --------------------------------------------------
 
@@ -194,43 +267,54 @@ class WorkerPool:
         stop_when: Optional[StopPredicate] = None,
     ) -> List[JobResult]:
         """Run all jobs; returns results in submission order."""
+        from repro.service.scheduler import Scheduler
+
         jobs = list(jobs)
         events = events if events is not None else EventLog()
-        for job in jobs:
-            events.emit("queued", job.job_id, seed=job.effective_seed(),
-                        placer=job.placer)
-        if self.inline:
-            return self._run_inline(jobs, events, stop_when)
-        return self._run_processes(jobs, events, stop_when)
+        # Dedupe stays off for batch parity: a manifest that lists the
+        # same spec twice runs it twice (modulo the result cache),
+        # exactly as before the scheduler split.
+        scheduler = Scheduler(cache=self.cache, events=events, dedupe=False)
+        entries = [scheduler.submit(job, resume=self.resume) for job in jobs]
+        self._shutdown = False
+        previous = self._install_signal_handlers()
+        try:
+            if self.inline:
+                self._run_inline(scheduler, entries, events, stop_when)
+            else:
+                self._run_processes(scheduler, entries, events, stop_when)
+        finally:
+            self._restore_signal_handlers(previous)
+            scheduler.close()
+        return [entry.result for entry in entries]
 
     # -- inline (degraded) mode --------------------------------------
 
-    def _run_inline(
-        self,
-        jobs: List[PlacementJob],
-        events: EventLog,
-        stop_when: Optional[StopPredicate],
-    ) -> List[JobResult]:
-        results: List[Optional[JobResult]] = [None] * len(jobs)
-        stopped = False
-        for index, job in enumerate(jobs):
-            if stopped:
-                results[index] = _cancelled(job, events)
-                continue
-            hit = self._cache_lookup(job, events)
+    def _run_inline(self, scheduler, entries, events: EventLog,
+                    stop_when: Optional[StopPredicate]) -> None:
+        while True:
+            if self._shutdown:
+                self._interrupt_pending(scheduler, events)
+                return
+            entry = scheduler.lease(timeout=0.0)
+            if entry is None:
+                return
+            hit = scheduler.cache_lookup(entry)
             if hit is not None:
-                results[index] = hit
-                stopped = stopped or _matches(stop_when, hit)
+                if _matches(stop_when, hit):
+                    self._cancel_pending(scheduler, events)
+                    return
                 continue
-            result = self._run_one_inline(job, events)
-            if result.ok and self.cache is not None:
-                self.cache.put(job, result)
-            results[index] = result
-            stopped = stopped or _matches(stop_when, result)
-        return results  # type: ignore[return-value]
+            result = self._run_one_inline(entry, events)
+            scheduler.finish(entry, result)
+            if self._shutdown:
+                self._interrupt_pending(scheduler, events)
+                return
+            if _matches(stop_when, result):
+                self._cancel_pending(scheduler, events)
+                return
 
-    def _run_one_inline(self, job: PlacementJob,
-                        events: EventLog) -> JobResult:
+    def _run_one_inline(self, entry, events: EventLog) -> JobResult:
         """One job in-process, with cooperative timeout retries.
 
         Crashes cannot be retried without a process boundary, but a
@@ -238,12 +322,14 @@ class WorkerPool:
         spilled checkpoint (when a ``checkpoint_dir`` is armed), so the
         budget buys *progress*, not repetition.
         """
-        attempt = 0
+        job = entry.job
+        attempt = entry.attempts - 1   # lease already counted attempt 1
         while True:
             attempt += 1
+            entry.attempts = attempt
             events.emit("started", job.job_id, mode="inline",
                         attempt=attempt)
-            watchdogs: List[IterationCallback] = []
+            watchdogs: List[IterationCallback] = [_ShutdownCallback(self)]
             if job.timeout is not None:
                 watchdogs.append(
                     DeadlineCallback(time.perf_counter() + job.timeout,
@@ -257,8 +343,21 @@ class WorkerPool:
                     heartbeat_every=self.heartbeat_every,
                     callbacks=watchdogs,
                     checkpoint_dir=self.checkpoint_dir,
-                    resume=self.resume or attempt > 1,
+                    resume=self.resume or entry.resume or attempt > 1,
                 )
+            except JobInterruptedError:
+                from repro.service.scheduler import interrupted_result
+
+                resumable = self.checkpoint_dir is not None
+                events.emit("interrupted", job.job_id, attempt=attempt,
+                            resumable=resumable)
+                result = interrupted_result(
+                    job, resumable,
+                    seconds=time.perf_counter() - start,
+                    attempts=attempt,
+                )
+                events.flush()
+                return result
             except JobTimeoutError as err:
                 timeouts = attempt  # every inline retry is a timeout retry
                 if timeouts <= job.timeout_retries:
@@ -285,68 +384,59 @@ class WorkerPool:
             else:
                 events.emit("finished", job.job_id, hpwl=result.hpwl,
                             seconds=result.seconds, attempt=attempt,
-                            kernel_seconds=_kernel_seconds(result))
+                            kernel_seconds=_kernel_seconds(result),
+                            **_cache_counters(self.cache))
             result.attempts = attempt
             return result
 
     # -- multiprocess mode -------------------------------------------
 
-    def _run_processes(
-        self,
-        jobs: List[PlacementJob],
-        events: EventLog,
-        stop_when: Optional[StopPredicate],
-    ) -> List[JobResult]:
+    def _run_processes(self, scheduler, entries, events: EventLog,
+                       stop_when: Optional[StopPredicate]) -> None:
         ctx = self._mp_context
         out_queue = ctx.Queue()
-        # Pending entries: (index, job, attempt, not_before, resume).
-        # ``not_before`` is the perf_counter instant the backoff allows
-        # a relaunch; ``resume`` makes the worker pick the job up from
-        # its last spilled checkpoint instead of iteration 0.
-        pending: List[tuple] = [
-            (i, job, 1, 0.0, self.resume) for i, job in enumerate(jobs)
-        ]
+        index_of = {entry.ticket: i for i, entry in enumerate(entries)}
         active: Dict[int, _Active] = {}
         received: Dict[int, Dict[str, Any]] = {}
-        results: List[Optional[JobResult]] = [None] * len(jobs)
         crash_counts: Dict[int, int] = {}    # per-job crash retries used
         timeout_counts: Dict[int, int] = {}  # per-job timeout kills
         stopping = False
 
-        def launch(index: int, job: PlacementJob, attempt: int,
-                   resume: bool) -> None:
+        def launch(entry) -> None:
+            index = index_of[entry.ticket]
             process = ctx.Process(
                 target=_worker_entry,
-                args=(job.to_dict(), index, out_queue,
-                      self.heartbeat_every, self.checkpoint_dir, resume),
+                args=(entry.job.to_dict(), index, out_queue,
+                      self.heartbeat_every, self.checkpoint_dir,
+                      entry.resume),
                 daemon=True,
             )
             process.start()
             now = time.perf_counter()
+            timeout = entry.job.timeout
             active[index] = _Active(
                 index=index,
-                job=job,
+                entry=entry,
                 process=process,
-                attempt=attempt,
+                attempt=entry.attempts,
                 started=now,
-                deadline=(now + job.timeout) if job.timeout else None,
+                deadline=(now + timeout) if timeout else None,
             )
-            events.emit("started", job.job_id, pid=process.pid,
-                        attempt=attempt, resume=resume)
+            events.emit("started", entry.job.job_id, pid=process.pid,
+                        attempt=entry.attempts, resume=entry.resume)
 
-        def requeue(index: int, job: PlacementJob, attempt: int,
-                    reason: str) -> None:
+        def requeue(index: int, entry, reason: str) -> None:
             """Schedule a retry with jittered exponential backoff."""
-            backoff = self._backoff_delay(job.job_id, attempt - 1)
+            backoff = self._backoff_delay(entry.job.job_id, entry.attempts)
             events.emit(
-                "retry", job.job_id, reason=reason, attempt=attempt,
+                "retry", entry.job.job_id, reason=reason,
+                attempt=entry.attempts + 1,
                 backoff=round(backoff, 4),
                 resume=self.checkpoint_dir is not None,
                 crashes=crash_counts.get(index, 0),
                 timeouts=timeout_counts.get(index, 0),
             )
-            pending.insert(0, (index, job, attempt,
-                               time.perf_counter() + backoff, True))
+            scheduler.requeue(entry, delay=backoff, resume=True)
 
         def drain(timeout: float = 0.0) -> None:
             deadline = time.perf_counter() + timeout
@@ -365,37 +455,38 @@ class WorkerPool:
                 if time.perf_counter() >= deadline:
                     return
 
-        def finalize(index: int, result: JobResult) -> None:
-            results[index] = result
-            record = active.pop(index, None)
-            if record is not None:
-                record.process.join(timeout=5)
+        def finalize(index: int, record: _Active,
+                     result: JobResult) -> None:
+            scheduler.finish(record.entry, result)
+            active.pop(index, None)
+            record.process.join(timeout=5)
 
-        while pending or active:
-            deferred: List[tuple] = []
-            while (pending and not stopping
-                   and len(active) < self.max_workers):
-                entry = pending.pop(0)
-                index, job, attempt, not_before, resume = entry
-                if not_before > time.perf_counter():
-                    deferred.append(entry)  # backoff window still open
-                    continue
-                hit = self._cache_lookup(job, events) if attempt == 1 else None
+        while active or any(not e.terminal for e in entries):
+            if self._shutdown:
+                self._drain_and_interrupt(scheduler, entries, active,
+                                          received, events, drain)
+                return
+            while not stopping and len(active) < self.max_workers:
+                entry = scheduler.lease(timeout=0.0)
+                if entry is None:
+                    break
+                hit = (scheduler.cache_lookup(entry)
+                       if entry.attempts == 1 else None)
                 if hit is not None:
-                    results[index] = hit
                     if _matches(stop_when, hit):
                         stopping = True
                     continue
-                launch(index, job, attempt, resume)
-            pending[:0] = deferred
+                launch(entry)
 
             # Sleep while anything is running *or* backing off — an
             # all-deferred queue must not busy-spin the dispatch loop.
-            drain(timeout=0.05 if (active or pending) else 0.0)
+            waiting = any(not e.terminal for e in entries)
+            drain(timeout=0.05 if (active or waiting) else 0.0)
 
             now = time.perf_counter()
             for index in list(active):
                 record = active[index]
+                entry = record.entry
                 job = record.job
                 if index in received:
                     message = received.pop(index)
@@ -405,21 +496,20 @@ class WorkerPool:
                                     hpwl=result.hpwl,
                                     seconds=result.seconds,
                                     attempt=record.attempt,
-                                    kernel_seconds=_kernel_seconds(result))
-                        if self.cache is not None:
-                            self.cache.put(job, result)
+                                    kernel_seconds=_kernel_seconds(result),
+                                    **_cache_counters(self.cache))
                     else:
                         events.emit("failed", job.job_id, reason="error",
                                     error=result.error,
                                     attempt=record.attempt)
-                    finalize(index, result)
+                    finalize(index, record, result)
                 elif record.deadline is not None and now > record.deadline:
                     record.process.terminate()
                     record.process.join(timeout=5)
                     del active[index]
                     timeout_counts[index] = timeout_counts.get(index, 0) + 1
                     if timeout_counts[index] <= job.timeout_retries:
-                        requeue(index, job, record.attempt + 1, "timeout")
+                        requeue(index, entry, "timeout")
                     else:
                         message = (
                             f"timeout after {job.timeout:g}s (killed); "
@@ -433,14 +523,15 @@ class WorkerPool:
                             crashes=crash_counts.get(index, 0),
                             timeouts=timeout_counts[index],
                         )
-                        results[index] = JobResult(
+                        scheduler.finish(entry, JobResult(
                             job_id=job.job_id,
                             status="timeout",
                             seed=job.effective_seed(),
                             seconds=now - record.started,
                             error=message,
                             attempts=record.attempt,
-                        )
+                        ))
+                        record.process.join(timeout=5)
                 elif not record.process.is_alive():
                     # The result may still be in the queue's buffer:
                     # give it one generous drain before declaring death.
@@ -452,7 +543,7 @@ class WorkerPool:
                     del active[index]
                     crash_counts[index] = crash_counts.get(index, 0) + 1
                     if crash_counts[index] <= job.retries:
-                        requeue(index, job, record.attempt + 1, "crash")
+                        requeue(index, entry, "crash")
                     else:
                         message = (
                             f"worker crashed (exitcode {exitcode}); "
@@ -466,15 +557,15 @@ class WorkerPool:
                             crashes=crash_counts[index],
                             timeouts=timeout_counts.get(index, 0),
                         )
-                        results[index] = JobResult(
+                        scheduler.finish(entry, JobResult(
                             job_id=job.job_id,
                             status="failed",
                             seed=job.effective_seed(),
                             seconds=now - record.started,
                             error=message,
                             attempts=record.attempt,
-                        )
-                result_now = results[index]
+                        ))
+                result_now = entry.result
                 if result_now is not None and _matches(stop_when, result_now):
                     stopping = True
 
@@ -483,30 +574,84 @@ class WorkerPool:
                     record = active.pop(index)
                     record.process.terminate()
                     record.process.join(timeout=5)
-                    results[index] = _cancelled(record.job, events)
-                while pending:
-                    index, job = pending.pop(0)[:2]
-                    results[index] = _cancelled(job, events)
+                    scheduler.mark_cancelled(record.entry,
+                                             reason=_RACE_DECIDED)
+                self._cancel_pending(scheduler, events)
 
         drain(timeout=0.05)  # tail events (loop_stop racing the result)
-        return results  # type: ignore[return-value]
+
+    # -- shutdown / cancellation helpers ------------------------------
+
+    def _cancel_pending(self, scheduler, events: EventLog) -> None:
+        """Cancel every still-queued entry (race decided / stop)."""
+        for entry in scheduler.pending():
+            if entry.state == "queued":
+                scheduler.cancel(entry.ticket, reason=_RACE_DECIDED)
+            else:
+                scheduler.mark_cancelled(entry, reason=_RACE_DECIDED)
+
+    def _interrupt_pending(self, scheduler, events: EventLog) -> None:
+        """Mark every unresolved entry interrupted (inline shutdown)."""
+        from repro.service.scheduler import interrupted_result
+
+        resumable = self.checkpoint_dir is not None
+        for entry in scheduler.pending():
+            events.emit("interrupted", entry.job.job_id,
+                        resumable=resumable, pending=True)
+            scheduler.finish(entry, interrupted_result(
+                entry.job, resumable, attempts=entry.attempts))
+        events.flush()
+
+    def _drain_and_interrupt(self, scheduler, entries, active, received,
+                             events: EventLog, drain) -> None:
+        """SIGINT/SIGTERM path: drain in-flight jobs for ``drain_grace``
+        seconds, terminate the stragglers, mark everything undrained
+        ``interrupted`` (resumable when checkpoints are armed), flush
+        the event stream."""
+        from repro.service.scheduler import interrupted_result
+
+        resumable = self.checkpoint_dir is not None
+        deadline = time.perf_counter() + self.drain_grace
+        while active and time.perf_counter() < deadline:
+            drain(timeout=0.05)
+            for index in list(active):
+                if index not in received:
+                    continue
+                record = active[index]
+                message = received.pop(index)
+                result = self._assemble(record.job, message, record)
+                if result.ok:
+                    events.emit("finished", record.job.job_id,
+                                hpwl=result.hpwl, seconds=result.seconds,
+                                attempt=record.attempt,
+                                kernel_seconds=_kernel_seconds(result),
+                                **_cache_counters(self.cache))
+                else:
+                    events.emit("failed", record.job.job_id,
+                                reason="error", error=result.error,
+                                attempt=record.attempt)
+                scheduler.finish(record.entry, result)
+                active.pop(index, None)
+                record.process.join(timeout=5)
+        for index in list(active):
+            record = active.pop(index)
+            record.process.terminate()
+            record.process.join(timeout=5)
+            events.emit("interrupted", record.job.job_id,
+                        attempt=record.attempt, resumable=resumable)
+            scheduler.finish(record.entry, interrupted_result(
+                record.job, resumable,
+                seconds=time.perf_counter() - record.started,
+                attempts=record.attempt,
+            ))
+        for entry in scheduler.pending():
+            events.emit("interrupted", entry.job.job_id,
+                        resumable=resumable, pending=True)
+            scheduler.finish(entry, interrupted_result(
+                entry.job, resumable, attempts=entry.attempts))
+        events.flush()
 
     # -- helpers -----------------------------------------------------
-
-    def _cache_lookup(self, job: PlacementJob,
-                      events: EventLog) -> Optional[JobResult]:
-        if self.cache is None:
-            return None
-        hit = self.cache.get(
-            job,
-            on_evict=lambda key, reason: events.emit(
-                "cache-evicted", job.job_id, key=key, reason=reason
-            ),
-        )
-        if hit is not None:
-            events.emit("cached", job.job_id, hpwl=hit.hpwl,
-                        key=job.content_hash())
-        return hit
 
     def _assemble(self, job: PlacementJob, message: Dict[str, Any],
                   record: _Active) -> JobResult:
@@ -527,6 +672,18 @@ class WorkerPool:
             )
         result.attempts = record.attempt
         return result
+
+
+def backoff_delay(job_id: str, retry_number: int, base: float) -> float:
+    """Jittered exponential backoff before retry ``retry_number``.
+
+    Deterministic in (job, retry ordinal): reruns of the same batch
+    wait the same amounts, so chaos tests can assert on schedules.
+    Shared by the batch pool and the service daemon.
+    """
+    scaled = base * (2 ** max(0, retry_number - 1))
+    jitter = random.Random(f"{job_id}:{retry_number}").uniform(0.0, 0.5)
+    return scaled * (1.0 + jitter)
 
 
 def _resolve_context(start_method: Optional[str]):
@@ -563,6 +720,18 @@ def _kernel_seconds(result: JobResult) -> Optional[float]:
     return None
 
 
+def _cache_counters(cache) -> Dict[str, int]:
+    """Cache hit/miss/eviction counters for ``finished`` events
+    (empty when the pool runs uncached — absent keys stay honest)."""
+    if cache is None:
+        return {}
+    return {
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_evictions": cache.evictions,
+    }
+
+
 def _failure(
     job: PlacementJob,
     status: str,
@@ -577,15 +746,4 @@ def _failure(
         seconds=time.perf_counter() - start,
         error=message,
         report=report,
-    )
-
-
-def _cancelled(job: PlacementJob, events: EventLog) -> JobResult:
-    events.emit("cancelled", job.job_id)
-    return JobResult(
-        job_id=job.job_id,
-        status="cancelled",
-        seed=job.effective_seed(),
-        error="cancelled: race already decided",
-        attempts=0,
     )

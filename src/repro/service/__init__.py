@@ -1,0 +1,53 @@
+"""repro.service — placement-as-a-service on top of the batch runtime.
+
+The batch runtime (:mod:`repro.runtime`) runs a fixed list of jobs and
+exits; this package turns the same building blocks into a long-running
+service.  Three layers:
+
+:mod:`repro.service.scheduler`
+    The job-lifecycle core every executor leases work from: a
+    thread-safe priority queue with per-tenant quotas, job states
+    (queued → running → done / failed / cancelled), cancellation,
+    retry requeueing with backoff gates, and dedupe — both against the
+    content-addressed :class:`~repro.runtime.cache.ResultCache` and
+    against identical in-flight submissions.
+    :class:`~repro.runtime.pool.WorkerPool` is one executor of this
+    core (the batch face); the daemon's warm pool is another.
+
+:mod:`repro.service.warm`
+    Warm workers: persistent processes that keep loaded designs
+    resident keyed by design hash and share the big netlist arrays via
+    ``multiprocessing.shared_memory``, so a repeat-design job skips
+    design generation/parsing entirely.  :mod:`repro.service.bench`
+    measures the submit-to-first-iteration latency win.
+
+:mod:`repro.service.daemon`
+    ``repro serve``: an HTTP daemon (stdlib ``http.server``) exposing
+    submit / list / query / cancel plus a live per-job JSONL event
+    stream, with a journal + GP checkpoints under a state directory so
+    a killed daemon resumes its in-flight jobs on restart.
+    :mod:`repro.service.client` is the matching stdlib-only client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import PlacementService, make_server, serve
+from repro.service.scheduler import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    ScheduledJob,
+    Scheduler,
+)
+from repro.service.warm import WarmPool
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "PlacementService",
+    "ScheduledJob",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "WarmPool",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,144 @@
+"""Stdlib HTTP client for the ``repro serve`` daemon.
+
+:class:`ServiceClient` wraps the daemon's JSON API (see
+:mod:`repro.service.daemon` for the route table) over ``http.client``,
+so tests and scripts can drive a live daemon without any third-party
+dependency::
+
+    client = ServiceClient("127.0.0.1", 8787)
+    entry = client.submit({"design": "fft_1", "cells": 80, "seed": 1})
+    final = client.wait(entry["ticket"], timeout=60)
+    report = client.report(entry["ticket"])
+    for event in client.stream_events(entry["ticket"]):
+        print(event["kind"], event.get("iteration"))
+
+Every method opens a fresh connection — the daemon is threaded, and
+streams hold their connection until the job is terminal, so sharing a
+connection across calls would serialize them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response; carries ``status`` and ``body``."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        message = body.get("error") if isinstance(body, dict) else body
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Thin JSON client for one daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode() or "null")
+            except ValueError:
+                data = raw.decode(errors="replace")
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- the API ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Dict[str, Any], priority: int = 0,
+               tenant: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a job spec; returns the lifecycle entry (``ticket``,
+        ``state``, ...).  ``spec`` is the manifest job schema; priority
+        and tenant ride along in the service wrapper."""
+        if priority or tenant is not None:
+            spec = {"job": spec, "priority": priority,
+                    "tenant": tenant or "default"}
+        return self._request("POST", "/jobs", body=spec)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, ticket: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{ticket}")
+
+    def report(self, ticket: str) -> Dict[str, Any]:
+        """The full entry *with* the FlowReport of a done job."""
+        return self._request("GET", f"/jobs/{ticket}/report")
+
+    def cancel(self, ticket: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{ticket}/cancel")
+
+    def wait(self, ticket: str, timeout: float = 60.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the ticket is terminal; returns the final entry."""
+        deadline = time.monotonic() + timeout
+        while True:
+            entry = self.job(ticket)
+            if entry.get("terminal"):
+                return entry
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"ticket {ticket!r} still {entry.get('state')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def events(self, ticket: str) -> List[Dict[str, Any]]:
+        """The job's event stream so far (non-blocking snapshot)."""
+        return list(self.stream_events(ticket, follow=False))
+
+    def stream_events(self, ticket: str,
+                      follow: bool = True,
+                      timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield the job's JSONL events; with ``follow`` the stream
+        stays live until the job is terminal (the daemon closes it)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            suffix = "?follow=1" if follow else ""
+            conn.request("GET", f"/jobs/{ticket}/events{suffix}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    data = json.loads(raw.decode() or "null")
+                except ValueError:
+                    data = raw.decode(errors="replace")
+                raise ServiceError(response.status, data)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()

@@ -1,0 +1,689 @@
+"""``repro serve``: the placement daemon and its HTTP API.
+
+:class:`PlacementService` glues the service layers together — a
+:class:`~repro.service.scheduler.Scheduler` (dedupe on, per-tenant
+quotas), a :class:`~repro.service.warm.WarmPool` of warm workers, an
+:class:`EventRouter` that fans runtime events out to streaming clients,
+a shared :class:`~repro.runtime.cache.ResultCache`, and a write-ahead
+*journal* that makes the daemon restartable: every submission and every
+terminal transition is appended to ``<state>/journal.jsonl`` (flush +
+fsync), so a killed daemon replays the journal on start and resubmits
+every in-flight ticket with ``resume=True`` — the GP loop picks each
+job up from its spilled checkpoint under ``<state>/checkpoints``.
+
+The HTTP face is stdlib-only (``http.server.ThreadingHTTPServer``):
+
+====== ============================== ===================================
+POST   ``/jobs``                      submit a job spec → lifecycle entry
+GET    ``/jobs``                      list entries (submission order)
+GET    ``/jobs/<ticket>``             one entry (state, attempts, result)
+GET    ``/jobs/<ticket>/report``      the full FlowReport of a done job
+GET    ``/jobs/<ticket>/events``      the job's JSONL event stream;
+                                      ``?follow=1`` keeps the connection
+                                      open and streams live events until
+                                      the job is terminal
+POST   ``/jobs/<ticket>/cancel``      cancel (queued: immediate;
+                                      running: worker killed)
+GET    ``/stats``                     scheduler + cache + worker counts
+GET    ``/healthz``                   liveness probe
+====== ============================== ===================================
+
+Job specs are the ``repro batch`` manifest schema (see
+:meth:`~repro.runtime.job.PlacementJob.from_dict`), optionally wrapped
+as ``{"job": {...}, "priority": 3, "tenant": "ci"}``.  A resubmission
+of an identical spec dedupes onto the in-flight run (shared execution,
+own ticket); a spec already in the result cache resolves instantly with
+``cached=True`` and HPWL/metrics identical to a ``repro place`` of the
+same spec.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.pipeline import FlowReport
+from repro.runtime.cache import ResultCache
+from repro.runtime.events import EventLog, RuntimeEvent
+from repro.runtime.job import JobResult, PlacementJob
+from repro.runtime.pool import backoff_delay
+from repro.service.scheduler import ScheduledJob, Scheduler
+from repro.service.warm import WarmPool
+
+
+class EventRouter(EventLog):
+    """An :class:`EventLog` that also indexes events per job for
+    streaming: followers block on :meth:`wait_job_events` and wake on
+    every append to their job's stream."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        super().__init__(path=path)
+        self._stream_cond = threading.Condition()
+        self._per_job: Dict[str, List[RuntimeEvent]] = {}
+
+    def emit(self, kind: str, job_id: str, **payload: Any) -> RuntimeEvent:
+        event = super().emit(kind, job_id, **payload)
+        with self._stream_cond:
+            self._per_job.setdefault(job_id, []).append(event)
+            self._stream_cond.notify_all()
+        return event
+
+    def job_events(self, job_id: str, start: int = 0) -> List[RuntimeEvent]:
+        with self._stream_cond:
+            return list(self._per_job.get(job_id, ())[start:])
+
+    def wait_job_events(self, job_id: str, start: int,
+                        timeout: float = 0.5) -> List[RuntimeEvent]:
+        """Events past ``start``, blocking up to ``timeout`` for one."""
+        deadline = time.monotonic() + timeout
+        with self._stream_cond:
+            while True:
+                stream = self._per_job.get(job_id, ())
+                if len(stream) > start:
+                    return list(stream[start:])
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._stream_cond.wait(timeout=remaining)
+
+
+@dataclass
+class _ActiveJob:
+    """One ticket currently leased to a warm worker."""
+
+    entry: ScheduledJob
+    worker: int
+    started: float
+    deadline: Optional[float]
+    pid: Optional[int] = None
+    picked: bool = False
+
+
+class PlacementService:
+    """The daemon core (usable in-process, without HTTP, for tests).
+
+    ``state_dir`` is the daemon's durable root::
+
+        <state_dir>/journal.jsonl   # submissions + terminal transitions
+        <state_dir>/events.jsonl    # the full runtime event mirror
+        <state_dir>/cache/          # shared ResultCache
+        <state_dir>/checkpoints/    # GP checkpoint spills (crash resume)
+
+    Call :meth:`start` to begin executing (journal replay happens
+    there), :meth:`stop` for a graceful drain.  All public methods are
+    thread-safe — the HTTP handlers call straight into them.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+        heartbeat_every: int = 25,
+        retry_backoff: float = 0.25,
+        quotas: Optional[Dict[str, int]] = None,
+        default_quota: Optional[int] = None,
+        max_resident: int = 8,
+    ) -> None:
+        self.state_dir = os.path.abspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.checkpoint_dir = os.path.join(self.state_dir, "checkpoints")
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
+        self.events = EventRouter(
+            path=os.path.join(self.state_dir, "events.jsonl")
+        )
+        self.scheduler = Scheduler(cache=self.cache, events=self.events,
+                                   quotas=quotas,
+                                   default_quota=default_quota,
+                                   dedupe=True)
+        self.workers = max(1, int(workers))
+        self.start_method = start_method
+        self.heartbeat_every = heartbeat_every
+        self.retry_backoff = float(retry_backoff)
+        self.max_resident = max_resident
+        self.started_ts = time.time()
+        self.pool: Optional[WarmPool] = None
+        self._journal_path = os.path.join(self.state_dir, "journal.jsonl")
+        self._journal_lock = threading.Lock()
+        self._journaled_terminal: set = set()
+        self._active: Dict[str, _ActiveJob] = {}
+        self._crash_counts: Dict[str, int] = {}
+        self._timeout_counts: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._loop_thread: Optional[threading.Thread] = None
+        self.recovered: List[str] = []       # tickets resumed on start
+        self.journal_dropped = 0             # unreadable journal records
+
+    # -- journal ------------------------------------------------------
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        record = {"ts": time.time(), **record}
+        with self._journal_lock:
+            with open(self._journal_path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def _journal_terminals(self) -> None:
+        """Append a ``terminal`` op for every newly-terminal ticket
+        (followers resolve through their leader, so sweep them all)."""
+        for entry in self.scheduler.entries():
+            if entry.terminal and entry.ticket not in self._journaled_terminal:
+                self._journaled_terminal.add(entry.ticket)
+                self._journal({"op": "terminal", "ticket": entry.ticket,
+                               "state": entry.state,
+                               "job_id": entry.job.job_id})
+
+    def _replay_journal(self) -> None:
+        """Resubmit every ticket the previous life left in flight."""
+        if not os.path.isfile(self._journal_path):
+            return
+        submitted: Dict[str, Dict[str, Any]] = {}
+        finished: set = set()
+        with open(self._journal_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:   # torn tail write from the crash
+                    self.journal_dropped += 1
+                    continue
+                if record.get("op") == "submit":
+                    submitted[record["ticket"]] = record
+                elif record.get("op") == "terminal":
+                    finished.add(record["ticket"])
+        for ticket, record in submitted.items():
+            if ticket in finished:
+                self._journaled_terminal.add(ticket)
+                continue
+            try:
+                job = PlacementJob.from_dict(record["job"])
+            except (ValueError, TypeError):  # spec no longer parses
+                self.journal_dropped += 1
+                continue
+            entry = self.scheduler.submit(
+                job,
+                priority=int(record.get("priority", 0)),
+                tenant=record.get("tenant", "default"),
+                ticket=ticket,
+                resume=True,
+            )
+            self.recovered.append(entry.ticket)
+            self.events.emit("recovery", job.job_id,
+                             action="resubmitted", ticket=entry.ticket,
+                             resume=True)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "PlacementService":
+        """Replay the journal, spawn the warm pool and the drive loop."""
+        self._replay_journal()
+        self.pool = WarmPool(
+            workers=self.workers,
+            start_method=self.start_method,
+            heartbeat_every=self.heartbeat_every,
+            checkpoint_dir=self.checkpoint_dir,
+            max_resident=self.max_resident,
+        )
+        self._loop_thread = threading.Thread(
+            target=self._loop, daemon=True, name="placement-service-loop"
+        )
+        self._loop_thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful stop: the loop exits, workers shut down, unfinished
+        tickets stay un-journaled so the next start resumes them."""
+        self._stop.set()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=timeout)
+        if self.pool is not None:
+            self.pool.shutdown()
+        self.scheduler.close()
+        self.events.flush()
+
+    # -- client surface ------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> ScheduledJob:
+        """Submit one job spec (manifest schema, optionally wrapped in
+        ``{"job": ..., "priority": ..., "tenant": ...}``)."""
+        priority = 0
+        tenant = "default"
+        if "job" in spec and isinstance(spec["job"], dict):
+            priority = int(spec.get("priority", 0))
+            tenant = str(spec.get("tenant", "default"))
+            spec = spec["job"]
+        job = PlacementJob.from_dict(spec)
+        entry = self.scheduler.submit(job, priority=priority, tenant=tenant)
+        self._journal({"op": "submit", "ticket": entry.ticket,
+                       "job": job.to_dict(), "priority": priority,
+                       "tenant": tenant})
+        return entry
+
+    def cancel(self, ticket: str) -> Optional[str]:
+        outcome = self.scheduler.cancel(ticket)
+        if outcome == "cancelled":
+            self._journal_terminals()
+        return outcome
+
+    def get(self, ticket: str) -> Optional[ScheduledJob]:
+        return self.scheduler.get(ticket)
+
+    def entries(self) -> List[ScheduledJob]:
+        return self.scheduler.entries()
+
+    def stats(self) -> Dict[str, Any]:
+        stats = self.scheduler.stats()
+        stats["cache"] = self.cache.stats()
+        stats["uptime_s"] = time.time() - self.started_ts
+        stats["recovered"] = list(self.recovered)
+        stats["journal_dropped"] = self.journal_dropped
+        if self.pool is not None:
+            stats["workers"] = {
+                "total": len(self.pool.workers),
+                "idle": len(self.pool.idle_workers()),
+                "inline": self.pool.inline,
+            }
+        return stats
+
+    def wait(self, tickets: Optional[List[str]] = None,
+             timeout: Optional[float] = None) -> bool:
+        return self.scheduler.wait(tickets, timeout=timeout)
+
+    # -- the drive loop ------------------------------------------------
+
+    def _loop(self) -> None:
+        pool = self.pool
+        while not self._stop.is_set():
+            self._dispatch(pool)
+            for message in pool.poll(0.05):
+                self._handle_message(message)
+            self._police_active(pool)
+        # Graceful drain: kill running workers; their tickets stay
+        # non-terminal in the journal, so the next start resumes them
+        # from checkpoints.
+        for ticket, active in list(self._active.items()):
+            pool.kill_worker(active.worker, respawn=False)
+            self.events.emit("interrupted", active.entry.job.job_id,
+                             ticket=ticket, resumable=True)
+        self._active.clear()
+
+    def _dispatch(self, pool: WarmPool) -> None:
+        while pool.idle_workers():
+            entry = self.scheduler.lease(timeout=0.0)
+            if entry is None:
+                return
+            if entry.cancel_requested:
+                self.scheduler.mark_cancelled(entry)
+                self._journal_terminals()
+                continue
+            if entry.attempts == 1:
+                hit = self.scheduler.cache_lookup(entry)
+                if hit is not None:
+                    self._journal_terminals()
+                    continue
+            worker = pool.submit(entry.ticket, entry.job,
+                                 resume=entry.resume)
+            timeout = entry.job.timeout
+            now = time.perf_counter()
+            self._active[entry.ticket] = _ActiveJob(
+                entry=entry, worker=worker, started=now,
+                deadline=(now + timeout) if timeout else None,
+            )
+
+    def _handle_message(self, message: Dict[str, Any]) -> None:
+        kind = message.get("event")
+        if kind == "_picked":
+            active = self._active.get(message["ticket"])
+            if active is not None:
+                active.pid = message.get("pid")
+                active.picked = True
+                self.events.emit("started", message["job_id"],
+                                 pid=active.pid,
+                                 attempt=active.entry.attempts,
+                                 resume=active.entry.resume,
+                                 ticket=message["ticket"])
+            return
+        if kind == "_result":
+            self._finish(message)
+            return
+        self.events.put(message)         # loop_start / heartbeat / ...
+
+    def _finish(self, message: Dict[str, Any]) -> None:
+        ticket = message.get("ticket")
+        active = self._active.pop(ticket, None)
+        if active is None:
+            return                       # late result after kill/cancel
+        entry = active.entry
+        job = entry.job
+        elapsed = time.perf_counter() - active.started
+        status = message.get("status")
+        if status == "done":
+            result = JobResult.from_dict(message["result"])
+            result.x = message.get("x")
+            result.y = message.get("y")
+            result.attempts = entry.attempts
+            self.events.emit("finished", job.job_id, hpwl=result.hpwl,
+                             seconds=result.seconds,
+                             attempt=entry.attempts,
+                             ticket=ticket, **{
+                                 "cache_hits": self.cache.hits,
+                                 "cache_misses": self.cache.misses,
+                                 "cache_evictions": self.cache.evictions,
+                             })
+            self.scheduler.finish(entry, result)
+        elif status == "cancelled":
+            self.scheduler.mark_cancelled(entry)
+        else:
+            error = message.get("error", "worker failure")
+            crashes = self._crash_counts.get(ticket, 0)
+            self.events.emit("failed", job.job_id, reason="error",
+                             error=error, attempt=entry.attempts,
+                             ticket=ticket)
+            report = message.get("report")
+            self.scheduler.finish(entry, JobResult(
+                job_id=job.job_id, status="failed",
+                seed=message.get("seed", job.effective_seed()),
+                seconds=elapsed, error=error, attempts=entry.attempts,
+                report=FlowReport.from_dict(report) if report else None,
+            ))
+            self._crash_counts.pop(ticket, None)
+        self._journal_terminals()
+
+    def _police_active(self, pool: WarmPool) -> None:
+        """Cancellations, timeouts and crashed workers."""
+        now = time.perf_counter()
+        for ticket in list(self._active):
+            active = self._active[ticket]
+            entry = active.entry
+            job = entry.job
+            if entry.cancel_requested:
+                del self._active[ticket]
+                pool.kill_worker(active.worker)
+                self.scheduler.mark_cancelled(entry)
+                self._journal_terminals()
+            elif active.deadline is not None and now > active.deadline:
+                del self._active[ticket]
+                pool.kill_worker(active.worker)
+                count = self._timeout_counts.get(ticket, 0) + 1
+                self._timeout_counts[ticket] = count
+                if count <= job.timeout_retries:
+                    self._retry(entry, "timeout", ticket)
+                else:
+                    message = (
+                        f"timeout after {job.timeout:g}s (killed); "
+                        f"budget exhausted ({count} timeout(s), "
+                        f"{job.timeout_retries} retry(ies) allowed)"
+                    )
+                    self.events.emit(
+                        "failed", job.job_id, reason="timeout",
+                        error=message, attempt=entry.attempts,
+                        crashes=self._crash_counts.get(ticket, 0),
+                        timeouts=count, ticket=ticket,
+                    )
+                    self.scheduler.finish(entry, JobResult(
+                        job_id=job.job_id, status="timeout",
+                        seed=job.effective_seed(),
+                        seconds=now - active.started,
+                        error=message, attempts=entry.attempts,
+                    ))
+                    self._journal_terminals()
+            elif not pool.worker_alive(active.worker):
+                # Crashed worker: one generous drain for a result that
+                # beat the crash into the queue, then retry policy.
+                late = pool.poll(0.2)
+                for message in late:
+                    self._handle_message(message)
+                if ticket not in self._active:
+                    continue             # the drain finished it
+                del self._active[ticket]
+                pool.respawn_dead()
+                count = self._crash_counts.get(ticket, 0) + 1
+                self._crash_counts[ticket] = count
+                if count <= job.retries:
+                    self._retry(entry, "crash", ticket)
+                else:
+                    message = (
+                        f"worker crashed; budget exhausted "
+                        f"({count} crash(es), "
+                        f"{job.retries} retry(ies) allowed)"
+                    )
+                    self.events.emit(
+                        "failed", job.job_id, reason="crash",
+                        error=message, attempt=entry.attempts,
+                        crashes=count,
+                        timeouts=self._timeout_counts.get(ticket, 0),
+                        ticket=ticket,
+                    )
+                    self.scheduler.finish(entry, JobResult(
+                        job_id=job.job_id, status="failed",
+                        seed=job.effective_seed(),
+                        seconds=now - active.started,
+                        error=message, attempts=entry.attempts,
+                    ))
+                    self._journal_terminals()
+
+    def _retry(self, entry: ScheduledJob, reason: str,
+               ticket: str) -> None:
+        delay = backoff_delay(entry.job.job_id, entry.attempts,
+                              self.retry_backoff)
+        self.events.emit(
+            "retry", entry.job.job_id, reason=reason,
+            attempt=entry.attempts + 1, backoff=round(delay, 4),
+            resume=True,
+            crashes=self._crash_counts.get(ticket, 0),
+            timeouts=self._timeout_counts.get(ticket, 0),
+            ticket=ticket,
+        )
+        self.scheduler.requeue(entry, delay=delay, resume=True)
+
+
+# -- HTTP layer --------------------------------------------------------
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the shared :class:`PlacementService`."""
+
+    service: PlacementService = None     # installed by make_server
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging (the event log is the record).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- helpers ------------------------------------------------------
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            data = json.loads(raw.decode() or "{}")
+        except (ValueError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _route(self) -> Tuple[str, List[str], Dict[str, List[str]]]:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        return parsed.path, parts, parse_qs(parsed.query)
+
+    # -- verbs --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        _, parts, query = self._route()
+        service = self.service
+        if parts == ["healthz"]:
+            self._json(200, {"ok": True,
+                             "uptime_s": time.time() - service.started_ts})
+        elif parts == ["stats"]:
+            self._json(200, service.stats())
+        elif parts == ["jobs"]:
+            self._json(200, {"jobs": [e.to_dict()
+                                      for e in service.entries()]})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            entry = service.get(parts[1])
+            if entry is None:
+                self._error(404, f"unknown ticket {parts[1]!r}")
+            else:
+                self._json(200, entry.to_dict())
+        elif len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "report":
+            entry = service.get(parts[1])
+            if entry is None:
+                self._error(404, f"unknown ticket {parts[1]!r}")
+            elif entry.result is None or entry.result.report is None:
+                self._error(404, "no report (job not done yet?)")
+            else:
+                self._json(200, entry.to_dict(with_report=True))
+        elif len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "events":
+            self._stream_events(parts[1], query)
+        else:
+            self._error(404, f"no route for {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        _, parts, _ = self._route()
+        service = self.service
+        if parts == ["jobs"]:
+            spec = self._read_body()
+            if spec is None:
+                self._error(400, "body must be a JSON object")
+                return
+            try:
+                entry = service.submit(spec)
+            except (ValueError, TypeError) as err:
+                self._error(400, f"bad job spec: {err}")
+                return
+            self._json(201, entry.to_dict())
+        elif len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "cancel":
+            outcome = service.cancel(parts[1])
+            if outcome is None:
+                self._error(409, "unknown ticket or already terminal")
+            else:
+                self._json(200, {"ticket": parts[1], "cancel": outcome})
+        else:
+            self._error(404, f"no route for {self.path!r}")
+
+    # -- event streaming ----------------------------------------------
+
+    def _stream_events(self, ticket: str,
+                       query: Dict[str, List[str]]) -> None:
+        service = self.service
+        entry = service.get(ticket)
+        if entry is None:
+            self._error(404, f"unknown ticket {ticket!r}")
+            return
+        follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
+        job_id = entry.job.job_id
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # Stream length is unknown: close the connection to delimit.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        try:
+            while True:
+                events = service.events.job_events(job_id, start=sent)
+                if not events and follow and not entry.terminal:
+                    events = service.events.wait_job_events(
+                        job_id, start=sent, timeout=0.5
+                    )
+                for event in events:
+                    line = json.dumps(
+                        {"ticket": ticket, **event.to_dict()},
+                        sort_keys=True,
+                    )
+                    self.wfile.write(line.encode() + b"\n")
+                sent += len(events)
+                self.wfile.flush()
+                if not follow:
+                    break
+                if entry.terminal and not service.events.job_events(
+                        job_id, start=sent):
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client went away mid-stream
+        self.close_connection = True
+
+
+def make_server(service: PlacementService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (0 = ephemeral) serving
+    the given service.  Call ``serve_forever()`` to run."""
+    handler = type("BoundServiceHandler", (_ServiceHandler,),
+                   {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    state_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    workers: int = 2,
+    start_method: Optional[str] = None,
+    heartbeat_every: int = 25,
+    default_quota: Optional[int] = None,
+    announce=print,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM (the ``repro serve`` body)."""
+    import signal
+
+    service = PlacementService(
+        state_dir=state_dir,
+        workers=workers,
+        start_method=start_method,
+        heartbeat_every=heartbeat_every,
+        default_quota=default_quota,
+    ).start()
+    server = make_server(service, host=host, port=port)
+    actual_host, actual_port = server.server_address[:2]
+    announce(f"repro serve: listening on http://{actual_host}:{actual_port} "
+             f"(state: {service.state_dir}, workers: {workers}"
+             f"{', recovered: ' + str(len(service.recovered)) + ' job(s)' if service.recovered else ''})",
+             flush=True)
+
+    stop_requested = threading.Event()
+
+    def _signal_handler(signum, frame):  # noqa: ARG001 — signal API
+        stop_requested.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(ValueError, OSError):  # platform-dependent
+            previous[sig] = signal.signal(sig, _signal_handler)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for sig, old in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(sig, old)
+        server.server_close()
+        service.stop()
+    announce("repro serve: stopped (unfinished jobs resume on restart)",
+             flush=True)
+    return 0

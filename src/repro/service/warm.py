@@ -1,0 +1,547 @@
+"""Warm workers: resident designs shared through POSIX shared memory.
+
+The batch pool pays the full job cost on every attempt: a fresh process
+imports numpy, regenerates (or re-parses) the design, rebuilds the CSR
+indices, then places.  A service sees the *same* design over and over —
+parameter sweeps, seed races, repeated API submissions — so this module
+keeps workers alive between jobs and makes the design transfer free:
+
+* :func:`publish_design` copies a netlist's big arrays once into
+  ``multiprocessing.shared_memory`` segments and returns a JSON-able
+  *manifest* (segment names + shapes + dtypes + the small metadata);
+* :func:`attach_design` maps those segments read-only in a worker and
+  rebuilds a :class:`~repro.netlist.Netlist` around zero-copy views
+  (derived CSR indices are recomputed locally by ``__post_init__``);
+* each :class:`WarmPool` worker keeps attached designs *resident* in an
+  LRU keyed by :func:`design_key`, so a repeat-design job skips design
+  loading entirely — the ``runtime`` stage metrics record which path a
+  job took (``warm`` = ``resident`` / ``attached`` / ``cold``).
+
+The parent-side :class:`DesignStore` owns the segments (create +
+unlink); workers only attach, and explicitly *unregister* their attach
+from the ``resource_tracker`` — on this CPython, attaching registers
+the segment too, and a dying worker would otherwise unlink a segment
+the parent still serves (gh-82300).
+
+Netlist arrays are safe to share read-only: stages never mutate them
+(``freeze_cells`` copies before editing), and the attached views are
+marked non-writeable so a regression fails loudly.
+
+When no multiprocessing context is available the pool degrades to one
+thread per worker (cooperative cancellation, designs resident in a
+process-local store) — same API, reduced isolation, matching the batch
+pool's inline fallback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import queue as queue_mod
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.callbacks import IterationCallback
+from repro.netlist import Netlist
+from repro.netlist.fence import FenceRegion
+from repro.netlist.region import PlacementRegion, Row
+from repro.runtime.job import PlacementJob, execute_job
+from repro.runtime.pool import JobInterruptedError, _resolve_context
+
+#: Netlist array fields worth sharing (everything sized N, P or E).
+DESIGN_ARRAY_FIELDS = (
+    "cell_w", "cell_h", "movable", "fixed_x", "fixed_y",
+    "pin2cell", "pin_dx", "pin_dy", "pin2net",
+    "net_start", "net_weight", "cell_fence",
+)
+
+
+def design_key(job: PlacementJob) -> str:
+    """Stable hash of the job's *input circuit* (not its params).
+
+    Two jobs with the same key load byte-identical netlists, so they
+    can share one resident design.
+    """
+    canonical = json.dumps(job.design_digest(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- shared-memory design transport -----------------------------------
+
+def publish_design(netlist: Netlist,
+                   key: str) -> Tuple[Dict[str, Any], List[Any]]:
+    """Copy a netlist's arrays into shared memory; returns
+    ``(manifest, segments)``.
+
+    The caller owns the segments: keep them referenced while any worker
+    may attach, then ``close()`` + ``unlink()`` them (see
+    :class:`DesignStore`).
+    """
+    arrays: Dict[str, Dict[str, Any]] = {}
+    segments: List[Any] = []
+    for field_name in DESIGN_ARRAY_FIELDS:
+        arr = np.ascontiguousarray(getattr(netlist, field_name))
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, arr.nbytes))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        segments.append(shm)
+        arrays[field_name] = {
+            "shm": shm.name,
+            "shape": list(arr.shape),
+            "dtype": arr.dtype.str,
+        }
+    manifest = {
+        "key": key,
+        "name": netlist.name,
+        "arrays": arrays,
+        "cell_name": list(netlist.cell_name),
+        "net_name": list(netlist.net_name),
+        "region": {
+            "xl": netlist.region.xl, "yl": netlist.region.yl,
+            "xh": netlist.region.xh, "yh": netlist.region.yh,
+            "rows": [
+                {"y": r.y, "height": r.height, "xl": r.xl, "xh": r.xh,
+                 "site_width": r.site_width}
+                for r in netlist.region.rows
+            ],
+        },
+        "fences": [
+            {"name": f.name, "boxes": [list(b) for b in f.boxes]}
+            for f in netlist.fences
+        ],
+    }
+    return manifest, segments
+
+
+def attach_design(manifest: Dict[str, Any]) -> Tuple[Netlist, List[Any]]:
+    """Rebuild a netlist over read-only views of shared segments.
+
+    Returns ``(netlist, segments)`` — the segments must stay referenced
+    (and be ``close()``-d) by the attaching process for as long as the
+    netlist is used.  Raises ``FileNotFoundError`` when the publisher
+    already unlinked a segment; callers fall back to a cold load.
+    """
+    segments: List[Any] = []
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for field_name, spec in manifest["arrays"].items():
+            # Attaching re-registers the segment with the resource
+            # tracker (gh-82300), but pool workers inherit the parent's
+            # tracker (fork and spawn both pass the tracker fd down),
+            # whose cache is a *set* — the duplicate registration
+            # dedupes, and the publisher's unlink unregisters cleanly.
+            # Never unregister here: a shared tracker would lose the
+            # publisher's entry.
+            shm = shared_memory.SharedMemory(name=spec["shm"])
+            segments.append(shm)
+            view = np.ndarray(tuple(spec["shape"]),
+                              dtype=np.dtype(spec["dtype"]),
+                              buffer=shm.buf)
+            view.flags.writeable = False
+            arrays[field_name] = view
+    except Exception:
+        for shm in segments:
+            shm.close()
+        raise
+    region = PlacementRegion(
+        xl=manifest["region"]["xl"], yl=manifest["region"]["yl"],
+        xh=manifest["region"]["xh"], yh=manifest["region"]["yh"],
+        rows=[Row(**row) for row in manifest["region"]["rows"]],
+    )
+    fences = [
+        FenceRegion(name=f["name"],
+                    boxes=tuple(tuple(b) for b in f["boxes"]))
+        for f in manifest["fences"]
+    ]
+    netlist = Netlist(
+        cell_name=list(manifest["cell_name"]),
+        net_name=list(manifest["net_name"]),
+        region=region,
+        name=manifest.get("name", "design"),
+        fences=fences,
+        **arrays,
+    )
+    return netlist, segments
+
+
+class DesignStore:
+    """Parent-side LRU of published designs (owns the shm segments)."""
+
+    def __init__(self, max_designs: int = 8) -> None:
+        self.max_designs = max(1, int(max_designs))
+        self._designs: "OrderedDict[str, Tuple[dict, list]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def manifest_for(self, job: PlacementJob) -> Dict[str, Any]:
+        """The manifest for the job's design, publishing on first use."""
+        key = design_key(job)
+        with self._lock:
+            if key in self._designs:
+                self._designs.move_to_end(key)
+                return self._designs[key][0]
+        netlist = job.load_netlist()          # load outside the lock
+        manifest, segments = publish_design(netlist, key)
+        with self._lock:
+            if key in self._designs:          # lost a publish race
+                for shm in segments:
+                    shm.close()
+                    shm.unlink()
+                self._designs.move_to_end(key)
+                return self._designs[key][0]
+            self._designs[key] = (manifest, segments)
+            while len(self._designs) > self.max_designs:
+                _, (_, old) = self._designs.popitem(last=False)
+                for shm in old:
+                    shm.close()
+                    shm.unlink()
+        return manifest
+
+    def __len__(self) -> int:
+        return len(self._designs)
+
+    def close(self) -> None:
+        with self._lock:
+            for _, segments in self._designs.values():
+                for shm in segments:
+                    shm.close()
+                    with contextlib.suppress(FileNotFoundError):
+                        shm.unlink()
+            self._designs.clear()
+
+
+# -- the worker loop ---------------------------------------------------
+
+class _CancelWatch(IterationCallback):
+    """Cooperative cancel for thread-mode workers."""
+
+    def __init__(self, event: threading.Event) -> None:
+        self._event = event
+
+    def _check(self) -> None:
+        if self._event.is_set():
+            raise JobInterruptedError("cancel requested")
+
+    def on_start(self, info) -> None:
+        self._check()
+
+    def on_iteration(self, record) -> None:
+        self._check()
+
+
+def _warm_worker_main(worker_id: int, tasks, out, heartbeat_every: int,
+                      checkpoint_dir: Optional[str], max_resident: int,
+                      cancel_event: Optional[threading.Event] = None) -> None:
+    """Long-lived worker: lease messages, keep designs resident.
+
+    Task messages: ``{"kind": "job", "ticket", "job": <job dict>,
+    "resume": bool, "manifest": <design manifest or None>}`` or
+    ``{"kind": "stop"}``.  Every job answers with a ``"_picked"``
+    announcement (so the parent can target kills) and a terminal
+    ``"_result"`` message keyed by ticket.
+    """
+    if cancel_event is None:
+        # Process mode: a worker forked while the daemon's shutdown
+        # handlers were armed (e.g. a respawn mid-serve) inherits them,
+        # which would make ``terminate()`` a no-op and, worse, run the
+        # daemon's shutdown logic inside the worker.  Restore defaults.
+        import signal
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(ValueError, OSError):  # platform-dependent
+                signal.signal(sig, signal.SIG_DFL)
+    resident: "OrderedDict[str, Tuple[Netlist, list]]" = OrderedDict()
+
+    def evict_to(limit: int) -> None:
+        while len(resident) > limit:
+            _, (_, segments) = resident.popitem(last=False)
+            for shm in segments:
+                shm.close()
+
+    try:
+        while True:
+            message = tasks.get()
+            if message is None or message.get("kind") == "stop":
+                break
+            job = PlacementJob.from_dict(message["job"])
+            ticket = message["ticket"]
+            if cancel_event is not None:
+                cancel_event.clear()
+            out.put({"event": "_picked", "ticket": ticket,
+                     "worker": worker_id, "pid": os.getpid(),
+                     "job_id": job.job_id})
+            key = design_key(job)
+            load_started = time.perf_counter()
+            netlist = None
+            warm = "cold"
+            if key in resident:
+                resident.move_to_end(key)
+                netlist = resident[key][0]
+                warm = "resident"
+            else:
+                manifest = message.get("manifest")
+                if manifest is not None:
+                    try:
+                        netlist, segments = attach_design(manifest)
+                    except Exception:
+                        netlist = None     # publisher gone: load cold
+                    else:
+                        warm = "attached"
+                        resident[key] = (netlist, segments)
+                if netlist is None:
+                    netlist = job.load_netlist()
+                    resident[key] = (netlist, [])
+                evict_to(max_resident)
+            load_seconds = time.perf_counter() - load_started
+            callbacks = ([_CancelWatch(cancel_event)]
+                         if cancel_event is not None else None)
+            try:
+                result = execute_job(
+                    job,
+                    emit=out.put,
+                    heartbeat_every=heartbeat_every,
+                    callbacks=callbacks,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=bool(message.get("resume")),
+                    in_worker=cancel_event is None,
+                    netlist=netlist,
+                    extra_metrics={
+                        "warm": warm,
+                        "design_load_seconds": round(load_seconds, 6),
+                        "warm_worker": worker_id,
+                    },
+                )
+            except JobInterruptedError:
+                out.put({"event": "_result", "ticket": ticket,
+                         "worker": worker_id, "status": "cancelled",
+                         "job_id": job.job_id,
+                         "seed": job.effective_seed()})
+            except Exception as err:  # noqa: BLE001 — worker must answer
+                report = getattr(err, "flow_report", None)
+                out.put({"event": "_result", "ticket": ticket,
+                         "worker": worker_id, "status": "failed",
+                         "job_id": job.job_id,
+                         "seed": job.effective_seed(),
+                         "error": f"{type(err).__name__}: {err}",
+                         "report": (report.to_dict()
+                                    if report is not None else None)})
+            else:
+                out.put({"event": "_result", "ticket": ticket,
+                         "worker": worker_id, "status": "done",
+                         "job_id": job.job_id,
+                         "result": result.to_dict(),
+                         "x": result.x, "y": result.y})
+    finally:
+        evict_to(0)
+
+
+# -- the pool ----------------------------------------------------------
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    runner: Any                       # Process or Thread
+    tasks: Any                        # its task queue
+    cancel_event: Optional[threading.Event] = None
+    busy: Optional[str] = None        # ticket currently assigned
+    seen_keys: set = field(default_factory=set)
+
+
+class WarmPool:
+    """A fixed fleet of warm workers plus the shared design store.
+
+    Unlike :class:`~repro.runtime.pool.WorkerPool` (one process per
+    *attempt*, full lifecycle policy inside), this pool is a dumb
+    transport: the daemon owns scheduling, retries, timeouts and event
+    routing, and drives the pool through :meth:`submit` / :meth:`poll`
+    / :meth:`kill_worker`.  Messages from workers come back raw —
+    ``_picked`` / QueueCallback loop events / ``_result``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+        heartbeat_every: int = 25,
+        checkpoint_dir: Optional[str] = None,
+        max_resident: int = 8,
+    ) -> None:
+        self.heartbeat_every = heartbeat_every
+        self.checkpoint_dir = checkpoint_dir
+        self.max_resident = max(1, int(max_resident))
+        self._ctx = _resolve_context(start_method)
+        self.inline = self._ctx is None
+        self._out = queue_mod.Queue() if self.inline else self._ctx.Queue()
+        # Shared designs only make sense across process boundaries; the
+        # thread fallback shares the worker-resident dicts natively.
+        self.store = None if self.inline else DesignStore(self.max_resident)
+        if not self.inline:
+            # Start the resource tracker *before* forking workers.  A
+            # worker forked while no tracker exists lazily spawns its
+            # own on attach; that orphan tracker keeps the attach
+            # registration forever and tries to unlink long-gone
+            # segments at exit.  Pre-starting makes every worker
+            # inherit the parent's tracker, where the duplicate
+            # registration dedupes against the publisher's.
+            with contextlib.suppress(Exception):  # tracker internals vary
+                resource_tracker.ensure_running()
+        self._workers: Dict[int, _WorkerHandle] = {}
+        for worker_id in range(max(1, int(workers))):
+            self._spawn(worker_id)
+
+    # -- worker management -------------------------------------------
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        if self.inline:
+            tasks: Any = queue_mod.Queue()
+            cancel = threading.Event()
+            runner: Any = threading.Thread(
+                target=_warm_worker_main,
+                args=(worker_id, tasks, self._out, self.heartbeat_every,
+                      self.checkpoint_dir, self.max_resident, cancel),
+                daemon=True,
+                name=f"warm-worker-{worker_id}",
+            )
+        else:
+            tasks = self._ctx.Queue()
+            cancel = None
+            runner = self._ctx.Process(
+                target=_warm_worker_main,
+                args=(worker_id, tasks, self._out, self.heartbeat_every,
+                      self.checkpoint_dir, self.max_resident),
+                daemon=True,
+            )
+        runner.start()
+        handle = _WorkerHandle(worker_id=worker_id, runner=runner,
+                               tasks=tasks, cancel_event=cancel)
+        self._workers[worker_id] = handle
+        return handle
+
+    @property
+    def workers(self) -> List[int]:
+        return sorted(self._workers)
+
+    def idle_workers(self) -> List[int]:
+        return [wid for wid, h in sorted(self._workers.items())
+                if h.busy is None and self.worker_alive(wid)]
+
+    def worker_alive(self, worker_id: int) -> bool:
+        handle = self._workers.get(worker_id)
+        return bool(handle) and handle.runner.is_alive()
+
+    def worker_for(self, ticket: str) -> Optional[int]:
+        for wid, handle in self._workers.items():
+            if handle.busy == ticket:
+                return wid
+        return None
+
+    # -- job traffic --------------------------------------------------
+
+    def submit(self, ticket: str, job: PlacementJob,
+               resume: bool = False,
+               worker_id: Optional[int] = None) -> int:
+        """Hand one job to a worker; returns the worker id.
+
+        Prefers an idle worker that already has the design resident
+        (warm dispatch); the caller must keep submissions ≤ idle
+        workers — an over-submit queues behind the busy worker.
+        """
+        key = design_key(job)
+        if worker_id is None:
+            idle = self.idle_workers()
+            if not idle:
+                idle = self.workers
+            warm = [wid for wid in idle
+                    if key in self._workers[wid].seen_keys]
+            worker_id = (warm or idle)[0]
+        handle = self._workers[worker_id]
+        manifest = None
+        if self.store is not None and key not in handle.seen_keys:
+            manifest = self.store.manifest_for(job)
+        handle.seen_keys.add(key)
+        handle.busy = ticket
+        handle.tasks.put({"kind": "job", "ticket": ticket,
+                          "job": job.to_dict(), "resume": bool(resume),
+                          "manifest": manifest})
+        return worker_id
+
+    def poll(self, timeout: float = 0.05) -> List[Dict[str, Any]]:
+        """Drain worker messages (at most ``timeout`` seconds of wait).
+
+        ``_result`` messages free their worker for the next submit.
+        """
+        messages: List[Dict[str, Any]] = []
+        deadline = time.perf_counter() + max(0.0, timeout)
+        while True:
+            remaining = deadline - time.perf_counter()
+            try:
+                message = self._out.get(timeout=max(0.001, remaining))
+            except queue_mod.Empty:
+                return messages  # nothing more within the poll window
+            messages.append(message)
+            if message.get("event") == "_result":
+                worker_id = message.get("worker")
+                handle = self._workers.get(worker_id)
+                if handle is not None and handle.busy == message.get("ticket"):
+                    handle.busy = None
+            if time.perf_counter() >= deadline:
+                break
+        return messages
+
+    def kill_worker(self, worker_id: int, respawn: bool = True) -> None:
+        """Stop a worker mid-job (timeout/cancel) and replace it.
+
+        Process mode terminates the worker (its resident designs die
+        with it); thread mode requests cooperative cancellation and
+        keeps the thread (threads cannot be killed).
+        """
+        handle = self._workers.get(worker_id)
+        if handle is None:
+            return
+        if self.inline:
+            if handle.cancel_event is not None:
+                handle.cancel_event.set()
+            handle.busy = None
+            return
+        handle.runner.terminate()
+        handle.runner.join(timeout=5)
+        del self._workers[worker_id]
+        if respawn:
+            self._spawn(worker_id)
+
+    def respawn_dead(self) -> List[int]:
+        """Replace crashed workers; returns the respawned ids."""
+        respawned = []
+        for worker_id in list(self._workers):
+            handle = self._workers[worker_id]
+            if not handle.runner.is_alive():
+                if not self.inline:
+                    handle.runner.join(timeout=1)
+                del self._workers[worker_id]
+                self._spawn(worker_id)
+                respawned.append(worker_id)
+        return respawned
+
+    # -- lifecycle ----------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        for handle in self._workers.values():
+            with contextlib.suppress(Exception):  # queue may already be gone
+                handle.tasks.put({"kind": "stop"})
+        for handle in self._workers.values():
+            handle.runner.join(timeout=timeout)
+            if not self.inline and handle.runner.is_alive():
+                handle.runner.terminate()
+                handle.runner.join(timeout=1)
+        self._workers.clear()
+        if self.store is not None:
+            self.store.close()

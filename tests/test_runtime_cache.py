@@ -172,3 +172,147 @@ class TestCorruptEntryEviction:
         assert "reason" in evicted[0].payload
         # The run was re-executed (miss), not served corrupt data.
         assert results[0].status == "done" and not results[0].cached
+
+
+class TestHitMissCounters:
+    def test_counters_start_at_zero(self, cache):
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0}
+
+    def test_miss_and_hit_counted(self, cache, job, result):
+        assert cache.get(job) is None
+        assert cache.misses == 1
+        cache.put(job, result)
+        assert cache.get(job) is not None
+        assert cache.hits == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_eviction_counts_as_miss_too(self, cache, job, result):
+        cache.put(job, result)
+        entry = cache.path_for(job.content_hash())
+        with open(os.path.join(entry, "result.json"), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(job) is None
+        assert cache.evictions == 1
+        assert cache.misses == 1
+
+    def test_batch_summary_reports_counters(self, job, result, tmp_path):
+        from repro.runtime.batch import summary_table
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.get(job)
+        cache.put(job, result)
+        cache.get(job)
+        table = summary_table([job], [result], cache=cache)
+        assert "cache: 1 hit(s), 1 miss(es), 0 eviction(s)" in table
+
+    def test_finished_events_carry_counters(self, tmp_path):
+        from repro.runtime import EventLog, WorkerPool
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = PlacementJob(
+            design="fft_1", cells=250, seed=1,
+            params={"max_iterations": 30, "min_iterations": 20},
+            pipeline="tests.runtime_helpers:fake_pipeline",
+        )
+        log = EventLog()
+        WorkerPool(max_workers=1, cache=cache).run([job], events=log)
+        finished = log.of_kind("finished")
+        assert finished and finished[0].payload["cache_misses"] == 1
+        assert finished[0].payload["cache_hits"] == 0
+
+
+class TestConcurrentAccess:
+    """Two executors sharing one cache dir must not corrupt entries or
+    double-run work they could share."""
+
+    def test_two_pools_sharing_a_cache_dir(self, tmp_path):
+        from repro.runtime import WorkerPool
+
+        root = str(tmp_path / "shared-cache")
+        jobs = [
+            PlacementJob(
+                design="fft_1", cells=250, seed=s,
+                params={"max_iterations": 30, "min_iterations": 20},
+                pipeline="tests.runtime_helpers:fake_pipeline",
+            )
+            for s in (1, 2, 3)
+        ]
+        import threading
+
+        outcomes = {}
+
+        def run(name):
+            pool = WorkerPool(max_workers=1, cache=ResultCache(root))
+            outcomes[name] = pool.run(list(jobs))
+
+        threads = [threading.Thread(target=run, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert set(outcomes) == {"a", "b"}
+        for name in ("a", "b"):
+            assert [r.status for r in outcomes[name]] == ["done"] * 3
+        # Both pools agree on every result (no torn/corrupt entries).
+        for ra, rb in zip(outcomes["a"], outcomes["b"]):
+            assert ra.hpwl == rb.hpwl
+            np.testing.assert_array_equal(ra.x, rb.x)
+        # The shared dir holds exactly one well-formed entry per job.
+        readback = ResultCache(root)
+        assert len(readback) == 3
+        for job in jobs:
+            hit = readback.get(job)
+            assert hit is not None and hit.cached
+
+    def test_concurrent_put_same_key_last_writer_wins_cleanly(
+            self, tmp_path, job, result):
+        """Hammer one key from many threads: every interleaving of the
+        atomic temp+rename writes must leave a readable entry."""
+        import threading
+
+        root = str(tmp_path / "hammer")
+        errors = []
+
+        def writer():
+            try:
+                mine = ResultCache(root)
+                for _ in range(5):
+                    mine.put(job, result)
+                    got = mine.get(job)
+                    assert got is None or got.hpwl == result.hpwl
+            except Exception as err:  # noqa: BLE001 — collecting
+                errors.append(err)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        final = ResultCache(root).get(job)
+        assert final is not None
+        assert final.hpwl == result.hpwl
+
+    def test_scheduler_dedupes_what_the_cache_cannot(self, tmp_path):
+        """In-flight coalescing: two identical submissions to one
+        scheduler run once even though the cache has no entry yet."""
+        from repro.service import Scheduler
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        sched = Scheduler(cache=cache)
+        job = PlacementJob(
+            design="fft_1", cells=250, seed=1,
+            params={"max_iterations": 30, "min_iterations": 20},
+            pipeline="tests.runtime_helpers:fake_pipeline",
+        )
+        leader = sched.submit(job)
+        follower = sched.submit(PlacementJob.from_dict(job.to_dict()))
+        assert follower.deduped_onto == leader.ticket
+        leased = sched.lease()
+        assert sched.cache_lookup(leased) is None    # nothing cached yet
+        result = execute_job(leased.job)
+        sched.finish(leased, result)
+        assert sched.lease() is None                 # follower never ran
+        assert follower.result.hpwl == result.hpwl
+        assert cache.get(job) is not None            # stored once

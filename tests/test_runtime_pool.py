@@ -337,3 +337,116 @@ class TestCheckpointedRetries:
                    if e.payload["action"] == "resumed"]
         assert len(resumed) == 1  # ...but the run DID resume from spill
         assert resumed[0].payload["snapshot_iteration"] == 30
+
+
+class TestGracefulShutdown:
+    """SIGINT/SIGTERM during a run: drain, mark resumable, flush."""
+
+    def hog(self, seed=1, **overrides):
+        base = dict(
+            design="fft_1", cells=250, seed=seed,
+            params={"max_iterations": 100000, "min_iterations": 20,
+                    "stop_overflow": 1e-9, "checkpoint_every": 10},
+        )
+        base.update(overrides)
+        return PlacementJob(**base)
+
+    def send_signal_soon(self, signum, delay=0.6):
+        import os
+        import signal as signal_mod
+        import threading
+
+        timer = threading.Timer(
+            delay, lambda: os.kill(os.getpid(), signum))
+        timer.start()
+        return timer
+
+    def test_inline_sigterm_interrupts_resumably(self, tmp_path):
+        import signal as signal_mod
+
+        log = EventLog()
+        pool = WorkerPool(max_workers=1,
+                          checkpoint_dir=str(tmp_path / "ckpt"))
+        timer = self.send_signal_soon(signal_mod.SIGTERM)
+        try:
+            results = pool.run([self.hog(seed=1), self.hog(seed=2)],
+                               events=log)
+        finally:
+            timer.cancel()
+        assert results[0].status == "interrupted"
+        assert "resumable" in results[0].error
+        assert results[1].status == "interrupted"
+        interrupted = log.of_kind("interrupted")
+        assert len(interrupted) == 2
+        assert interrupted[0].payload["resumable"] is True
+        # The queued job never started; the running one spilled state.
+        assert any(e.payload.get("pending") for e in interrupted)
+
+    def test_inline_sigterm_without_checkpoints_not_resumable(self):
+        import signal as signal_mod
+
+        log = EventLog()
+        pool = WorkerPool(max_workers=1)       # no checkpoint_dir
+        timer = self.send_signal_soon(signal_mod.SIGTERM)
+        try:
+            results = pool.run([self.hog(seed=1)], events=log)
+        finally:
+            timer.cancel()
+        assert results[0].status == "interrupted"
+        assert "not resumable" in results[0].error
+        assert log.of_kind("interrupted")[0].payload["resumable"] is False
+
+    def test_process_sigint_drains_and_interrupts(self, tmp_path):
+        import signal as signal_mod
+
+        log = EventLog()
+        pool = WorkerPool(max_workers=2,
+                          checkpoint_dir=str(tmp_path / "ckpt"),
+                          drain_grace=0.3)
+        timer = self.send_signal_soon(signal_mod.SIGINT, delay=1.2)
+        try:
+            results = pool.run(
+                [self.hog(seed=s) for s in (1, 2, 3)], events=log)
+        finally:
+            timer.cancel()
+        assert all(r.status == "interrupted" for r in results)
+        assert all(r.error and "resumable" in r.error for r in results)
+        assert log.count("interrupted") == 3
+
+    def test_handlers_restored_after_run(self):
+        import signal as signal_mod
+
+        before_term = signal_mod.getsignal(signal_mod.SIGTERM)
+        before_int = signal_mod.getsignal(signal_mod.SIGINT)
+        WorkerPool(max_workers=1).run([make_job(seed=1)])
+        assert signal_mod.getsignal(signal_mod.SIGTERM) is before_term
+        assert signal_mod.getsignal(signal_mod.SIGINT) is before_int
+
+    def test_interrupted_run_resumes_from_checkpoint(self, tmp_path):
+        import signal as signal_mod
+
+        ckpt = str(tmp_path / "ckpt")
+        job = PlacementJob(
+            design="fft_1", cells=250, seed=1,
+            params={"max_iterations": 100000, "min_iterations": 20,
+                    "stop_overflow": 1e-9, "checkpoint_every": 10})
+        pool = WorkerPool(max_workers=1, checkpoint_dir=ckpt)
+        timer = self.send_signal_soon(signal_mod.SIGTERM)
+        try:
+            first = pool.run([job])[0]
+        finally:
+            timer.cancel()
+        assert first.status == "interrupted"
+        # Rerun with --resume and a sane budget: picks up the spill.
+        rerun = PlacementJob(
+            design="fft_1", cells=250, seed=1,
+            params={"max_iterations": 100000, "min_iterations": 20,
+                    "stop_overflow": 1e-9, "checkpoint_every": 10},
+            timeout=10.0)
+        log = EventLog()
+        second = WorkerPool(max_workers=1, checkpoint_dir=ckpt,
+                            resume=True).run([rerun], events=log)[0]
+        resumed = [e for e in log.of_kind("recovery")
+                   if e.payload["action"] == "resumed"]
+        assert len(resumed) == 1
+        assert resumed[0].payload["snapshot_iteration"] > 0

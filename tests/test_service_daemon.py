@@ -1,0 +1,304 @@
+"""The ``repro serve`` daemon: HTTP API, streaming, crash recovery."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service import PlacementService, ServiceClient, ServiceError
+from repro.service.daemon import make_server
+
+FAKE = "tests.runtime_helpers:fake_pipeline"
+SLEEPY = "tests.runtime_helpers:sleepy_pipeline"
+CRASHY = "tests.runtime_helpers:crashy_pipeline"
+
+
+def make_spec(seed=1, **overrides):
+    spec = dict(
+        design="fft_1",
+        cells=120,
+        seed=seed,
+        params={"max_iterations": 30, "min_iterations": 20},
+        pipeline=FAKE,
+    )
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on an ephemeral port + a client talking to it."""
+    service = PlacementService(str(tmp_path / "state"), workers=2).start()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("127.0.0.1", server.server_address[1])
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+class TestHttpApi:
+    def test_health_and_stats(self, daemon):
+        _, client = daemon
+        assert client.healthz()["ok"]
+        stats = client.stats()
+        assert stats["jobs"] == 0
+        assert stats["workers"]["total"] == 2
+        assert stats["cache"] == {"hits": 0, "misses": 0, "evictions": 0}
+
+    def test_submit_wait_report_round_trip(self, daemon):
+        _, client = daemon
+        entry = client.submit(make_spec(seed=1))
+        assert entry["state"] == "queued"
+        assert re.match(r"t\d{4}-[0-9a-f]{8}", entry["ticket"])
+        final = client.wait(entry["ticket"], timeout=90)
+        assert final["state"] == "done"
+        assert final["result"]["hpwl"] > 0
+        report = client.report(entry["ticket"])
+        stage_names = [s["name"]
+                       for s in report["result"]["report"]["stages"]]
+        assert stage_names[-1] == "runtime"
+
+    def test_served_hpwl_identical_to_direct_execution(self, daemon):
+        from repro.runtime import PlacementJob, execute_job
+
+        _, client = daemon
+        spec = make_spec(seed=42)
+        baseline = execute_job(PlacementJob.from_dict(spec))
+        entry = client.submit(spec)
+        final = client.wait(entry["ticket"], timeout=90)
+        assert final["result"]["hpwl"] == baseline.hpwl
+
+    def test_bad_spec_rejected_with_400(self, daemon):
+        _, client = daemon
+        with pytest.raises(ServiceError) as err:
+            client.submit({"design": "fft_1", "aux": "also-set.aux"})
+        assert err.value.status == 400
+
+    def test_unknown_ticket_is_404(self, daemon):
+        _, client = daemon
+        with pytest.raises(ServiceError) as err:
+            client.job("t9999-deadbeef")
+        assert err.value.status == 404
+
+    def test_priority_and_tenant_wrapper(self, daemon):
+        _, client = daemon
+        entry = client.submit(make_spec(seed=1), priority=4, tenant="ci")
+        assert entry["priority"] == 4
+        assert entry["tenant"] == "ci"
+
+    def test_four_concurrent_jobs_with_live_streams(self, daemon):
+        _, client = daemon
+        specs = [make_spec(seed=s) for s in (1, 2, 3, 4)]
+        tickets = [client.submit(spec)["ticket"] for spec in specs]
+        streams = {}
+
+        def follow(ticket):
+            streams[ticket] = [ev["kind"] for ev
+                               in client.stream_events(ticket)]
+
+        followers = [threading.Thread(target=follow, args=(t,))
+                     for t in tickets]
+        for thread in followers:
+            thread.start()
+        finals = [client.wait(t, timeout=120) for t in tickets]
+        for thread in followers:
+            thread.join(timeout=30)
+        assert [f["state"] for f in finals] == ["done"] * 4
+        hpwls = {f["result"]["hpwl"] for f in finals}
+        assert len(hpwls) == 4          # four seeds, four placements
+        for ticket in tickets:
+            kinds = streams[ticket]
+            assert "queued" in kinds
+            assert "started" in kinds
+            assert "finished" in kinds
+
+    def test_dedupe_and_cache_hit_paths(self, daemon):
+        _, client = daemon
+        spec = make_spec(seed=7)
+        leader = client.submit(spec)
+        follower = client.submit(spec)          # identical, in flight
+        assert follower["deduped_onto"] == leader["ticket"]
+        a = client.wait(leader["ticket"], timeout=90)
+        b = client.wait(follower["ticket"], timeout=90)
+        assert a["result"]["hpwl"] == b["result"]["hpwl"]
+        assert not b["result"]["cached"]        # shared execution
+        # terminal now: a resubmission is served by the result cache.
+        third = client.submit(spec)
+        c = client.wait(third["ticket"], timeout=30)
+        assert c["result"]["cached"]
+        assert c["result"]["hpwl"] == a["result"]["hpwl"]
+        assert client.stats()["cache"]["hits"] >= 1
+
+    def test_cancel_queued_job(self, daemon):
+        service, client = daemon
+        # saturate both workers so a third submission stays queued
+        blockers = [client.submit(make_spec(seed=s, pipeline=SLEEPY))
+                    for s in (1, 2)]
+        queued = client.submit(make_spec(seed=3))
+        out = client.cancel(queued["ticket"])
+        assert out["cancel"] in ("cancelled", "requested")
+        final = client.wait(queued["ticket"], timeout=15)
+        assert final["state"] == "cancelled"
+        for blocker in blockers:
+            client.cancel(blocker["ticket"])
+
+    def test_cancel_running_job_kills_worker(self, daemon):
+        service, client = daemon
+        if service.pool.inline:
+            pytest.skip("thread fallback cannot kill a sleeping stage")
+        entry = client.submit(make_spec(seed=1, pipeline=SLEEPY))
+        deadline = time.monotonic() + 30
+        while (client.job(entry["ticket"])["state"] != "running"
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert client.cancel(entry["ticket"])["cancel"] == "requested"
+        final = client.wait(entry["ticket"], timeout=30)
+        assert final["state"] == "cancelled"
+        # the pool respawned: new work still completes
+        after = client.submit(make_spec(seed=9))
+        assert client.wait(after["ticket"], timeout=90)["state"] == "done"
+
+    def test_stage_failure_reported(self, daemon):
+        _, client = daemon
+        entry = client.submit(make_spec(seed=1, pipeline=CRASHY))
+        final = client.wait(entry["ticket"], timeout=90)
+        assert final["state"] == "failed"
+        assert "injected stage crash" in final["result"]["error"]
+
+    def test_event_snapshot_without_follow(self, daemon):
+        _, client = daemon
+        entry = client.submit(make_spec(seed=1))
+        client.wait(entry["ticket"], timeout=90)
+        events = client.events(entry["ticket"])
+        kinds = [ev["kind"] for ev in events]
+        assert kinds[0] == "queued"
+        assert "finished" in kinds
+        assert all(ev["ticket"] == entry["ticket"] for ev in events)
+
+
+class TestRecovery:
+    def test_graceful_stop_resumes_on_restart(self, tmp_path):
+        state = str(tmp_path / "state")
+        service = PlacementService(state, workers=1).start()
+        spec = make_spec(seed=1, pipeline=SLEEPY)
+        entry = service.submit(spec)
+        deadline = time.monotonic() + 30
+        while (service.get(entry.ticket).state != "running"
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        service.stop()                      # job never reached terminal
+        revived = PlacementService(state, workers=1)
+        revived._replay_journal()
+        try:
+            assert entry.ticket in revived.recovered
+            recovered = revived.scheduler.get(entry.ticket)
+            assert recovered.resume
+            assert recovered.state == "queued"
+            kinds = [e.kind for e in revived.events.events]
+            assert "recovery" in kinds
+        finally:
+            revived.scheduler.close()
+
+    def test_terminal_jobs_not_resubmitted(self, tmp_path):
+        state = str(tmp_path / "state")
+        service = PlacementService(state, workers=1).start()
+        entry = service.submit(make_spec(seed=1))
+        assert service.wait([entry.ticket], timeout=90)
+        service.stop()
+        revived = PlacementService(state, workers=1)
+        revived._replay_journal()
+        try:
+            assert revived.recovered == []
+            assert revived.scheduler.get(entry.ticket) is None
+        finally:
+            revived.scheduler.close()
+
+    def test_torn_journal_tail_is_ignored(self, tmp_path):
+        state = str(tmp_path / "state")
+        service = PlacementService(state, workers=1).start()
+        entry = service.submit(make_spec(seed=1, pipeline=SLEEPY))
+        service.stop()
+        with open(os.path.join(state, "journal.jsonl"), "a") as fh:
+            fh.write('{"op": "submit", "ticket": "t9')    # torn write
+        revived = PlacementService(state, workers=1)
+        revived._replay_journal()
+        try:
+            assert revived.recovered == [entry.ticket]
+        finally:
+            revived.scheduler.close()
+
+
+class TestKillDashNine:
+    """The full crash story: SIGKILL the daemon process mid-job, restart
+    it on the same state dir, and watch the job finish from checkpoint."""
+
+    def _start(self, state):
+        existing = os.environ.get("PYTHONPATH")
+        parts = ["src", "."] + ([existing] if existing else [])
+        env = {**os.environ, "PYTHONPATH": os.pathsep.join(parts)}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--state-dir", state, "--port", "0", "--workers", "1"],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        assert match, f"no port announced: {banner!r}"
+        return proc, int(match.group(1))
+
+    def test_sigkill_restart_resumes_from_checkpoint(self, tmp_path):
+        state = str(tmp_path / "state")
+        proc, port = self._start(state)
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            # a real GP run, long enough to checkpoint before the kill
+            entry = client.submit({
+                "design": "fft_1", "cells": 150, "seed": 11,
+                "params": {"min_iterations": 2, "max_iterations": 3000},
+            })
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                events = client.events(entry["ticket"])
+                if any(ev["kind"] == "recovery"
+                       and ev.get("action") == "checkpoint"
+                       for ev in events):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("job never checkpointed")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        proc2, port2 = self._start(state)
+        try:
+            client2 = ServiceClient("127.0.0.1", port2)
+            jobs = client2.jobs()
+            assert [j["ticket"] for j in jobs] == [entry["ticket"]]
+            final = client2.wait(entry["ticket"], timeout=300, poll=0.25)
+            assert final["state"] == "done"
+            assert final["result"]["hpwl"] > 0
+            events = client2.events(entry["ticket"])
+            kinds = [ev["kind"] for ev in events]
+            assert "recovery" in kinds          # resubmitted + resumed
+            resumed = [ev for ev in events
+                       if ev["kind"] == "recovery"
+                       and ev.get("action") == "resubmitted"]
+            assert resumed and resumed[0].get("resume")
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            try:
+                proc2.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc2.kill()

@@ -1,0 +1,287 @@
+"""Scheduler core: priorities, quotas, dedupe, cancellation, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import EventLog, JobResult, PlacementJob, ResultCache
+from repro.service import Scheduler
+
+FAKE = "tests.runtime_helpers:fake_pipeline"
+
+
+def make_job(seed=1, **overrides):
+    base = dict(
+        design="fft_1",
+        cells=250,
+        seed=seed,
+        params={"max_iterations": 30, "min_iterations": 20},
+        pipeline=FAKE,
+    )
+    base.update(overrides)
+    return PlacementJob(**base)
+
+
+def done_result(job, hpwl=100.0):
+    return JobResult(job_id=job.job_id, status="done",
+                     seed=job.effective_seed(), hpwl=hpwl, seconds=0.01)
+
+
+class TestLifecycle:
+    def test_submit_lease_finish(self):
+        sched = Scheduler()
+        entry = sched.submit(make_job(seed=1))
+        assert entry.state == "queued"
+        assert not entry.terminal
+        leased = sched.lease()
+        assert leased is entry
+        assert leased.state == "running"
+        assert leased.attempts == 1
+        sched.finish(leased, done_result(leased.job))
+        assert entry.state == "done"
+        assert entry.terminal
+        assert entry.result.ok
+
+    def test_lease_empty_queue_returns_none(self):
+        assert Scheduler().lease() is None
+
+    def test_fifo_within_equal_priority(self):
+        sched = Scheduler()
+        entries = [sched.submit(make_job(seed=s)) for s in (1, 2, 3)]
+        leased = [sched.lease() for _ in range(3)]
+        assert [e.ticket for e in leased] == [e.ticket for e in entries]
+
+    def test_higher_priority_leases_first(self):
+        sched = Scheduler()
+        low = sched.submit(make_job(seed=1), priority=0)
+        high = sched.submit(make_job(seed=2), priority=5)
+        assert sched.lease() is high
+        assert sched.lease() is low
+
+    def test_blocking_lease_wakes_on_submit(self):
+        sched = Scheduler()
+        got = []
+
+        def leaser():
+            got.append(sched.lease(timeout=5.0))
+
+        t = threading.Thread(target=leaser)
+        t.start()
+        time.sleep(0.05)
+        entry = sched.submit(make_job(seed=1))
+        t.join(timeout=5.0)
+        assert got and got[0] is entry
+
+    def test_wait_for_terminal(self):
+        sched = Scheduler()
+        entry = sched.submit(make_job(seed=1))
+        assert not sched.wait(timeout=0.05)
+        leased = sched.lease()
+        sched.finish(leased, done_result(leased.job))
+        assert sched.wait(timeout=1.0)
+        assert sched.wait([entry.ticket], timeout=0.0)
+
+    def test_failed_statuses_map_to_failed_state(self):
+        for status in ("failed", "timeout", "interrupted"):
+            sched = Scheduler()
+            entry = sched.submit(make_job(seed=1))
+            leased = sched.lease()
+            sched.finish(leased, JobResult(
+                job_id=leased.job.job_id, status=status,
+                seed=1, error="boom"))
+            assert entry.state == "failed"
+
+    def test_closed_scheduler_rejects_submissions(self):
+        sched = Scheduler()
+        sched.close()
+        with pytest.raises(RuntimeError):
+            sched.submit(make_job(seed=1))
+
+
+class TestPrioritiesAndQuotas:
+    def test_tenant_quota_blocks_lease(self):
+        sched = Scheduler(quotas={"ci": 1})
+        first = sched.submit(make_job(seed=1), tenant="ci")
+        sched.submit(make_job(seed=2), tenant="ci")
+        leased = sched.lease()
+        assert leased is first
+        # ci is at quota: nothing leasable despite queue depth 1.
+        assert sched.lease() is None
+        sched.finish(leased, done_result(leased.job))
+        assert sched.lease() is not None
+
+    def test_quota_applies_per_tenant(self):
+        sched = Scheduler(quotas={"ci": 1})
+        sched.submit(make_job(seed=1), tenant="ci")
+        other = sched.submit(make_job(seed=2), tenant="adhoc")
+        assert sched.lease() is not None      # ci:1 runs
+        assert sched.lease() is other         # adhoc unaffected
+
+    def test_default_quota_covers_unlisted_tenants(self):
+        sched = Scheduler(default_quota=1)
+        sched.submit(make_job(seed=1))
+        sched.submit(make_job(seed=2))
+        assert sched.lease() is not None
+        assert sched.lease() is None
+
+    def test_requeue_backoff_gates_lease(self):
+        sched = Scheduler()
+        sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        sched.requeue(leased, delay=0.2, resume=True)
+        assert leased.state == "queued"
+        assert sched.lease() is None          # still inside the gate
+        time.sleep(0.25)
+        again = sched.lease()
+        assert again is leased
+        assert again.resume
+        assert again.attempts == 2
+
+    def test_requeued_entry_beats_fresh_submissions(self):
+        sched = Scheduler()
+        first = sched.submit(make_job(seed=1))
+        sched.submit(make_job(seed=2))
+        leased = sched.lease()
+        sched.requeue(leased, delay=0.0)
+        assert sched.lease() is first         # retry goes to the front
+
+
+class TestDedupe:
+    def test_identical_inflight_submission_coalesces(self):
+        log = EventLog()
+        sched = Scheduler(events=log)
+        leader = sched.submit(make_job(seed=1))
+        follower = sched.submit(make_job(seed=1))
+        assert follower.deduped_onto == leader.ticket
+        assert follower.state == "queued"
+        # Only the leader is leasable.
+        assert sched.lease() is leader
+        assert sched.lease() is None
+        sched.finish(leader, done_result(leader.job, hpwl=42.0))
+        assert follower.terminal
+        assert follower.result.hpwl == 42.0
+        assert log.count("deduped") == 1
+
+    def test_different_seeds_do_not_coalesce(self):
+        sched = Scheduler()
+        sched.submit(make_job(seed=1))
+        follower = sched.submit(make_job(seed=2))
+        assert follower.deduped_onto is None
+
+    def test_resubmit_after_terminal_runs_again(self):
+        sched = Scheduler()
+        leader = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        sched.finish(leased, done_result(leased.job))
+        fresh = sched.submit(make_job(seed=1))
+        assert fresh.deduped_onto is None
+        assert sched.lease() is fresh
+
+    def test_dedupe_off_for_batch_parity(self):
+        sched = Scheduler(dedupe=False)
+        sched.submit(make_job(seed=1))
+        follower = sched.submit(make_job(seed=1))
+        assert follower.deduped_onto is None
+        assert sched.lease() is not None
+        assert sched.lease() is follower
+
+    def test_failed_leader_fails_followers(self):
+        sched = Scheduler()
+        leader = sched.submit(make_job(seed=1))
+        follower = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        sched.finish(leased, JobResult(
+            job_id=leader.job.job_id, status="failed", seed=1,
+            error="boom"))
+        assert follower.state == "failed"
+        assert "boom" in follower.result.error
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self):
+        log = EventLog()
+        sched = Scheduler(events=log)
+        entry = sched.submit(make_job(seed=1))
+        assert sched.cancel(entry.ticket) == "cancelled"
+        assert entry.state == "cancelled"
+        assert entry.result.status == "cancelled"
+        assert log.count("cancelled") == 1
+        assert sched.lease() is None
+
+    def test_cancel_running_is_cooperative(self):
+        sched = Scheduler()
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        assert sched.cancel(entry.ticket) == "requested"
+        assert leased.cancel_requested
+        assert not leased.terminal
+        sched.mark_cancelled(leased)
+        assert entry.state == "cancelled"
+
+    def test_cancel_unknown_or_terminal_returns_none(self):
+        sched = Scheduler()
+        assert sched.cancel("nope") is None
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        sched.finish(leased, done_result(leased.job))
+        assert sched.cancel(entry.ticket) is None
+
+
+class TestCacheIntegration:
+    def test_cache_lookup_short_circuits(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = make_job(seed=1)
+        from repro.runtime import execute_job
+
+        cache.put(job, execute_job(job))
+        log = EventLog()
+        sched = Scheduler(cache=cache, events=log)
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        hit = sched.cache_lookup(leased)
+        assert hit is not None and hit.cached
+        assert entry.state == "done"
+        assert log.count("cached") == 1
+
+    def test_cache_miss_returns_none_and_keeps_running(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        sched = Scheduler(cache=cache)
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        assert sched.cache_lookup(leased) is None
+        assert entry.state == "running"
+
+
+class TestIntrospection:
+    def test_stats_counts_states(self):
+        sched = Scheduler()
+        sched.submit(make_job(seed=1))
+        e2 = sched.submit(make_job(seed=2))
+        leased = sched.lease()
+        sched.finish(leased, done_result(leased.job))
+        sched.cancel(e2.ticket)
+        stats = sched.stats()
+        assert stats["jobs"] == 2
+        assert stats["states"]["done"] == 1
+        assert stats["states"]["cancelled"] == 1
+        assert stats["queue_depth"] == 0
+
+    def test_to_dict_is_json_view(self):
+        sched = Scheduler()
+        entry = sched.submit(make_job(seed=1), priority=3, tenant="ci")
+        view = entry.to_dict()
+        assert view["state"] == "queued"
+        assert view["terminal"] is False
+        assert view["priority"] == 3
+        assert view["tenant"] == "ci"
+        assert view["job_id"] == entry.job.job_id
+        assert "result" not in view
+
+    def test_entries_and_results_in_submission_order(self):
+        sched = Scheduler()
+        sched.submit(make_job(seed=2), priority=9)
+        sched.submit(make_job(seed=1), priority=0)
+        seeds = [e.job.effective_seed() for e in sched.entries()]
+        assert seeds == [2, 1]
+        assert sched.results() == [None, None]
