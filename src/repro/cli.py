@@ -14,6 +14,12 @@ Commands
 ``bench``     benchmark the hot placement operators (workspace arena vs
               allocating fallback) and write BENCH_operator.json; with
               ``--compare`` gate against a saved report
+``serve``     run the placement daemon (HTTP job API, warm workers)
+``explore``   population-based global exploration over checkpoint forks:
+              run a cohort of GP trajectories, rank at synchronization
+              rounds, fork the leaders with bounded perturbations, cull
+              the laggards; ``--bench`` gates the cohort against the
+              single-run baseline at equal core-seconds
 
 Every command accepts either a ``.aux`` path or a named design from the
 ISPD-like suites (``adaptec1`` … ``superblue16_a``).
@@ -302,7 +308,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         start_method=args.start_method,
         heartbeat_every=args.heartbeat_every,
         default_quota=args.quota,
+        max_queue_depth=args.max_queue_depth,
     )
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core.params import PlacementParams
+    from repro.explore import ExploreConfig, PopulationController
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.events import EventLog
+    from repro.runtime.job import PlacementJob
+
+    if args.design.endswith(".aux") or os.path.exists(args.design):
+        source = {"aux": args.design}
+    elif args.design in ISPD2005_LIKE or args.design in ISPD2015_LIKE:
+        source = {"design": args.design, "scale": args.scale,
+                  "cells": args.cells}
+    else:
+        print(f"error: {args.design!r} is neither an existing .aux file "
+              f"nor a known design name", file=sys.stderr)
+        return 2
+    params = PlacementParams(
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+    )
+    base = PlacementJob(params=params, **source)
+    config = ExploreConfig(
+        population=args.population,
+        rounds=args.rounds,
+        survivors=args.survivors,
+        seed=args.seed if args.cohort_seed is None else args.cohort_seed,
+        segment_iters=args.segment_iters,
+        budget_core_seconds=args.budget_core_seconds,
+        workers=args.workers,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    events = EventLog(path=args.events, echo=args.verbose)
+    with events:
+        controller = PopulationController(
+            base, config, cache=cache, events=events, workdir=args.workdir
+        )
+        report = controller.run()
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.out}")
+    if args.bench:
+        from repro.perf.bench import (
+            format_explore_report,
+            run_explore_bench,
+            write_report,
+        )
+
+        bench = run_explore_bench(
+            population=args.population,
+            rounds=args.rounds,
+            survivors=args.survivors,
+            seed=args.seed,
+            cohort_seed=config.seed,
+            max_iterations=args.max_iterations,
+            segment_iters=args.segment_iters,
+            workers=args.workers,
+            workdir=args.workdir,
+            **source,
+        )
+        print(format_explore_report(bench))
+        print(f"wrote {write_report(bench, args.bench)}")
+        if not bench["matches_single_run"]:
+            print("error: cohort best HPWL is worse than the single-run "
+                  "baseline", file=sys.stderr)
+            return 1
+    return 0 if report.best_hpwl is not None else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -456,7 +533,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quota", type=int, default=None,
                        help="max concurrently running jobs per tenant "
                             "(default: unlimited)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="max queued (not yet running) jobs per tenant; "
+                            "submits beyond it get HTTP 429 + Retry-After "
+                            "(default: unlimited)")
     serve.set_defaults(handler=_cmd_serve)
+
+    explore = sub.add_parser(
+        "explore",
+        help="population-based exploration over checkpoint forks",
+    )
+    add_design_args(explore)
+    explore.add_argument("--population", type=int, default=4,
+                         help="cohort members (default 4)")
+    explore.add_argument("--rounds", type=int, default=3,
+                         help="synchronization rounds (default 3)")
+    explore.add_argument("--survivors", type=int, default=2,
+                         help="lineages continued per round (default 2)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="base placement seed; also the cohort seed "
+                              "unless --cohort-seed is given (default 0)")
+    explore.add_argument("--cohort-seed", type=int, default=None,
+                         help="separate seed for the perturbation draws")
+    explore.add_argument("--max-iterations", type=int, default=1000,
+                         help="per-lineage GP iteration budget")
+    explore.add_argument("--segment-iters", type=int, default=None,
+                         help="fixed segment length in GP iterations "
+                              "(default: split the budget evenly)")
+    explore.add_argument("--budget-core-seconds", type=float, default=None,
+                         help="collapse the remaining rounds once the "
+                              "cohort has spent this much compute "
+                              "(makes the run non-round-deterministic)")
+    explore.add_argument("--workers", type=int, default=1,
+                         help="parallel worker processes (1 = in-process)")
+    explore.add_argument("--workdir", default=None,
+                         help="checkpoint/fork spill root (default: temp)")
+    explore.add_argument("--cache-dir", default=".repro-cache",
+                         help="result cache directory (default .repro-cache)")
+    explore.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
+    explore.add_argument("--events", default=None,
+                         help="append runtime events to this JSONL file")
+    explore.add_argument("--out", default=None, metavar="JSON",
+                         help="write the full cohort report here")
+    explore.add_argument("--bench", default=None, metavar="JSON",
+                         help="also run the equal-core-seconds comparison "
+                              "vs a single run and write BENCH_explore-"
+                              "style JSON here (fails if the cohort is "
+                              "worse than the baseline)")
+    explore.add_argument("--verbose", action="store_true",
+                         help="echo every runtime event to stdout")
+    explore.set_defaults(handler=_cmd_explore)
     return parser
 
 

@@ -54,6 +54,7 @@ class PlacementResult:
     checkpoints: int = 0
     degraded: bool = False
     resumed_from: Optional[int] = None
+    checkpoint_stats: Optional[dict] = None
 
     def positions(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.x, self.y
@@ -110,6 +111,7 @@ class XPlacer:
         callbacks: Optional[Sequence[IterationCallback]] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        final_checkpoint: bool = False,
     ) -> PlacementResult:
         """Run global placement to convergence and return the solution.
 
@@ -122,6 +124,14 @@ class XPlacer:
         ``params.checkpoint_every > 0`` or a ``checkpoint_dir`` is given;
         ``checkpoint_dir`` additionally spills each snapshot to disk so a
         fresh process can pick the run up mid-flight with ``resume=True``.
+
+        ``final_checkpoint=True`` treats the ``max_iterations`` wall as a
+        *segment boundary* rather than the end of the run: the loop
+        state is checkpointed there (after replaying the end-of-iteration
+        γ/λ bookkeeping a continuing run would have done) and the spill
+        is kept, so a forked continuation replays a longer run
+        bit-for-bit.  A convergence stop is still terminal — the spill
+        is cleared as usual.
         """
         params = self.params
         netlist = self.netlist
@@ -200,6 +210,7 @@ class XPlacer:
 
         converged = False
         degraded = False
+        boundary_checkpoint = False
         best_hpwl = math.inf
         best_iteration = -1
         last_iteration = start_iteration - 1
@@ -286,6 +297,27 @@ class XPlacer:
 
             if scheduler.should_stop(iteration, result.overflow):
                 converged = result.overflow < params.stop_overflow
+                if final_checkpoint and not converged and recovery is not None:
+                    # Segment boundary (max_iterations wall): replay the
+                    # end-of-iteration bookkeeping a continuing run
+                    # would have done — γ/λ update, divergence
+                    # observation — then pin the state, so that a forked
+                    # continuation is bit-identical to a run whose
+                    # max_iterations had simply been larger.
+                    if scheduler.should_update_params(omega):
+                        scheduler.update(result.overflow, result.hpwl)
+                        lam = scheduler.lam
+                    recovery.observe(iteration, result.hpwl, result.overflow)
+                    recovery.checkpoint(
+                        iteration,
+                        lam,
+                        result.hpwl,
+                        result.overflow,
+                        optimizer,
+                        scheduler,
+                        engine,
+                    )
+                    boundary_checkpoint = True
                 break
 
             if scheduler.should_update_params(omega):
@@ -321,10 +353,11 @@ class XPlacer:
 
             iteration += 1
 
-        if recovery is not None:
+        if recovery is not None and not boundary_checkpoint:
             # The run ended on its own terms — a stale spill must not
             # hijack the next resume.  (A killed run never reaches this,
-            # which is exactly what keeps its spill resumable.)
+            # which is exactly what keeps its spill resumable; a
+            # boundary checkpoint keeps its spill so forks can read it.)
             recovery.manager.clear_spill()
 
         sol_x, sol_y = optimizer.solution
@@ -355,6 +388,9 @@ class XPlacer:
             checkpoints=recovery.checkpoints if recovery is not None else 0,
             degraded=degraded,
             resumed_from=recovery.resumed_from if recovery is not None else None,
+            checkpoint_stats=(
+                recovery.manager.stats() if recovery is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

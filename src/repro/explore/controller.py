@@ -1,0 +1,555 @@
+"""The population controller: cohort orchestration over checkpoint forks.
+
+A :class:`PopulationController` turns one placement job into a *cohort*
+of GP trajectories explored in lock-step segments:
+
+1. **Round 0** seeds ``population`` members (slot ``i`` runs the base
+   job with placement seed ``base_seed + i``) through the first segment
+   — a GP run capped at the segment's ``max_iterations`` with
+   ``final_checkpoint=True``, so the loop pins its boundary state
+   instead of clearing the spill.
+2. At each **synchronization round** the members are ranked on
+   ``(HPWL, overflow)`` (:mod:`repro.explore.policy`).  The top-k
+   survivors continue through *identity forks* — bit-for-bit
+   continuations, as if their iteration budget had simply been larger
+   (the GP loop's boundary emulation replays the γ/λ update a
+   continuing run would have done).  The culled laggards' slots are
+   refilled with *perturbed forks* of the survivors: bounded position
+   jitter plus density-weight re-annealing, drawn deterministically
+   from the cohort seed (:mod:`repro.explore.perturb`).
+3. Every segment is an ordinary :class:`~repro.runtime.job.PlacementJob`
+   dispatched through the :class:`~repro.service.scheduler.Scheduler` —
+   fork jobs hash their parent checkpoint and perturbation seed into
+   their content hash, so the result cache replays a re-run cohort
+   without recompute, tenant quotas apply, and the whole cohort can be
+   cancelled as a group (:meth:`PopulationController.cancel`).
+
+Member slot 0 is the **elite**: the base-seed lineage, never perturbed
+and never culled.  Its identity-fork chain replays the single-run
+baseline bit-for-bit, so the cohort's best final HPWL can never be
+worse than the baseline — the invariant the equal-core-seconds bench
+gates on.
+
+Determinism: with a fixed cohort seed (and no core-seconds budget) the
+full trajectory — every segment job hash, ranking, cull and fork — is
+reproducible bit-for-bit.  ``budget_core_seconds`` trades that away:
+it is checked against measured wall-clock at round boundaries, so a
+budget-stopped cohort is *result*-correct but not round-deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.explore.perturb import (
+    DEFAULT_JITTER_RANGE,
+    DEFAULT_LAMBDA_RANGE,
+    IDENTITY,
+    Perturbation,
+    draw_perturbation,
+)
+from repro.explore.policy import (
+    MemberScore,
+    assign_parents,
+    rank_members,
+    select_survivors,
+)
+from repro.explore.report import ExploreReport
+from repro.recovery.fork import ForkSpec
+from repro.runtime.events import EventLog
+from repro.runtime.job import (
+    JobResult,
+    PlacementJob,
+    execute_job,
+    job_checkpoint_dir,
+)
+from repro.runtime.pool import WorkerPool
+
+#: The pipeline factory every segment job names — GP only, importable
+#: from worker processes.
+PIPELINE_FACTORY = "repro.explore.controller:gp_pipeline"
+
+#: The slot that replays the single-run baseline (never perturbed).
+ELITE_SLOT = 0
+
+
+def gp_pipeline(job: PlacementJob):
+    """Segment pipeline: global placement only.
+
+    Exploration compares GP states at synchronization rounds;
+    legalization/detailed placement of intermediate boundary states
+    would be wasted work (only the winning lineage's final placement
+    ever needs them).
+    """
+    from repro.pipeline import Pipeline
+    from repro.pipeline.stages import GlobalPlaceStage
+
+    return Pipeline([GlobalPlaceStage()], name="explore-gp")
+
+
+def segment_schedule(
+    max_iterations: int,
+    rounds: int,
+    segment_iters: Optional[int] = None,
+) -> List[int]:
+    """Iteration boundaries of the cohort's segments.
+
+    Returns a strictly increasing list of segment *end* iterations whose
+    last element is ``max_iterations``.  Without ``segment_iters`` the
+    budget splits evenly; with it, every segment but the last is that
+    long.  Fewer boundaries than ``rounds`` come back when the design's
+    iteration budget cannot fit them (1-iteration segments are not
+    worth a synchronization).
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if segment_iters is not None and segment_iters < 1:
+        raise ValueError("segment_iters must be >= 1")
+    if segment_iters is not None:
+        raw = [min(max_iterations, segment_iters * (r + 1))
+               for r in range(rounds)]
+    else:
+        raw = [max(1, (max_iterations * (r + 1)) // rounds)
+               for r in range(rounds)]
+    raw[-1] = max_iterations
+    ends: List[int] = []
+    for end in raw:
+        if not ends or end > ends[-1]:
+            ends.append(end)
+    return ends
+
+
+@dataclass
+class ExploreConfig:
+    """Knobs of one exploration cohort."""
+
+    population: int = 4
+    rounds: int = 3
+    survivors: int = 2
+    seed: int = 0                          # cohort seed (perturbation draws)
+    segment_iters: Optional[int] = None    # fixed segment length override
+    budget_core_seconds: Optional[float] = None
+    jitter_range: Tuple[float, float] = DEFAULT_JITTER_RANGE
+    lambda_range: Tuple[float, float] = DEFAULT_LAMBDA_RANGE
+    workers: int = 1
+    tenant: str = "explore"
+    quota: Optional[int] = None            # max concurrently running
+    group: Optional[str] = None            # cohort label (cancel scope)
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if not 1 <= self.survivors <= self.population:
+            raise ValueError("survivors must be in [1, population]")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if (self.budget_core_seconds is not None
+                and self.budget_core_seconds <= 0):
+            raise ValueError("budget_core_seconds must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "population": self.population,
+            "rounds": self.rounds,
+            "survivors": self.survivors,
+            "seed": self.seed,
+            "segment_iters": self.segment_iters,
+            "budget_core_seconds": self.budget_core_seconds,
+            "jitter_range": list(self.jitter_range),
+            "lambda_range": list(self.lambda_range),
+            "workers": self.workers,
+            "tenant": self.tenant,
+            "quota": self.quota,
+            "group": self.group,
+        }
+
+
+@dataclass
+class _Member:
+    """One population slot's live state."""
+
+    slot: int
+    job: PlacementJob
+    result: Optional[JobResult] = None
+    finished: bool = False      # converged (or ran the final segment)
+    failed: bool = False        # last attempt failed; revivable by fork
+
+
+class PopulationController:
+    """Runs one exploration cohort to completion.
+
+    Parameters
+    ----------
+    job : the base placement job (design + params + runtime policy).
+        Its ``params.max_iterations`` is the per-lineage iteration
+        budget; its effective seed is the elite lineage's placement
+        seed.  The job's pipeline is replaced by the GP-only segment
+        pipeline.
+    config : cohort knobs (:class:`ExploreConfig`).
+    cache : optional :class:`~repro.runtime.cache.ResultCache` — segment
+        jobs are content-addressed, so a re-run cohort replays from it.
+    events : event sink; cohort telemetry is emitted as ``explore``
+        events keyed by the cohort group label.
+    workdir : checkpoint root for segment spills (the fork fabric).
+    """
+
+    def __init__(
+        self,
+        job: PlacementJob,
+        config: ExploreConfig,
+        cache=None,
+        events: Optional[EventLog] = None,
+        workdir: Optional[str] = None,
+    ) -> None:
+        from repro.service.scheduler import Scheduler
+
+        self.base = job
+        self.config = config
+        self.events = events if events is not None else EventLog()
+        if workdir is None:
+            import tempfile
+
+            workdir = tempfile.mkdtemp(prefix="repro-explore-")
+        self.workdir = workdir
+        self.checkpoint_root = os.path.join(workdir, "checkpoints")
+        design = job.design or os.path.basename(job.aux or "?")
+        self.group = config.group or f"explore:{design}:s{config.seed}"
+        quotas = ({config.tenant: config.quota}
+                  if config.quota is not None else None)
+        self.scheduler = Scheduler(cache=cache, events=self.events,
+                                   quotas=quotas, dedupe=False)
+        self.pool = WorkerPool(max_workers=config.workers, cache=cache,
+                               checkpoint_dir=self.checkpoint_root)
+        self.best_result: Optional[JobResult] = None
+        self.best_slot: Optional[int] = None
+
+    # -- public API ----------------------------------------------------
+
+    def cancel(self, reason: str = "cohort cancelled") -> Dict[str, int]:
+        """Cancel every non-terminal segment job of this cohort."""
+        return self.scheduler.cancel_group(self.group, reason=reason)
+
+    def run(self) -> ExploreReport:
+        """Run the cohort; returns the full :class:`ExploreReport`."""
+        base = self.base
+        config = self.config
+        max_iters = base.params.max_iterations
+        base_min = base.params.min_iterations
+        ends = segment_schedule(max_iters, config.rounds,
+                                config.segment_iters)
+        design = base.design or os.path.basename(base.aux or "?")
+        report = ExploreReport(design=design, config=config.to_dict())
+        base_seed = base.effective_seed()
+
+        members: Dict[int, _Member] = {}
+        for slot in range(config.population):
+            job = self._segment_job(
+                base, seed=base_seed + slot, end=ends[0],
+                last=(len(ends) == 1), base_min=base_min,
+                tag=f"x{config.seed}-r0-m{slot}",
+            )
+            members[slot] = _Member(slot=slot, job=job)
+            self._record_lineage(report, slot, round_index=0, job=job,
+                                 parent_slot=None, parent_hash=None,
+                                 perturbation=None, segment_end=ends[0])
+
+        round_index = 0
+        try:
+            while round_index < len(ends):
+                end = ends[round_index]
+                last = round_index == len(ends) - 1
+                live = [members[s] for s in sorted(members)
+                        if not members[s].finished and not members[s].failed]
+                if not live:
+                    break
+                round_rec = self._run_round(report, live, round_index, end,
+                                            last)
+                report.rounds.append(round_rec)
+                if last:
+                    break
+                # A blown core-seconds budget collapses the remaining
+                # schedule into one final segment (documented as not
+                # round-deterministic: the check is wall-clock-based).
+                if (config.budget_core_seconds is not None
+                        and report.total_core_seconds
+                        >= config.budget_core_seconds
+                        and len(ends) > round_index + 2):
+                    ends = ends[:round_index + 1] + [max_iters]
+                    report.budget_stopped = True
+                self._advance(report, members, round_rec, round_index,
+                              end, ends, base_min)
+                round_index += 1
+        finally:
+            self.scheduler.close()
+
+        report.best_slot = self.best_slot
+        if self.best_result is not None:
+            report.best_hpwl = self.best_result.hpwl
+            report.best_job_id = self.best_result.job_id
+        self.events.emit(
+            "explore", self.group, action="done",
+            rounds=len(report.rounds), best_slot=report.best_slot,
+            best_hpwl=report.best_hpwl, forks=report.forks,
+            culls=report.culls,
+            core_seconds=round(report.total_core_seconds, 4),
+        )
+        return report
+
+    # -- one round -----------------------------------------------------
+
+    def _run_round(self, report: ExploreReport, live: List[_Member],
+                   round_index: int, end: int, last: bool) -> Dict[str, Any]:
+        """Dispatch one segment for every live member and score it."""
+        config = self.config
+        self.events.emit(
+            "explore", self.group, action="round", round=round_index,
+            segment_end=end, members=[m.slot for m in live],
+        )
+        round_start = time.perf_counter()
+        fresh_before = report.total_core_seconds
+        entries = [
+            self.scheduler.submit(m.job, tenant=config.tenant,
+                                  group=self.group)
+            for m in live
+        ]
+        self.pool.execute(self.scheduler, entries, self.events)
+
+        scores: List[MemberScore] = []
+        finished_now: List[int] = []
+        failed_now: List[int] = []
+        cached = 0
+        for member, entry in zip(live, entries):
+            result = entry.result
+            member.result = result
+            if result is None or not result.ok:
+                member.failed = True
+                failed_now.append(member.slot)
+                if result is not None and not result.cached:
+                    report.total_core_seconds += result.seconds
+                continue
+            if result.cached:
+                report.cached_core_seconds += result.seconds
+                cached += 1
+            else:
+                report.total_core_seconds += result.seconds
+            metrics = result.report.metrics if result.report else {}
+            converged = bool(metrics.get("gp_converged"))
+            if converged or last:
+                member.finished = True
+                finished_now.append(member.slot)
+                self._track_best(member)
+            scores.append(MemberScore(
+                slot=member.slot,
+                hpwl=float(result.hpwl),
+                overflow=float(metrics.get("gp_overflow", math.inf)),
+            ))
+        ranked = rank_members(scores)
+        return {
+            "round": round_index,
+            "segment_end": end,
+            "members": {str(m.slot): m.job.content_hash() for m in live},
+            "scores": [s.to_dict() for s in ranked],
+            "finished": finished_now,
+            "failed": failed_now,
+            "survivors": [],
+            "culled": [],
+            "forks": [],
+            "cached": cached,
+            "core_seconds": round(
+                report.total_core_seconds - fresh_before, 6),
+            "wall_seconds": round(time.perf_counter() - round_start, 6),
+        }
+
+    def _advance(self, report: ExploreReport, members: Dict[int, _Member],
+                 round_rec: Dict[str, Any], round_index: int, end: int,
+                 ends: List[int], base_min: int) -> None:
+        """Select survivors, cull laggards, fork the next round's jobs."""
+        config = self.config
+        ranked = [MemberScore(**s) for s in round_rec["scores"]]
+        continuable = [s for s in ranked
+                       if not members[s.slot].finished
+                       and not members[s.slot].failed]
+        if not continuable:
+            return
+        survivor_slots, culled_slots = select_survivors(
+            continuable, min(config.survivors, len(continuable)),
+            elite_slot=ELITE_SLOT,
+        )
+        open_slots = culled_slots + sorted(
+            s for s, m in members.items()
+            if m.failed and s not in culled_slots
+        )
+        next_end = ends[round_index + 1]
+        next_last = round_index + 1 == len(ends) - 1
+        next_round = round_index + 1
+
+        # Capture the parents' round-r jobs before slots are reassigned;
+        # a cache-served parent has no spill on disk, so regenerate it
+        # (deterministic recompute) before any child tries to fork it.
+        parent_jobs = {s: members[s].job for s in survivor_slots}
+        respilled = 0.0
+        for slot in survivor_slots:
+            respilled += self._ensure_spill(parent_jobs[slot])
+        report.total_core_seconds += respilled
+        round_rec["respill_seconds"] = round(respilled, 6)
+
+        forks_rec: List[Dict[str, Any]] = []
+        for slot, parent_slot in assign_parents(survivor_slots, open_slots):
+            perturbation = draw_perturbation(
+                config.seed, next_round, slot,
+                jitter_range=config.jitter_range,
+                lambda_range=config.lambda_range,
+            )
+            child = self._fork_child(
+                parent_jobs[parent_slot], perturbation, end, next_end,
+                next_last, base_min,
+                tag=f"x{config.seed}-r{next_round}-m{slot}",
+            )
+            member = members[slot]
+            member.job = child
+            member.failed = False
+            member.result = None
+            report.forks += 1
+            forks_rec.append({
+                "slot": slot,
+                "parent_slot": parent_slot,
+                "perturbation": perturbation.to_dict(),
+            })
+            self.events.emit(
+                "explore", self.group, action="fork", round=next_round,
+                slot=slot, parent_slot=parent_slot,
+                child_job_id=child.job_id, **perturbation.to_dict(),
+            )
+            self._record_lineage(
+                report, slot, round_index=next_round, job=child,
+                parent_slot=parent_slot,
+                parent_hash=parent_jobs[parent_slot].content_hash(),
+                perturbation=perturbation, segment_end=next_end,
+            )
+        for slot in survivor_slots:
+            parent = parent_jobs[slot]
+            child = self._fork_child(
+                parent, IDENTITY, end, next_end, next_last, base_min,
+                tag=f"x{config.seed}-r{next_round}-m{slot}",
+            )
+            members[slot].job = child
+            self._record_lineage(
+                report, slot, round_index=next_round, job=child,
+                parent_slot=slot, parent_hash=parent.content_hash(),
+                perturbation=None, segment_end=next_end,
+            )
+        for slot in culled_slots:
+            report.culls += 1
+            self.events.emit("explore", self.group, action="cull",
+                             round=round_index, slot=slot)
+        round_rec["survivors"] = survivor_slots
+        round_rec["culled"] = culled_slots
+        round_rec["forks"] = forks_rec
+
+    # -- job construction ----------------------------------------------
+
+    def _segment_job(self, like: PlacementJob, seed: int, end: int,
+                     last: bool, base_min: int,
+                     fork: Optional[ForkSpec] = None,
+                     tag: Optional[str] = None) -> PlacementJob:
+        """One segment of one lineage, as a schedulable job.
+
+        ``min_iterations`` is clamped under the segment end (params
+        validation rejects max < min); ``final_checkpoint`` pins the
+        boundary state on every segment but the last.
+        """
+        params = dataclasses.replace(
+            like.params,
+            max_iterations=end,
+            min_iterations=min(base_min, end),
+        )
+        return dataclasses.replace(
+            like,
+            params=params,
+            seed=seed,
+            pipeline=PIPELINE_FACTORY,
+            fork=fork.to_dict() if fork is not None else None,
+            final_checkpoint=not last,
+            tag=tag,
+        )
+
+    def _fork_child(self, parent: PlacementJob,
+                    perturbation: Perturbation, end: int, next_end: int,
+                    next_last: bool, base_min: int,
+                    tag: Optional[str] = None) -> PlacementJob:
+        """The next-round continuation (or perturbed fork) of ``parent``.
+
+        The child keeps the parent's *placement* seed — netlist filler
+        construction must match the checkpointed arrays — and differs
+        in content hash through its :class:`ForkSpec` alone.
+        """
+        spec = ForkSpec(
+            parent=parent.content_hash(),
+            iteration=end - 1,
+            seed=perturbation.seed,
+            jitter=perturbation.jitter,
+            lambda_scale=perturbation.lambda_scale,
+            fresh_momentum=perturbation.fresh_momentum,
+        )
+        return self._segment_job(
+            parent, seed=parent.effective_seed(), end=next_end,
+            last=next_last, base_min=base_min, fork=spec, tag=tag,
+        )
+
+    def _ensure_spill(self, job: PlacementJob) -> float:
+        """Make sure ``job``'s boundary checkpoint exists on disk.
+
+        A segment served from the result cache never ran here, so its
+        spill may be missing; forking it needs the checkpoint, not the
+        result.  Recompute inline (deterministic — same job, same
+        checkpoint) and return the core-seconds spent.
+        """
+        spill = job_checkpoint_dir(self.checkpoint_root, job)
+        if spill is None or os.path.isfile(
+                os.path.join(spill, "checkpoint.json")):
+            return 0.0
+        start = time.perf_counter()
+        execute_job(job, checkpoint_dir=self.checkpoint_root)
+        return time.perf_counter() - start
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _track_best(self, member: _Member) -> None:
+        """Track the best *final* result (converged or last-segment).
+
+        Mid-cohort boundary HPWLs are not comparable — an unspread
+        placement reads artificially short — so only finished members
+        compete for the cohort's answer.
+        """
+        result = member.result
+        if result is None or result.hpwl is None:
+            return
+        if (self.best_result is None or self.best_result.hpwl is None
+                or result.hpwl < self.best_result.hpwl):
+            self.best_result = result
+            self.best_slot = member.slot
+
+    @staticmethod
+    def _record_lineage(report: ExploreReport, slot: int, round_index: int,
+                        job: PlacementJob, parent_slot: Optional[int],
+                        parent_hash: Optional[str],
+                        perturbation: Optional[Perturbation],
+                        segment_end: int) -> None:
+        record: Dict[str, Any] = {
+            "round": round_index,
+            "segment_end": segment_end,
+            "job_id": job.job_id,
+            "hash": job.content_hash(),
+            "parent_slot": parent_slot,
+            "parent_hash": parent_hash,
+        }
+        if perturbation is not None:
+            record["perturbation"] = perturbation.to_dict()
+        report.lineage.setdefault(str(slot), []).append(record)

@@ -1,0 +1,87 @@
+"""Deterministic perturbation model for exploration forks.
+
+Every perturbed fork is fully determined by ``(cohort seed, round,
+slot)``: those three integers seed a :class:`numpy.random.Generator`
+from which the fork's jitter radius, λ re-annealing factor and fork
+seed are drawn.  The drawn values go into the fork job's
+:class:`~repro.recovery.fork.ForkSpec`, which joins the job content
+hash — so a cohort re-run with the same seed replays the exact same
+forks (and hits the result cache for every segment).
+
+The two knobs mirror what escapes local optima in practice:
+
+jitter
+    A bounded uniform position perturbation (in bin units) of the
+    movable cells — enough displacement to leave the current basin,
+    small enough that the engine re-converges within a segment.
+
+lambda_scale
+    Scaling the density weight λ *down* re-opens the density schedule:
+    the wirelength term dominates again for a while and the cell cloud
+    can re-spread before λ grows back via the ordinary μ updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+#: Seed-stream tag separating exploration draws from every other
+#: consumer of a seed (rollback perturbation: 0x7EC0, fork jitter:
+#: 0xF04C).
+_EXPLORE_SEED_TAG = 0xE590
+
+#: Default jitter radius range, in bin units.
+DEFAULT_JITTER_RANGE = (0.5, 2.0)
+
+#: Default λ re-annealing range (scale-down re-opens the schedule).
+DEFAULT_LAMBDA_RANGE = (0.4, 1.0)
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One drawn fork mutation (the semantic half of a ForkSpec)."""
+
+    seed: int                  # RNG stream for the jitter noise itself
+    jitter: float              # uniform radius, bin units
+    lambda_scale: float        # density-weight re-annealing factor
+    fresh_momentum: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": int(self.seed),
+            "jitter": float(self.jitter),
+            "lambda_scale": float(self.lambda_scale),
+            "fresh_momentum": bool(self.fresh_momentum),
+        }
+
+
+#: The identity perturbation: survivors continue bit-for-bit.
+IDENTITY = Perturbation(seed=0, jitter=0.0, lambda_scale=1.0,
+                        fresh_momentum=False)
+
+
+def draw_perturbation(
+    cohort_seed: int,
+    round_index: int,
+    slot: int,
+    jitter_range: Tuple[float, float] = DEFAULT_JITTER_RANGE,
+    lambda_range: Tuple[float, float] = DEFAULT_LAMBDA_RANGE,
+) -> Perturbation:
+    """The perturbation assigned to ``slot`` at fork round ``round_index``.
+
+    Deterministic: the same ``(cohort_seed, round_index, slot)`` always
+    draws the same values, on every platform numpy supports (Philox/
+    PCG64 streams are portable).
+    """
+    rng = np.random.default_rng(
+        [int(cohort_seed), _EXPLORE_SEED_TAG, int(round_index), int(slot)]
+    )
+    return Perturbation(
+        seed=int(rng.integers(0, 2**31 - 1)),
+        jitter=float(rng.uniform(*jitter_range)),
+        lambda_scale=float(rng.uniform(*lambda_range)),
+        fresh_momentum=True,
+    )

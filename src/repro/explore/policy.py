@@ -1,0 +1,84 @@
+"""Ranking and survivor-selection policy for exploration cohorts.
+
+At every synchronization round the cohort's live members are ranked on
+``(HPWL, overflow, slot)`` — HPWL first (the objective), overflow as
+the tie-breaker (a spread-out placement of equal HPWL is worth more),
+slot index last so ranking is a total order and therefore
+deterministic.
+
+Selection is (μ + λ)-style truncation with *elitism*: the elite slot
+(the base-seed lineage, never perturbed) always survives, so the
+cohort can never end worse than the single-run baseline — its
+identity-fork chain replays the baseline bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MemberScore:
+    """One member's figure of merit at a synchronization round."""
+
+    slot: int
+    hpwl: float
+    overflow: float
+
+    @property
+    def key(self) -> Tuple[float, float, int]:
+        return (self.hpwl, self.overflow, self.slot)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"slot": self.slot, "hpwl": self.hpwl,
+                "overflow": self.overflow}
+
+
+def rank_members(scores: Sequence[MemberScore]) -> List[MemberScore]:
+    """Best-first total order on ``(hpwl, overflow, slot)``."""
+    return sorted(scores, key=lambda s: s.key)
+
+
+def select_survivors(
+    ranked: Sequence[MemberScore],
+    survivors: int,
+    elite_slot: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """Split a ranked field into (survivor slots, culled slots).
+
+    ``survivors`` is the number of lineages that continue; the elite
+    slot is forced into the survivor set when present in the field
+    (displacing the worst ordinary survivor if needed).  Both returned
+    lists preserve rank order.
+    """
+    if survivors < 1:
+        raise ValueError("survivors must be >= 1")
+    ranked = list(ranked)
+    keep = [s.slot for s in ranked[:survivors]]
+    field_slots = [s.slot for s in ranked]
+    if elite_slot in field_slots and elite_slot not in keep:
+        keep = keep[: survivors - 1] + [elite_slot]
+    # Preserve rank order in both halves.
+    survivor_slots = [s.slot for s in ranked if s.slot in keep]
+    culled_slots = [s.slot for s in ranked if s.slot not in keep]
+    return survivor_slots, culled_slots
+
+
+def assign_parents(
+    survivor_slots: Sequence[int],
+    open_slots: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """Pair each open slot with a fork parent, round-robin by rank.
+
+    Better-ranked survivors parent more forks (the first survivor gets
+    open slot 0, the second open slot 1, … wrapping around), which
+    biases search toward the current best basins without collapsing
+    diversity onto a single parent.
+    """
+    if not survivor_slots:
+        raise ValueError("cannot assign fork parents without survivors")
+    return [
+        (slot, survivor_slots[i % len(survivor_slots)])
+        for i, slot in enumerate(open_slots)
+    ]

@@ -1,0 +1,129 @@
+"""The cohort record an exploration run leaves behind.
+
+An :class:`ExploreReport` is the full, JSON-serializable account of one
+:class:`~repro.explore.controller.PopulationController` run: the
+configuration, every synchronization round (scores, survivors, culls,
+fork assignments with their drawn perturbations), the per-slot lineage
+(which segment jobs each lineage ran, and who forked whom), the
+core-seconds ledger, and the winning member.  The equal-core-seconds
+bench (:func:`repro.perf.bench.run_explore_bench`) embeds it next to
+the single-run baseline in ``BENCH_explore.json``; the determinism CI
+check re-runs a cohort and asserts two reports' trajectories are
+identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Bump when the report layout changes meaning.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExploreReport:
+    """Everything one cohort run decided and measured."""
+
+    design: str
+    config: Dict[str, Any]
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    lineage: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    best_slot: Optional[int] = None
+    best_hpwl: Optional[float] = None
+    best_job_id: Optional[str] = None
+    total_core_seconds: float = 0.0
+    cached_core_seconds: float = 0.0     # served by the result cache
+    forks: int = 0
+    culls: int = 0
+    budget_stopped: bool = False         # --budget-core-seconds tripped
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "design": self.design,
+            "config": self.config,
+            "rounds": self.rounds,
+            "lineage": self.lineage,
+            "best_slot": self.best_slot,
+            "best_hpwl": self.best_hpwl,
+            "best_job_id": self.best_job_id,
+            "total_core_seconds": self.total_core_seconds,
+            "cached_core_seconds": self.cached_core_seconds,
+            "forks": self.forks,
+            "culls": self.culls,
+            "budget_stopped": self.budget_stopped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExploreReport":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported explore report schema {data.get('schema')!r}"
+            )
+        return cls(
+            design=data["design"],
+            config=dict(data.get("config") or {}),
+            rounds=list(data.get("rounds") or []),
+            lineage=dict(data.get("lineage") or {}),
+            best_slot=data.get("best_slot"),
+            best_hpwl=data.get("best_hpwl"),
+            best_job_id=data.get("best_job_id"),
+            total_core_seconds=float(data.get("total_core_seconds", 0.0)),
+            cached_core_seconds=float(data.get("cached_core_seconds", 0.0)),
+            forks=int(data.get("forks", 0)),
+            culls=int(data.get("culls", 0)),
+            budget_stopped=bool(data.get("budget_stopped", False)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExploreReport":
+        return cls.from_dict(json.loads(text))
+
+    def trajectory(self) -> List[Dict[str, Any]]:
+        """The decision trace a determinism check compares.
+
+        Everything the controller *decided* — rankings, survivor sets,
+        fork assignments and their perturbations, per-segment job
+        hashes — with the measurements stripped out (two identical
+        runs differ in seconds and cache hits, never in decisions).
+        """
+        _measured = ("core_seconds", "wall_seconds", "respill_seconds",
+                     "cached")
+        trace: List[Dict[str, Any]] = []
+        for rnd in self.rounds:
+            entry = {k: v for k, v in rnd.items() if k not in _measured}
+            trace.append(entry)
+        return trace
+
+    def summary(self) -> str:
+        lines = [
+            f"explore[{self.design}] population="
+            f"{self.config.get('population')} rounds={len(self.rounds)} "
+            f"survivors={self.config.get('survivors')}"
+        ]
+        for rnd in self.rounds:
+            scores = rnd.get("scores") or []
+            best = scores[0] if scores else None
+            lines.append(
+                f"  round {rnd.get('round')}: through iteration "
+                f"{rnd.get('segment_end')}, "
+                f"best hpwl={best['hpwl']:.6g} (slot {best['slot']}), "
+                f"culled {len(rnd.get('culled') or [])}, "
+                f"forked {len(rnd.get('forks') or [])}"
+                if best is not None else
+                f"  round {rnd.get('round')}: no finishers"
+            )
+        if self.best_hpwl is not None:
+            lines.append(
+                f"  winner: slot {self.best_slot} "
+                f"hpwl={self.best_hpwl:.6g} "
+                f"({self.total_core_seconds:.2f} core-seconds"
+                + (", budget-stopped" if self.budget_stopped else "")
+                + ")"
+            )
+        return "\n".join(lines)

@@ -144,8 +144,11 @@ class PlacementContext:
     # Recovery policy for GP stages: a directory to spill checkpoints
     # into (arms checkpoint/rollback even when params leave it off) and
     # whether to resume from a spilled checkpoint found there.
+    # ``final_checkpoint`` pins the loop state at a max-iterations stop
+    # (and keeps the spill) so the run can be forked/continued later.
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    final_checkpoint: bool = False
 
     # Positions: stages consume and overwrite these (cell centers).
     x: Optional[np.ndarray] = None

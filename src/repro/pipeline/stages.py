@@ -54,6 +54,7 @@ class GlobalPlaceStage(Stage):
                 callbacks=callbacks,
                 checkpoint_dir=ctx.checkpoint_dir,
                 resume=ctx.resume,
+                final_checkpoint=ctx.final_checkpoint,
             )
         elif placer == "xplace-nn":
             if ctx.field_predictor is None:
@@ -66,6 +67,7 @@ class GlobalPlaceStage(Stage):
                 callbacks=callbacks,
                 checkpoint_dir=ctx.checkpoint_dir,
                 resume=ctx.resume,
+                final_checkpoint=ctx.final_checkpoint,
             )
         elif placer == "baseline":
             gp = DreamPlaceStyleBaseline(ctx.netlist, params).run(
@@ -94,6 +96,8 @@ class GlobalPlaceStage(Stage):
             metrics["gp_degraded"] = gp.degraded
         if getattr(gp, "resumed_from", None) is not None:
             metrics["gp_resumed_from"] = gp.resumed_from
+        if getattr(gp, "checkpoint_stats", None) is not None:
+            metrics["gp_checkpoint_stats"] = gp.checkpoint_stats
         return metrics
 
 

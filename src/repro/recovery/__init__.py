@@ -40,11 +40,16 @@ no faults injected and no divergence, checkpointing is observation-only
 
 from repro.recovery.checkpoint import CheckpointManager, LoopSnapshot
 from repro.recovery.controller import RecoveryController
+from repro.recovery.fork import ForkError, ForkSpec, fork_snapshot, prepare_fork
 from repro.recovery.monitor import DivergenceMonitor
 
 __all__ = [
     "CheckpointManager",
     "DivergenceMonitor",
+    "ForkError",
+    "ForkSpec",
     "LoopSnapshot",
     "RecoveryController",
+    "fork_snapshot",
+    "prepare_fork",
 ]

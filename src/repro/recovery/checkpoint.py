@@ -75,6 +75,9 @@ class CheckpointManager:
         self._ring: List[LoopSnapshot] = []
         self._best: Optional[LoopSnapshot] = None
         self.saved = 0                   # lifetime save count (telemetry)
+        self.ring_evictions = 0          # snapshots pushed out of the ring
+        self.spills = 0                  # durable writes performed
+        self.spill_evictions = 0         # corrupt/stale spills removed
 
     # -- store -------------------------------------------------------
 
@@ -83,11 +86,13 @@ class CheckpointManager:
         self._ring.append(snapshot)
         if len(self._ring) > self.keep:
             self._ring.pop(0)
+            self.ring_evictions += 1
         if self._best is None or snapshot.quality() < self._best.quality():
             self._best = snapshot
         self.saved += 1
         if self.spill_dir is not None:
             self._spill(snapshot)
+            self.spills += 1
 
     def adopt(self, snapshot: LoopSnapshot) -> None:
         """Seed the ring with an already-durable snapshot (resume path).
@@ -99,6 +104,7 @@ class CheckpointManager:
         self._ring.append(snapshot)
         if len(self._ring) > self.keep:
             self._ring.pop(0)
+            self.ring_evictions += 1
         if self._best is None or snapshot.quality() < self._best.quality():
             self._best = snapshot
 
@@ -119,20 +125,22 @@ class CheckpointManager:
         self._ring.clear()
         self._best = None
 
+    def stats(self) -> Dict[str, Any]:
+        """Ring/spill telemetry (surfaced as a ``FlowReport`` metric)."""
+        return {
+            "kept": len(self._ring),
+            "keep": self.keep,
+            "saved": self.saved,
+            "ring_evictions": self.ring_evictions,
+            "spills": self.spills,
+            "spill_evictions": self.spill_evictions,
+            "spill_bytes": spill_bytes(self.spill_dir),
+        }
+
     # -- durable spill -----------------------------------------------
 
     def _spill(self, snapshot: LoopSnapshot) -> None:
-        os.makedirs(self.spill_dir, exist_ok=True)
-        arrays, scalars = _flatten_snapshot(snapshot)
-        _write_atomic(
-            os.path.join(self.spill_dir, "checkpoint.npz"),
-            lambda path: np.savez(open(path, "wb"), **arrays),
-        )
-        payload = {"schema": SNAPSHOT_SCHEMA_VERSION, "scalars": scalars}
-        _write_atomic(
-            os.path.join(self.spill_dir, "checkpoint.json"),
-            lambda path: _dump_json(path, payload),
-        )
+        write_snapshot(self.spill_dir, snapshot)
 
     def load_spilled(self) -> Optional[LoopSnapshot]:
         """The spilled snapshot, or None (nothing spilled / unreadable).
@@ -143,26 +151,70 @@ class CheckpointManager:
         """
         if self.spill_dir is None:
             return None
-        meta_path = os.path.join(self.spill_dir, "checkpoint.json")
-        data_path = os.path.join(self.spill_dir, "checkpoint.npz")
-        if not (os.path.isfile(meta_path) and os.path.isfile(data_path)):
-            return None
         try:
-            with open(meta_path) as fh:
-                payload = json.load(fh)
-            if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
-                raise ValueError("stale checkpoint schema")
-            with np.load(data_path) as npz:
-                arrays = {key: npz[key] for key in npz.files}
-            return _unflatten_snapshot(arrays, payload["scalars"])
+            return read_snapshot(self.spill_dir)
         except (KeyError, ValueError, OSError, EOFError, json.JSONDecodeError):
             self.clear_spill()
+            self.spill_evictions += 1
             return None
 
     def clear_spill(self) -> None:
         """Remove the on-disk spill (called after a successful run)."""
         if self.spill_dir is not None:
             shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Durable spill I/O, shared between the manager and the fork machinery
+# (repro.recovery.fork reads a parent spill and writes a perturbed child
+# spill without a live manager for either side).
+
+
+def write_snapshot(spill_dir: str, snapshot: LoopSnapshot) -> None:
+    """Atomically (re)write ``spill_dir``'s durable checkpoint pair."""
+    os.makedirs(spill_dir, exist_ok=True)
+    arrays, scalars = _flatten_snapshot(snapshot)
+    _write_atomic(
+        os.path.join(spill_dir, "checkpoint.npz"),
+        lambda path: np.savez(open(path, "wb"), **arrays),
+    )
+    payload = {"schema": SNAPSHOT_SCHEMA_VERSION, "scalars": scalars}
+    _write_atomic(
+        os.path.join(spill_dir, "checkpoint.json"),
+        lambda path: _dump_json(path, payload),
+    )
+
+
+def read_snapshot(spill_dir: str) -> Optional[LoopSnapshot]:
+    """Read ``spill_dir``'s spilled snapshot; None when nothing spilled.
+
+    Unlike :meth:`CheckpointManager.load_spilled` this *raises* on a
+    corrupt or stale spill instead of evicting it — callers that do not
+    own the spill (fork preparation) must not destroy it.
+    """
+    meta_path = os.path.join(spill_dir, "checkpoint.json")
+    data_path = os.path.join(spill_dir, "checkpoint.npz")
+    if not (os.path.isfile(meta_path) and os.path.isfile(data_path)):
+        return None
+    with open(meta_path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError("stale checkpoint schema")
+    with np.load(data_path) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    return _unflatten_snapshot(arrays, payload["scalars"])
+
+
+def spill_bytes(spill_dir: Optional[str]) -> int:
+    """Bytes currently on disk under ``spill_dir`` (0 when absent)."""
+    if not spill_dir or not os.path.isdir(spill_dir):
+        return 0
+    total = 0
+    for name in os.listdir(spill_dir):
+        path = os.path.join(spill_dir, name)
+        if os.path.isfile(path):
+            total += os.path.getsize(path)
+    return total
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,212 @@
+"""Checkpoint forking: clone a spilled GP snapshot into a new trajectory.
+
+A *fork* turns one placement run's durable checkpoint into the starting
+state of another run.  The exploration layer (:mod:`repro.explore`) uses
+two flavours:
+
+identity fork
+    An exact clone — the child resumes the parent's trajectory
+    bit-for-bit, as if the parent's ``max_iterations`` had simply been
+    larger.  This is how cohort survivors continue across
+    synchronization rounds.
+
+perturbed fork
+    A bounded mutation of the clone: uniform position jitter on the
+    movable cells (in bin units, mirroring the rollback perturbation of
+    :class:`~repro.recovery.controller.RecoveryController`), an optional
+    density-weight re-annealing (λ scaled down to re-open the density
+    schedule), and optionally fresh optimizer momentum.  All randomness
+    comes from a :class:`numpy.random.Generator` seeded by the fork
+    spec, so the same spec always produces the same child state — the
+    spec joins the job content hash, which keys the result cache.
+
+Both flavours are *prepared* on the worker side by
+:func:`prepare_fork`: read the parent's spill, mutate, write the child's
+spill, and let the ordinary resume machinery
+(:meth:`~repro.recovery.controller.RecoveryController.maybe_resume`)
+pick it up.  This keeps fork jobs self-contained and retry-safe — a
+crashed fork attempt re-prepares from the (immutable) parent spill.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.recovery.checkpoint import (
+    LoopSnapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+#: Seed-stream tag separating fork jitter from every other consumer of
+#: the job seed (rollback perturbation uses 0x7EC0).
+_FORK_SEED_TAG = 0xF04C
+
+
+class ForkError(RuntimeError):
+    """A fork could not be prepared (missing/stale parent checkpoint)."""
+
+
+@dataclass(frozen=True)
+class ForkSpec:
+    """Everything that determines a forked trajectory.
+
+    ``parent`` is the parent job's content hash (locating its spill
+    under the shared checkpoint root); ``iteration`` is the snapshot
+    iteration the fork expects — a mismatch means the spill is stale and
+    the fork must fail loudly rather than silently continue from the
+    wrong state.  ``jitter`` is the uniform position-jitter radius in
+    bin units; ``lambda_scale`` multiplies the snapshot's density weight
+    λ; ``fresh_momentum`` restarts the Nesterov momentum sequence.
+    """
+
+    parent: str
+    iteration: int
+    seed: int
+    jitter: float = 0.0
+    lambda_scale: float = 1.0
+    fresh_momentum: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.parent:
+            raise ValueError("fork parent hash must be set")
+        if self.iteration < 0:
+            raise ValueError("fork iteration must be >= 0")
+        if self.jitter < 0.0:
+            raise ValueError("fork jitter must be >= 0")
+        if self.lambda_scale <= 0.0:
+            raise ValueError("fork lambda_scale must be > 0")
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the child replays the parent bit-for-bit."""
+        return (
+            self.jitter == 0.0
+            and self.lambda_scale == 1.0
+            and not self.fresh_momentum
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "parent": self.parent,
+            "iteration": int(self.iteration),
+            "seed": int(self.seed),
+            "jitter": float(self.jitter),
+            "lambda_scale": float(self.lambda_scale),
+            "fresh_momentum": bool(self.fresh_momentum),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ForkSpec":
+        return cls(
+            parent=data["parent"],
+            iteration=int(data["iteration"]),
+            seed=int(data["seed"]),
+            jitter=float(data.get("jitter", 0.0)),
+            lambda_scale=float(data.get("lambda_scale", 1.0)),
+            fresh_momentum=bool(data.get("fresh_momentum", False)),
+        )
+
+
+def fork_snapshot(
+    snap: LoopSnapshot,
+    spec: ForkSpec,
+    num_movable: int,
+    bin_size: float,
+    region: Optional[Any] = None,
+) -> LoopSnapshot:
+    """A deep-copied snapshot with the spec's perturbation applied.
+
+    An identity spec returns an exact clone.  Jitter touches only the
+    first ``num_movable`` entries of the optimizer arrays (fillers keep
+    their positions) and is clipped to the die ``region`` when given —
+    the GP loop's own clamp projects onto per-cell bounds on the first
+    step, so a plain box clip here is sufficient.
+    """
+    child = LoopSnapshot(
+        iteration=snap.iteration,
+        lam=snap.lam,
+        hpwl=snap.hpwl,
+        overflow=snap.overflow,
+        best_hpwl=snap.best_hpwl,
+        best_iteration=snap.best_iteration,
+        optimizer=copy.deepcopy(snap.optimizer),
+        scheduler=copy.deepcopy(snap.scheduler),
+        engine=copy.deepcopy(snap.engine),
+    )
+    if spec.is_identity:
+        return child
+
+    opt = child.optimizer
+    n = min(int(num_movable), len(opt.get("ux", ())))
+    if spec.jitter > 0.0 and n > 0:
+        rng = np.random.default_rng([spec.seed, _FORK_SEED_TAG, snap.iteration])
+        radius = spec.jitter * float(bin_size)
+        dx = rng.uniform(-radius, radius, size=n)
+        dy = rng.uniform(-radius, radius, size=n)
+        opt["ux"][:n] += dx
+        opt["uy"][:n] += dy
+        if not spec.fresh_momentum:
+            # Shift the lookahead points by the same offset so momentum
+            # still points along the parent's descent direction.
+            opt["vx"][:n] += dx
+            opt["vy"][:n] += dy
+        if region is not None:
+            for key, lo, hi in (
+                ("ux", region.xl, region.xh),
+                ("uy", region.yl, region.yh),
+                ("vx", region.xl, region.xh),
+                ("vy", region.yl, region.yh),
+            ):
+                np.clip(opt[key], lo, hi, out=opt[key])
+    if spec.fresh_momentum:
+        opt["a"] = 1.0
+        opt["vx"] = opt["ux"].copy()
+        opt["vy"] = opt["uy"].copy()
+        for key in ("prev_vx", "prev_vy", "prev_gx", "prev_gy"):
+            opt.pop(key, None)
+    if spec.lambda_scale != 1.0:
+        lam = child.scheduler.get("lam")
+        if lam is not None:
+            new_lam = float(lam) * spec.lambda_scale
+            child.scheduler["lam"] = new_lam
+            child.lam = new_lam
+    return child
+
+
+def prepare_fork(
+    parent_dir: str,
+    child_dir: str,
+    spec: ForkSpec,
+    num_movable: int,
+    bin_size: float,
+    region: Optional[Any] = None,
+) -> LoopSnapshot:
+    """Materialize a fork: parent spill → perturbed child spill.
+
+    Reads the parent's durable checkpoint (never mutating it), applies
+    the spec, atomically writes the child's spill, and returns the
+    child snapshot.  Raises :class:`ForkError` when the parent spill is
+    absent, unreadable, or at a different iteration than the spec
+    expects.
+    """
+    try:
+        snap = read_snapshot(parent_dir)
+    except Exception as err:
+        raise ForkError(
+            f"unreadable parent checkpoint under {parent_dir}: {err}"
+        ) from err
+    if snap is None:
+        raise ForkError(f"no parent checkpoint under {parent_dir}")
+    if snap.iteration != spec.iteration:
+        raise ForkError(
+            f"stale parent checkpoint: snapshot is at iteration "
+            f"{snap.iteration}, fork expects {spec.iteration}"
+        )
+    child = fork_snapshot(snap, spec, num_movable, bin_size, region)
+    write_snapshot(child_dir, child)
+    return child

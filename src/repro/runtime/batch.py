@@ -134,6 +134,12 @@ def summary_table(jobs: List[PlacementJob],
     if interrupted:
         footer += f", {interrupted} interrupted"
     lines.append(footer)
+    reclaimed = sum(r.seconds for r in results
+                    if r.status == "cancelled")
+    if reclaimed > 0:
+        lines.append(
+            f"reclaimed {reclaimed:.2f} core-seconds from cancelled jobs"
+        )
     if cache is not None:
         stats = cache.stats()
         lines.append(

@@ -39,6 +39,10 @@ Event kinds
 ``interrupted`` a shutdown signal stopped the pool before the job could
                 finish — the payload says whether the job is resumable
                 from its spilled checkpoint
+``explore``     population-controller telemetry (from
+                :mod:`repro.explore`) — the payload carries the
+                ``action`` (``round`` / ``fork`` / ``cull`` / ``done``),
+                the cohort round and the members involved
 """
 
 from __future__ import annotations
@@ -66,6 +70,7 @@ EVENT_KINDS = (
     "cache-evicted",
     "deduped",
     "interrupted",
+    "explore",
 )
 
 

@@ -45,7 +45,11 @@ from repro.wirelength import hpwl as hpwl_fn
 #: metric definitions, hash inputs) — invalidates every existing entry.
 #: v2: fault plans joined the hash inputs (a chaos run and a clean run
 #: of the same spec are different results).
-CACHE_SCHEMA_VERSION = 2
+#: v3: fork specs and the final-checkpoint flag joined the hash inputs
+#: (a forked continuation and a from-scratch run of the same params are
+#: different results; a segment that pins its boundary state differs
+#: from one that clears it).
+CACHE_SCHEMA_VERSION = 3
 
 #: Param knobs that cannot change the computed placement and therefore
 #: must not contribute to the content hash (a verbose rerun of a quiet
@@ -84,6 +88,8 @@ class PlacementJob:
     timeout_retries: int = 0             # restarts after timeouts
     faults: Optional[Dict[str, Any]] = None   # serialized FaultPlan
     tag: Optional[str] = None            # free-form label for humans
+    fork: Optional[Dict[str, Any]] = None     # serialized ForkSpec
+    final_checkpoint: bool = False       # pin the boundary state on stop
 
     def __post_init__(self) -> None:
         if (self.design is None) == (self.aux is None):
@@ -103,7 +109,25 @@ class PlacementJob:
             # Accept a FaultPlan object for convenience; store its dict
             # form so the job stays JSON-serializable.
             self.faults = self.faults.to_dict()
+        if self.fork is not None and not isinstance(self.fork, dict):
+            # Same convenience for ForkSpec objects.
+            self.fork = self.fork.to_dict()
+        if self.fork is not None:
+            # Validate eagerly so a malformed manifest fails at parse
+            # time, not inside a worker.
+            self.fork_spec()
         self._hash: Optional[str] = None
+
+    def fork_spec(self):
+        """The job's :class:`~repro.recovery.fork.ForkSpec`, or None."""
+        if self.fork is None:
+            return None
+        from repro.recovery.fork import ForkSpec
+
+        try:
+            return ForkSpec.from_dict(self.fork)
+        except (KeyError, TypeError, ValueError) as err:
+            raise ValueError(f"bad fork spec: {err}") from None
 
     def fault_plan(self):
         """The job's :class:`~repro.faults.FaultPlan`, or None."""
@@ -174,6 +198,12 @@ class PlacementJob:
                 # An injected fault changes the computed result, so a
                 # chaos run must never be served a clean cached one.
                 "faults": self.faults,
+                # A fork's identity includes its parent checkpoint and
+                # perturbation seed; pinning the boundary checkpoint
+                # changes what the run leaves on disk, so segments with
+                # and without it must not share cache entries.
+                "fork": self.fork,
+                "final_checkpoint": self.final_checkpoint,
             }
             canonical = json.dumps(payload, sort_keys=True,
                                    separators=(",", ":"))
@@ -207,6 +237,8 @@ class PlacementJob:
             "timeout_retries": self.timeout_retries,
             "faults": self.faults,
             "tag": self.tag,
+            "fork": self.fork,
+            "final_checkpoint": self.final_checkpoint or None,
         }
         return {k: v for k, v in data.items() if v is not None}
 
@@ -387,6 +419,30 @@ def execute_job(
         and spill_dir is not None
         and os.path.isfile(os.path.join(spill_dir, "checkpoint.json"))
     )
+    spec = job.fork_spec()
+    if spec is not None and not resuming:
+        # A fork job materializes its starting checkpoint from the
+        # parent's spill under the shared root, then resumes from it
+        # like any interrupted run.  (A crash retry that already wrote
+        # its *own* spill resumes from that instead — strictly newer.)
+        if checkpoint_dir is None:
+            raise ValueError("fork jobs require a checkpoint root")
+        from repro.density import BinGrid
+        from repro.recovery.fork import prepare_fork
+
+        parent_dir = os.path.join(
+            os.path.abspath(checkpoint_dir), spec.parent[:2], spec.parent
+        )
+        grid = BinGrid.for_netlist(netlist, params.grid_m)
+        prepare_fork(
+            parent_dir,
+            spill_dir,
+            spec,
+            num_movable=len(netlist.movable_index),
+            bin_size=min(grid.bin_w, grid.bin_h),
+            region=netlist.region,
+        )
+        resuming = True
     plan = job.fault_plan()
     if plan is not None:
         from repro.faults import loop_fault_callback
@@ -407,6 +463,7 @@ def execute_job(
         callbacks=attached,
         checkpoint_dir=spill_dir,
         resume=resuming,
+        final_checkpoint=job.final_checkpoint,
     )
     pipeline = job.build_pipeline()
     # The profiler is thread-local, so a worker process starts without
@@ -431,6 +488,7 @@ def execute_job(
                 "kernel_seconds": profiler.snapshot_seconds(),
                 "kernel_seconds_total": profiler.total_seconds,
                 "resumed": resuming,
+                **({"forked_from": spec.parent} if spec is not None else {}),
                 **(extra_metrics or {}),
             },
         )

@@ -68,6 +68,10 @@ class JobInterruptedError(RuntimeError):
     """Raised inside an inline GP loop when a shutdown signal arrived."""
 
 
+class JobCancelledError(RuntimeError):
+    """Raised inside an inline GP loop when its entry was cancelled."""
+
+
 class DeadlineCallback(IterationCallback):
     """Aborts an in-process job when its wall-clock budget runs out.
 
@@ -102,6 +106,27 @@ class _ShutdownCallback(IterationCallback):
     def _check(self) -> None:
         if self._pool._shutdown:
             raise JobInterruptedError("shutdown requested")
+
+    def on_start(self, info) -> None:
+        self._check()
+
+    def on_iteration(self, record) -> None:
+        self._check()
+
+
+class _CancelCallback(IterationCallback):
+    """Aborts an inline job when its scheduler entry is cancel-requested.
+
+    This is the cooperative half of :meth:`Scheduler.cancel` for inline
+    execution — process-mode cancels terminate the worker instead.
+    """
+
+    def __init__(self, entry: Any) -> None:
+        self._entry = entry
+
+    def _check(self) -> None:
+        if getattr(self._entry, "cancel_requested", False):
+            raise JobCancelledError("cancel requested")
 
     def on_start(self, info) -> None:
         self._check()
@@ -276,6 +301,27 @@ class WorkerPool:
         # exactly as before the scheduler split.
         scheduler = Scheduler(cache=self.cache, events=events, dedupe=False)
         entries = [scheduler.submit(job, resume=self.resume) for job in jobs]
+        try:
+            self.execute(scheduler, entries, events, stop_when)
+        finally:
+            scheduler.close()
+        return [entry.result for entry in entries]
+
+    def execute(
+        self,
+        scheduler,
+        entries: List[Any],
+        events: Optional[EventLog] = None,
+        stop_when: Optional[StopPredicate] = None,
+    ) -> List[JobResult]:
+        """Execute already-submitted scheduler entries to completion.
+
+        The caller owns the scheduler — it is *not* closed here, so a
+        long-lived scheduler (the exploration controller runs one per
+        cohort) can dispatch successive waves of entries through the
+        same pool.  Returns the entries' results in order.
+        """
+        events = events if events is not None else scheduler.events
         self._shutdown = False
         previous = self._install_signal_handlers()
         try:
@@ -285,7 +331,6 @@ class WorkerPool:
                 self._run_processes(scheduler, entries, events, stop_when)
         finally:
             self._restore_signal_handlers(previous)
-            scheduler.close()
         return [entry.result for entry in entries]
 
     # -- inline (degraded) mode --------------------------------------
@@ -329,7 +374,10 @@ class WorkerPool:
             entry.attempts = attempt
             events.emit("started", job.job_id, mode="inline",
                         attempt=attempt)
-            watchdogs: List[IterationCallback] = [_ShutdownCallback(self)]
+            watchdogs: List[IterationCallback] = [
+                _ShutdownCallback(self),
+                _CancelCallback(entry),
+            ]
             if job.timeout is not None:
                 watchdogs.append(
                     DeadlineCallback(time.perf_counter() + job.timeout,
@@ -357,6 +405,16 @@ class WorkerPool:
                     attempts=attempt,
                 )
                 events.flush()
+                return result
+            except JobCancelledError:
+                from repro.service.scheduler import cancelled_result
+
+                events.emit("cancelled", job.job_id, attempt=attempt)
+                result = cancelled_result(
+                    job, "cancel requested",
+                    seconds=time.perf_counter() - start,
+                )
+                result.attempts = attempt
                 return result
             except JobTimeoutError as err:
                 timeouts = attempt  # every inline retry is a timeout retry
@@ -503,6 +561,14 @@ class WorkerPool:
                                     error=result.error,
                                     attempt=record.attempt)
                     finalize(index, record, result)
+                elif entry.cancel_requested:
+                    record.process.terminate()
+                    record.process.join(timeout=5)
+                    del active[index]
+                    scheduler.mark_cancelled(
+                        entry, reason="cancel requested",
+                        seconds=now - record.started,
+                    )
                 elif record.deadline is not None and now > record.deadline:
                     record.process.terminate()
                     record.process.join(timeout=5)
@@ -574,8 +640,13 @@ class WorkerPool:
                     record = active.pop(index)
                     record.process.terminate()
                     record.process.join(timeout=5)
-                    scheduler.mark_cancelled(record.entry,
-                                             reason=_RACE_DECIDED)
+                    # The loser's partial runtime is what first-past-
+                    # the-post *reclaimed* — the batch summary adds
+                    # these up as saved core-seconds.
+                    scheduler.mark_cancelled(
+                        record.entry, reason=_RACE_DECIDED,
+                        seconds=time.perf_counter() - record.started,
+                    )
                 self._cancel_pending(scheduler, events)
 
         drain(timeout=0.05)  # tail events (loop_stop racing the result)

@@ -43,6 +43,17 @@ class RaceResult:
     variant_of: str = "seed"            # "seed" or "params"
 
     @property
+    def reclaimed_core_seconds(self) -> float:
+        """Partial runtime of cancelled losers (first-past-the-post).
+
+        This is compute the early cancel *saved* relative to letting
+        every contender run to completion — cancelled entries carry the
+        seconds they consumed before being stopped.
+        """
+        return sum(r.seconds for r in self.results
+                   if r.status == "cancelled")
+
+    @property
     def contenders(self) -> List[Dict[str, Any]]:
         return [
             {
@@ -62,12 +73,16 @@ class RaceResult:
             "variant_of": self.variant_of,
             "winner": self.winner.to_dict(),
             "contenders": self.contenders,
+            "reclaimed_core_seconds": self.reclaimed_core_seconds,
         }
 
     def summary(self) -> str:
         lines = [f"race[{self.variant_of}/{self.mode}] "
                  f"winner seed={self.winner.seed} "
                  f"hpwl={self.winner.hpwl:.6g}"]
+        reclaimed = self.reclaimed_core_seconds
+        if reclaimed > 0:
+            lines[0] += f" reclaimed={reclaimed:.2f}s"
         for entry in self.contenders:
             hpwl = entry["hpwl"]
             lines.append(
@@ -161,6 +176,7 @@ def _race(
                     "winner_job_id": winner.job_id,
                     "winner_seed": winner.seed,
                     "contenders": race.contenders,
+                    "reclaimed_core_seconds": race.reclaimed_core_seconds,
                 },
             )
         )

@@ -34,6 +34,7 @@ from repro.service.daemon import PlacementService, make_server, serve
 from repro.service.scheduler import (
     JOB_STATES,
     TERMINAL_STATES,
+    QueueFull,
     ScheduledJob,
     Scheduler,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
     "PlacementService",
+    "QueueFull",
     "ScheduledJob",
     "Scheduler",
     "ServiceClient",

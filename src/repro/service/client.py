@@ -26,13 +26,19 @@ from typing import Any, Dict, Iterator, List, Optional
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx daemon response; carries ``status`` and ``body``."""
+    """A non-2xx daemon response; carries ``status`` and ``body``.
 
-    def __init__(self, status: int, body: Any) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header (seconds) when
+    the daemon sent one — 429 backpressure rejections do — else None.
+    """
+
+    def __init__(self, status: int, body: Any,
+                 retry_after: Optional[float] = None) -> None:
         message = body.get("error") if isinstance(body, dict) else body
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.body = body
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -61,7 +67,12 @@ class ServiceClient:
             except ValueError:
                 data = raw.decode(errors="replace")
             if response.status >= 400:
-                raise ServiceError(response.status, data)
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    response.status, data,
+                    retry_after=(float(retry_after)
+                                 if retry_after is not None else None),
+                )
             return data
         finally:
             conn.close()
@@ -75,13 +86,14 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, spec: Dict[str, Any], priority: int = 0,
-               tenant: Optional[str] = None) -> Dict[str, Any]:
+               tenant: Optional[str] = None,
+               group: Optional[str] = None) -> Dict[str, Any]:
         """Submit a job spec; returns the lifecycle entry (``ticket``,
-        ``state``, ...).  ``spec`` is the manifest job schema; priority
-        and tenant ride along in the service wrapper."""
-        if priority or tenant is not None:
+        ``state``, ...).  ``spec`` is the manifest job schema; priority,
+        tenant and group ride along in the service wrapper."""
+        if priority or tenant is not None or group is not None:
             spec = {"job": spec, "priority": priority,
-                    "tenant": tenant or "default"}
+                    "tenant": tenant or "default", "group": group}
         return self._request("POST", "/jobs", body=spec)
 
     def jobs(self) -> List[Dict[str, Any]]:
@@ -96,6 +108,10 @@ class ServiceClient:
 
     def cancel(self, ticket: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{ticket}/cancel")
+
+    def cancel_group(self, group: str) -> Dict[str, Any]:
+        """Cancel every non-terminal job of a submission group."""
+        return self._request("POST", f"/groups/{group}/cancel")
 
     def wait(self, ticket: str, timeout: float = 60.0,
              poll: float = 0.1) -> Dict[str, Any]:

@@ -24,17 +24,26 @@ GET    ``/jobs/<ticket>/events``      the job's JSONL event stream;
                                       the job is terminal
 POST   ``/jobs/<ticket>/cancel``      cancel (queued: immediate;
                                       running: worker killed)
-GET    ``/stats``                     scheduler + cache + worker counts
+POST   ``/groups/<group>/cancel``     cancel every non-terminal job of a
+                                      submission group (cohort scope)
+GET    ``/stats``                     scheduler + cache + worker counts,
+                                      per-tenant queue depths and limits
 GET    ``/healthz``                   liveness probe
 ====== ============================== ===================================
 
 Job specs are the ``repro batch`` manifest schema (see
 :meth:`~repro.runtime.job.PlacementJob.from_dict`), optionally wrapped
-as ``{"job": {...}, "priority": 3, "tenant": "ci"}``.  A resubmission
-of an identical spec dedupes onto the in-flight run (shared execution,
-own ticket); a spec already in the result cache resolves instantly with
-``cached=True`` and HPWL/metrics identical to a ``repro place`` of the
-same spec.
+as ``{"job": {...}, "priority": 3, "tenant": "ci", "group": "cohort-1"}``.
+A resubmission of an identical spec dedupes onto the in-flight run
+(shared execution, own ticket); a spec already in the result cache
+resolves instantly with ``cached=True`` and HPWL/metrics identical to a
+``repro place`` of the same spec.
+
+Backpressure: with ``max_queue_depth`` set, a tenant whose *queued*
+backlog (running jobs don't count) is at the cap gets HTTP 429 with a
+``Retry-After`` header estimated from recent job durations.  Dedupe
+followers are exempt — they cost nothing to queue — as are the
+daemon's internal retries.
 """
 
 from __future__ import annotations
@@ -54,7 +63,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventLog, RuntimeEvent
 from repro.runtime.job import JobResult, PlacementJob
 from repro.runtime.pool import backoff_delay
-from repro.service.scheduler import ScheduledJob, Scheduler
+from repro.service.scheduler import QueueFull, ScheduledJob, Scheduler
 from repro.service.warm import WarmPool
 
 
@@ -131,6 +140,8 @@ class PlacementService:
         quotas: Optional[Dict[str, int]] = None,
         default_quota: Optional[int] = None,
         max_resident: int = 8,
+        max_queue_depth: Optional[int] = None,
+        queue_limits: Optional[Dict[str, int]] = None,
     ) -> None:
         self.state_dir = os.path.abspath(state_dir)
         os.makedirs(self.state_dir, exist_ok=True)
@@ -143,7 +154,9 @@ class PlacementService:
         self.scheduler = Scheduler(cache=self.cache, events=self.events,
                                    quotas=quotas,
                                    default_quota=default_quota,
-                                   dedupe=True)
+                                   dedupe=True,
+                                   max_queue_depth=max_queue_depth,
+                                   queue_limits=queue_limits)
         self.workers = max(1, int(workers))
         self.start_method = start_method
         self.heartbeat_every = heartbeat_every
@@ -217,6 +230,8 @@ class PlacementService:
                 tenant=record.get("tenant", "default"),
                 ticket=ticket,
                 resume=True,
+                group=record.get("group"),
+                enforce_limit=False,
             )
             self.recovered.append(entry.ticket)
             self.events.emit("recovery", job.job_id,
@@ -256,18 +271,26 @@ class PlacementService:
 
     def submit(self, spec: Dict[str, Any]) -> ScheduledJob:
         """Submit one job spec (manifest schema, optionally wrapped in
-        ``{"job": ..., "priority": ..., "tenant": ...}``)."""
+        ``{"job": ..., "priority": ..., "tenant": ..., "group": ...}``).
+
+        Raises :class:`~repro.service.scheduler.QueueFull` when the
+        tenant's queued backlog is at its depth limit — nothing is
+        journaled for a rejected submission.
+        """
         priority = 0
         tenant = "default"
+        group = None
         if "job" in spec and isinstance(spec["job"], dict):
             priority = int(spec.get("priority", 0))
             tenant = str(spec.get("tenant", "default"))
+            group = spec.get("group")
             spec = spec["job"]
         job = PlacementJob.from_dict(spec)
-        entry = self.scheduler.submit(job, priority=priority, tenant=tenant)
+        entry = self.scheduler.submit(job, priority=priority, tenant=tenant,
+                                      group=group)
         self._journal({"op": "submit", "ticket": entry.ticket,
                        "job": job.to_dict(), "priority": priority,
-                       "tenant": tenant})
+                       "tenant": tenant, "group": group})
         return entry
 
     def cancel(self, ticket: str) -> Optional[str]:
@@ -275,6 +298,18 @@ class PlacementService:
         if outcome == "cancelled":
             self._journal_terminals()
         return outcome
+
+    def cancel_group(self, group: str) -> Dict[str, int]:
+        """Cancel every non-terminal entry of a submission group.
+
+        Queued entries resolve immediately; running ones are killed by
+        the drive loop on its next sweep (it polls
+        ``cancel_requested``).
+        """
+        counts = self.scheduler.cancel_group(group)
+        if counts["cancelled"]:
+            self._journal_terminals()
+        return counts
 
     def get(self, ticket: str) -> Optional[ScheduledJob]:
         return self.scheduler.get(ticket)
@@ -383,7 +418,7 @@ class PlacementService:
                              })
             self.scheduler.finish(entry, result)
         elif status == "cancelled":
-            self.scheduler.mark_cancelled(entry)
+            self.scheduler.mark_cancelled(entry, seconds=elapsed)
         else:
             error = message.get("error", "worker failure")
             crashes = self._crash_counts.get(ticket, 0)
@@ -410,7 +445,8 @@ class PlacementService:
             if entry.cancel_requested:
                 del self._active[ticket]
                 pool.kill_worker(active.worker)
-                self.scheduler.mark_cancelled(entry)
+                self.scheduler.mark_cancelled(
+                    entry, seconds=now - active.started)
                 self._journal_terminals()
             elif active.deadline is not None and now > active.deadline:
                 del self._active[ticket]
@@ -502,11 +538,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- helpers ------------------------------------------------------
 
-    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _json(self, status: int, payload: Dict[str, Any],
+              headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -571,6 +610,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             try:
                 entry = service.submit(spec)
+            except QueueFull as err:
+                # Backpressure: the tenant's queued backlog is at its
+                # cap.  Retry-After is the scheduler's estimate of when
+                # a slot frees up, from recent job durations.
+                retry_after = max(1, int(round(err.retry_after)))
+                self._json(
+                    429,
+                    {"error": str(err), "tenant": err.tenant,
+                     "queue_depth": err.depth, "queue_limit": err.limit,
+                     "retry_after_s": err.retry_after},
+                    headers={"Retry-After": str(retry_after)},
+                )
+                return
             except (ValueError, TypeError) as err:
                 self._error(400, f"bad job spec: {err}")
                 return
@@ -582,6 +634,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._error(409, "unknown ticket or already terminal")
             else:
                 self._json(200, {"ticket": parts[1], "cancel": outcome})
+        elif len(parts) == 3 and parts[0] == "groups" \
+                and parts[2] == "cancel":
+            counts = service.cancel_group(parts[1])
+            self._json(200, {"group": parts[1], **counts})
         else:
             self._error(404, f"no route for {self.path!r}")
 
@@ -647,6 +703,7 @@ def serve(
     start_method: Optional[str] = None,
     heartbeat_every: int = 25,
     default_quota: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
     announce=print,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM (the ``repro serve`` body)."""
@@ -658,6 +715,7 @@ def serve(
         start_method=start_method,
         heartbeat_every=heartbeat_every,
         default_quota=default_quota,
+        max_queue_depth=max_queue_depth,
     ).start()
     server = make_server(service, host=host, port=port)
     actual_host, actual_port = server.server_address[:2]

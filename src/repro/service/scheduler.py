@@ -49,6 +49,26 @@ CANCELLED = "cancelled"
 JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED))
 
+
+class QueueFull(RuntimeError):
+    """A tenant's submit was rejected: its queued backlog is at the cap.
+
+    ``retry_after`` is a best-effort hint (seconds) derived from recent
+    job durations — the HTTP layer surfaces it as a ``Retry-After``
+    header with a 429 status.
+    """
+
+    def __init__(self, tenant: str, depth: int, limit: int,
+                 retry_after: float) -> None:
+        super().__init__(
+            f"queue full for tenant {tenant!r}: {depth} queued >= "
+            f"limit {limit}"
+        )
+        self.tenant = tenant
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+
 #: JobResult.status → terminal scheduler state.
 _STATUS_STATE = {
     "done": DONE,
@@ -77,6 +97,7 @@ class ScheduledJob:
     job: PlacementJob
     priority: int = 0
     tenant: str = "default"
+    group: Optional[str] = None          # cohort label (cancel_group)
     state: str = QUEUED
     attempts: int = 0
     submitted_ts: float = field(default_factory=time.time)
@@ -87,6 +108,7 @@ class ScheduledJob:
     cancel_requested: bool = False
     deduped_onto: Optional[str] = None   # leader ticket, for followers
     result: Optional[JobResult] = None
+    queued_counted: bool = field(default=False, repr=False)  # depth flag
 
     @property
     def terminal(self) -> bool:
@@ -102,6 +124,7 @@ class ScheduledJob:
             "terminal": self.terminal,
             "priority": self.priority,
             "tenant": self.tenant,
+            "group": self.group,
             "attempts": self.attempts,
             "submitted_ts": self.submitted_ts,
             "started_ts": self.started_ts,
@@ -143,12 +166,16 @@ class Scheduler:
         quotas: Optional[Dict[str, int]] = None,
         default_quota: Optional[int] = None,
         dedupe: bool = True,
+        max_queue_depth: Optional[int] = None,
+        queue_limits: Optional[Dict[str, int]] = None,
     ) -> None:
         self.cache = cache
         self.events = events if events is not None else EventLog()
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota
         self.dedupe = dedupe
+        self.max_queue_depth = max_queue_depth
+        self.queue_limits = dict(queue_limits or {})
         self._cond = threading.Condition()
         self._entries: Dict[str, ScheduledJob] = {}
         self._order: List[str] = []          # submission order (results)
@@ -156,6 +183,8 @@ class Scheduler:
         self._seq = itertools.count(1)
         self._front = itertools.count(0, -1)  # retries jump the queue
         self._running_per_tenant: Dict[str, int] = {}
+        self._queued_per_tenant: Dict[str, int] = {}
+        self._recent_seconds: List[float] = []  # retry_after estimator
         self._inflight: Dict[str, str] = {}  # content_hash → leader ticket
         self._ticket_seq = itertools.count(1)
         self._closed = False
@@ -169,12 +198,23 @@ class Scheduler:
         tenant: str = "default",
         ticket: Optional[str] = None,
         resume: bool = False,
+        group: Optional[str] = None,
+        enforce_limit: bool = True,
     ) -> ScheduledJob:
         """Queue one job; returns its lifecycle entry.
 
         Emits ``queued``.  With dedupe on, a submission whose content
         hash is already in flight becomes a follower of the in-flight
         leader (emits ``deduped``) and never reaches the queue.
+
+        ``group`` labels the entry for :meth:`cancel_group` (cohort
+        cancellation).  When a queue-depth limit applies to the tenant
+        (``queue_limits``/``max_queue_depth``) and its queued backlog is
+        at the cap, raises :class:`QueueFull` — dedupe followers are
+        exempt (they cost nothing to queue), as are internal requeues
+        (retries must never be dropped by backpressure) and
+        ``enforce_limit=False`` submissions (journal replay: already-
+        accepted work must not be dropped on restart).
         """
         with self._cond:
             if self._closed:
@@ -184,15 +224,23 @@ class Scheduler:
                          f"{job.content_hash()[:8]}"
             if ticket in self._entries:
                 raise ValueError(f"duplicate ticket {ticket!r}")
+            key = job.content_hash()
+            leader = self._inflight.get(key) if self.dedupe else None
+            is_follower = (leader is not None
+                           and not self._entries[leader].terminal)
+            if not is_follower and enforce_limit:
+                limit = self.queue_limits.get(tenant, self.max_queue_depth)
+                depth = self._queued_per_tenant.get(tenant, 0)
+                if limit is not None and depth >= limit:
+                    raise QueueFull(tenant, depth, limit,
+                                    self._retry_after_hint())
             entry = ScheduledJob(ticket=ticket, job=job, priority=priority,
-                                 tenant=tenant, resume=resume)
+                                 tenant=tenant, group=group, resume=resume)
             self._entries[ticket] = entry
             self._order.append(ticket)
             self.events.emit("queued", job.job_id,
                              seed=job.effective_seed(), placer=job.placer)
-            key = job.content_hash()
-            leader = self._inflight.get(key) if self.dedupe else None
-            if leader is not None and not self._entries[leader].terminal:
+            if is_follower:
                 entry.deduped_onto = leader
                 self.events.emit("deduped", job.job_id, ticket=ticket,
                                  leader=leader, key=key)
@@ -200,8 +248,32 @@ class Scheduler:
                 self._inflight[key] = ticket
                 heapq.heappush(self._heap,
                                (-priority, next(self._seq), ticket))
+                self._count_queued(entry)
             self._cond.notify_all()
             return entry
+
+    def _count_queued(self, entry: ScheduledJob) -> None:
+        entry.queued_counted = True
+        self._queued_per_tenant[entry.tenant] = (
+            self._queued_per_tenant.get(entry.tenant, 0) + 1
+        )
+
+    def _uncount_queued(self, entry: ScheduledJob) -> None:
+        if not entry.queued_counted:
+            return
+        entry.queued_counted = False
+        count = self._queued_per_tenant.get(entry.tenant, 0) - 1
+        if count > 0:
+            self._queued_per_tenant[entry.tenant] = count
+        else:
+            self._queued_per_tenant.pop(entry.tenant, None)
+
+    def _retry_after_hint(self) -> float:
+        """Seconds until a queue slot plausibly frees up."""
+        if not self._recent_seconds:
+            return 5.0
+        mean = sum(self._recent_seconds) / len(self._recent_seconds)
+        return max(1.0, round(mean, 1))
 
     # -- executor side ------------------------------------------------
 
@@ -218,6 +290,7 @@ class Scheduler:
             while True:
                 entry = self._pop_runnable()
                 if entry is not None:
+                    self._uncount_queued(entry)
                     entry.state = RUNNING
                     entry.attempts += 1
                     entry.started_ts = entry.started_ts or time.time()
@@ -315,6 +388,7 @@ class Scheduler:
             entry.resume = resume
             heapq.heappush(self._heap,
                            (-entry.priority, next(self._front), entry.ticket))
+            self._count_queued(entry)
             self._cond.notify_all()
 
     # -- cancellation -------------------------------------------------
@@ -341,14 +415,46 @@ class Scheduler:
             self._cond.notify_all()
             return "requested"
 
+    def cancel_group(self, group: str,
+                     reason: str = "group cancelled") -> Dict[str, int]:
+        """Cancel every non-terminal entry labelled ``group``.
+
+        Queued entries resolve immediately; running ones get the
+        cooperative ``cancel_requested`` flag (their executor finishes
+        them).  Returns ``{"cancelled": n, "requested": m}``.
+        """
+        counts = {"cancelled": 0, "requested": 0}
+        with self._cond:
+            for ticket in self._order:
+                entry = self._entries[ticket]
+                if entry.group != group or entry.terminal:
+                    continue
+                if entry.state == QUEUED:
+                    self._resolve(entry, cancelled_result(entry.job, reason))
+                    self.events.emit("cancelled", entry.job.job_id)
+                    counts["cancelled"] += 1
+                else:
+                    entry.cancel_requested = True
+                    counts["requested"] += 1
+            self._cond.notify_all()
+        return counts
+
     def mark_cancelled(self, entry: ScheduledJob,
                        reason: str = "cancelled by request",
-                       emit: bool = True) -> None:
-        """Resolve a (terminated) running entry as cancelled."""
+                       emit: bool = True,
+                       seconds: float = 0.0) -> None:
+        """Resolve a (terminated) running entry as cancelled.
+
+        ``seconds`` records the partial runtime the cancelled attempt
+        consumed before it was stopped — the batch summary counts it as
+        *reclaimed* core-seconds (what running to completion would have
+        wasted).
+        """
         with self._cond:
             if entry.terminal:
                 return
-            self._resolve(entry, cancelled_result(entry.job, reason))
+            self._resolve(entry,
+                          cancelled_result(entry.job, reason, seconds))
             if emit:
                 self.events.emit("cancelled", entry.job.job_id)
             self._cond.notify_all()
@@ -367,6 +473,11 @@ class Scheduler:
     def _resolve(self, entry: ScheduledJob, result: JobResult) -> None:
         """Terminal transition + follower fan-out (lock held)."""
         self._release_running(entry)
+        self._uncount_queued(entry)
+        if result.status == "done" and result.seconds > 0 \
+                and not result.cached:
+            self._recent_seconds.append(result.seconds)
+            del self._recent_seconds[:-32]
         entry.result = result
         entry.state = _STATUS_STATE.get(result.status, FAILED)
         entry.finished_ts = time.time()
@@ -410,6 +521,11 @@ class Scheduler:
                 "states": by_state,
                 "running_per_tenant": dict(self._running_per_tenant),
                 "queue_depth": by_state[QUEUED],
+                "queued_per_tenant": dict(self._queued_per_tenant),
+                "queue_limits": {
+                    "default": self.max_queue_depth,
+                    **self.queue_limits,
+                },
             }
 
     def wait(self, tickets: Optional[List[str]] = None,
@@ -444,12 +560,18 @@ class Scheduler:
 
 
 def cancelled_result(job: PlacementJob,
-                     reason: str = "cancelled by request") -> JobResult:
-    """The terminal result of a job that never (fully) ran."""
+                     reason: str = "cancelled by request",
+                     seconds: float = 0.0) -> JobResult:
+    """The terminal result of a job that never (fully) ran.
+
+    ``seconds`` is the partial runtime a terminated attempt consumed —
+    zero for jobs cancelled while still queued.
+    """
     return JobResult(
         job_id=job.job_id,
         status="cancelled",
         seed=job.effective_seed(),
+        seconds=seconds,
         error=f"cancelled: {reason}",
         attempts=0,
     )

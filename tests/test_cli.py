@@ -167,3 +167,36 @@ class TestRecoveryFlags:
                   for root, _, files in os.walk(ckpt)
                   for name in files if name == "checkpoint.json"]
         assert len(spills) == 1  # ...but its checkpoint survives
+
+
+class TestExploreCommand:
+    def test_explore_parser_defaults(self):
+        args = build_parser().parse_args(["explore", "fft_1"])
+        assert args.population == 4
+        assert args.rounds == 3
+        assert args.survivors == 2
+        assert args.budget_core_seconds is None
+        assert args.bench is None
+
+    def test_explore_runs_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "explore.json")
+        code = main([
+            "explore", "fft_1", "--cells", "150", "--population", "2",
+            "--rounds", "2", "--survivors", "1", "--seed", "5",
+            "--max-iterations", "30", "--workdir", str(tmp_path / "wd"),
+            "--no-cache", "--out", out,
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "winner: slot" in text
+        with open(out) as fh:
+            data = json.load(fh)
+        assert data["schema"] == 1
+        assert data["best_hpwl"] > 0
+        assert len(data["rounds"]) == 2
+
+    def test_explore_unknown_design_rejected(self, capsys):
+        assert main(["explore", "not_a_design"]) == 2
+        assert "neither" in capsys.readouterr().err

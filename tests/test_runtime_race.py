@@ -106,3 +106,49 @@ class TestSweepParams:
     def test_empty_sweep_rejected(self):
         with pytest.raises(ValueError, match="at least one contender"):
             sweep_params(make_job(), variants=[], pool=inline_pool())
+
+
+class TestReclaimedAccounting:
+    """First-past-the-post cancels losers; their partial runtime is
+    *reclaimed* compute and must be visible in every summary."""
+
+    def _field(self):
+        from repro.runtime import JobResult, RaceResult
+
+        winner = JobResult(job_id="j-win", status="done", seed=1,
+                           hpwl=10.0, seconds=2.0)
+        losers = [
+            JobResult(job_id=f"j-{seed}", status="cancelled", seed=seed,
+                      seconds=seconds,
+                      error="cancelled: first-past-the-post")
+            for seed, seconds in ((2, 1.5), (3, 0.75))
+        ]
+        return RaceResult(winner=winner, results=[winner] + losers,
+                          mode="first")
+
+    def test_reclaimed_sums_cancelled_partial_runtime(self):
+        race = self._field()
+        assert race.reclaimed_core_seconds == 2.25
+        assert race.to_dict()["reclaimed_core_seconds"] == 2.25
+
+    def test_summary_reports_reclaimed(self):
+        assert "reclaimed=2.25s" in self._field().summary()
+
+    def test_best_mode_reclaims_nothing(self):
+        race = race_seeds(make_job(), n=2, pool=inline_pool())
+        assert race.reclaimed_core_seconds == 0.0
+        assert "reclaimed" not in race.summary()
+
+    def test_batch_summary_counts_reclaimed(self):
+        from repro.runtime import JobResult, summary_table
+
+        jobs = [make_job(seed=1), make_job(seed=2)]
+        results = [
+            JobResult(job_id=jobs[0].job_id, status="done", seed=1,
+                      hpwl=10.0, seconds=2.0),
+            JobResult(job_id=jobs[1].job_id, status="cancelled", seed=2,
+                      seconds=3.0, error="cancelled: group cancelled"),
+        ]
+        text = summary_table(jobs, results)
+        assert "1 cancelled" in text
+        assert "reclaimed 3.00 core-seconds" in text

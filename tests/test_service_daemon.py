@@ -302,3 +302,106 @@ class TestKillDashNine:
                 proc2.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 proc2.kill()
+
+
+@pytest.fixture
+def throttled_daemon(tmp_path):
+    """A daemon with one worker and a per-tenant queue depth of 1."""
+    service = PlacementService(str(tmp_path / "state"), workers=1,
+                               max_queue_depth=1).start()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("127.0.0.1", server.server_address[1])
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+class TestBackpressureHttp:
+    def saturate(self, client):
+        """One running sleeper + one queued job fills the depth-1 queue."""
+        running = client.submit(make_spec(seed=1, pipeline=SLEEPY))
+        deadline = time.monotonic() + 30
+        while (client.job(running["ticket"])["state"] != "running"
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        queued = client.submit(make_spec(seed=2, pipeline=SLEEPY))
+        return running, queued
+
+    def test_full_queue_returns_429_with_retry_after(self, throttled_daemon):
+        _, client = throttled_daemon
+        running, queued = self.saturate(client)
+        with pytest.raises(ServiceError) as exc:
+            client.submit(make_spec(seed=3))
+        err = exc.value
+        assert err.status == 429
+        assert err.body["tenant"] == "default"
+        assert err.body["queue_depth"] == 1
+        assert err.body["queue_limit"] == 1
+        assert err.body["retry_after_s"] > 0
+        assert err.retry_after is not None and err.retry_after >= 1
+        for entry in (queued, running):
+            client.cancel(entry["ticket"])
+
+    def test_rejected_submission_not_journaled(self, throttled_daemon):
+        service, client = throttled_daemon
+        running, queued = self.saturate(client)
+        with pytest.raises(ServiceError):
+            client.submit(make_spec(seed=3))
+        tickets = {j["ticket"] for j in client.jobs()}
+        assert tickets == {running["ticket"], queued["ticket"]}
+        for entry in (queued, running):
+            client.cancel(entry["ticket"])
+
+    def test_queue_depth_in_stats(self, throttled_daemon):
+        _, client = throttled_daemon
+        running, queued = self.saturate(client)
+        stats = client.stats()
+        assert stats["queued_per_tenant"] == {"default": 1}
+        assert stats["queue_limits"]["default"] == 1
+        for entry in (queued, running):
+            client.cancel(entry["ticket"])
+
+
+class TestGroupCancelHttp:
+    def test_cancel_group_route(self, daemon):
+        service, client = daemon
+        # Two sleepers occupy both workers; two more queue behind them.
+        jobs = [client.submit(make_spec(seed=s, pipeline=SLEEPY),
+                              group="cohort-a")
+                for s in (1, 2, 3, 4)]
+        loose = client.submit(make_spec(seed=9, pipeline=SLEEPY),
+                              group="cohort-b")
+        out = client.cancel_group("cohort-a")
+        assert out["group"] == "cohort-a"
+        assert out["cancelled"] + out["requested"] == 4
+        for entry in jobs:
+            final = client.wait(entry["ticket"], timeout=30)
+            assert final["state"] == "cancelled"
+        # The other cohort is untouched.
+        assert not client.job(loose["ticket"])["terminal"]
+        client.cancel(loose["ticket"])
+
+    def test_group_round_trips_through_journal(self, tmp_path):
+        state = str(tmp_path / "state")
+        service = PlacementService(state, workers=1).start()
+        entry = service.submit({"job": make_spec(seed=1, pipeline=SLEEPY),
+                                "group": "cohort-r"})
+        assert entry.group == "cohort-r"
+        service.stop()
+        revived = PlacementService(state, workers=1).start()
+        try:
+            again = revived.get(entry.ticket)
+            assert again is not None and again.group == "cohort-r"
+            revived.cancel_group("cohort-r")
+            deadline = time.monotonic() + 30
+            while (not revived.get(entry.ticket).terminal
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert revived.get(entry.ticket).state == "cancelled"
+        finally:
+            revived.stop()

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.runtime import EventLog, JobResult, PlacementJob, ResultCache
-from repro.service import Scheduler
+from repro.service import QueueFull, Scheduler
 
 FAKE = "tests.runtime_helpers:fake_pipeline"
 
@@ -285,3 +285,125 @@ class TestIntrospection:
         seeds = [e.job.effective_seed() for e in sched.entries()]
         assert seeds == [2, 1]
         assert sched.results() == [None, None]
+
+
+class TestBackpressure:
+    def test_queue_full_raises_with_hint(self):
+        sched = Scheduler(max_queue_depth=2, dedupe=False)
+        sched.submit(make_job(seed=1))
+        sched.submit(make_job(seed=2))
+        with pytest.raises(QueueFull) as exc:
+            sched.submit(make_job(seed=3))
+        err = exc.value
+        assert err.tenant == "default"
+        assert err.depth == 2 and err.limit == 2
+        assert err.retry_after == 5.0     # no completed jobs yet
+        # The rejected submission left no trace.
+        assert sched.stats()["jobs"] == 2
+
+    def test_per_tenant_limits_are_independent(self):
+        sched = Scheduler(queue_limits={"ci": 1}, dedupe=False)
+        sched.submit(make_job(seed=1), tenant="ci")
+        with pytest.raises(QueueFull):
+            sched.submit(make_job(seed=2), tenant="ci")
+        # Unlisted tenants are unbounded when max_queue_depth is unset.
+        for seed in range(3, 8):
+            sched.submit(make_job(seed=seed), tenant="dev")
+        assert sched.stats()["queued_per_tenant"] == {"ci": 1, "dev": 5}
+
+    def test_dedupe_follower_exempt_from_limit(self):
+        sched = Scheduler(max_queue_depth=1)
+        leader = sched.submit(make_job(seed=1))
+        follower = sched.submit(make_job(seed=1))   # same content hash
+        assert follower.deduped_onto == leader.ticket
+        with pytest.raises(QueueFull):
+            sched.submit(make_job(seed=2))
+
+    def test_requeue_exempt_from_limit(self):
+        sched = Scheduler(max_queue_depth=1, dedupe=False)
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        assert leased is entry
+        filler = sched.submit(make_job(seed=2))
+        assert filler.state == "queued"
+        # The retry path may exceed the cap: accepted work is never
+        # dropped by backpressure.
+        sched.requeue(leased)
+        assert sched.stats()["queued_per_tenant"]["default"] == 2
+
+    def test_enforce_limit_false_bypasses_cap(self):
+        sched = Scheduler(max_queue_depth=1, dedupe=False)
+        sched.submit(make_job(seed=1))
+        replayed = sched.submit(make_job(seed=2), enforce_limit=False)
+        assert replayed.state == "queued"
+
+    def test_retry_after_tracks_recent_durations(self):
+        sched = Scheduler(max_queue_depth=1, dedupe=False)
+        entry = sched.submit(make_job(seed=1))
+        leased = sched.lease()
+        result = JobResult(job_id=leased.job.job_id, status="done",
+                           seed=leased.job.effective_seed(), hpwl=10.0,
+                           seconds=4.0)
+        sched.finish(leased, result)
+        sched.submit(make_job(seed=2))
+        with pytest.raises(QueueFull) as exc:
+            sched.submit(make_job(seed=3))
+        assert exc.value.retry_after == 4.0
+
+    def test_leasing_frees_queue_depth(self):
+        sched = Scheduler(max_queue_depth=1, dedupe=False)
+        sched.submit(make_job(seed=1))
+        sched.lease()
+        accepted = sched.submit(make_job(seed=2))
+        assert accepted.state == "queued"
+
+    def test_stats_expose_depths_and_limits(self):
+        sched = Scheduler(max_queue_depth=8, queue_limits={"ci": 2},
+                          dedupe=False)
+        sched.submit(make_job(seed=1), tenant="ci")
+        stats = sched.stats()
+        assert stats["queued_per_tenant"] == {"ci": 1}
+        assert stats["queue_limits"] == {"default": 8, "ci": 2}
+
+
+class TestGroupCancel:
+    def test_cancel_group_queued_and_running(self):
+        log = EventLog()
+        sched = Scheduler(events=log, dedupe=False)
+        entries = [sched.submit(make_job(seed=s), group="cohort")
+                   for s in (1, 2, 3)]
+        leased = sched.lease()
+        counts = sched.cancel_group("cohort")
+        assert counts == {"cancelled": 2, "requested": 1}
+        assert leased.cancel_requested and not leased.terminal
+        queued = [e for e in entries if e is not leased]
+        assert all(e.state == "cancelled" for e in queued)
+        assert all(e.result.seconds == 0.0 for e in queued)
+        assert log.count("cancelled") == 2
+        # The executor observes the flag and reports reclaimed seconds.
+        sched.mark_cancelled(leased, seconds=2.5)
+        assert leased.state == "cancelled"
+        assert leased.result.seconds == 2.5
+
+    def test_cancel_group_scopes_to_label(self):
+        sched = Scheduler(dedupe=False)
+        mine = sched.submit(make_job(seed=1), group="a")
+        other = sched.submit(make_job(seed=2), group="b")
+        loose = sched.submit(make_job(seed=3))
+        counts = sched.cancel_group("a")
+        assert counts == {"cancelled": 1, "requested": 0}
+        assert mine.state == "cancelled"
+        assert other.state == "queued" and loose.state == "queued"
+
+    def test_cancel_group_skips_terminal(self):
+        sched = Scheduler(dedupe=False)
+        entry = sched.submit(make_job(seed=1), group="g")
+        leased = sched.lease()
+        sched.finish(leased, done_result(leased.job))
+        assert sched.cancel_group("g") == {"cancelled": 0, "requested": 0}
+        assert entry.state == "done"
+
+    def test_group_in_entry_view(self):
+        sched = Scheduler(dedupe=False)
+        entry = sched.submit(make_job(seed=1), group="cohort-1")
+        assert entry.to_dict()["group"] == "cohort-1"
