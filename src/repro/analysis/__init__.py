@@ -1,15 +1,22 @@
 """Static analysis + runtime sanitizing for the placement kernels.
 
-Two prongs (see DESIGN.md §8):
+Three prongs (see DESIGN.md §8 and §13):
 
 * a pluggable AST lint engine (:mod:`repro.analysis.engine`) running the
   repo-specific invariant catalogue (:mod:`repro.analysis.rules`) behind
-  the ``repro lint`` CLI subcommand, and
+  the ``repro lint`` CLI subcommand,
+* multi-pass dataflow analyzers over a shared per-module semantic model
+  (:mod:`repro.analysis.model`): lock-discipline/lock-order
+  (:mod:`repro.analysis.locks`), determinism taint
+  (:mod:`repro.analysis.determinism`), and resource lifetime
+  (:mod:`repro.analysis.lifetime`), with committed-baseline support
+  (:mod:`repro.analysis.baseline`), and
 * an opt-in runtime numerical sanitizer
   (:mod:`repro.analysis.sanitizer`, ``REPRO_SANITIZE=1``) validating
   every op's outputs and gradients as a placement runs.
 """
 
+from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.engine import (
     EXIT_CLEAN,
     EXIT_USAGE,
@@ -17,10 +24,13 @@ from repro.analysis.engine import (
     LintConfig,
     LintEngine,
     Rule,
+    SemanticRule,
     Violation,
+    changed_files,
     render_json,
     render_text,
 )
+from repro.analysis.model import ModuleModel, build_model
 from repro.analysis.rules import RULES, default_rules
 from repro.analysis.sanitizer import (
     NumericalFault,
@@ -37,10 +47,16 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_USAGE",
     "EXIT_VIOLATIONS",
+    "Baseline",
+    "BaselineEntry",
     "LintConfig",
     "LintEngine",
+    "ModuleModel",
     "Rule",
+    "SemanticRule",
     "Violation",
+    "build_model",
+    "changed_files",
     "render_json",
     "render_text",
     "RULES",

@@ -1,0 +1,116 @@
+"""Committed lint baseline: intentional, individually-justified findings.
+
+The dataflow passes are conservative, and a handful of real patterns
+are *deliberate* — e.g. the service journal stamps ``time.time()`` into
+operational metadata that is never replayed into placement state.
+Inline ``# repro: noqa`` is banned tree-wide (the shipped tree must
+carry no ad-hoc suppressions), so those exceptions live in one
+committed file, ``LINT_BASELINE.json``, where each entry carries its
+own justification and is reviewed like code:
+
+```json
+{
+  "version": 1,
+  "entries": [
+    {
+      "rule": "determinism",
+      "path": "src/repro/service/daemon.py",
+      "code": "record = {\\"ts\\": time.time(), **record}",
+      "justification": "journal ts is operational metadata, never replayed"
+    }
+  ]
+}
+```
+
+Matching is by ``(rule, repo-relative path suffix, stripped anchor
+line)`` — stable across line drift, invalidated the moment the flagged
+code changes.  Entries without a non-empty justification fail loading;
+entries that no longer match anything are reported as stale so the
+baseline can only shrink silently, never grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.engine import Violation
+
+__all__ = ["Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One intentional finding, justified in-file."""
+
+    rule: str
+    path: str            # repo-relative, "/"-separated
+    code: str            # stripped source text of the anchor line
+    justification: str
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.rule != self.rule or violation.code != self.code:
+            return False
+        norm = violation.path.replace(os.sep, "/")
+        return norm == self.path or norm.endswith("/" + self.path)
+
+
+class Baseline:
+    """A loaded baseline file plus match bookkeeping."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse + validate a baseline file (ValueError on bad entries)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: baseline must be an object with 'entries'")
+        entries: List[BaselineEntry] = []
+        for i, raw in enumerate(payload["entries"]):
+            missing = {"rule", "path", "code", "justification"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"{path}: entry {i} missing {', '.join(sorted(missing))}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValueError(
+                    f"{path}: entry {i} ({raw['rule']} @ {raw['path']}) has an "
+                    "empty justification — every baselined finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    code=str(raw["code"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries)
+
+    def partition(
+        self, violations: Iterable[Violation]
+    ) -> Tuple[List[Violation], List[Violation], List[BaselineEntry]]:
+        """Split into (new, baselined, stale baseline entries)."""
+        new: List[Violation] = []
+        suppressed: List[Violation] = []
+        used = [False] * len(self.entries)
+        for violation in violations:
+            hit = None
+            for i, entry in enumerate(self.entries):
+                if entry.matches(violation):
+                    hit = i
+                    break
+            if hit is None:
+                new.append(violation)
+            else:
+                used[hit] = True
+                suppressed.append(violation)
+        stale = [e for e, u in zip(self.entries, used) if not u]
+        return new, suppressed, stale

@@ -1,0 +1,310 @@
+"""Determinism taint analysis for hash/journal/checkpoint/fork flows.
+
+The repo's bit-identity story (DESIGN §9, §12) rests on three hard
+rules: content hashes are pure functions of the job spec, every random
+draw comes from an explicitly-seeded stream (``np.random.default_rng([
+seed, TAG, ...])`` or ``random.Random(key)``), and nothing
+iteration-order-unstable feeds serialized state.  This pass enforces
+them statically:
+
+* **sinks** — arguments of ``hashlib`` constructors and hash-object
+  ``.update(...)`` calls, ``ForkSpec(...)`` construction,
+  ``write_snapshot(...)`` checkpoint spills, and journal writes
+  (``self._journal(...)``); plus the *bodies* of functions that
+  implement those flows (``content_hash``, ``design_digest``,
+  ``design_key``, ``_journal``, ``write_snapshot``, …);
+* **sources** — wall-clock reads (``time.time``/``perf_counter``/…),
+  ``random.*`` module-state draws, unseeded ``random.Random()`` /
+  ``np.random.default_rng()``, legacy ``np.random.*`` global-state
+  calls, ``os.urandom``, ``uuid.uuid1/4``, ``id()``, the
+  ``PYTHONHASHSEED``-dependent ``hash()`` builtin, and unordered
+  ``set``/``frozenset`` values (``dict`` iteration is insertion-ordered
+  in Python ≥ 3.7 and therefore exempt);
+* **taint** — propagated intraprocedurally through assignments to a
+  fixpoint; ``sorted(...)`` launders the *unordered* taint (that is
+  exactly the sanctioned fix) but never the nondeterminism taint.
+
+Seeded streams are recognized and allowed: ``random.Random(key)`` and
+``np.random.default_rng([...])`` with arguments are the seed-stream
+API, not sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import SemanticRule, Violation
+from repro.analysis.model import FunctionInfo, ModuleModel
+
+__all__ = ["DeterminismRule"]
+
+NONDET = "nondeterministic"
+UNORDERED = "unordered"
+
+_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+_HASHLIB_FNS = {"sha256", "sha224", "sha1", "sha512", "md5", "blake2b", "blake2s", "new"}
+_RANDOM_OK = {"Random", "SystemRandom", "seed", "getstate", "setstate"}
+_NUMPY_ALIASES = {"np", "numpy"}
+
+#: Functions whose *bodies* are a determinism flow: everything computed
+#: here ends up in a content hash, journal record, or checkpoint spill.
+_SINK_DEFS = {
+    "content_hash", "design_digest", "design_key",
+    "_journal", "_journal_locked", "write_snapshot", "_flatten_snapshot",
+}
+
+#: Callees whose arguments enter a determinism flow.
+_SINK_CALLS = {"ForkSpec", "write_snapshot", "_journal", "_journal_locked"}
+
+
+def _call_parts(call: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+    """(receiver name, func name) — receiver None for bare-name calls."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return None, func.id
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            return func.value.id, func.attr
+        # np.random.<fn>(...)
+        if (
+            isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in _NUMPY_ALIASES
+            and func.value.attr == "random"
+        ):
+            return "np.random", func.attr
+        return None, func.attr
+    return None, None
+
+
+def _source_kind(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """(taint kind, label) when ``node`` is a nondeterminism source."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return UNORDERED, "set literal"
+    if not isinstance(node, ast.Call):
+        return None
+    recv, name = _call_parts(node)
+    if recv == "time" and name in _TIME_FNS:
+        return NONDET, f"time.{name}()"
+    if recv == "datetime" and name in ("now", "utcnow", "today"):
+        return NONDET, f"datetime.{name}()"
+    if recv == "os" and name == "urandom":
+        return NONDET, "os.urandom()"
+    if recv == "uuid" and name in ("uuid1", "uuid4"):
+        return NONDET, f"uuid.{name}()"
+    if recv == "random":
+        if name == "Random" and not node.args and not node.keywords:
+            return NONDET, "unseeded random.Random()"
+        if name not in _RANDOM_OK:
+            return NONDET, f"module-state random.{name}()"
+    if recv == "np.random":
+        if name == "default_rng":
+            if not node.args and not node.keywords:
+                return NONDET, "unseeded np.random.default_rng()"
+        elif name != "Generator":
+            return NONDET, f"global-state np.random.{name}()"
+    if recv is None and name == "id":
+        return NONDET, "id() (address-dependent)"
+    if recv is None and name == "hash":
+        return NONDET, "hash() builtin (PYTHONHASHSEED-dependent)"
+    if recv is None and name in ("set", "frozenset"):
+        return UNORDERED, f"{name}(...)"
+    return None
+
+
+class _FunctionTaint:
+    """Flow-insensitive taint over one function's local names."""
+
+    def __init__(self, func: FunctionInfo) -> None:
+        self.func = func
+        self.taint: Dict[str, Set[str]] = {}
+        self.hash_objects: Set[str] = set()
+        self._assignments: List[Tuple[List[str], ast.expr]] = []
+        self._collect()
+        self._propagate()
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.func.node):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets, value = [node.target], node.iter
+            if value is None:
+                continue
+            names = [
+                t.id for t in ast.walk(ast.Tuple(elts=targets, ctx=ast.Store()))
+                if isinstance(t, ast.Name)
+            ]
+            if not names:
+                continue
+            self._assignments.append((names, value))
+            if isinstance(value, ast.Call):
+                recv, fname = _call_parts(value)
+                if recv == "hashlib" and fname in _HASHLIB_FNS:
+                    self.hash_objects.update(names)
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for names, value in self._assignments:
+                kinds = self.expr_taint(value)
+                for name in names:
+                    have = self.taint.setdefault(name, set())
+                    if not kinds <= have:
+                        have.update(kinds)
+                        changed = True
+
+    def expr_taint(self, expr: ast.expr) -> Set[str]:
+        """Taint kinds carried by ``expr`` (sources + tainted names).
+
+        ``sorted(...)`` launders the *unordered* kind — a sorted set is
+        deterministic — but passes nondeterminism taint through.
+        """
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "sorted"
+        ):
+            kinds: Set[str] = set()
+            for arg in expr.args:
+                kinds |= self.expr_taint(arg)
+            for kw in expr.keywords:
+                kinds |= self.expr_taint(kw.value)
+            kinds.discard(UNORDERED)
+            return kinds
+        kinds = set()
+        found = _source_kind(expr)
+        if found is not None:
+            kinds.add(found[0])
+        if isinstance(expr, ast.Name) and isinstance(expr.ctx, ast.Load):
+            kinds |= self.taint.get(expr.id, set())
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                kinds |= self.expr_taint(child)
+            elif isinstance(child, ast.comprehension):
+                kinds |= self.expr_taint(child.iter)
+        return kinds
+
+
+class DeterminismRule(SemanticRule):
+    name = "determinism"
+    description = (
+        "no wall-clock, module-state RNG, or unordered-iteration values "
+        "in content-hash/journal/checkpoint/ForkSpec flows (seed-stream "
+        "RNG and sorted() iteration are the sanctioned APIs)"
+    )
+    severity = "error"
+
+    def check_model(
+        self, model: ModuleModel, path: str, source: str
+    ) -> Iterator[Violation]:
+        for func in model.functions.values():
+            yield from self._check_function(func, path)
+
+    def _check_function(self, func: FunctionInfo, path: str) -> Iterator[Violation]:
+        taint = _FunctionTaint(func)
+        is_sink_def = func.name in _SINK_DEFS
+        flagged: Set[int] = set()
+        sink_calls = [
+            node for node in ast.walk(func.node)
+            if isinstance(node, ast.Call) and self._is_sink(node, taint)
+        ]
+        for call in sink_calls:
+            sink_label = self._sink_label(call)
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                yield from self._flag_expr(
+                    taint, arg, sink_label, path, flagged
+                )
+        if is_sink_def:
+            for node in ast.walk(func.node):
+                if id(node) in flagged or not isinstance(node, ast.expr):
+                    continue
+                found = _source_kind(node)
+                if found is not None:
+                    kind, label = found
+                    flagged.add(id(node))
+                    yield self.violation(
+                        path,
+                        node,
+                        f"{label} inside {func.qualname}(), a hash/journal/"
+                        "spill flow; derive the value deterministically or "
+                        "baseline with an in-file justification",
+                    )
+        # Unordered iteration in a function that feeds a sink.
+        if sink_calls or is_sink_def:
+            for node in ast.walk(func.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    kinds = taint.expr_taint(node.iter)
+                    if UNORDERED in kinds and id(node.iter) not in flagged:
+                        flagged.add(id(node.iter))
+                        yield self.violation(
+                            path,
+                            node,
+                            f"iteration over an unordered set value in "
+                            f"{func.qualname}(), which feeds a determinism "
+                            "flow; wrap in sorted()",
+                        )
+
+    def _flag_expr(
+        self,
+        taint: _FunctionTaint,
+        expr: ast.expr,
+        sink_label: str,
+        path: str,
+        flagged: Set[int],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(expr):
+            found = _source_kind(node)
+            if found is not None and id(node) not in flagged:
+                kind, label = found
+                flagged.add(id(node))
+                yield self.violation(
+                    path,
+                    node,
+                    f"{label} flows into {sink_label}; use the seed-stream "
+                    "API / a deterministic value (or sorted() for "
+                    "iteration-order taint)",
+                )
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and taint.taint.get(node.id)
+                and id(node) not in flagged
+            ):
+                flagged.add(id(node))
+                kinds = ", ".join(sorted(taint.taint[node.id]))
+                yield self.violation(
+                    path,
+                    node,
+                    f"{node.id!r} carries {kinds} taint into {sink_label}; "
+                    "derive it from the job spec / seed stream instead",
+                )
+
+    @staticmethod
+    def _is_sink(call: ast.Call, taint: _FunctionTaint) -> bool:
+        recv, name = _call_parts(call)
+        if recv == "hashlib" and name in _HASHLIB_FNS:
+            return True
+        if name == "update" and recv in taint.hash_objects:
+            return True
+        return name in _SINK_CALLS
+
+    @staticmethod
+    def _sink_label(call: ast.Call) -> str:
+        recv, name = _call_parts(call)
+        if recv == "hashlib" or name == "update":
+            return "a content hash"
+        if name == "ForkSpec":
+            return "ForkSpec construction"
+        if name == "write_snapshot":
+            return "a checkpoint spill"
+        return "a journal record"

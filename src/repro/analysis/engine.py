@@ -26,14 +26,17 @@ import fnmatch
 import json
 import os
 import re
-from dataclasses import dataclass, field
+import subprocess
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Violation",
     "Rule",
+    "SemanticRule",
     "LintConfig",
     "LintEngine",
+    "changed_files",
     "render_text",
     "render_json",
     "EXIT_CLEAN",
@@ -71,13 +74,23 @@ _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?")
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule breach at a source location."""
+    """One rule breach at a source location.
+
+    ``severity`` is the reporting tier declared by the rule ("error" or
+    "warning"); the exit code treats both the same — severity exists so
+    reports and the CI gate can rank findings, not to soften them.
+    ``code`` is the stripped source text of the anchor line, the stable
+    key baseline entries match on (line numbers drift, code rarely
+    does).
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    severity: str = "error"
+    code: str = ""
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
@@ -89,6 +102,8 @@ class Violation:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
+            "code": self.code,
         }
 
 
@@ -103,6 +118,7 @@ class Rule:
     name: str = ""
     description: str = ""
     kernel_only: bool = False
+    severity: str = "error"
 
     def check(
         self, tree: ast.Module, path: str, source: str
@@ -116,7 +132,31 @@ class Rule:
             col=getattr(node, "col_offset", -1) + 1,
             rule=self.name,
             message=message,
+            severity=self.severity,
         )
+
+
+class SemanticRule(Rule):
+    """A rule that runs over the shared per-module semantic model.
+
+    The engine builds one :class:`repro.analysis.model.ModuleModel` per
+    file and hands it to every semantic rule, so the symbol table, CFGs
+    and call graph are computed once per run no matter how many passes
+    consume them.  Calling :meth:`check` directly (tests, ad-hoc use)
+    builds a private model.
+    """
+
+    def check(
+        self, tree: ast.Module, path: str, source: str
+    ) -> Iterator[Violation]:
+        from repro.analysis.model import build_model
+
+        return self.check_model(build_model(tree, path, source), path, source)
+
+    def check_model(
+        self, model: "object", path: str, source: str
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -165,19 +205,76 @@ def _normalize(path: str) -> str:
     return norm if norm.startswith(("/", "*")) else "/" + norm
 
 
-def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map line number → suppressed rule names (None = all rules)."""
+def _suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> Dict[int, Optional[Set[str]]]:
+    """Map line number → suppressed rule names (None = all rules).
+
+    A ``# repro: noqa[...]`` comment suppresses its whole *statement
+    span*, not just the literal line it sits on: a suppression on a
+    decorator covers the decorated ``def``/``class`` header, and one on
+    any line of a multi-line statement covers the full statement.  For
+    compound statements the span is the header (decorators through the
+    line before the first body statement) — a noqa on a ``def`` line
+    must not blanket the entire function body.
+    """
     table: Dict[int, Optional[Set[str]]] = {}
+
+    def _merge(lineno: int, mask: Optional[Set[str]]) -> None:
+        if lineno in table and table[lineno] is None:
+            return
+        if mask is None:
+            table[lineno] = None
+        else:
+            table.setdefault(lineno, set()).update(mask)  # type: ignore[union-attr]
+
+    raw: Dict[int, Optional[Set[str]]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _NOQA_RE.search(line)
         if not match:
             continue
         rules = match.group("rules")
         if rules is None:
-            table[lineno] = None
+            raw[lineno] = None
         else:
-            table[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+            raw[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+
+    spans = _statement_spans(tree) if (raw and tree is not None) else []
+    for lineno, mask in raw.items():
+        start, end = lineno, lineno
+        covering = [
+            (s, e) for s, e in spans if s <= lineno <= e
+        ]
+        if covering:
+            # Innermost covering statement: the narrowest span.
+            start, end = min(covering, key=lambda span: span[1] - span[0])
+        for covered in range(start, end + 1):
+            _merge(covered, mask)
     return table
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(start, end) line spans suppressions expand over.
+
+    Simple statements span their full extent; compound statements span
+    their header only (decorators included, body excluded).
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        if end >= start:
+            spans.append((start, end))
+    return spans
 
 
 class LintEngine:
@@ -222,17 +319,31 @@ class LintEngine:
                     message=f"could not parse: {err.msg}",
                 )
             ]
-        suppressed = _suppressions(source)
+        suppressed = _suppressions(source, tree)
+        lines = source.splitlines()
+        model = None
         out: List[Violation] = []
         for rule in self.rules:
             if not self.config.enabled_for(rule, path):
                 continue
-            for violation in rule.check(tree, path, source):
+            if isinstance(rule, SemanticRule):
+                if model is None:
+                    from repro.analysis.model import build_model
+
+                    model = build_model(tree, path, source)
+                found = rule.check_model(model, path, source)
+            else:
+                found = rule.check(tree, path, source)
+            for violation in found:
                 mask = suppressed.get(violation.line, "unset")
                 if mask is None:  # bare noqa: every rule
                     continue
                 if isinstance(mask, set) and violation.rule in mask:
                     continue
+                if 1 <= violation.line <= len(lines):
+                    violation = replace(
+                        violation, code=lines[violation.line - 1].strip()
+                    )
                 out.append(violation)
         return out
 
@@ -256,9 +367,48 @@ class LintEngine:
 
 
 # ----------------------------------------------------------------------
+# Git-diff scoping (``repro lint --changed``)
+# ----------------------------------------------------------------------
+def changed_files(ref: str = "HEAD", cwd: Optional[str] = None) -> Set[str]:
+    """Absolute paths of ``.py`` files changed relative to ``ref``.
+
+    Includes committed, staged, and working-tree changes (``git diff
+    --name-only <ref>``) plus untracked files, so the fast gate sees
+    exactly what the PR adds.  Raises ``RuntimeError`` when git is
+    unavailable or ``ref`` does not resolve.
+    """
+    base = cwd or os.getcwd()
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=base, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+            cwd=base, capture_output=True, text=True, check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=base, capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as err:
+        detail = getattr(err, "stderr", "") or str(err)
+        raise RuntimeError(f"git diff against {ref!r} failed: {detail.strip()}")
+    out: Set[str] = set()
+    for name in (diff + untracked).splitlines():
+        if name.endswith(".py"):
+            out.add(os.path.abspath(os.path.join(top, name)))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Reporters
 # ----------------------------------------------------------------------
-def render_text(violations: Sequence[Violation]) -> str:
+def render_text(
+    violations: Sequence[Violation],
+    baselined: int = 0,
+    stale_baseline: Sequence[object] = (),
+) -> str:
     """One line per violation plus a summary line."""
     lines = [v.format() for v in violations]
     if violations:
@@ -269,15 +419,35 @@ def render_text(violations: Sequence[Violation]) -> str:
         lines.append(f"{len(violations)} violation(s) ({breakdown})")
     else:
         lines.append("clean: no violations")
+    if baselined:
+        lines.append(f"{baselined} baselined finding(s) suppressed")
+    for entry in stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry matched nothing: "
+            f"{getattr(entry, 'path', '?')} [{getattr(entry, 'rule', '?')}]"
+        )
     return "\n".join(lines)
 
 
-def render_json(violations: Sequence[Violation]) -> str:
+def render_json(
+    violations: Sequence[Violation],
+    baselined: int = 0,
+    stale_baseline: Sequence[object] = (),
+) -> str:
     """Machine-readable report (stable key order)."""
     return json.dumps(
         {
             "count": len(violations),
             "violations": [v.to_dict() for v in violations],
+            "baselined": baselined,
+            "stale_baseline_entries": [
+                {
+                    "path": getattr(entry, "path", ""),
+                    "rule": getattr(entry, "rule", ""),
+                    "code": getattr(entry, "code", ""),
+                }
+                for entry in stale_baseline
+            ],
         },
         indent=2,
         sort_keys=True,

@@ -1,0 +1,240 @@
+"""Resource-lifetime analysis: every handle released on every path.
+
+The warm-worker layer hands ``multiprocessing.shared_memory`` segments
+across processes, the checkpoint/cache layers spill through file
+handles, and the service daemon owns sockets.  A segment that is
+created but not ``close()``d + ``unlink()``ed on an exception path
+leaks named shared memory until reboot — the classic failure mode this
+pass exists to catch.
+
+Two checks:
+
+* **anonymous handle** — a resource constructor used directly as an
+  argument to another call (``np.save(open(path, "wb"), ...)``) can
+  never be explicitly released; the fix is always a ``with`` block.
+* **leak path** — a resource bound to a local name must, on *every*
+  CFG path from the acquisition to a function exit (normal or
+  exceptional), reach either a release (``close``/``unlink``/
+  ``shutdown``/``terminate``/``os.close``) or an ownership transfer
+  (returned/yielded, stored into an attribute/container, or passed
+  whole to another call such as ``segments.append(shm)``).  Exception
+  edges are part of the CFG, so "a later statement raised before the
+  ``close`` line" counts as a path.
+
+``with``-acquired resources are safe by construction and never
+flagged.  The acquisition statement's own exception edge is excluded:
+if the constructor itself raises there is nothing to release.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import SemanticRule, Violation
+from repro.analysis.model import FunctionInfo, ModuleModel
+
+__all__ = ["ResourceLifetimeRule"]
+
+_RELEASERS = {"close", "unlink", "shutdown", "terminate", "release", "server_close"}
+
+
+def _resource_label(call: ast.Call) -> Optional[str]:
+    """Label when ``call`` constructs a tracked resource."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file handle from open()"
+        if func.id == "SharedMemory":
+            return "SharedMemory segment"
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr == "SharedMemory":
+            return "SharedMemory segment"
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "socket"
+            and func.attr in ("socket", "create_connection")
+        ):
+            return "socket"
+    return None
+
+
+class ResourceLifetimeRule(SemanticRule):
+    name = "resource-lifetime"
+    description = (
+        "SharedMemory segments, file handles, and sockets must be "
+        "released (close/unlink/shutdown) or ownership-transferred on "
+        "all normal and exception paths; use with blocks for locals"
+    )
+    severity = "error"
+
+    def check_model(
+        self, model: ModuleModel, path: str, source: str
+    ) -> Iterator[Violation]:
+        for func in model.functions.values():
+            yield from self._check_anonymous(func, path)
+            yield from self._check_leak_paths(func, path)
+
+    # -- anonymous handles --------------------------------------------
+    def _check_anonymous(self, func: FunctionInfo, path: str) -> Iterator[Violation]:
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Call):
+                    label = _resource_label(arg)
+                    if label is not None:
+                        callee = self._callee_text(node)
+                        yield self.violation(
+                            path,
+                            arg,
+                            f"anonymous {label} passed to {callee} can "
+                            "never be explicitly released; bind it in a "
+                            "with block",
+                        )
+
+    @staticmethod
+    def _callee_text(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute):
+            return f"{func.attr}()"
+        return "a call"
+
+    # -- leak-path analysis -------------------------------------------
+    def _check_leak_paths(self, func: FunctionInfo, path: str) -> Iterator[Violation]:
+        acquisitions = self._acquisitions(func)
+        if not acquisitions:
+            return
+        cfg = func.cfg
+        for stmt, name, label in acquisitions:
+            node = cfg.node_of(stmt)
+            if node is None:
+                continue
+            blocked = [
+                n.id for n in cfg.nodes
+                if n.stmt is not None and n.id != node.id
+                and self._ends_ownership(n.stmt, name)
+            ]
+            leak = cfg.reachable_exit(node.succs, blocked)
+            if leak is not None:
+                how = (
+                    "when an exception unwinds past it"
+                    if leak == "raise-exit" else "on a normal path"
+                )
+                yield self.violation(
+                    path,
+                    stmt,
+                    f"{label} bound to {name!r} may leak {how}: no "
+                    "close/unlink/ownership transfer on every path; "
+                    "release it in a finally/except or use with",
+                )
+
+    @staticmethod
+    def _acquisitions(
+        func: FunctionInfo,
+    ) -> List[Tuple[ast.stmt, str, str]]:
+        """(stmt, local name, label) for resources bound to locals.
+
+        Only statements of the function body proper — acquisitions
+        inside nested defs have their own frame and are analyzed when
+        that def is a module/class symbol.
+        """
+        out: List[Tuple[ast.stmt, str, str]] = []
+        for stmt in ast.walk(func.node):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue  # attribute/container stores transfer ownership
+            values = [stmt.value]
+            if isinstance(stmt.value, ast.IfExp):
+                values = [stmt.value.body, stmt.value.orelse]
+            for value in values:
+                if isinstance(value, ast.Call):
+                    label = _resource_label(value)
+                    if label is not None:
+                        out.append((stmt, target.id, label))
+                        break
+        return out
+
+    @staticmethod
+    def _ends_ownership(stmt: ast.AST, name: str) -> bool:
+        """Does ``stmt`` release or transfer ownership of ``name``?
+
+        Compound-statement CFG nodes stand for their *headers* only
+        (their bodies are separate nodes), so only the header
+        expressions are inspected here.
+        """
+        if isinstance(stmt, (ast.ExceptHandler, ast.Try)):
+            return False
+        parts: List[ast.AST]
+        if isinstance(stmt, (ast.If, ast.While)):
+            parts = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            parts = [stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # ``with x:`` hands the handle to a context manager that
+            # releases it.
+            for item in stmt.items:
+                if (
+                    isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id == name
+                ):
+                    return True
+            parts = [item.context_expr for item in stmt.items]
+        else:
+            parts = [stmt]
+        mentions = any(
+            isinstance(n, ast.Name) and n.id == name
+            for part in parts
+            for n in ast.walk(part)
+        )
+        if not mentions:
+            return False
+        if isinstance(stmt, (ast.Return, ast.Expr)) and isinstance(
+            getattr(stmt, "value", None), (ast.Yield, ast.YieldFrom)
+        ):
+            return True
+        if isinstance(stmt, ast.Return):
+            return True
+        for part in parts:
+            for node in ast.walk(part):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                # x.close() / x.unlink() / os.close(x)
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _RELEASERS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                ):
+                    return True
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "close"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                ):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) and arg.id == name:
+                            return True
+                # whole-handle transfer: f(x) / c.append(x) / dict store
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True   # stored into an object/container
+                if isinstance(target, ast.Name) and target.id != name:
+                    # plain alias y = x: ownership follows the alias
+                    if (
+                        isinstance(stmt.value, ast.Name)
+                        and stmt.value.id == name
+                    ):
+                        return True
+        return False

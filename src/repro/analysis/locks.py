@@ -1,0 +1,408 @@
+"""Lock-discipline and lock-order analysis for threaded service classes.
+
+``lock-discipline``
+    For every class that creates a ``threading.Lock``/``RLock``/
+    ``Condition`` in a ``self._*`` attribute, infer which *other*
+    ``self._*`` attributes that lock guards — an attribute is guarded
+    when at least one write (assignment, augmented assignment, ``del``,
+    or a mutating method call like ``.append``/``.pop``) happens inside
+    ``with self.<lock>:`` outside ``__init__`` — then flag every read
+    or write of a guarded attribute on a path that does not hold the
+    guard.  A private helper that is only ever called with the lock
+    already held (proved through the module call graph, to a fixpoint)
+    inherits the held set at entry, so ``Scheduler._resolve``-style
+    internal methods do not need redundant ``with`` blocks.
+
+``lock-order``
+    Tracks the order in which one class's locks are acquired, including
+    through ``self.method(...)`` dispatch, and flags any cycle in the
+    acquisition graph (potential ABBA deadlock).
+
+Both rules are self-scoping: classes without a lock attribute are never
+analyzed, so single-threaded code stays out of scope by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import SemanticRule, Violation
+from repro.analysis.model import ClassInfo, FunctionInfo, ModuleModel
+
+__all__ = ["LockDisciplineRule", "LockOrderRule"]
+
+#: Method calls on an attribute that mutate the receiver in place —
+#: these count as writes for guard inference.
+_MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "popleft", "remove", "setdefault",
+    "update",
+}
+
+#: Methods whose body runs before/after the object is shared between
+#: threads; accesses there are exempt from the discipline.
+_EXEMPT_METHODS = {"__init__", "__del__", "__repr__"}
+
+
+class _Access:
+    """One read or write of ``self.<attr>`` inside a method."""
+
+    __slots__ = ("attr", "write", "node", "held", "method")
+
+    def __init__(self, attr, write, node, held, method):
+        self.attr = attr
+        self.write = write
+        self.node = node
+        self.held = held            # FrozenSet[str]: lexically-held locks
+        self.method = method        # FunctionInfo
+
+
+class _MethodFacts:
+    """Lexical lock facts for one method of a lock-owning class."""
+
+    def __init__(self) -> None:
+        self.accesses: List[_Access] = []
+        #: held-lock set at each intra-class ``self.m(...)`` call site.
+        self.call_held: Dict[int, FrozenSet[str]] = {}
+        #: (callee method name, held set) per intra-class call site.
+        self.calls: List[Tuple[str, FrozenSet[str]]] = []
+        #: locks this method itself acquires with ``with self.L:``.
+        self.acquires: Set[str] = set()
+        #: (outer, inner) lexically-nested acquisitions.
+        self.order_edges: Set[Tuple[str, str]] = set()
+
+
+class _MethodWalker:
+    """Walks one method body tracking the lexically-held lock set."""
+
+    def __init__(self, cls: ClassInfo, method: FunctionInfo) -> None:
+        self.cls = cls
+        self.method = method
+        self.facts = _MethodFacts()
+        self._held: List[str] = []
+        for stmt in method.node.body:
+            self._walk(stmt)
+
+    def _lock_of(self, expr: ast.expr) -> Optional[str]:
+        """Lock attr name when ``expr`` is ``self.<lock>``."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.cls.lock_attrs
+        ):
+            return expr.attr
+        return None
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # deferred execution: lock context unknown at run time
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                self._visit_expr(item.context_expr)
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    for outer in self._held:
+                        if outer != lock:
+                            self.facts.order_edges.add((outer, lock))
+                    self.facts.acquires.add(lock)
+                    acquired.append(lock)
+            self._held.extend(acquired)
+            for stmt in node.body:
+                self._walk(stmt)
+            for _ in acquired:
+                self._held.pop()
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._visit_target(target)
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._visit_target(node.target)
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.AnnAssign):
+            self._visit_target(node.target)
+            if node.value is not None:
+                self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._visit_target(target)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            else:
+                self._walk(child)
+
+    def _self_attr(self, expr: ast.expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _record(self, attr: str, write: bool, node: ast.AST) -> None:
+        if attr in self.cls.lock_attrs or not attr.startswith("_"):
+            return
+        self.facts.accesses.append(
+            _Access(attr, write, node, frozenset(self._held), self.method)
+        )
+
+    def _visit_target(self, target: ast.expr) -> None:
+        """Assignment/delete target: ``self.X`` or ``self.X[...]`` is a
+        write; anything nested inside is ordinary reads."""
+        base = target
+        if isinstance(base, ast.Subscript):
+            self._visit_expr(base.slice)
+            base = base.value
+        attr = self._self_attr(base)
+        if attr is not None:
+            self._record(attr, True, base)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_target(elt)
+            return
+        self._visit_expr(target)
+
+    def _visit_expr(self, expr: ast.AST) -> None:
+        if isinstance(expr, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(expr, ast.Call):
+            # self.m(...) intra-class dispatch: remember the held set.
+            func = expr.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in self.cls.methods
+            ):
+                held = frozenset(self._held)
+                self.facts.call_held[id(expr)] = held
+                self.facts.calls.append((func.attr, held))
+                for arg in expr.args:
+                    self._visit_expr(arg)
+                for kw in expr.keywords:
+                    self._visit_expr(kw.value)
+                return
+            # self.X.append(...) mutator: a write to self.X.
+            elif isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = self._self_attr(func.value)
+                if attr is not None:
+                    self._record(attr, True, func.value)
+                    for arg in expr.args:
+                        self._visit_expr(arg)
+                    for kw in expr.keywords:
+                        self._visit_expr(kw.value)
+                    return
+            for arg in expr.args:
+                self._visit_expr(arg)
+            for kw in expr.keywords:
+                self._visit_expr(kw.value)
+            self._visit_expr(expr.func)
+            return
+        attr = self._self_attr(expr)
+        if attr is not None:
+            self._record(attr, False, expr)
+            return
+        for child in ast.iter_child_nodes(expr):
+            self._visit_expr(child)
+
+
+class _ClassAnalysis:
+    """Guard inference + held-at-entry fixpoint for one class."""
+
+    def __init__(self, model: ModuleModel, cls: ClassInfo) -> None:
+        self.cls = cls
+        self.facts: Dict[str, _MethodFacts] = {
+            name: _MethodWalker(cls, info).facts
+            for name, info in cls.methods.items()
+        }
+        self.entry_held = self._fixpoint(model)
+        self.guards = self._infer_guards()
+
+    def _fixpoint(self, model: ModuleModel) -> Dict[str, FrozenSet[str]]:
+        """Locks provably held whenever each method is entered.
+
+        ``entry_held(m)`` is the intersection, over every intra-class
+        ``self.m(...)`` call site, of the locks held at that site
+        (lexically plus the caller's own entry set).  Methods with no
+        intra-class callers are public entry points: nothing is held.
+        """
+        all_locks = frozenset(self.cls.lock_attrs)
+        sites: Dict[str, List[Tuple[str, int]]] = {m: [] for m in self.facts}
+        for name in self.facts:
+            qual = f"{self.cls.name}.{name}"
+            for caller_qual, call in model.call_sites.get(qual, ()):
+                caller_cls, _, caller_name = caller_qual.rpartition(".")
+                if caller_cls == self.cls.name and caller_name in self.facts:
+                    sites[name].append((caller_name, id(call)))
+        entry: Dict[str, FrozenSet[str]] = {
+            m: (all_locks if sites[m] else frozenset()) for m in self.facts
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, method_sites in sites.items():
+                if not method_sites:
+                    continue
+                held = all_locks
+                for caller_name, call_id in method_sites:
+                    caller_facts = self.facts[caller_name]
+                    at_site = caller_facts.call_held.get(call_id, frozenset())
+                    held = held & (at_site | entry[caller_name])
+                if held != entry[name]:
+                    entry[name] = held
+                    changed = True
+        return entry
+
+    def _infer_guards(self) -> Dict[str, FrozenSet[str]]:
+        """attr → locks under which it is written at least once."""
+        guards: Dict[str, Set[str]] = {}
+        for name, facts in self.facts.items():
+            if name in _EXEMPT_METHODS:
+                continue
+            for access in facts.accesses:
+                if not access.write:
+                    continue
+                held = access.held | self.entry_held[name]
+                if held:
+                    guards.setdefault(access.attr, set()).update(held)
+        return {attr: frozenset(locks) for attr, locks in guards.items()}
+
+    def violations(self) -> Iterator[Tuple[_Access, FrozenSet[str]]]:
+        for name, facts in self.facts.items():
+            if name in _EXEMPT_METHODS:
+                continue
+            for access in facts.accesses:
+                guard = self.guards.get(access.attr)
+                if not guard:
+                    continue
+                held = access.held | self.entry_held[name]
+                if not (held & guard):
+                    yield access, guard
+
+
+# ----------------------------------------------------------------------
+class LockDisciplineRule(SemanticRule):
+    name = "lock-discipline"
+    description = (
+        "attributes written under a threading lock must hold that lock "
+        "on every read/write path (helpers proven held-at-entry via the "
+        "call graph are fine)"
+    )
+    severity = "error"
+
+    def check_model(
+        self, model: ModuleModel, path: str, source: str
+    ) -> Iterator[Violation]:
+        for cls in model.classes.values():
+            if not cls.lock_attrs:
+                continue
+            analysis = _ClassAnalysis(model, cls)
+            for access, guard in analysis.violations():
+                lock = "/".join(sorted(guard))
+                kind = "written" if access.write else "read"
+                yield self.violation(
+                    path,
+                    access.node,
+                    f"{cls.name}.{access.method.name} {kind}s "
+                    f"self.{access.attr} without holding self.{lock} "
+                    f"(attribute is written under self.{lock} elsewhere); "
+                    "take the lock or prove the caller holds it",
+                )
+
+
+# ----------------------------------------------------------------------
+class LockOrderRule(SemanticRule):
+    name = "lock-order"
+    description = (
+        "a class's locks must always be acquired in one global order "
+        "(cycles in the acquisition graph are potential ABBA deadlocks)"
+    )
+    severity = "warning"
+
+    def check_model(
+        self, model: ModuleModel, path: str, source: str
+    ) -> Iterator[Violation]:
+        for cls in model.classes.values():
+            if len(cls.lock_attrs) < 2:
+                continue
+            analysis = _ClassAnalysis(model, cls)
+            edges = self._order_edges(model, cls, analysis)
+            cycle = self._find_cycle(edges)
+            if cycle:
+                yield self.violation(
+                    path,
+                    cls.node,
+                    f"{cls.name} acquires its locks in conflicting orders "
+                    f"({' -> '.join(cycle)}); pick one global order to rule "
+                    "out ABBA deadlocks",
+                )
+
+    @staticmethod
+    def _order_edges(
+        model: ModuleModel, cls: ClassInfo, analysis: _ClassAnalysis
+    ) -> Set[Tuple[str, str]]:
+        edges: Set[Tuple[str, str]] = set()
+        # Transitive lock acquisitions per method (through self.m dispatch).
+        acquires: Dict[str, Set[str]] = {
+            name: set(facts.acquires) for name, facts in analysis.facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in acquires:
+                qual = f"{cls.name}.{name}"
+                for callee in model.call_graph.get(qual, ()):
+                    callee_cls, _, callee_name = callee.rpartition(".")
+                    if callee_cls == cls.name and callee_name in acquires:
+                        merged = acquires[name] | acquires[callee_name]
+                        if merged != acquires[name]:
+                            acquires[name] = merged
+                            changed = True
+        for facts in analysis.facts.values():
+            edges |= facts.order_edges
+            # Calls made while holding a lock acquire the callee's locks.
+            for callee_name, held in facts.calls:
+                for outer in held:
+                    for inner in acquires.get(callee_name, ()):
+                        if outer != inner:
+                            edges.add((outer, inner))
+        return edges
+
+    @staticmethod
+    def _find_cycle(edges: Set[Tuple[str, str]]) -> Optional[List[str]]:
+        graph: Dict[str, Set[str]] = {}
+        for outer, inner in edges:
+            graph.setdefault(outer, set()).add(inner)
+        state: Dict[str, int] = {}      # 0 visiting, 1 done
+        path: List[str] = []
+
+        def visit(node: str) -> Optional[List[str]]:
+            state[node] = 0
+            path.append(node)
+            for succ in sorted(graph.get(node, ())):
+                if state.get(succ) == 0:
+                    return path[path.index(succ):] + [succ]
+                if succ not in state:
+                    found = visit(succ)
+                    if found:
+                        return found
+            path.pop()
+            state[node] = 1
+            return None
+
+        for node in sorted(graph):
+            if node not in state:
+                found = visit(node)
+                if found:
+                    return found
+        return None

@@ -1,0 +1,461 @@
+"""Per-module semantic model shared by the dataflow lint passes.
+
+The PR-3 rules are per-function and syntactic: each one walks the raw
+AST and pattern-matches locally.  The concurrency/determinism contracts
+the service era added (DESIGN §11–§12) are *flow* properties — "this
+attribute is only touched while holding that lock", "this value never
+reaches a content hash", "this shared-memory segment is released on
+every path" — so the dataflow rules share one :class:`ModuleModel`
+built once per file:
+
+* a **symbol table** — module-level imports, functions, classes, and
+  per-class method tables plus detected ``threading`` lock attributes;
+* an **intraprocedural CFG** per function — statement-granularity
+  nodes with separate normal and exception successors, covering
+  ``if``/loops/``try``/``except``/``finally``/``with``/early
+  ``return``/``raise``/``break``/``continue``.  ``finally`` blocks are
+  over-approximated (their exits reach the fall-through continuation,
+  the propagating-exception target, *and* the function exit) which is
+  conservative for "does a bad path exist" queries;
+* a **light call graph** — ``self.method(...)`` resolved within the
+  enclosing class, bare names resolved to module-level functions —
+  enough for the lock checker to prove that a private helper is only
+  ever entered with the lock already held.
+
+Everything is intraprocedural + single-module on purpose: the linted
+invariants are module-local disciplines, and whole-program inference
+would make the lint gate slow and the findings hard to explain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleModel",
+    "build_model",
+]
+
+#: ``threading`` constructors that create a lock-like object whose
+#: ``with`` block defines a critical section.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+
+# ----------------------------------------------------------------------
+# Control-flow graph
+# ----------------------------------------------------------------------
+@dataclass
+class CFGNode:
+    """One statement (or synthetic marker) in a function's CFG."""
+
+    id: int
+    kind: str                      # "entry"|"exit"|"raise-exit"|"stmt"|"except-dispatch"|"finally"
+    stmt: Optional[ast.stmt] = None
+    succs: List[int] = field(default_factory=list)
+    #: Where control goes if this statement raises (None = cannot raise
+    #: or the raise is modelled through ``succs`` already).
+    exc: Optional[int] = None
+
+    def out_edges(self) -> List[int]:
+        return self.succs + ([self.exc] if self.exc is not None else [])
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body.
+
+    ``entry`` fans into the first statement; ``exit`` collects normal
+    completion (fall-off and ``return``); ``raise_exit`` collects
+    exceptions that escape the function.  ``node_of(stmt)`` maps a body
+    statement back to its node.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new("entry").id
+        self.exit = self._new("exit").id
+        self.raise_exit = self._new("raise-exit").id
+        self._by_stmt: Dict[int, int] = {}
+
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None) -> CFGNode:
+        node = CFGNode(id=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        if stmt is not None:
+            self._by_stmt[id(stmt)] = node.id
+        return node
+
+    def node_of(self, stmt: ast.stmt) -> Optional[CFGNode]:
+        nid = self._by_stmt.get(id(stmt))
+        return self.nodes[nid] if nid is not None else None
+
+    def reachable_exit(
+        self, start_ids: Sequence[int], blocked: Sequence[int] = ()
+    ) -> Optional[str]:
+        """First exit kind reachable from ``start_ids`` without passing
+        through any node in ``blocked`` — ``"exit"``/``"raise-exit"``,
+        or None when every path is blocked.  Exception edges count as
+        paths: they model a statement raising mid-flight.
+        """
+        stop = set(blocked)
+        seen: Set[int] = set()
+        stack = [nid for nid in start_ids if nid not in stop]
+        while stack:
+            nid = stack.pop()
+            if nid in seen or nid in stop:
+                continue
+            seen.add(nid)
+            node = self.nodes[nid]
+            if node.kind in ("exit", "raise-exit"):
+                return node.kind
+            stack.extend(node.out_edges())
+        return None
+
+
+@dataclass
+class _Loop:
+    header: int
+    breaks: List[int] = field(default_factory=list)
+
+
+class _CFGBuilder:
+    """Builds a :class:`CFG` for one function definition."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG()
+        self.loops: List[_Loop] = []
+        self.finally_stack: List[int] = []
+        body = getattr(func, "body", [])
+        frontier = self._build(body, [self.cfg.entry], self.cfg.raise_exit)
+        self._link(frontier, self.cfg.exit)
+
+    # -- wiring helpers ------------------------------------------------
+    def _link(self, frontier: Sequence[int], target: int) -> None:
+        for nid in frontier:
+            node = self.cfg.nodes[nid]
+            if target not in node.succs:
+                node.succs.append(target)
+
+    @staticmethod
+    def _can_raise(node: ast.AST) -> bool:
+        """Conservative: anything touching attributes, calls, subscripts
+        or arithmetic may raise; bare names/constants may not."""
+        for child in ast.walk(node):
+            if isinstance(
+                child,
+                (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp,
+                 ast.Compare, ast.UnaryOp, ast.BoolOp, ast.Await),
+            ):
+                return True
+        return False
+
+    def _stmt_node(
+        self, stmt: ast.stmt, frontier: Sequence[int], exc: int,
+        raise_parts: Optional[Sequence[ast.AST]] = None,
+    ) -> CFGNode:
+        node = self.cfg._new("stmt", stmt)
+        self._link(frontier, node.id)
+        parts = raise_parts if raise_parts is not None else [stmt]
+        if any(self._can_raise(p) for p in parts):
+            node.exc = exc
+        return node
+
+    # -- recursive construction ---------------------------------------
+    def _build(
+        self, body: Sequence[ast.stmt], frontier: Sequence[int], exc: int
+    ) -> List[int]:
+        out = list(frontier)
+        for stmt in body:
+            out = self._build_stmt(stmt, out, exc)
+            if not out:          # everything below is unreachable
+                break
+        return out
+
+    def _build_stmt(
+        self, stmt: ast.stmt, frontier: Sequence[int], exc: int
+    ) -> List[int]:
+        if isinstance(stmt, (ast.If,)):
+            node = self._stmt_node(stmt, frontier, exc, [stmt.test])
+            body_out = self._build(stmt.body, [node.id], exc)
+            orelse_out = (
+                self._build(stmt.orelse, [node.id], exc)
+                if stmt.orelse else [node.id]
+            )
+            return body_out + orelse_out
+        if isinstance(stmt, (ast.While,)):
+            node = self._stmt_node(stmt, frontier, exc, [stmt.test])
+            loop = _Loop(header=node.id)
+            self.loops.append(loop)
+            body_out = self._build(stmt.body, [node.id], exc)
+            self.loops.pop()
+            self._link(body_out, node.id)
+            orelse_out = (
+                self._build(stmt.orelse, [node.id], exc)
+                if stmt.orelse else [node.id]
+            )
+            return orelse_out + loop.breaks
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            node = self._stmt_node(stmt, frontier, exc, [stmt.iter, stmt.target])
+            loop = _Loop(header=node.id)
+            self.loops.append(loop)
+            body_out = self._build(stmt.body, [node.id], exc)
+            self.loops.pop()
+            self._link(body_out, node.id)
+            orelse_out = (
+                self._build(stmt.orelse, [node.id], exc)
+                if stmt.orelse else [node.id]
+            )
+            return orelse_out + loop.breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            parts: List[ast.AST] = [item.context_expr for item in stmt.items]
+            node = self._stmt_node(stmt, frontier, exc, parts)
+            return self._build(stmt.body, [node.id], exc)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier, exc)
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt, frontier, exc, [stmt.value] if stmt.value else [])
+            target = self.finally_stack[-1] if self.finally_stack else self.cfg.exit
+            node.succs.append(target)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt, frontier, exc, [])
+            node.succs.append(exc)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._stmt_node(stmt, frontier, exc, [])
+            if self.loops:
+                self.loops[-1].breaks.append(node.id)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._stmt_node(stmt, frontier, exc, [])
+            if self.loops:
+                node.succs.append(self.loops[-1].header)
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions execute later; opaque here.
+            node = self._stmt_node(stmt, frontier, exc, [])
+            return [node.id]
+        # Simple statement (Assign, Expr, Assert, Delete, ...).
+        node = self._stmt_node(stmt, frontier, exc)
+        if isinstance(stmt, ast.Assert):
+            node.exc = exc
+        return [node.id]
+
+    def _build_try(
+        self, stmt: ast.Try, frontier: Sequence[int], exc: int
+    ) -> List[int]:
+        outer_exc = exc
+        fin_entry: Optional[int] = None
+        fin_out: List[int] = []
+        if stmt.finalbody:
+            fin_node = self.cfg._new("finally", stmt)
+            fin_entry = fin_node.id
+            fin_out = self._build(stmt.finalbody, [fin_entry], outer_exc)
+            # Over-approximate: after the finally body, control may
+            # fall through, propagate the in-flight exception, or
+            # complete an early return.
+            self._link(fin_out, outer_exc)
+            self._link(fin_out, self.cfg.exit)
+
+        propagate = fin_entry if fin_entry is not None else outer_exc
+
+        if stmt.handlers:
+            dispatch = self.cfg._new("except-dispatch", stmt)
+            body_exc = dispatch.id
+        else:
+            dispatch = None
+            body_exc = propagate
+
+        if fin_entry is not None:
+            self.finally_stack.append(fin_entry)
+        body_out = self._build(stmt.body, list(frontier), body_exc)
+        orelse_out = (
+            self._build(stmt.orelse, body_out, body_exc)
+            if stmt.orelse else body_out
+        )
+
+        handler_outs: List[int] = []
+        if dispatch is not None:
+            # An unmatched exception propagates past every handler.
+            dispatch.succs.append(propagate)
+            for handler in stmt.handlers:
+                h_node = self.cfg._new("stmt", handler)
+                dispatch.succs.append(h_node.id)
+                handler_outs.extend(
+                    self._build(handler.body, [h_node.id], propagate)
+                )
+        if fin_entry is not None:
+            self.finally_stack.pop()
+
+        normal_out = orelse_out + handler_outs
+        if fin_entry is not None:
+            self._link(normal_out, fin_entry)
+            return list(fin_out)
+        return normal_out
+
+
+# ----------------------------------------------------------------------
+# Symbols
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str                  # "func" or "Class.method"
+    node: ast.AST                  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    _cfg: Optional[CFG] = None
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = _CFGBuilder(self.node).cfg
+        return self._cfg
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table and lock attributes."""
+
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` assigned a ``threading.Lock/RLock/Condition`` in
+    #: any method (attr name → factory name).
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+
+
+class ModuleModel:
+    """Symbol table + lazy CFGs + call graph for one parsed module."""
+
+    def __init__(self, tree: ast.Module, path: str, source: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.source = source
+        self.imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._collect_symbols()
+        #: caller qualname → set of resolved callee qualnames.
+        self.call_graph: Dict[str, Set[str]] = {}
+        #: callee qualname → [(caller qualname, Call node), ...]
+        self.call_sites: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        self._collect_calls()
+
+    # -- construction --------------------------------------------------
+    def _collect_symbols(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    module = stmt.module or ""
+                    self.imports[alias.asname or alias.name] = (
+                        f"{module}.{alias.name}" if module else alias.name
+                    )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(stmt.name, stmt.name, stmt)
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cls = ClassInfo(stmt.name, stmt)
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = FunctionInfo(
+                            sub.name, f"{stmt.name}.{sub.name}", sub, stmt.name
+                        )
+                        cls.methods[sub.name] = info
+                        self.functions[info.qualname] = info
+                self._detect_locks(cls)
+                self.classes[stmt.name] = cls
+
+    def _detect_locks(self, cls: ClassInfo) -> None:
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                factory = self._lock_factory(node.value)
+                if factory is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls.lock_attrs[target.attr] = factory
+
+    def _lock_factory(self, value: ast.expr) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _LOCK_FACTORIES
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        ):
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+            imported = self.imports.get(func.id, "")
+            if imported.startswith("threading."):
+                return func.id
+        return None
+
+    def _collect_calls(self) -> None:
+        for info in self.functions.values():
+            callees: Set[str] = set()
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(node, info.class_name)
+                if callee is None:
+                    continue
+                callees.add(callee)
+                self.call_sites.setdefault(callee, []).append(
+                    (info.qualname, node)
+                )
+            self.call_graph[info.qualname] = callees
+
+    # -- queries -------------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, class_name: Optional[str]
+    ) -> Optional[str]:
+        """Qualname of the called function when it is defined in this
+        module: ``self.m(...)`` within a class, ``f(...)`` at module
+        level, ``Cls.m(...)`` by explicit class name."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and class_name is not None
+            ):
+                cls = self.classes.get(class_name)
+                if cls is not None and func.attr in cls.methods:
+                    return f"{class_name}.{func.attr}"
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in self.classes
+                and func.attr in self.classes[func.value.id].methods
+            ):
+                return f"{func.value.id}.{func.attr}"
+            return None
+        if isinstance(func, ast.Name) and func.id in self.functions:
+            return func.id
+        return None
+
+    def methods_of(self, class_name: str) -> Iterator[FunctionInfo]:
+        cls = self.classes.get(class_name)
+        if cls is not None:
+            yield from cls.methods.values()
+
+
+def build_model(tree: ast.Module, path: str, source: str) -> ModuleModel:
+    """Build the semantic model for one parsed module (once per run)."""
+    return ModuleModel(tree, path, source)

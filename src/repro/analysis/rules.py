@@ -28,6 +28,13 @@ interpreter never checks:
     No lambdas or locally-defined closures handed to worker processes
     (``target=`` of a ``Process``, ``submit``/``apply_async`` args) —
     they break ``spawn`` pickling and capture parent state.
+
+The dataflow families live in their own modules on top of the shared
+semantic model (:mod:`repro.analysis.model`): ``lock-discipline`` /
+``lock-order`` (:mod:`repro.analysis.locks`), ``determinism``
+(:mod:`repro.analysis.determinism`), and ``resource-lifetime``
+(:mod:`repro.analysis.lifetime`); they register here so ``repro lint``
+runs all passes by default.
 """
 
 from __future__ import annotations
@@ -35,7 +42,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Set
 
+from repro.analysis.determinism import DeterminismRule
 from repro.analysis.engine import Rule, Violation
+from repro.analysis.lifetime import ResourceLifetimeRule
+from repro.analysis.locks import LockDisciplineRule, LockOrderRule
 
 __all__ = ["default_rules", "RULES"]
 
@@ -387,6 +397,10 @@ RULES = (
     SilentExceptRule,
     MutableDefaultArgRule,
     MpUnsafeCaptureRule,
+    LockDisciplineRule,
+    LockOrderRule,
+    DeterminismRule,
+    ResourceLifetimeRule,
 )
 
 

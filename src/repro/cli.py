@@ -28,6 +28,7 @@ ISPD-like suites (``adaptec1`` … ``superblue16_a``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -198,8 +199,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         EXIT_CLEAN,
         EXIT_USAGE,
         EXIT_VIOLATIONS,
+        Baseline,
         LintConfig,
         LintEngine,
+        changed_files,
         default_rules,
         render_json,
         render_text,
@@ -209,7 +212,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in rules:
             scope = "kernel-only" if rule.kernel_only else "repo-wide"
-            print(f"{rule.name:28s} [{scope}] {rule.description}")
+            print(
+                f"{rule.name:28s} [{scope}, {rule.severity}] {rule.description}"
+            )
         return EXIT_CLEAN
     config = LintConfig(
         select=_split_rules(args.select), ignore=_split_rules(args.ignore) or frozenset()
@@ -219,17 +224,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    baseline = Baseline()
+    baseline_path = args.baseline
+    if not args.no_baseline:
+        if baseline_path is None and os.path.isfile("LINT_BASELINE.json"):
+            baseline_path = "LINT_BASELINE.json"
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"error: bad baseline file: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+
     engine = LintEngine(rules=rules, config=config)
     try:
-        violations = engine.lint_paths(args.paths)
+        if args.changed is not None:
+            ref = args.changed or "HEAD"
+            try:
+                changed = changed_files(ref)
+            except RuntimeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+            files = [
+                f for f in engine._discover(args.paths)
+                if os.path.abspath(f) in changed
+            ]
+            violations = engine.lint_paths(files)
+        else:
+            violations = engine.lint_paths(args.paths)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    new, suppressed, stale = baseline.partition(violations)
     if args.format == "json":
-        print(render_json(violations))
+        print(render_json(new, baselined=len(suppressed), stale_baseline=stale))
     else:
-        print(render_text(violations))
-    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+        print(render_text(new, baselined=len(suppressed), stale_baseline=stale))
+    return EXIT_VIOLATIONS if new else EXIT_CLEAN
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -473,6 +506,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule names to skip")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the available rules and exit")
+    lint.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                      metavar="REF",
+                      help="lint only .py files changed vs REF "
+                           "(git diff + untracked; default HEAD)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of justified intentional findings "
+                           "(default: LINT_BASELINE.json when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring any baseline file")
     lint.set_defaults(handler=_cmd_lint)
 
     bench = sub.add_parser(

@@ -176,7 +176,7 @@ def write_snapshot(spill_dir: str, snapshot: LoopSnapshot) -> None:
     arrays, scalars = _flatten_snapshot(snapshot)
     _write_atomic(
         os.path.join(spill_dir, "checkpoint.npz"),
-        lambda path: np.savez(open(path, "wb"), **arrays),
+        lambda path: _save_npz(path, arrays),
     )
     payload = {"schema": SNAPSHOT_SCHEMA_VERSION, "scalars": scalars}
     _write_atomic(
@@ -288,3 +288,10 @@ def _write_atomic(path: str, writer) -> None:
 def _dump_json(path: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, sort_keys=True)
+
+
+def _save_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    # Save through a handle (np.savez(path) appends ".npz"); the handle
+    # must be closed deterministically, not left to the GC.
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)

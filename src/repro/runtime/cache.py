@@ -117,7 +117,7 @@ class ResultCache:
         self._write_atomic(
             os.path.join(entry, "positions.npy"),
             # Save through a handle: np.save(path) appends ".npy".
-            lambda path: np.save(open(path, "wb"), positions),
+            lambda path: _save_npy(path, positions),
         )
         self._write_atomic(
             os.path.join(entry, "result.json"),
@@ -158,3 +158,8 @@ class ResultCache:
 def _dump_json(path: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
+
+
+def _save_npy(path: str, positions: "np.ndarray") -> None:
+    with open(path, "wb") as fh:
+        np.save(fh, positions)

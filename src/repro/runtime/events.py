@@ -141,19 +141,25 @@ class EventLog:
         self.emit(kind, job_id, **message)
 
     # -- querying ----------------------------------------------------
+    # Queries snapshot the list under the lock: emitters append from
+    # worker-drain and HTTP threads while tests/stats iterate.
+
+    def snapshot(self) -> List[RuntimeEvent]:
+        with self._lock:
+            return list(self.events)
 
     def of_kind(self, *kinds: str) -> List[RuntimeEvent]:
-        return [e for e in self.events if e.kind in kinds]
+        return [e for e in self.snapshot() if e.kind in kinds]
 
     def count(self, kind: str) -> int:
-        return sum(1 for e in self.events if e.kind == kind)
+        return sum(1 for e in self.snapshot() if e.kind == kind)
 
     @property
     def failures(self) -> List[RuntimeEvent]:
         return self.of_kind("failed")
 
     def for_job(self, job_id: str) -> List[RuntimeEvent]:
-        return [e for e in self.events if e.job_id == job_id]
+        return [e for e in self.snapshot() if e.job_id == job_id]
 
     # -- lifecycle ---------------------------------------------------
 
@@ -177,7 +183,8 @@ class EventLog:
         self.close()
 
     def __len__(self) -> int:
-        return len(self.events)
+        with self._lock:
+            return len(self.events)
 
 
 def read_event_log(path: str) -> List[RuntimeEvent]:

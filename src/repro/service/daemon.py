@@ -178,22 +178,35 @@ class PlacementService:
     # -- journal ------------------------------------------------------
 
     def _journal(self, record: Dict[str, Any]) -> None:
-        record = {"ts": time.time(), **record}
         with self._journal_lock:
-            with open(self._journal_path, "a") as fh:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
+            self._journal_locked(record)
+
+    def _journal_locked(self, record: Dict[str, Any]) -> None:
+        """Append one record; the caller holds ``_journal_lock``."""
+        record = {"ts": time.time(), **record}
+        with open(self._journal_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def _journal_terminals(self) -> None:
         """Append a ``terminal`` op for every newly-terminal ticket
-        (followers resolve through their leader, so sweep them all)."""
-        for entry in self.scheduler.entries():
-            if entry.terminal and entry.ticket not in self._journaled_terminal:
-                self._journaled_terminal.add(entry.ticket)
-                self._journal({"op": "terminal", "ticket": entry.ticket,
-                               "state": entry.state,
-                               "job_id": entry.job.job_id})
+        (followers resolve through their leader, so sweep them all).
+
+        The whole sweep holds ``_journal_lock``: it runs from the drive
+        loop *and* from HTTP cancel threads, and the seen-set test and
+        the append must be one atomic step or two sweeps racing on the
+        same ticket both journal it.
+        """
+        with self._journal_lock:
+            for entry in self.scheduler.entries():
+                if entry.terminal \
+                        and entry.ticket not in self._journaled_terminal:
+                    self._journaled_terminal.add(entry.ticket)
+                    self._journal_locked(
+                        {"op": "terminal", "ticket": entry.ticket,
+                         "state": entry.state,
+                         "job_id": entry.job.job_id})
 
     def _replay_journal(self) -> None:
         """Resubmit every ticket the previous life left in flight."""
@@ -217,7 +230,8 @@ class PlacementService:
                     finished.add(record["ticket"])
         for ticket, record in submitted.items():
             if ticket in finished:
-                self._journaled_terminal.add(ticket)
+                with self._journal_lock:
+                    self._journaled_terminal.add(ticket)
                 continue
             try:
                 job = PlacementJob.from_dict(record["job"])

@@ -493,7 +493,8 @@ class Scheduler:
     # -- querying -----------------------------------------------------
 
     def get(self, ticket: str) -> Optional[ScheduledJob]:
-        return self._entries.get(ticket)
+        with self._cond:
+            return self._entries.get(ticket)
 
     def entries(self) -> List[ScheduledJob]:
         """All entries, in submission order."""
@@ -556,7 +557,8 @@ class Scheduler:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._cond:
+            return self._closed
 
 
 def cancelled_result(job: PlacementJob,

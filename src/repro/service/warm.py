@@ -88,18 +88,27 @@ def publish_design(netlist: Netlist,
     """
     arrays: Dict[str, Dict[str, Any]] = {}
     segments: List[Any] = []
-    for field_name in DESIGN_ARRAY_FIELDS:
-        arr = np.ascontiguousarray(getattr(netlist, field_name))
-        shm = shared_memory.SharedMemory(create=True,
-                                         size=max(1, arr.nbytes))
-        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-        view[...] = arr
-        segments.append(shm)
-        arrays[field_name] = {
-            "shm": shm.name,
-            "shape": list(arr.shape),
-            "dtype": arr.dtype.str,
-        }
+    try:
+        for field_name in DESIGN_ARRAY_FIELDS:
+            arr = np.ascontiguousarray(getattr(netlist, field_name))
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, arr.nbytes))
+            segments.append(shm)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            arrays[field_name] = {
+                "shm": shm.name,
+                "shape": list(arr.shape),
+                "dtype": arr.dtype.str,
+            }
+    except Exception:
+        # A failed create/copy mid-loop must not leak the segments
+        # already published — named shared memory outlives the process.
+        for shm in segments:
+            shm.close()
+            with contextlib.suppress(FileNotFoundError):
+                shm.unlink()
+        raise
     manifest = {
         "key": key,
         "name": netlist.name,
@@ -207,7 +216,8 @@ class DesignStore:
         return manifest
 
     def __len__(self) -> int:
-        return len(self._designs)
+        with self._lock:
+            return len(self._designs)
 
     def close(self) -> None:
         with self._lock:
@@ -394,6 +404,10 @@ class WarmPool:
             # registration dedupes against the publisher's.
             with contextlib.suppress(Exception):  # tracker internals vary
                 resource_tracker.ensure_running()
+        # Guards the _workers dict itself: the daemon's drive loop
+        # kills/respawns handles while HTTP threads walk them for
+        # /stats.  Handle *fields* (busy, seen_keys) stay loop-owned.
+        self._lock = threading.Lock()
         self._workers: Dict[int, _WorkerHandle] = {}
         for worker_id in range(max(1, int(workers))):
             self._spawn(worker_id)
@@ -423,23 +437,30 @@ class WarmPool:
         runner.start()
         handle = _WorkerHandle(worker_id=worker_id, runner=runner,
                                tasks=tasks, cancel_event=cancel)
-        self._workers[worker_id] = handle
+        with self._lock:
+            self._workers[worker_id] = handle
         return handle
 
     @property
     def workers(self) -> List[int]:
-        return sorted(self._workers)
+        with self._lock:
+            return sorted(self._workers)
 
     def idle_workers(self) -> List[int]:
-        return [wid for wid, h in sorted(self._workers.items())
-                if h.busy is None and self.worker_alive(wid)]
+        with self._lock:
+            handles = sorted(self._workers.items())
+        return [wid for wid, h in handles
+                if h.busy is None and h.runner.is_alive()]
 
     def worker_alive(self, worker_id: int) -> bool:
-        handle = self._workers.get(worker_id)
+        with self._lock:
+            handle = self._workers.get(worker_id)
         return bool(handle) and handle.runner.is_alive()
 
     def worker_for(self, ticket: str) -> Optional[int]:
-        for wid, handle in self._workers.items():
+        with self._lock:
+            handles = list(self._workers.items())
+        for wid, handle in handles:
             if handle.busy == ticket:
                 return wid
         return None
@@ -460,10 +481,12 @@ class WarmPool:
             idle = self.idle_workers()
             if not idle:
                 idle = self.workers
-            warm = [wid for wid in idle
-                    if key in self._workers[wid].seen_keys]
+            with self._lock:
+                warm = [wid for wid in idle
+                        if key in self._workers[wid].seen_keys]
             worker_id = (warm or idle)[0]
-        handle = self._workers[worker_id]
+        with self._lock:
+            handle = self._workers[worker_id]
         manifest = None
         if self.store is not None and key not in handle.seen_keys:
             manifest = self.store.manifest_for(job)
@@ -490,7 +513,8 @@ class WarmPool:
             messages.append(message)
             if message.get("event") == "_result":
                 worker_id = message.get("worker")
-                handle = self._workers.get(worker_id)
+                with self._lock:
+                    handle = self._workers.get(worker_id)
                 if handle is not None and handle.busy == message.get("ticket"):
                     handle.busy = None
             if time.perf_counter() >= deadline:
@@ -504,7 +528,8 @@ class WarmPool:
         with it); thread mode requests cooperative cancellation and
         keeps the thread (threads cannot be killed).
         """
-        handle = self._workers.get(worker_id)
+        with self._lock:
+            handle = self._workers.get(worker_id)
         if handle is None:
             return
         if self.inline:
@@ -514,19 +539,22 @@ class WarmPool:
             return
         handle.runner.terminate()
         handle.runner.join(timeout=5)
-        del self._workers[worker_id]
+        with self._lock:
+            self._workers.pop(worker_id, None)
         if respawn:
             self._spawn(worker_id)
 
     def respawn_dead(self) -> List[int]:
         """Replace crashed workers; returns the respawned ids."""
         respawned = []
-        for worker_id in list(self._workers):
-            handle = self._workers[worker_id]
+        with self._lock:
+            handles = list(self._workers.items())
+        for worker_id, handle in handles:
             if not handle.runner.is_alive():
                 if not self.inline:
                     handle.runner.join(timeout=1)
-                del self._workers[worker_id]
+                with self._lock:
+                    self._workers.pop(worker_id, None)
                 self._spawn(worker_id)
                 respawned.append(worker_id)
         return respawned
@@ -534,14 +562,17 @@ class WarmPool:
     # -- lifecycle ----------------------------------------------------
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        for handle in self._workers.values():
+        with self._lock:
+            handles = list(self._workers.values())
+        for handle in handles:
             with contextlib.suppress(Exception):  # queue may already be gone
                 handle.tasks.put({"kind": "stop"})
-        for handle in self._workers.values():
+        for handle in handles:
             handle.runner.join(timeout=timeout)
             if not self.inline and handle.runner.is_alive():
                 handle.runner.terminate()
                 handle.runner.join(timeout=1)
-        self._workers.clear()
+        with self._lock:
+            self._workers.clear()
         if self.store is not None:
             self.store.close()

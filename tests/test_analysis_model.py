@@ -1,0 +1,296 @@
+"""Tests for the shared semantic model (repro.analysis.model).
+
+Covers the CFG builder on the control-flow shapes the dataflow rules
+lean on (try/finally, with, early return, raise paths), call-graph
+resolution, lock-attribute detection, and guard inference on a
+miniature scheduler-shaped fixture.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.locks import _ClassAnalysis
+from repro.analysis.model import build_model
+
+
+def model_of(source):
+    source = textwrap.dedent(source)
+    return build_model(ast.parse(source), "mod.py", source)
+
+
+def cfg_of(source, qualname):
+    model = model_of(source)
+    return model, model.functions[qualname].cfg
+
+
+class TestCFG:
+    def test_straight_line_reaches_exit(self):
+        _, cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                return a
+            """,
+            "f",
+        )
+        # Nothing here can raise, so only the normal exit is reachable.
+        assert cfg.reachable_exit([cfg.entry]) == "exit"
+        assert cfg.reachable_exit([cfg.entry], blocked=[cfg.exit]) is None
+
+    def test_early_return_bypasses_later_statements(self):
+        model, cfg = cfg_of(
+            """
+            def f(flag):
+                h = acquire()
+                if flag:
+                    return 1
+                h.close()
+                return 2
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        acquire_node = cfg.node_of(func.body[0])
+        close_node = cfg.node_of(func.body[2])
+        # Blocking the close statement still reaches exit via `return 1`.
+        assert (
+            cfg.reachable_exit(acquire_node.succs, blocked=[close_node.id])
+            == "exit"
+        )
+
+    def test_try_finally_blocks_every_path(self):
+        model, cfg = cfg_of(
+            """
+            def f():
+                h = acquire()
+                try:
+                    use(h)
+                finally:
+                    h.close()
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        acquire_node = cfg.node_of(func.body[0])
+        close_node = cfg.node_of(func.body[1].finalbody[0])
+        # Normal completion AND the use(h) exception both route through
+        # the finally body: blocking close blocks every exit.
+        assert (
+            cfg.reachable_exit(acquire_node.succs, blocked=[close_node.id])
+            is None
+        )
+        assert cfg.reachable_exit(acquire_node.succs) in ("exit", "raise-exit")
+
+    def test_exception_mid_body_escapes_without_cleanup(self):
+        model, cfg = cfg_of(
+            """
+            def f():
+                h = acquire()
+                use(h)
+                h.close()
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        acquire_node = cfg.node_of(func.body[0])
+        close_node = cfg.node_of(func.body[2])
+        # use(h) may raise; that path reaches raise-exit without close.
+        assert (
+            cfg.reachable_exit(acquire_node.succs, blocked=[close_node.id])
+            == "raise-exit"
+        )
+
+    def test_return_routes_through_finally(self):
+        model, cfg = cfg_of(
+            """
+            def f():
+                try:
+                    return compute()
+                finally:
+                    cleanup()
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        return_node = cfg.node_of(func.body[0].body[0])
+        cleanup_node = cfg.node_of(func.body[0].finalbody[0])
+        assert (
+            cfg.reachable_exit(return_node.succs, blocked=[cleanup_node.id])
+            is None
+        )
+
+    def test_except_handler_is_a_path(self):
+        model, cfg = cfg_of(
+            """
+            def f():
+                h = acquire()
+                try:
+                    use(h)
+                except ValueError:
+                    recover()
+                h.close()
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        acquire_node = cfg.node_of(func.body[0])
+        close_node = cfg.node_of(func.body[2])
+        # The handled path falls through to close; the unmatched
+        # exception still escapes without it.
+        assert (
+            cfg.reachable_exit(acquire_node.succs, blocked=[close_node.id])
+            == "raise-exit"
+        )
+
+    def test_with_body_reached_through_header(self):
+        model, cfg = cfg_of(
+            """
+            def f(lock):
+                with lock:
+                    work()
+            """,
+            "f",
+        )
+        func = model.functions["f"].node
+        with_node = cfg.node_of(func.body[0])
+        body_node = cfg.node_of(func.body[0].body[0])
+        assert body_node.id in with_node.succs
+
+    def test_while_loop_breaks_exit(self):
+        _, cfg = cfg_of(
+            """
+            def f():
+                while True:
+                    if done():
+                        break
+                return 1
+            """,
+            "f",
+        )
+        assert cfg.reachable_exit([cfg.entry]) == "exit"
+
+
+class TestSymbolsAndCalls:
+    SRC = """
+        import threading
+        from threading import Lock
+
+        def helper(x):
+            return x + 1
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._aux = Lock()
+
+            def run(self):
+                self._step()
+                helper(1)
+                Svc._step(self)
+
+            def _step(self):
+                pass
+        """
+
+    def test_lock_attr_detection_both_import_styles(self):
+        model = model_of(self.SRC)
+        assert model.classes["Svc"].lock_attrs == {
+            "_lock": "Lock",
+            "_aux": "Lock",
+        }
+
+    def test_self_method_resolution(self):
+        model = model_of(self.SRC)
+        assert "Svc._step" in model.call_graph["Svc.run"]
+
+    def test_bare_name_and_classname_resolution(self):
+        model = model_of(self.SRC)
+        assert "helper" in model.call_graph["Svc.run"]
+        callers = {caller for caller, _ in model.call_sites["Svc._step"]}
+        assert callers == {"Svc.run"}
+
+    def test_unresolvable_call_is_skipped(self):
+        model = model_of(
+            """
+            import os
+
+            def f():
+                os.getcwd()
+            """
+        )
+        assert model.call_graph["f"] == set()
+
+
+class TestGuardInference:
+    MINI_SCHEDULER = """
+        import threading
+
+        class MiniScheduler:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = []
+                self._done = {}
+                self._name = "mini"
+
+            def submit(self, job):
+                with self._lock:
+                    self._queue.append(job)
+                    self._resolve(job)
+
+            def _resolve(self, job):
+                self._done[job] = True
+
+            def depth(self):
+                with self._lock:
+                    return len(self._queue)
+
+            def label(self):
+                return self._name
+        """
+
+    def analysis(self, source=MINI_SCHEDULER):
+        model = model_of(source)
+        return _ClassAnalysis(model, model.classes["MiniScheduler"])
+
+    def test_golden_guard_sets(self):
+        analysis = self.analysis()
+        assert analysis.guards == {
+            "_queue": frozenset({"_lock"}),
+            "_done": frozenset({"_lock"}),
+        }
+
+    def test_helper_inherits_held_at_entry(self):
+        # _resolve is only ever called under the lock, so its write to
+        # _done counts as guarded and needs no redundant with-block.
+        analysis = self.analysis()
+        assert analysis.entry_held["_resolve"] == frozenset({"_lock"})
+        assert list(analysis.violations()) == []
+
+    def test_public_entry_point_holds_nothing(self):
+        analysis = self.analysis()
+        assert analysis.entry_held["submit"] == frozenset()
+        assert analysis.entry_held["depth"] == frozenset()
+
+    def test_unguarded_read_is_a_violation(self):
+        analysis = self.analysis(
+            """
+            import threading
+
+            class MiniScheduler:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = []
+
+                def submit(self, job):
+                    with self._lock:
+                        self._queue.append(job)
+
+                def peek(self):
+                    return self._queue[0]
+            """
+        )
+        bad = list(analysis.violations())
+        assert len(bad) == 1
+        access, guard = bad[0]
+        assert access.attr == "_queue" and not access.write
+        assert guard == frozenset({"_lock"})

@@ -1,0 +1,579 @@
+"""Seeded-defect corpus for the dataflow lint passes, plus the baseline
+and git-diff plumbing around them.
+
+Each analyzer family gets a miniature module carrying exactly the bug
+class it exists to catch (an unguarded attribute write, ``time.time()``
+in a content-hash flow, a SharedMemory segment leaked on an exception
+path, an ABBA lock cycle) and a fixed twin proving the sanctioned
+pattern passes clean.
+"""
+
+import json
+import os
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    Baseline,
+    BaselineEntry,
+    LintConfig,
+    LintEngine,
+)
+from repro.analysis.engine import Violation
+from repro.cli import main
+
+
+def lint(source, select, path="svc/module.py"):
+    engine = LintEngine(config=LintConfig(select=frozenset(select)))
+    return engine.lint_source(textwrap.dedent(source), path)
+
+
+def rule_names(violations):
+    return [v.rule for v in violations]
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_flagged(self):
+        out = lint(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def drop(self, key):
+                    del self._items[key]
+            """,
+            select={"lock-discipline"},
+        )
+        assert rule_names(out) == ["lock-discipline"]
+        assert "_items" in out[0].message and "drop" in out[0].message
+
+    def test_unguarded_read_flagged(self):
+        out = lint(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def size(self):
+                    return len(self._items)
+            """,
+            select={"lock-discipline"},
+        )
+        assert rule_names(out) == ["lock-discipline"]
+        assert "read" in out[0].message
+
+    def test_helper_called_under_lock_is_clean(self):
+        out = lint(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._insert(key, value)
+
+                def _insert(self, key, value):
+                    self._items[key] = value
+            """,
+            select={"lock-discipline"},
+        )
+        assert out == []
+
+    def test_mutator_call_counts_as_write(self):
+        out = lint(
+            """
+            import threading
+
+            class Log:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+
+                def emit(self, event):
+                    with self._lock:
+                        self._events.append(event)
+
+                def drain(self):
+                    self._events.clear()
+            """,
+            select={"lock-discipline"},
+        )
+        assert rule_names(out) == ["lock-discipline"]
+
+    def test_lockless_class_out_of_scope(self):
+        out = lint(
+            """
+            class Plain:
+                def __init__(self):
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value
+            """,
+            select={"lock-discipline"},
+        )
+        assert out == []
+
+
+class TestLockOrder:
+    ABBA = """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def two(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+
+    def test_abba_cycle_flagged(self):
+        out = lint(self.ABBA, select={"lock-order"})
+        assert rule_names(out) == ["lock-order"]
+        assert "ABBA" in out[0].message
+        assert out[0].severity == "warning"
+
+    def test_consistent_order_is_clean(self):
+        out = lint(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+            select={"lock-order"},
+        )
+        assert out == []
+
+    def test_cycle_through_dispatch_flagged(self):
+        out = lint(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        self._inner()
+
+                def _inner(self):
+                    with self._b:
+                        pass
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+            select={"lock-order"},
+        )
+        assert rule_names(out) == ["lock-order"]
+
+
+class TestDeterminism:
+    def test_wall_clock_in_hash_flow_flagged(self):
+        out = lint(
+            """
+            import hashlib
+            import time
+
+            def content_hash(spec):
+                digest = hashlib.sha256()
+                digest.update(str(time.time()).encode())
+                return digest.hexdigest()
+            """,
+            select={"determinism"},
+        )
+        assert rule_names(out) == ["determinism"]
+        assert "time.time()" in out[0].message
+
+    def test_tainted_name_reaching_sink_flagged(self):
+        out = lint(
+            """
+            import hashlib
+            import time
+
+            def stamp_key(spec):
+                stamp = time.time()
+                return hashlib.sha256(str(stamp).encode()).hexdigest()
+            """,
+            select={"determinism"},
+        )
+        assert any("stamp" in v.message for v in out)
+
+    def test_unordered_iteration_feeding_hash_flagged(self):
+        out = lint(
+            """
+            import hashlib
+
+            def digest(items):
+                h = hashlib.sha256()
+                for item in set(items):
+                    h.update(item)
+                return h.hexdigest()
+            """,
+            select={"determinism"},
+        )
+        assert any("sorted()" in v.message for v in out)
+
+    def test_sorted_launders_order_taint(self):
+        out = lint(
+            """
+            import hashlib
+
+            def digest(items):
+                h = hashlib.sha256()
+                for item in sorted(set(items)):
+                    h.update(item)
+                return h.hexdigest()
+            """,
+            select={"determinism"},
+        )
+        assert out == []
+
+    def test_seeded_streams_allowed(self):
+        out = lint(
+            """
+            import random
+
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng([seed, 7])
+                shuffler = random.Random(seed)
+                return ForkSpec(rng.integers(10), shuffler.random())
+            """,
+            select={"determinism"},
+        )
+        assert out == []
+
+    def test_unseeded_rng_into_forkspec_flagged(self):
+        out = lint(
+            """
+            import numpy as np
+
+            def draw():
+                rng = np.random.default_rng()
+                return ForkSpec(rng.integers(10))
+            """,
+            select={"determinism"},
+        )
+        assert rule_names(out) == ["determinism"]
+
+    def test_no_sink_means_out_of_scope(self):
+        out = lint(
+            """
+            import time
+
+            def elapsed(started):
+                return time.time() - started
+            """,
+            select={"determinism"},
+        )
+        assert out == []
+
+
+class TestResourceLifetime:
+    def test_shared_memory_leak_on_exception_path(self):
+        # The view copy between create and return may raise; on that
+        # path the named segment escapes unreleased.
+        out = lint(
+            """
+            from multiprocessing import shared_memory
+
+            import numpy as np
+
+            def publish(arr):
+                shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                return shm
+            """,
+            select={"resource-lifetime"},
+        )
+        assert rule_names(out) == ["resource-lifetime"]
+        assert "shm" in out[0].message
+        assert "exception" in out[0].message
+
+    def test_immediate_transfer_is_clean(self):
+        # The publish_design pattern: register the segment with its
+        # owning container before any statement that can raise.
+        out = lint(
+            """
+            from multiprocessing import shared_memory
+
+            import numpy as np
+
+            def publish(arr, registry):
+                shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                registry.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                return shm
+            """,
+            select={"resource-lifetime"},
+        )
+        assert out == []
+
+    def test_try_finally_release_is_clean(self):
+        out = lint(
+            """
+            def read_header(path):
+                fh = open(path, "rb")
+                try:
+                    return fh.read(16)
+                finally:
+                    fh.close()
+            """,
+            select={"resource-lifetime"},
+        )
+        assert out == []
+
+    def test_with_block_is_clean(self):
+        out = lint(
+            """
+            def read_all(path):
+                handle = open(path)
+                with handle:
+                    return handle.read()
+            """,
+            select={"resource-lifetime"},
+        )
+        assert out == []
+
+    def test_anonymous_handle_flagged(self):
+        out = lint(
+            """
+            import json
+
+            def load(path):
+                return json.load(open(path))
+            """,
+            select={"resource-lifetime"},
+        )
+        assert rule_names(out) == ["resource-lifetime"]
+
+    def test_socket_leak_flagged(self):
+        out = lint(
+            """
+            import socket
+
+            def probe(host):
+                sock = socket.create_connection((host, 80))
+                sock.sendall(b"ping")
+                sock.close()
+            """,
+            select={"resource-lifetime"},
+        )
+        # sendall may raise before close: the exception path leaks.
+        assert rule_names(out) == ["resource-lifetime"]
+
+
+class TestNoqaSpans:
+    def test_noqa_on_later_line_of_multiline_statement(self):
+        engine = LintEngine()
+        out = engine.lint_source(
+            "d = np.zeros(\n"
+            "    3,\n"
+            ")  # repro: noqa[dtype-drift]\n",
+            "src/repro/density/example.py",
+        )
+        assert out == []
+
+    def test_noqa_on_decorator_covers_the_def_header(self):
+        engine = LintEngine()
+        out = engine.lint_source(
+            "@decorated  # repro: noqa[mutable-default-arg]\n"
+            "def f(x=[]):\n"
+            "    return x\n",
+            "src/repro/flow/example.py",
+        )
+        assert out == []
+
+    def test_noqa_on_def_does_not_blanket_the_body(self):
+        engine = LintEngine()
+        out = engine.lint_source(
+            "def f(x=[]):  # repro: noqa[mutable-default-arg]\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n",
+            "src/repro/flow/example.py",
+        )
+        assert rule_names(out) == ["silent-except"]
+
+
+class TestBaseline:
+    def violation(self, code="x = time.time()"):
+        return Violation(
+            path="/abs/src/repro/service/daemon.py",
+            line=12,
+            col=5,
+            rule="determinism",
+            message="time.time() in a journal flow",
+            code=code,
+        )
+
+    def entry(self, **kw):
+        data = {
+            "rule": "determinism",
+            "path": "src/repro/service/daemon.py",
+            "code": "x = time.time()",
+            "justification": "journal ts is operational metadata",
+        }
+        data.update(kw)
+        return BaselineEntry(**data)
+
+    def test_partition_suppresses_matches(self):
+        baseline = Baseline(entries=[self.entry()])
+        new, suppressed, stale = baseline.partition([self.violation()])
+        assert new == [] and len(suppressed) == 1 and stale == []
+
+    def test_partition_reports_stale_entries(self):
+        baseline = Baseline(entries=[self.entry(code="y = other()")])
+        new, suppressed, stale = baseline.partition([self.violation()])
+        assert len(new) == 1 and suppressed == [] and len(stale) == 1
+
+    def test_line_drift_does_not_unbaseline(self):
+        baseline = Baseline(entries=[self.entry()])
+        moved = Violation(
+            path="/abs/src/repro/service/daemon.py",
+            line=99,
+            col=1,
+            rule="determinism",
+            message="time.time() in a journal flow",
+            code="x = time.time()",
+        )
+        new, suppressed, _ = baseline.partition([moved])
+        assert new == [] and len(suppressed) == 1
+
+    def test_load_requires_justification(self, tmp_path):
+        path = tmp_path / "LINT_BASELINE.json"
+        path.write_text(json.dumps({
+            "entries": [{
+                "rule": "determinism",
+                "path": "a.py",
+                "code": "x = 1",
+                "justification": "",
+            }]
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(str(path))
+
+    def test_cli_rejects_bad_baseline(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        code = main(["lint", str(target), "--baseline", str(bad)])
+        assert code == EXIT_USAGE
+        assert "baseline" in capsys.readouterr().err
+
+    def test_cli_baselined_finding_exits_clean(self, tmp_path, capsys):
+        pkg = tmp_path / "density"
+        pkg.mkdir()
+        target = pkg / "bad.py"
+        target.write_text("d = np.zeros(3)\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "entries": [{
+                "rule": "dtype-drift",
+                "path": "density/bad.py",
+                "code": "d = np.zeros(3)",
+                "justification": "fixture for the baseline test",
+            }]
+        }))
+        code = main(["lint", str(target), "--baseline", str(baseline)])
+        assert code == EXIT_CLEAN
+        assert "baselined" in capsys.readouterr().out
+
+
+def _git(repo, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *argv],
+        cwd=repo, check=True, capture_output=True,
+    )
+
+
+class TestChangedScope:
+    @pytest.fixture()
+    def repo(self, tmp_path, monkeypatch):
+        _git(tmp_path, "init", "-q")
+        pkg = tmp_path / "density"
+        pkg.mkdir()
+        committed = pkg / "committed.py"
+        committed.write_text("d = np.zeros(3)\n")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_changed_scopes_to_diff(self, repo, capsys):
+        fresh = repo / "density" / "fresh.py"
+        fresh.write_text("e = np.empty(4)\n")
+        code = main(["lint", str(repo), "--changed", "HEAD",
+                     "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATIONS
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+
+    def test_no_changes_is_clean(self, repo, capsys):
+        code = main(["lint", str(repo), "--changed", "HEAD",
+                     "--no-baseline"])
+        assert code == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_ref_is_usage_error(self, repo, capsys):
+        code = main(["lint", str(repo), "--changed", "no-such-ref",
+                     "--no-baseline"])
+        assert code == EXIT_USAGE
+        assert "no-such-ref" in capsys.readouterr().err

@@ -194,6 +194,44 @@ class TestEventLog:
         assert log.failures[0].payload["error"] == "boom"
         assert log.for_job("j2")[0].kind == "failed"
 
+    def test_queries_safe_during_concurrent_emit(self):
+        """Query methods snapshot under the lock: pool-drain and HTTP
+        threads emit while stats/tests iterate concurrently."""
+        import threading
+        import time
+
+        log = EventLog()
+        errors = []
+        stop = threading.Event()
+
+        def emitter():
+            i = 0
+            while not stop.is_set():
+                log.emit("heartbeat", f"j{i % 3}", iteration=i)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    log.of_kind("heartbeat")
+                    log.count("heartbeat")
+                    log.for_job("j0")
+                    len(log)
+                except Exception as err:  # noqa: BLE001 — the assertion
+                    errors.append(err)
+                    return
+
+        threads = [threading.Thread(target=emitter, daemon=True),
+                   threading.Thread(target=reader, daemon=True)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+        assert log.count("heartbeat") == len(log)
+
     def test_put_adapter(self):
         log = EventLog()
         log.put({"event": "heartbeat", "job_id": "j1", "iteration": 5,

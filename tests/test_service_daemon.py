@@ -187,6 +187,34 @@ class TestHttpApi:
         assert all(ev["ticket"] == entry["ticket"] for ev in events)
 
 
+class TestJournal:
+    def test_concurrent_terminal_sweeps_journal_once(self, tmp_path):
+        """The terminal sweep runs from the drive loop and from HTTP
+        cancel threads; racing sweeps must not double-journal a
+        ticket."""
+        from types import SimpleNamespace
+
+        service = PlacementService(str(tmp_path / "state"))
+        entries = [
+            SimpleNamespace(terminal=True, ticket=f"t{i}", state="done",
+                            job=SimpleNamespace(job_id=f"j{i}"))
+            for i in range(16)
+        ]
+        service.scheduler.entries = lambda: entries
+        threads = [
+            threading.Thread(target=service._journal_terminals)
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        with open(service._journal_path) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        terminal = [r["ticket"] for r in records if r["op"] == "terminal"]
+        assert sorted(terminal) == sorted(e.ticket for e in entries)
+
+
 class TestRecovery:
     def test_graceful_stop_resumes_on_restart(self, tmp_path):
         state = str(tmp_path / "state")

@@ -28,6 +28,39 @@ def done_result(job, hpwl=100.0):
                      seed=job.effective_seed(), hpwl=hpwl, seconds=0.01)
 
 
+class TestThreadSafety:
+    def test_get_and_closed_during_concurrent_submit(self):
+        """HTTP handler threads call get()/closed while the submit path
+        mutates the entry table under the scheduler condition."""
+        sched = Scheduler()
+        errors = []
+        tickets = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    assert not sched.closed
+                    for ticket in list(tickets):
+                        assert sched.get(ticket) is not None
+                    assert sched.get("no-such-ticket") is None
+                except Exception as err:  # noqa: BLE001 — the assertion
+                    errors.append(err)
+                    return
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            for seed in range(50):
+                tickets.append(sched.submit(make_job(seed=seed)).ticket)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert errors == []
+        sched.close()
+        assert sched.closed
+
+
 class TestLifecycle:
     def test_submit_lease_finish(self):
         sched = Scheduler()

@@ -1,5 +1,6 @@
 """Warm workers: shared-memory designs, resident dispatch, kills."""
 
+import threading
 import time
 
 import numpy as np
@@ -94,6 +95,33 @@ class TestSharedMemoryDesigns:
         assert design_key(make_job(cells=120)) != design_key(
             make_job(cells=121))
 
+    def test_publish_failure_unlinks_partial_segments(self, monkeypatch):
+        """A create that fails mid-loop must not leak the segments
+        already published — named shared memory outlives the process."""
+        from multiprocessing import shared_memory as shm_mod
+
+        real = shm_mod.SharedMemory
+        created = []
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("create"):
+                calls["n"] += 1
+                if calls["n"] > 2:
+                    raise OSError("synthetic: out of segments")
+            segment = real(*args, **kwargs)
+            created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", flaky)
+        job = make_job()
+        with pytest.raises(OSError, match="synthetic"):
+            publish_design(job.load_netlist(), design_key(job))
+        assert len(created) == 2
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real(name=name)
+
     def test_store_publishes_once_and_evicts_lru(self):
         store = DesignStore(max_designs=1)
         try:
@@ -181,6 +209,38 @@ class TestWarmPool:
             assert message["status"] == "done"
         finally:
             pool.shutdown()
+
+    def test_worker_listings_safe_during_respawn_churn(self):
+        """/stats readers walk the worker table from HTTP threads while
+        the drive loop kills and respawns handles."""
+        pool = WarmPool(workers=2)
+        if pool.inline:
+            pool.shutdown()
+            pytest.skip("respawn churn requires process workers")
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    pool.workers
+                    pool.idle_workers()
+                    pool.worker_for("nope")
+                    pool.worker_alive(0)
+                except Exception as err:  # noqa: BLE001 — the assertion
+                    errors.append(err)
+                    return
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            for _ in range(6):
+                pool.kill_worker(0)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+            pool.shutdown()
+        assert errors == []
 
     def test_two_workers_run_concurrently(self):
         pool = WarmPool(workers=2)
