@@ -15,6 +15,11 @@ Commands
               allocating fallback) and write BENCH_operator.json; with
               ``--compare`` gate against a saved report
 ``serve``     run the placement daemon (HTTP job API, warm workers)
+``chaos``     seeded service-chaos soak: boot a real daemon against a
+              deterministic service fault plan (hung workers, slow I/O,
+              shm unlinks, cache/journal corruption, crash-on-attach),
+              audit that no ticket is lost and recovery is bit-identical,
+              and write a CHAOS_report.json artifact
 ``explore``   population-based global exploration over checkpoint forks:
               run a cohort of GP trajectories, rank at synchronization
               rounds, fork the leaders with bounded perturbations, cull
@@ -345,6 +350,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.supervision import ChaosConfig, chaos_fingerprint, run_chaos
+
+    def run() -> "object":
+        config = ChaosConfig(
+            seed=args.seed,
+            jobs=args.jobs,
+            workers=args.workers,
+            design=args.design,
+            cells=args.cells,
+            iterations=args.iterations,
+            deadline=args.deadline,
+            hang_timeout=args.hang_timeout,
+            soak_timeout=args.soak_timeout,
+            state_dir=args.state_dir,
+            start_method=args.start_method,
+            restart=not args.no_restart,
+        )
+        return run_chaos(config)
+
+    report = run()
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.out}")
+    if args.check_determinism:
+        if args.state_dir:
+            print("error: --check-determinism needs fresh state dirs; "
+                  "drop --state-dir", file=sys.stderr)
+            return 2
+        second = run()
+        a = chaos_fingerprint(report)
+        b = chaos_fingerprint(second)
+        if a != b:
+            print(f"error: same-seed soaks diverged: {a} != {b}",
+                  file=sys.stderr)
+            return 1
+        print(f"determinism: two seed-{args.seed} soaks agree ({a[:16]}…)")
+        if not second.ok:
+            for violation in second.violations:
+                print(f"second run VIOLATION: {violation}", file=sys.stderr)
+            return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.core.params import PlacementParams
     from repro.explore import ExploreConfig, PopulationController
@@ -580,6 +631,50 @@ def build_parser() -> argparse.ArgumentParser:
                             "submits beyond it get HTTP 429 + Retry-After "
                             "(default: unlimited)")
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded service-chaos soak against a real daemon",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="soak seed; derives the whole fault schedule "
+                            "(default 0)")
+    chaos.add_argument("--jobs", type=int, default=20,
+                       help="soak jobs (clean twins come on top; "
+                            "default 20)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="warm worker processes (default 2)")
+    chaos.add_argument("--design", default="fft_1",
+                       help="suite design for the soak jobs "
+                            "(default fft_1)")
+    chaos.add_argument("--cells", type=int, default=100,
+                       help="movable cells per soak job (default 100)")
+    chaos.add_argument("--iterations", type=int, default=40,
+                       help="GP iterations per soak job (default 40)")
+    chaos.add_argument("--deadline", type=float, default=60.0,
+                       help="per-job wall-clock budget in seconds; the "
+                            "hung job must be preempted well under it "
+                            "(default 60)")
+    chaos.add_argument("--hang-timeout", type=float, default=2.0,
+                       help="liveness silence threshold in seconds "
+                            "(default 2)")
+    chaos.add_argument("--soak-timeout", type=float, default=300.0,
+                       help="overall harness budget in seconds "
+                            "(default 300)")
+    chaos.add_argument("--state-dir", default=None,
+                       help="daemon state root (default: fresh temp dir)")
+    chaos.add_argument("--start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="multiprocessing start method (default: auto)")
+    chaos.add_argument("--no-restart", action="store_true",
+                       help="skip the journal-damage restart leg")
+    chaos.add_argument("--out", default=None, metavar="JSON",
+                       help="write the ChaosReport here "
+                            "(e.g. CHAOS_report.json)")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="run the soak twice and require identical "
+                            "fingerprints")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     explore = sub.add_parser(
         "explore",

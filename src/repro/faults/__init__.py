@@ -10,6 +10,9 @@ HPWL" as a regression test rather than folklore.
 
 See :mod:`repro.faults.plan` for the fault vocabulary and
 :mod:`repro.faults.inject` for how each kind is delivered.
+:mod:`repro.faults.service` extends the vocabulary to the service
+layer (hung workers, slow I/O, shm unlinks, journal corruption,
+crash-on-attach) for the ``repro chaos`` soak harness.
 """
 
 from repro.faults.inject import (
@@ -19,10 +22,18 @@ from repro.faults.inject import (
     loop_fault_callback,
 )
 from repro.faults.plan import FAULT_KINDS, LOOP_KINDS, FaultPlan, FaultSpec
+from repro.faults.service import (
+    SERVICE_FAULT_KINDS,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+)
 
 __all__ = [
     "FAULT_KINDS",
     "LOOP_KINDS",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
     "FaultCallback",
     "FaultPlan",
     "FaultSpec",

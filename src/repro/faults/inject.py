@@ -62,14 +62,17 @@ class FaultCallback(IterationCallback):
             spec = self.specs[index]
             if record.iteration != spec.iteration:
                 continue
-            if spec.kind == "crash" and self.resumed:
+            if spec.kind in ("crash", "hang") and self.resumed:
                 continue  # the previous attempt already took this hit
             self._armed.discard(index)
             self.fired.append(spec)
             self._fire(spec, record.iteration)
 
     def _fire(self, spec: FaultSpec, iteration: int) -> None:
-        if spec.kind == "slow":
+        if spec.kind in ("slow", "hang"):
+            # Both hold the GP loop mid-iteration; "hang" is typically
+            # sized past the liveness timeout so the supervisor must
+            # preempt, while "slow" stays under it (deadline territory).
             time.sleep(spec.seconds)
         elif spec.kind == "nan-grad":
             raise NumericalFault(

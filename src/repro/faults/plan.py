@@ -25,6 +25,14 @@ Fault kinds
                    checkpoint, so a crash-retry cannot loop forever.
 ``slow``           sleep ``seconds`` at the given iteration (exercises
                    timeout enforcement, cooperative and hard).
+``hang``           sleep ``seconds`` at the given iteration *without
+                   heartbeating* — the worker holds its process and its
+                   slot, exactly the straggler signature the
+                   :class:`~repro.supervision.liveness.LivenessMonitor`
+                   exists to preempt.  Like ``crash`` it is skipped when
+                   the run resumed from a checkpoint: the hang "already
+                   happened" to the preempted attempt, so the resumed
+                   run completes bit-identically to a fault-free one.
 ``corrupt-cache``  not a loop fault: tests and the chaos harness apply
                    it to a :class:`~repro.runtime.cache.ResultCache`
                    entry via :func:`repro.faults.inject.corrupt_cache_entry`.
@@ -39,7 +47,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 #: Kinds injected through the GP loop's iteration-callback seam.
-LOOP_KINDS = ("nan-grad", "abort", "crash", "slow")
+LOOP_KINDS = ("nan-grad", "abort", "crash", "slow", "hang")
 
 FAULT_KINDS = LOOP_KINDS + ("corrupt-cache",)
 
@@ -166,7 +174,8 @@ class FaultPlan:
                 FaultSpec(
                     kind=kind,
                     iteration=int(rng.integers(1, max_iteration)),
-                    seconds=slow_seconds if kind == "slow" else 0.0,
+                    seconds=(slow_seconds if kind in ("slow", "hang")
+                             else 0.0),
                 )
             )
         return cls(faults=faults, seed=seed)

@@ -1,0 +1,333 @@
+"""Service-level fault plans: the failure classes a GP-loop plan
+cannot express.
+
+A :class:`~repro.faults.plan.FaultPlan` breaks one placement run from
+the inside (NaN gradients, crashes at an iteration).  A
+:class:`ServiceFaultPlan` breaks the *service* around the runs: hung
+workers holding their slot, slow or failing I/O on the result cache
+and the journal, shared-memory segments unlinked under readers,
+corrupted cache entries, workers that crash every time they pick a job
+up, and journal corruption discovered at restart.  It is seeded from
+the run id — the same id always produces the same schedule — and it
+journals every fault it actually injects (:attr:`injected`), so a
+chaos soak can assert that supervisor events match the schedule and a
+failing run is replayable from its id alone.
+
+Fault kinds
+-----------
+``hang``             loop fault (rides the job spec): stop heartbeating
+                     but hold the process — the LivenessMonitor must
+                     preempt it before the wall-clock deadline.
+``crash``            loop fault (rides the job spec): hard-exit the
+                     worker mid-iteration; the retry resumes from the
+                     checkpoint bit-identically.
+``slow-io``          seam fault: delay cache/journal writes (``target``
+                     is ``cache-put``, ``cache-get`` or
+                     ``journal-append``) for the first ``count``
+                     operations — enough, by construction, to trip the
+                     matching breaker into its degraded mode.
+``shm-unlink``       unlink a published design's shared-memory segments
+                     while workers may still attach — the next warm
+                     dispatch falls back to a cold load.
+``cache-corrupt``    overwrite a stored result entry with garbage; the
+                     next lookup must evict and recompute.
+``crash-on-attach``  the worker exits the moment it picks the job up,
+                     for the first ``count`` attempts — the repeated
+                     crashes drive its worker-health score into
+                     quarantine.
+``journal-truncate`` applied at a mid-soak restart: tear the journal's
+                     tail line as a crashed write would.
+``journal-corrupt``  applied at a mid-soak restart: duplicate a
+                     terminal record and interleave a partial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+SERVICE_FAULT_KINDS = (
+    "hang",
+    "crash",
+    "slow-io",
+    "shm-unlink",
+    "cache-corrupt",
+    "crash-on-attach",
+    "journal-truncate",
+    "journal-corrupt",
+)
+
+#: Kinds that ride a specific soak job (get a ``job_index``).
+JOB_BOUND_KINDS = ("hang", "crash", "cache-corrupt", "crash-on-attach")
+
+#: Kinds that need a killable worker process — the thread-fallback pool
+#: cannot express them, so inline soaks skip (and report) them.
+PROCESS_ONLY_KINDS = ("hang", "crash", "crash-on-attach", "shm-unlink")
+
+
+def seed_for_run(run_id: str) -> int:
+    """The deterministic RNG seed derived from a chaos run id."""
+    digest = hashlib.sha256(run_id.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One scheduled service fault."""
+
+    kind: str
+    job_index: Optional[int] = None   # which soak job it rides
+    iteration: int = 0                # loop faults: where in the run
+    seconds: float = 0.0              # hang hold / slow-io delay
+    count: int = 1                    # repeats (attach crashes, io ops)
+    target: Optional[str] = None      # slow-io seam
+    exitcode: int = 173
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {self.kind!r} "
+                f"(one of {SERVICE_FAULT_KINDS})"
+            )
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "kind": self.kind,
+            "job_index": self.job_index,
+            "iteration": self.iteration,
+            "seconds": self.seconds,
+            "count": self.count,
+            "target": self.target,
+            "exitcode": self.exitcode,
+        }
+        return {k: v for k, v in data.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceFaultSpec":
+        return cls(
+            kind=data["kind"],
+            job_index=data.get("job_index"),
+            iteration=int(data.get("iteration", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+            count=int(data.get("count", 1)),
+            target=data.get("target"),
+            exitcode=int(data.get("exitcode", 173)),
+        )
+
+
+@dataclass
+class ServiceFaultPlan:
+    """A seeded, self-journaling schedule of service faults."""
+
+    run_id: str
+    faults: List[ServiceFaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.faults = [
+            f if isinstance(f, ServiceFaultSpec)
+            else ServiceFaultSpec.from_dict(f)
+            for f in self.faults
+        ]
+        self.seed = seed_for_run(self.run_id)
+        self.injected: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        with self._lock:
+            self._job_ids: Dict[int, str] = {}
+            # Remaining-operation budgets for seam faults, keyed by spec
+            # position so two slow-io specs on one target stay distinct.
+            self._io_budget: Dict[int, int] = {
+                index: spec.count
+                for index, spec in enumerate(self.faults)
+                if spec.kind == "slow-io"
+            }
+            self._attach_budget: Dict[int, int] = {
+                index: spec.count
+                for index, spec in enumerate(self.faults)
+                if spec.kind == "crash-on-attach"
+            }
+
+    # -- generation ----------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        run_id: str,
+        jobs: int,
+        kinds: tuple = SERVICE_FAULT_KINDS,
+        max_iteration: int = 30,
+        hang_seconds: float = 120.0,
+        slow_io_seconds: float = 0.25,
+        slow_io_ops: int = 3,
+        crash_attach_count: int = 2,
+    ) -> "ServiceFaultPlan":
+        """Draw a deterministic schedule for an ``jobs``-job soak.
+
+        Job-bound kinds are dealt distinct job indices from a seeded
+        permutation (wrapping when there are more kinds than jobs);
+        iterations are drawn uniformly from the middle of the run so a
+        checkpoint exists before the fault lands.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_iteration < 4:
+            raise ValueError("max_iteration must be >= 4")
+        rng = np.random.default_rng(seed_for_run(run_id))
+        order = [int(i) for i in rng.permutation(jobs)]
+        faults: List[ServiceFaultSpec] = []
+        dealt = 0
+        for kind in kinds:
+            if kind in JOB_BOUND_KINDS:
+                job_index = order[dealt % len(order)]
+                dealt += 1
+                iteration = int(rng.integers(max_iteration // 2,
+                                             max_iteration - 1))
+                faults.append(ServiceFaultSpec(
+                    kind=kind,
+                    job_index=job_index,
+                    iteration=iteration,
+                    seconds=hang_seconds if kind == "hang" else 0.0,
+                    count=(crash_attach_count
+                           if kind == "crash-on-attach" else 1),
+                ))
+            elif kind == "slow-io":
+                for target in ("cache-put", "journal-append"):
+                    faults.append(ServiceFaultSpec(
+                        kind="slow-io", target=target,
+                        seconds=slow_io_seconds, count=slow_io_ops,
+                    ))
+            elif kind == "shm-unlink":
+                # Fires once at least one job finished, so the design
+                # is published and has been attached by readers.
+                faults.append(ServiceFaultSpec(
+                    kind="shm-unlink",
+                    count=max(1, jobs // 4),
+                ))
+            elif kind in ("journal-truncate", "journal-corrupt"):
+                faults.append(ServiceFaultSpec(kind=kind))
+        return cls(run_id=run_id, faults=faults)
+
+    # -- schedule queries ----------------------------------------------
+
+    def specs_of(self, *kinds: str) -> List[ServiceFaultSpec]:
+        return [spec for spec in self.faults if spec.kind in kinds]
+
+    def bind_job(self, index: int, job_id: str) -> None:
+        """Pin a soak job index to its realized job id (needed because
+        fault payloads join the content hash — the harness knows ids
+        only after building the specs)."""
+        with self._lock:
+            self._job_ids[index] = job_id
+
+    def job_id_of(self, index: int) -> Optional[str]:
+        with self._lock:
+            return self._job_ids.get(index)
+
+    def loop_plan(self, index: int) -> Optional[FaultPlan]:
+        """The GP-loop plan (hang/crash) riding soak job ``index``, to
+        embed in its spec's ``faults`` field — or None."""
+        specs = [
+            FaultSpec(kind=spec.kind, iteration=spec.iteration,
+                      seconds=spec.seconds, exitcode=spec.exitcode)
+            for spec in self.faults
+            if spec.kind in ("hang", "crash") and spec.job_index == index
+        ]
+        if not specs:
+            return None
+        return FaultPlan(faults=specs, seed=self.seed)
+
+    # -- runtime seams -------------------------------------------------
+
+    def io_hook(self, *targets: str) -> Callable[[str], None]:
+        """A fault hook for the cache/journal write paths: sleeps
+        ``seconds`` for the first ``count`` operations matching each
+        scheduled ``slow-io`` target, then stands down."""
+
+        def hook(op: str) -> None:
+            delay = 0.0
+            with self._lock:
+                for index, spec in enumerate(self.faults):
+                    if spec.kind != "slow-io" or spec.target != op:
+                        continue
+                    if targets and op not in targets:
+                        continue
+                    remaining = self._io_budget.get(index, 0)
+                    if remaining <= 0:
+                        continue
+                    self._io_budget[index] = remaining - 1
+                    delay = spec.seconds
+                    self._record_locked("slow-io", target=op,
+                                        seconds=spec.seconds,
+                                        remaining=remaining - 1)
+                    break
+            if delay > 0:
+                time.sleep(delay)
+
+        return hook
+
+    def dispatch_chaos(self, job_id: str,
+                       attempt: int) -> Optional[Dict[str, Any]]:
+        """The chaos payload to ride a warm-pool task message for this
+        dispatch, or None.  ``crash-on-attach`` fires once per budgeted
+        attempt and then lets the job run clean."""
+        with self._lock:
+            for index, spec in enumerate(self.faults):
+                if spec.kind != "crash-on-attach":
+                    continue
+                bound = self._job_ids.get(spec.job_index)
+                if bound is None or bound != job_id:
+                    continue
+                remaining = self._attach_budget.get(index, 0)
+                if remaining <= 0:
+                    continue
+                self._attach_budget[index] = remaining - 1
+                self._record_locked("crash-on-attach", job_id=job_id,
+                                    attempt=attempt,
+                                    remaining=remaining - 1)
+                return {"crash_on_attach": True,
+                        "exitcode": spec.exitcode}
+        return None
+
+    # -- the injection journal -----------------------------------------
+
+    def record(self, kind: str, **info: Any) -> None:
+        with self._lock:
+            self._record_locked(kind, **info)
+
+    def _record_locked(self, kind: str, **info: Any) -> None:
+        self.injected.append({"kind": kind, **info})
+
+    def injected_kinds(self) -> List[str]:
+        with self._lock:
+            return sorted(entry["kind"] for entry in self.injected)
+
+    def injection_log(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(entry) for entry in self.injected]
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceFaultPlan":
+        return cls(
+            run_id=data["run_id"],
+            faults=[ServiceFaultSpec.from_dict(f)
+                    for f in data.get("faults", [])],
+        )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventLog
@@ -92,11 +92,16 @@ def run_batch(
 
 def summary_table(jobs: List[PlacementJob],
                   results: List[JobResult],
-                  cache: Optional[ResultCache] = None) -> str:
+                  cache: Optional[ResultCache] = None,
+                  supervision: Optional[Dict[str, int]] = None) -> str:
     """Fixed-width per-job table (plus a one-line totals footer).
 
     With a ``cache`` handle, a second footer line reports its lookup
-    counters (hits / misses / evictions) for the run.
+    counters (hits / misses / evictions) for the run.  ``supervision``
+    takes a supervisor counter dict (see
+    :meth:`~repro.supervision.supervisor.Supervisor.counters`) and adds
+    a self-healing footer — preemptions, quarantines, breaker trips and
+    shed submissions — when any counter is nonzero.
     """
     headers = ("job", "design", "placer", "seed", "status", "cached",
                "hpwl", "seconds", "attempts")
@@ -145,5 +150,13 @@ def summary_table(jobs: List[PlacementJob],
         lines.append(
             f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
             f"{stats['evictions']} eviction(s)"
+        )
+    if supervision and any(supervision.values()):
+        lines.append(
+            f"supervision: {supervision.get('preemptions', 0)} "
+            f"preemption(s), {supervision.get('quarantines', 0)} "
+            f"quarantine(s), {supervision.get('breaker_trips', 0)} "
+            f"breaker trip(s), {supervision.get('shed', 0)} shed "
+            f"submit(s)"
         )
     return "\n".join(lines)

@@ -43,6 +43,20 @@ Event kinds
                 :mod:`repro.explore`) — the payload carries the
                 ``action`` (``round`` / ``fork`` / ``cull`` / ``done``),
                 the cohort round and the members involved
+``preempted``   the LivenessMonitor killed a hung worker early (no
+                progress within the hang timeout) and requeued the job
+                with checkpoint resume — the payload carries the
+                worker, the silent interval and the last iteration seen
+``quarantine``  worker-health state change (service supervisor) — the
+                payload carries the ``action`` (``enter`` / ``probe`` /
+                ``restore`` / ``replace``), the worker and its score
+``breaker``     a circuit breaker transitioned (service supervisor) —
+                the payload names the breaker and the old/new states
+``shed``        the brownout controller refused a submission (service
+                degraded or draining) — the payload carries the state,
+                priority and the Retry-After hint
+``chaos``       the chaos harness injected a service fault — the
+                payload names the fault kind and its target
 """
 
 from __future__ import annotations
@@ -71,6 +85,11 @@ EVENT_KINDS = (
     "deduped",
     "interrupted",
     "explore",
+    "preempted",
+    "quarantine",
+    "breaker",
+    "shed",
+    "chaos",
 )
 
 

@@ -221,6 +221,10 @@ class WorkerPool:
         between retry attempts (attempt n waits
         ``retry_backoff · 2^(n−1) · (1 + jitter)``, jitter ∈ [0, 0.5)
         deterministic per (job, n)).
+    retry_backoff_max : ceiling on any single computed backoff delay —
+        the exponential stops growing here instead of unboundedly.
+        Every ``retry`` event carries the computed ``backoff`` and the
+        ``attempt`` ordinal it gates.
     drain_grace : seconds in-flight jobs get to finish after a
         SIGINT/SIGTERM before they are terminated and marked
         ``interrupted``.
@@ -235,6 +239,7 @@ class WorkerPool:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         retry_backoff: float = 0.25,
+        retry_backoff_max: float = 30.0,
         drain_grace: float = 5.0,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
@@ -243,6 +248,7 @@ class WorkerPool:
         self.checkpoint_dir = checkpoint_dir
         self.resume = bool(resume)
         self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
         self.drain_grace = float(drain_grace)
         self._shutdown = False
         self._mp_context = None
@@ -250,7 +256,8 @@ class WorkerPool:
             self._mp_context = _resolve_context(start_method)
 
     def _backoff_delay(self, job_id: str, retry_number: int) -> float:
-        return backoff_delay(job_id, retry_number, self.retry_backoff)
+        return backoff_delay(job_id, retry_number, self.retry_backoff,
+                             max_delay=self.retry_backoff_max)
 
     @property
     def inline(self) -> bool:
@@ -419,11 +426,14 @@ class WorkerPool:
             except JobTimeoutError as err:
                 timeouts = attempt  # every inline retry is a timeout retry
                 if timeouts <= job.timeout_retries:
+                    backoff = self._backoff_delay(job.job_id, attempt)
                     events.emit(
                         "retry", job.job_id, reason="timeout",
                         attempt=attempt + 1, timeouts=timeouts,
+                        backoff=round(backoff, 4),
                         resume=self.checkpoint_dir is not None,
                     )
+                    time.sleep(backoff)
                     continue
                 message = (f"{err} — timeout budget exhausted "
                            f"({timeouts} timeout(s), "
@@ -745,16 +755,25 @@ class WorkerPool:
         return result
 
 
-def backoff_delay(job_id: str, retry_number: int, base: float) -> float:
+def backoff_delay(job_id: str, retry_number: int, base: float,
+                  max_delay: Optional[float] = None) -> float:
     """Jittered exponential backoff before retry ``retry_number``.
 
     Deterministic in (job, retry ordinal): reruns of the same batch
     wait the same amounts, so chaos tests can assert on schedules.
     Shared by the batch pool and the service daemon.
+
+    ``max_delay`` caps the result *after* jitter — without it the
+    exponential grows unboundedly (retry 20 of a flapping job would
+    wait days), which is exactly wrong for a job that only needs its
+    worker replaced.
     """
     scaled = base * (2 ** max(0, retry_number - 1))
     jitter = random.Random(f"{job_id}:{retry_number}").uniform(0.0, 0.5)
-    return scaled * (1.0 + jitter)
+    delay = scaled * (1.0 + jitter)
+    if max_delay is not None:
+        delay = min(delay, float(max_delay))
+    return delay
 
 
 def _resolve_context(start_method: Optional[str]):

@@ -27,10 +27,21 @@ service.  Three layers:
     stream, with a journal + GP checkpoints under a state directory so
     a killed daemon resumes its in-flight jobs on restart.
     :mod:`repro.service.client` is the matching stdlib-only client.
+
+:mod:`repro.service.journal`
+    The daemon's write-ahead journal as a standalone component: fsync
+    durability, a breaker-guarded degraded (buffered) mode with a
+    bounded loss window, and corruption-tolerant replay parsing.
+
+The daemon is self-healing via :mod:`repro.supervision`: heartbeat
+liveness with early preemption of hung workers, per-worker health
+quarantine with canary probes, circuit breakers over cache / shared
+memory / journal, and brownout admission control.
 """
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.daemon import PlacementService, make_server, serve
+from repro.service.journal import Journal, JournalReplay, read_journal
 from repro.service.scheduler import (
     JOB_STATES,
     TERMINAL_STATES,
@@ -43,6 +54,8 @@ from repro.service.warm import WarmPool
 __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
+    "Journal",
+    "JournalReplay",
     "PlacementService",
     "QueueFull",
     "ScheduledJob",
@@ -51,5 +64,6 @@ __all__ = [
     "ServiceError",
     "WarmPool",
     "make_server",
+    "read_journal",
     "serve",
 ]

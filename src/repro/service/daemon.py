@@ -44,6 +44,22 @@ backlog (running jobs don't count) is at the cap gets HTTP 429 with a
 ``Retry-After`` header estimated from recent job durations.  Dedupe
 followers are exempt — they cost nothing to queue — as are the
 daemon's internal retries.
+
+Supervision (see :mod:`repro.supervision`): a
+:class:`~repro.supervision.supervisor.Supervisor` watches the fleet —
+hung jobs (no heartbeat within the hang timeout while iterations
+stopped advancing) are preempted early and resumed from their
+checkpoint instead of waiting out the wall-clock deadline; flapping
+workers (crash/hang/timeout EWMA below threshold) are quarantined out
+of rotation, probed with a canary job and restored or replaced; the
+ResultCache, the shared-memory DesignStore and the journal fsync path
+sit behind circuit breakers whose open states select degraded modes
+(cache-bypass, cold-attach, buffered journaling with a bounded loss
+window).  While any breaker is open or a worker quarantined the
+service is *degraded*: ``/healthz`` says so and the brownout
+controller sheds low-priority submits with HTTP 503 + ``Retry-After``.
+A draining daemon answers 503 on ``/healthz`` so load balancers fail
+over before the socket goes away.
 """
 
 from __future__ import annotations
@@ -63,8 +79,12 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.events import EventLog, RuntimeEvent
 from repro.runtime.job import JobResult, PlacementJob
 from repro.runtime.pool import backoff_delay
+from repro.service.journal import Journal, read_journal
 from repro.service.scheduler import QueueFull, ScheduledJob, Scheduler
 from repro.service.warm import WarmPool
+from repro.supervision.breakers import GuardedResultCache
+from repro.supervision.brownout import BrownoutShed
+from repro.supervision.supervisor import SupervisionConfig, Supervisor
 
 
 class EventRouter(EventLog):
@@ -137,19 +157,32 @@ class PlacementService:
         start_method: Optional[str] = None,
         heartbeat_every: int = 25,
         retry_backoff: float = 0.25,
+        retry_backoff_max: float = 30.0,
         quotas: Optional[Dict[str, int]] = None,
         default_quota: Optional[int] = None,
         max_resident: int = 8,
         max_queue_depth: Optional[int] = None,
         queue_limits: Optional[Dict[str, int]] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        fault_plan=None,
     ) -> None:
         self.state_dir = os.path.abspath(state_dir)
         os.makedirs(self.state_dir, exist_ok=True)
         self.checkpoint_dir = os.path.join(self.state_dir, "checkpoints")
         os.makedirs(self.checkpoint_dir, exist_ok=True)
-        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
         self.events = EventRouter(
             path=os.path.join(self.state_dir, "events.jsonl")
+        )
+        self.supervision = supervision or SupervisionConfig()
+        self.fault_plan = fault_plan     # chaos harness seams (or None)
+        self.supervisor = Supervisor(self.supervision,
+                                     on_event=self.events.emit)
+        self.cache = GuardedResultCache(
+            ResultCache(os.path.join(self.state_dir, "cache")),
+            breaker=self.supervisor.breakers["cache"],
+            slow_op_seconds=self.supervision.slow_op_seconds,
+            fault_hook=(fault_plan.io_hook("cache-get", "cache-put")
+                        if fault_plan is not None else None),
         )
         self.scheduler = Scheduler(cache=self.cache, events=self.events,
                                    quotas=quotas,
@@ -161,33 +194,35 @@ class PlacementService:
         self.start_method = start_method
         self.heartbeat_every = heartbeat_every
         self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
         self.max_resident = max_resident
         self.started_ts = time.time()
         self.pool: Optional[WarmPool] = None
         self._journal_path = os.path.join(self.state_dir, "journal.jsonl")
+        self.journal = Journal(
+            self._journal_path,
+            breaker=self.supervisor.breakers["journal"],
+            fault_hook=(fault_plan.io_hook("journal-append")
+                        if fault_plan is not None else None),
+            slow_op_seconds=self.supervision.slow_op_seconds,
+            max_buffered=self.supervision.journal_buffer,
+        )
         self._journal_lock = threading.Lock()
         self._journaled_terminal: set = set()
         self._active: Dict[str, _ActiveJob] = {}
         self._crash_counts: Dict[str, int] = {}
         self._timeout_counts: Dict[str, int] = {}
+        self._preempt_counts: Dict[str, int] = {}
         self._stop = threading.Event()
         self._loop_thread: Optional[threading.Thread] = None
         self.recovered: List[str] = []       # tickets resumed on start
         self.journal_dropped = 0             # unreadable journal records
+        self.journal_duplicates = 0          # duplicated terminal records
 
     # -- journal ------------------------------------------------------
 
     def _journal(self, record: Dict[str, Any]) -> None:
-        with self._journal_lock:
-            self._journal_locked(record)
-
-    def _journal_locked(self, record: Dict[str, Any]) -> None:
-        """Append one record; the caller holds ``_journal_lock``."""
-        record = {"ts": time.time(), **record}
-        with open(self._journal_path, "a") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        self.journal.append(record)
 
     def _journal_terminals(self) -> None:
         """Append a ``terminal`` op for every newly-terminal ticket
@@ -196,43 +231,35 @@ class PlacementService:
         The whole sweep holds ``_journal_lock``: it runs from the drive
         loop *and* from HTTP cancel threads, and the seen-set test and
         the append must be one atomic step or two sweeps racing on the
-        same ticket both journal it.
+        same ticket both journal it.  (The :class:`Journal` has its own
+        leaf lock; ``_journal_lock`` guards the seen-set.)
         """
         with self._journal_lock:
             for entry in self.scheduler.entries():
                 if entry.terminal \
                         and entry.ticket not in self._journaled_terminal:
                     self._journaled_terminal.add(entry.ticket)
-                    self._journal_locked(
+                    self.journal.append(
                         {"op": "terminal", "ticket": entry.ticket,
                          "state": entry.state,
                          "job_id": entry.job.job_id})
 
     def _replay_journal(self) -> None:
-        """Resubmit every ticket the previous life left in flight."""
-        if not os.path.isfile(self._journal_path):
-            return
-        submitted: Dict[str, Dict[str, Any]] = {}
-        finished: set = set()
-        with open(self._journal_path) as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:   # torn tail write from the crash
-                    self.journal_dropped += 1
-                    continue
-                if record.get("op") == "submit":
-                    submitted[record["ticket"]] = record
-                elif record.get("op") == "terminal":
-                    finished.add(record["ticket"])
-        for ticket, record in submitted.items():
-            if ticket in finished:
-                with self._journal_lock:
-                    self._journaled_terminal.add(ticket)
-                continue
+        """Resubmit every ticket the previous life left in flight.
+
+        Parsing (:func:`~repro.service.journal.read_journal`) survives
+        torn tail lines, interleaved partial records and duplicated
+        terminal records — all fold into one consistent ticket table.
+        """
+        replay = read_journal(self._journal_path)
+        self.journal_dropped += replay.dropped
+        self.journal_duplicates += replay.duplicate_terminals
+        with self._journal_lock:
+            self._journaled_terminal.update(
+                ticket for ticket in replay.submitted
+                if ticket in replay.finished)
+        for ticket in replay.pending():
+            record = replay.submitted[ticket]
             try:
                 job = PlacementJob.from_dict(record["job"])
             except (ValueError, TypeError):  # spec no longer parses
@@ -264,6 +291,10 @@ class PlacementService:
             checkpoint_dir=self.checkpoint_dir,
             max_resident=self.max_resident,
         )
+        if self.pool.store is not None:
+            # Shared-memory publishes degrade to cold-attach when the
+            # design-store breaker is open.
+            self.pool.store_guard = self.supervisor.breakers["design-store"]
         self._loop_thread = threading.Thread(
             target=self._loop, daemon=True, name="placement-service-loop"
         )
@@ -272,7 +303,12 @@ class PlacementService:
 
     def stop(self, timeout: float = 10.0) -> None:
         """Graceful stop: the loop exits, workers shut down, unfinished
-        tickets stay un-journaled so the next start resumes them."""
+        tickets stay un-journaled so the next start resumes them.
+
+        Draining starts immediately: new submissions are refused and
+        ``/healthz`` answers 503 so a load balancer can fail over
+        before the socket disappears."""
+        self.supervisor.drain()
         self._stop.set()
         if self._loop_thread is not None:
             self._loop_thread.join(timeout=timeout)
@@ -280,6 +316,7 @@ class PlacementService:
             self.pool.shutdown()
         self.scheduler.close()
         self.events.flush()
+        self.journal.flush()     # drain any buffered (degraded) records
 
     # -- client surface ------------------------------------------------
 
@@ -288,8 +325,11 @@ class PlacementService:
         ``{"job": ..., "priority": ..., "tenant": ..., "group": ...}``).
 
         Raises :class:`~repro.service.scheduler.QueueFull` when the
-        tenant's queued backlog is at its depth limit — nothing is
-        journaled for a rejected submission.
+        tenant's queued backlog is at its depth limit, and
+        :class:`~repro.supervision.brownout.BrownoutShed` when the
+        brownout controller refuses the submission (degraded service
+        shedding low priorities, or draining) — nothing is journaled
+        for a rejected submission.
         """
         priority = 0
         tenant = "default"
@@ -300,6 +340,7 @@ class PlacementService:
             group = spec.get("group")
             spec = spec["job"]
         job = PlacementJob.from_dict(spec)
+        self.supervisor.admit(priority, job_id=job.job_id, tenant=tenant)
         entry = self.scheduler.submit(job, priority=priority, tenant=tenant,
                                       group=group)
         self._journal({"op": "submit", "ticket": entry.ticket,
@@ -337,13 +378,41 @@ class PlacementService:
         stats["uptime_s"] = time.time() - self.started_ts
         stats["recovered"] = list(self.recovered)
         stats["journal_dropped"] = self.journal_dropped
+        stats["journal_duplicates"] = self.journal_duplicates
+        stats["journal"] = self.journal.stats()
+        stats["supervisor"] = self.supervisor.snapshot()
         if self.pool is not None:
             stats["workers"] = {
                 "total": len(self.pool.workers),
                 "idle": len(self.pool.idle_workers()),
+                "quarantined": self.pool.quarantined(),
                 "inline": self.pool.inline,
             }
         return stats
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """The ``/healthz`` answer: ``(http_status, payload)``.
+
+        ``ok`` while everything is closed and in rotation; ``degraded``
+        (still 200 — the instance serves, just worse) while a breaker
+        is open or a worker quarantined; ``draining`` answers 503 so
+        load balancers pull the instance before shutdown completes.
+        """
+        snapshot = self.supervisor.snapshot()
+        state = snapshot["state"]
+        journal = self.journal.stats()
+        journal.pop("breaker", None)   # already under breakers
+        payload = {
+            "ok": state == "ok",
+            "status": state,
+            "uptime_s": time.time() - self.started_ts,
+            "breakers": {name: info["state"]
+                         for name, info in snapshot["breakers"].items()},
+            "quarantined": snapshot["quarantined"],
+            "journal": journal,
+            "counters": snapshot["counters"],
+        }
+        return (503 if state == "draining" else 200), payload
 
     def wait(self, tickets: Optional[List[str]] = None,
              timeout: Optional[float] = None) -> bool:
@@ -381,19 +450,32 @@ class PlacementService:
                 if hit is not None:
                     self._journal_terminals()
                     continue
+            chaos = None
+            if self.fault_plan is not None:
+                chaos = self.fault_plan.dispatch_chaos(
+                    entry.job.job_id, entry.attempts)
+                if chaos is not None:
+                    self.events.emit("chaos", entry.job.job_id,
+                                     fault="crash-on-attach",
+                                     ticket=entry.ticket,
+                                     attempt=entry.attempts)
             worker = pool.submit(entry.ticket, entry.job,
-                                 resume=entry.resume)
+                                 resume=entry.resume, chaos=chaos)
             timeout = entry.job.timeout
             now = time.perf_counter()
             self._active[entry.ticket] = _ActiveJob(
                 entry=entry, worker=worker, started=now,
                 deadline=(now + timeout) if timeout else None,
             )
+            self.supervisor.liveness.track(entry.ticket,
+                                           entry.job.job_id, worker)
 
     def _handle_message(self, message: Dict[str, Any]) -> None:
         kind = message.get("event")
         if kind == "_picked":
-            active = self._active.get(message["ticket"])
+            ticket = message["ticket"]
+            self.supervisor.liveness.touch(ticket)
+            active = self._active.get(ticket)
             if active is not None:
                 active.pid = message.get("pid")
                 active.picked = True
@@ -401,27 +483,44 @@ class PlacementService:
                                  pid=active.pid,
                                  attempt=active.entry.attempts,
                                  resume=active.entry.resume,
-                                 ticket=message["ticket"])
+                                 ticket=ticket)
             return
         if kind == "_result":
+            ticket = message.get("ticket")
+            if ticket is not None \
+                    and self.supervisor.canary_worker(ticket) is not None:
+                self._resolve_canary(ticket, message)
+                return
             self._finish(message)
             return
+        self.supervisor.liveness.observe(message)
         self.events.put(message)         # loop_start / heartbeat / ...
 
     def _finish(self, message: Dict[str, Any]) -> None:
         ticket = message.get("ticket")
         active = self._active.pop(ticket, None)
+        if ticket is not None:
+            self.supervisor.liveness.forget(ticket)
         if active is None:
             return                       # late result after kill/cancel
         entry = active.entry
         job = entry.job
         elapsed = time.perf_counter() - active.started
         status = message.get("status")
+        self._note_attach(active.worker, ticket, message)
+        # done / cancelled / failed all mean the worker itself worked;
+        # only crashes, timeouts and preemptions count against health.
+        self._note_worker(self.pool, active.worker, True)
         if status == "done":
             result = JobResult.from_dict(message["result"])
             result.x = message.get("x")
             result.y = message.get("y")
             result.attempts = entry.attempts
+            preemptions = self._preempt_counts.pop(ticket, 0)
+            if preemptions and result.report is not None:
+                for stage in result.report.stages:
+                    if stage.name == "runtime":
+                        stage.metrics["preemptions"] = preemptions
             self.events.emit("finished", job.job_id, hpwl=result.hpwl,
                              seconds=result.seconds,
                              attempt=entry.attempts,
@@ -449,22 +548,151 @@ class PlacementService:
             self._crash_counts.pop(ticket, None)
         self._journal_terminals()
 
+    # -- supervision helpers -------------------------------------------
+
+    def _note_worker(self, pool: WarmPool, worker: Optional[int],
+                     ok: bool) -> None:
+        """Fold one worker outcome into its health EWMA; quarantine on
+        flapping (two consecutive failures at the default alpha)."""
+        if worker is None:
+            return
+        if self.supervisor.note_outcome(worker, ok):
+            pool.quarantine(worker)
+            self.supervisor.begin_quarantine(worker)
+
+    def _note_attach(self, worker: Optional[int], ticket: str,
+                     message: Dict[str, Any]) -> None:
+        """Design-store breaker feedback: a cold load despite a shm
+        manifest means the worker failed to attach (unlinked segment).
+        """
+        sent = self.pool.consume_manifest_flag(ticket)
+        report = message.get("report") or (
+            message.get("result", {}) or {}).get("report")
+        warm = None
+        if isinstance(report, dict):
+            for stage in report.get("stages", []):
+                if stage.get("name") == "runtime":
+                    warm = stage.get("metrics", {}).get("warm")
+        breaker = self.supervisor.breakers["design-store"]
+        if sent and warm == "cold":
+            breaker.record_failure()
+        elif warm in ("attached", "resident"):
+            breaker.record_success()
+
+    def _preempt(self, pool: WarmPool, ticket: str) -> None:
+        """Kill a hung worker early and requeue with checkpoint resume
+        (or fail the job once the preemption budget is spent)."""
+        active = self._active.pop(ticket)
+        entry = active.entry
+        job = entry.job
+        snap = self.supervisor.liveness.snapshot().get(ticket, {})
+        idle = snap.get("idle_s")
+        iteration = snap.get("iteration", -1)
+        self.supervisor.liveness.forget(ticket)
+        pool.kill_worker(active.worker)
+        pool.consume_manifest_flag(ticket)
+        count = self._preempt_counts.get(ticket, 0) + 1
+        self._preempt_counts[ticket] = count
+        entry.preemptions = count
+        self.supervisor.note_preemption()
+        self.events.emit(
+            "preempted", job.job_id, ticket=ticket,
+            worker=active.worker, attempt=entry.attempts,
+            idle_s=round(idle, 3) if idle is not None else None,
+            iteration=iteration, preemptions=count,
+        )
+        self._note_worker(pool, active.worker, False)
+        if count <= self.supervision.preempt_retries:
+            self._retry(entry, "hung", ticket)
+        else:
+            message = (
+                f"worker hung (no progress for "
+                f"{self.supervision.hang_timeout:g}s); preemption "
+                f"budget exhausted ({count} preemption(s), "
+                f"{self.supervision.preempt_retries} retry(ies) allowed)"
+            )
+            self.events.emit("failed", job.job_id, reason="hung",
+                             error=message, attempt=entry.attempts,
+                             preemptions=count, ticket=ticket)
+            self.scheduler.finish(entry, JobResult(
+                job_id=job.job_id, status="failed",
+                seed=job.effective_seed(),
+                seconds=time.perf_counter() - active.started,
+                error=message, attempts=entry.attempts,
+            ))
+            self._preempt_counts.pop(ticket, None)
+            self._journal_terminals()
+
+    def _canary_job(self, worker: int) -> PlacementJob:
+        """A tiny deterministic probe job for a quarantined worker."""
+        return PlacementJob(
+            design="fft_1", cells=48, seed=1 + worker,
+            params={"max_iterations": 4, "min_iterations": 2},
+            tag="canary",
+        )
+
+    def _resolve_canary(self, ticket: str, message: Dict[str, Any],
+                        dead: bool = False) -> None:
+        """Judge a canary probe: restore the worker or replace it."""
+        worker = self.supervisor.canary_worker(ticket)
+        if worker is None:
+            return
+        self.pool.consume_manifest_flag(ticket)
+        healthy = (not dead) and message.get("status") == "done"
+        if healthy:
+            self.pool.unquarantine(worker)
+        else:
+            self.pool.kill_worker(worker, respawn=True)
+            self.pool.unquarantine(worker)
+        self.supervisor.end_quarantine(ticket, worker, healthy)
+
+    def _dispatch_probes(self, pool: WarmPool) -> None:
+        """Send canary probes to quarantined workers whose cool-down
+        elapsed.  A dead quarantined worker skips the probe and goes
+        straight to replacement."""
+        for worker in self.supervisor.probe_due():
+            if not pool.worker_alive(worker):
+                pool.kill_worker(worker, respawn=True)
+                pool.unquarantine(worker)
+                self.supervisor.end_quarantine(None, worker,
+                                               healthy=False)
+                continue
+            if pool.worker_busy(worker) is not None:
+                continue                 # probe next sweep
+            ordinal = self.supervisor.next_canary_ordinal()
+            ticket = f"canary:{worker}:{ordinal}"
+            self.supervisor.begin_probe(ticket, worker)
+            pool.submit(ticket, self._canary_job(worker),
+                        worker_id=worker)
+
     def _police_active(self, pool: WarmPool) -> None:
-        """Cancellations, timeouts and crashed workers."""
+        """Cancellations, hangs, timeouts and crashed workers."""
         now = time.perf_counter()
+        hung = {ledger.ticket
+                for ledger in self.supervisor.liveness.hung()}
         for ticket in list(self._active):
             active = self._active[ticket]
             entry = active.entry
             job = entry.job
             if entry.cancel_requested:
                 del self._active[ticket]
+                self.supervisor.liveness.forget(ticket)
                 pool.kill_worker(active.worker)
+                pool.consume_manifest_flag(ticket)
                 self.scheduler.mark_cancelled(
                     entry, seconds=now - active.started)
                 self._journal_terminals()
+            elif ticket in hung:
+                # A hung worker is preempted as soon as its heartbeat
+                # goes silent — strictly earlier than the wall-clock
+                # deadline would catch it.
+                self._preempt(pool, ticket)
             elif active.deadline is not None and now > active.deadline:
                 del self._active[ticket]
+                self.supervisor.liveness.forget(ticket)
                 pool.kill_worker(active.worker)
+                pool.consume_manifest_flag(ticket)
+                self._note_worker(pool, active.worker, False)
                 count = self._timeout_counts.get(ticket, 0) + 1
                 self._timeout_counts[ticket] = count
                 if count <= job.timeout_retries:
@@ -497,7 +725,10 @@ class PlacementService:
                 if ticket not in self._active:
                     continue             # the drain finished it
                 del self._active[ticket]
+                self.supervisor.liveness.forget(ticket)
+                pool.consume_manifest_flag(ticket)
                 pool.respawn_dead()
+                self._note_worker(pool, active.worker, False)
                 count = self._crash_counts.get(ticket, 0) + 1
                 self._crash_counts[ticket] = count
                 if count <= job.retries:
@@ -522,15 +753,22 @@ class PlacementService:
                         error=message, attempts=entry.attempts,
                     ))
                     self._journal_terminals()
+        # Canary probes whose worker died mid-probe: replace outright.
+        canaries = self.supervisor.outstanding_canaries()
+        for ticket, worker in list(canaries.items()):
+            if not pool.worker_alive(worker):
+                self._resolve_canary(ticket, {}, dead=True)
+        self._dispatch_probes(pool)
 
     def _retry(self, entry: ScheduledJob, reason: str,
                ticket: str) -> None:
         delay = backoff_delay(entry.job.job_id, entry.attempts,
-                              self.retry_backoff)
+                              self.retry_backoff,
+                              max_delay=self.retry_backoff_max)
         self.events.emit(
             "retry", entry.job.job_id, reason=reason,
             attempt=entry.attempts + 1, backoff=round(delay, 4),
-            resume=True,
+            max_backoff=self.retry_backoff_max, resume=True,
             crashes=self._crash_counts.get(ticket, 0),
             timeouts=self._timeout_counts.get(ticket, 0),
             ticket=ticket,
@@ -586,8 +824,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         _, parts, query = self._route()
         service = self.service
         if parts == ["healthz"]:
-            self._json(200, {"ok": True,
-                             "uptime_s": time.time() - service.started_ts})
+            status, payload = service.health()
+            self._json(status, payload)
         elif parts == ["stats"]:
             self._json(200, service.stats())
         elif parts == ["jobs"]:
@@ -624,6 +862,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             try:
                 entry = service.submit(spec)
+            except BrownoutShed as err:
+                # Brownout: the service is degraded (shedding
+                # low-priority work) or draining (shedding everything).
+                retry_after = max(1, int(round(err.retry_after)))
+                self._json(
+                    503,
+                    {"error": str(err), "state": err.state,
+                     "priority": err.priority,
+                     "retry_after_s": err.retry_after},
+                    headers={"Retry-After": str(retry_after)},
+                )
+                return
             except QueueFull as err:
                 # Backpressure: the tenant's queued backlog is at its
                 # cap.  Retry-After is the scheduler's estimate of when

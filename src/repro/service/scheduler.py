@@ -105,6 +105,7 @@ class ScheduledJob:
     finished_ts: Optional[float] = None
     not_before: float = 0.0              # perf_counter gate for leasing
     resume: bool = False
+    preemptions: int = 0                 # hung-worker early kills
     cancel_requested: bool = False
     deduped_onto: Optional[str] = None   # leader ticket, for followers
     result: Optional[JobResult] = None
@@ -126,6 +127,7 @@ class ScheduledJob:
             "tenant": self.tenant,
             "group": self.group,
             "attempts": self.attempts,
+            "preemptions": self.preemptions,
             "submitted_ts": self.submitted_ts,
             "started_ts": self.started_ts,
             "finished_ts": self.finished_ts,

@@ -219,6 +219,28 @@ class DesignStore:
         with self._lock:
             return len(self._designs)
 
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._designs)
+
+    def unlink_segments(self, key: str) -> int:
+        """Unlink a design's segments *without* dropping the manifest —
+        the unlink-under-reader failure: the store still advertises the
+        design, but the next :func:`attach_design` raises and workers
+        fall back to a cold load.  Chaos seam; returns the number of
+        segments unlinked (0 when the key is unknown)."""
+        with self._lock:
+            entry = self._designs.get(key)
+            if entry is None:
+                return 0
+            _, segments = entry
+            unlinked = 0
+            for shm in segments:
+                with contextlib.suppress(FileNotFoundError):
+                    shm.unlink()
+                    unlinked += 1
+        return unlinked
+
     def close(self) -> None:
         with self._lock:
             for _, segments in self._designs.values():
@@ -289,6 +311,13 @@ def _warm_worker_main(worker_id: int, tasks, out, heartbeat_every: int,
             out.put({"event": "_picked", "ticket": ticket,
                      "worker": worker_id, "pid": os.getpid(),
                      "job_id": job.job_id})
+            chaos = message.get("chaos") or {}
+            if chaos.get("crash_on_attach") and cancel_event is None:
+                # Injected repeated crash-on-pickup (chaos harness):
+                # die the instant the job is picked, before any design
+                # work — the parent sees a dead worker holding the
+                # ticket, exactly like a worker whose attach segfaults.
+                os._exit(int(chaos.get("exitcode", 173)))
             key = design_key(job)
             load_started = time.perf_counter()
             netlist = None
@@ -409,6 +438,13 @@ class WarmPool:
         # /stats.  Handle *fields* (busy, seen_keys) stay loop-owned.
         self._lock = threading.Lock()
         self._workers: Dict[int, _WorkerHandle] = {}
+        self._quarantined: set = set()
+        self._manifest_sent: Dict[str, bool] = {}
+        # Optional CircuitBreaker guarding shared-memory publishes
+        # (installed by the daemon's supervisor): while open, submits
+        # skip the manifest and workers cold-load — the cold-attach
+        # degraded mode.
+        self.store_guard = None
         for worker_id in range(max(1, int(workers))):
             self._spawn(worker_id)
 
@@ -449,13 +485,39 @@ class WarmPool:
     def idle_workers(self) -> List[int]:
         with self._lock:
             handles = sorted(self._workers.items())
+            quarantined = set(self._quarantined)
         return [wid for wid, h in handles
-                if h.busy is None and h.runner.is_alive()]
+                if h.busy is None and h.runner.is_alive()
+                and wid not in quarantined]
+
+    # -- quarantine ---------------------------------------------------
+    # Quarantined workers stay alive (their resident designs may be
+    # fine) but are excluded from rotation until the supervisor's
+    # canary probe restores or replaces them.  Targeted submits
+    # (worker_id=...) still reach them — that is how the canary runs.
+
+    def quarantine(self, worker_id: int) -> None:
+        with self._lock:
+            self._quarantined.add(worker_id)
+
+    def unquarantine(self, worker_id: int) -> None:
+        with self._lock:
+            self._quarantined.discard(worker_id)
+
+    def quarantined(self) -> List[int]:
+        with self._lock:
+            return sorted(self._quarantined)
 
     def worker_alive(self, worker_id: int) -> bool:
         with self._lock:
             handle = self._workers.get(worker_id)
         return bool(handle) and handle.runner.is_alive()
+
+    def worker_busy(self, worker_id: int) -> Optional[str]:
+        """The ticket a worker is running, or ``None`` when idle."""
+        with self._lock:
+            handle = self._workers.get(worker_id)
+        return handle.busy if handle is not None else None
 
     def worker_for(self, ticket: str) -> Optional[int]:
         with self._lock:
@@ -469,12 +531,14 @@ class WarmPool:
 
     def submit(self, ticket: str, job: PlacementJob,
                resume: bool = False,
-               worker_id: Optional[int] = None) -> int:
+               worker_id: Optional[int] = None,
+               chaos: Optional[Dict[str, Any]] = None) -> int:
         """Hand one job to a worker; returns the worker id.
 
         Prefers an idle worker that already has the design resident
         (warm dispatch); the caller must keep submissions ≤ idle
         workers — an over-submit queues behind the busy worker.
+        ``chaos`` rides the task message untouched (fault harness).
         """
         key = design_key(job)
         if worker_id is None:
@@ -489,13 +553,33 @@ class WarmPool:
             handle = self._workers[worker_id]
         manifest = None
         if self.store is not None and key not in handle.seen_keys:
-            manifest = self.store.manifest_for(job)
+            guard = self.store_guard
+            if guard is None or guard.allow():
+                try:
+                    manifest = self.store.manifest_for(job)
+                except Exception:
+                    # Publish failed (shm exhausted, segment vanished):
+                    # degrade this dispatch to a cold load and let the
+                    # breaker decide when to try publishing again.
+                    if guard is not None:
+                        guard.record_failure()
+                    manifest = None
         handle.seen_keys.add(key)
         handle.busy = ticket
+        with self._lock:
+            self._manifest_sent[ticket] = manifest is not None
         handle.tasks.put({"kind": "job", "ticket": ticket,
                           "job": job.to_dict(), "resume": bool(resume),
-                          "manifest": manifest})
+                          "manifest": manifest, "chaos": chaos})
         return worker_id
+
+    def consume_manifest_flag(self, ticket: str) -> bool:
+        """Whether ``ticket``'s dispatch carried a shm manifest (one
+        query per dispatch — the flag pops).  The daemon compares this
+        against the result's ``warm`` metric: a cold load despite a
+        manifest means a worker failed to attach (unlinked segment)."""
+        with self._lock:
+            return self._manifest_sent.pop(ticket, False)
 
     def poll(self, timeout: float = 0.05) -> List[Dict[str, Any]]:
         """Drain worker messages (at most ``timeout`` seconds of wait).

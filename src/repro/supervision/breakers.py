@@ -1,0 +1,244 @@
+"""Circuit breakers: bounded blast radius for sick dependencies.
+
+A :class:`CircuitBreaker` is the classic three-state machine:
+
+``closed``
+    Normal operation.  Consecutive failures are counted; reaching
+    ``failure_threshold`` *trips* the breaker open.
+``open``
+    The dependency is presumed down: :meth:`allow` answers False and
+    the caller takes its degraded path (cache-bypass, cold-attach,
+    buffered journaling) instead of paying the failure again.  After
+    ``cooldown`` seconds the next :meth:`allow` moves to half-open.
+``half-open``
+    One probe is let through.  Success closes the breaker; failure
+    re-opens it (a fresh trip) for another cooldown.
+
+The clock is injectable (default ``time.monotonic``) so chaos tests
+drive transitions deterministically, and every transition is reported
+through ``on_transition`` — the daemon turns those into ``breaker``
+runtime events.
+
+:class:`GuardedResultCache` is the cache's degraded mode: a proxy with
+the :class:`~repro.runtime.cache.ResultCache` surface the scheduler
+uses (``get`` / ``put`` / ``stats`` / counters) that routes every call
+through a breaker.  While the breaker is open, ``get`` reports a miss
+and ``put`` drops the entry — placements still run, they just stop
+touching the sick disk.  An operation that raises ``OSError`` *or*
+takes longer than ``slow_op_seconds`` counts as a failure, so a
+pathologically slow disk browns the cache out exactly like a broken
+one (slow I/O is the failure mode chaos injects).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure isolation for one dependency.
+
+    Thread-safe; transition callbacks run outside the internal lock so
+    they may emit events freely.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0          # consecutive failures while closed
+        self._opened_at = 0.0
+        self._trips = 0
+
+    # -- state machine ------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the operation right now?
+
+        Open breakers answer False until the cooldown elapses, then
+        transition to half-open and admit the probe.
+        """
+        transition = None
+        with self._lock:
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown:
+                    transition = (self._state, "half-open")
+                    self._state = "half-open"
+                else:
+                    return False
+        if transition is not None:
+            self._notify(*transition)
+        return True
+
+    def record_success(self) -> None:
+        transition = None
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                transition = (self._state, "closed")
+                self._state = "closed"
+        if transition is not None:
+            self._notify(*transition)
+
+    def record_failure(self) -> None:
+        transition = None
+        with self._lock:
+            self._failures += 1
+            tripping = (
+                self._state == "half-open"
+                or (self._state == "closed"
+                    and self._failures >= self.failure_threshold)
+            )
+            if tripping:
+                transition = (self._state, "open")
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._failures = 0
+                self._trips += 1
+            elif self._state == "open":
+                # A straggling in-flight failure while already open:
+                # push the cooldown out, it is fresh evidence.
+                self._opened_at = self._clock()
+        if transition is not None:
+            self._notify(*transition)
+
+    def _notify(self, old: str, new: str) -> None:
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new)
+
+    # -- reporting ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            data = {
+                "name": self.name,
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self._trips,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown,
+            }
+            if self._state == "open":
+                data["open_age_s"] = round(
+                    max(0.0, self._clock() - self._opened_at), 4)
+        return data
+
+
+class GuardedResultCache:
+    """A :class:`~repro.runtime.cache.ResultCache` behind a breaker.
+
+    Drop-in for every surface the scheduler and daemon use.  Degraded
+    mode is *cache bypass*: lookups report misses, stores are dropped,
+    and ``bypassed`` counts how many operations were shed.  Failures
+    are ``OSError`` from the underlying cache or an operation slower
+    than ``slow_op_seconds`` (None disables the slow check).
+
+    ``fault_hook`` is the chaos seam: called as ``hook(op)`` before the
+    real I/O with ``op`` in ``("cache-get", "cache-put")``; it may
+    sleep (slow-I/O fault) or raise ``OSError``.
+    """
+
+    def __init__(
+        self,
+        cache,
+        breaker: CircuitBreaker,
+        slow_op_seconds: Optional[float] = None,
+        fault_hook: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.cache = cache
+        self.breaker = breaker
+        self.slow_op_seconds = slow_op_seconds
+        self._fault_hook = fault_hook
+        self._clock = clock
+        self.bypassed = 0
+
+    # -- guarded operations ------------------------------------------
+
+    def _guarded(self, op: str, call: Callable[[], Any],
+                 fallback: Any) -> Any:
+        if not self.breaker.allow():
+            self.bypassed += 1
+            return fallback
+        started = self._clock()
+        try:
+            if self._fault_hook is not None:
+                self._fault_hook(op)
+            value = call()
+        except OSError:
+            self.breaker.record_failure()
+            self.bypassed += 1
+            return fallback
+        elapsed = self._clock() - started
+        if self.slow_op_seconds is not None \
+                and elapsed > self.slow_op_seconds:
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        return value
+
+    def get(self, job, on_evict=None):
+        return self._guarded(
+            "cache-get", lambda: self.cache.get(job, on_evict=on_evict),
+            fallback=None,
+        )
+
+    def put(self, job, result) -> None:
+        self._guarded("cache-put", lambda: self.cache.put(job, result),
+                      fallback=None)
+
+    # -- passthrough surface ------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.cache.evictions
+
+    @property
+    def root(self):
+        return self.cache.root
+
+    def path_for(self, key: str) -> str:
+        return self.cache.path_for(key)
+
+    def stats(self) -> Dict[str, Any]:
+        stats = self.cache.stats()
+        stats["bypassed"] = self.bypassed
+        stats["breaker"] = self.breaker.to_dict()
+        return stats

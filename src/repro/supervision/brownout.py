@@ -1,0 +1,100 @@
+"""Brownout admission control: shed load before falling over.
+
+When the service is *degraded* (an open breaker, quarantined workers)
+the right response to new work is not "accept and thrash" but "shed
+the cheap traffic and protect the important jobs".
+:class:`BrownoutController` implements that policy at the submit path:
+
+* ``ok``        — everything is admitted.
+* ``degraded``  — submissions with ``priority < shed_below_priority``
+  are refused with :class:`BrownoutShed` (the HTTP layer maps it to
+  503 + ``Retry-After``); higher priorities still run.
+* ``draining``  — the daemon is shutting down: *every* submission is
+  refused so a load balancer fails over cleanly.
+
+The controller does not decide *whether* the service is degraded —
+the :class:`~repro.supervision.supervisor.Supervisor` computes that
+from breaker and quarantine state and passes it in — it only owns the
+shed policy and its counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+SERVICE_STATES = ("ok", "degraded", "draining")
+
+
+class BrownoutShed(RuntimeError):
+    """A submission refused by the brownout controller."""
+
+    def __init__(self, state: str, priority: int,
+                 retry_after: float) -> None:
+        super().__init__(
+            f"submission shed: service {state} "
+            f"(priority {priority}); retry in {retry_after:g}s"
+        )
+        self.state = state
+        self.priority = priority
+        self.retry_after = retry_after
+
+
+class BrownoutController:
+    """Priority-aware load shedding for a degraded service."""
+
+    def __init__(self, shed_below_priority: int = 1,
+                 retry_after: float = 2.0) -> None:
+        self.shed_below_priority = int(shed_below_priority)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._draining = False
+        self._shed = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def drain(self) -> None:
+        """Enter draining: refuse all new work from now on."""
+        with self._lock:
+            self._draining = True
+
+    # -- admission ----------------------------------------------------
+
+    def state(self, degraded: bool) -> str:
+        """The service state given the supervisor's degraded verdict."""
+        if self.draining:
+            return "draining"
+        return "degraded" if degraded else "ok"
+
+    def admit(self, priority: int, degraded: bool) -> None:
+        """Raise :class:`BrownoutShed` when the submission must be
+        refused; return silently when it may proceed."""
+        state = self.state(degraded)
+        shed = (
+            state == "draining"
+            or (state == "degraded"
+                and priority < self.shed_below_priority)
+        )
+        if shed:
+            with self._lock:
+                self._shed += 1
+            raise BrownoutShed(state, priority, self.retry_after)
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "draining": self._draining,
+                "shed": self._shed,
+                "shed_below_priority": self.shed_below_priority,
+                "retry_after_s": self.retry_after,
+            }

@@ -1,0 +1,184 @@
+"""Progress-based liveness: hung versus slow-but-progressing.
+
+Workers already emit per-job loop events (``loop_start`` /
+``heartbeat`` / ``loop_stop``) through the
+:class:`~repro.core.callbacks.QueueCallback` bridge; before this
+module nothing consumed them for health.  :class:`LivenessMonitor`
+folds them into a per-ticket :class:`JobLedger` and answers the only
+question the daemon needs: *which running tickets made no progress for
+longer than* ``hang_timeout``?  A job whose iterations keep advancing
+is never flagged no matter how slow it is — slowness is the deadline's
+business; the monitor only catches silence.
+
+Heartbeat messages carry ``job_id`` but not the ticket (the GP loop
+does not know about tickets), so the monitor keeps a job-id → ticket
+index; :meth:`track` is called at dispatch and :meth:`forget` on every
+way a ticket leaves the active table.
+
+:class:`WorkerHealth` is the companion fleet score: an EWMA over each
+worker's outcomes (success = 1, crash/hang/timeout = 0).  A score
+below ``quarantine_below`` marks the worker *flapping* — the daemon
+takes it out of rotation, probes it with a canary job and restores or
+replaces it.  With the default ``alpha = 0.5`` a fresh worker survives
+one bad outcome (score 0.5) and is quarantined on the second in a row
+(0.25), while a long-healthy worker needs the same two consecutive
+failures — recovery between failures pulls the score back up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+#: Worker messages that count as forward progress for liveness.
+PROGRESS_KINDS = ("loop_start", "heartbeat", "loop_stop", "recovery",
+                  "diagnostic")
+
+
+@dataclass
+class JobLedger:
+    """Progress bookkeeping for one leased ticket."""
+
+    ticket: str
+    job_id: str
+    worker: int
+    started: float
+    last_progress: float
+    iteration: int = -1
+    heartbeats: int = 0
+
+    def idle_for(self, now: float) -> float:
+        return max(0.0, now - self.last_progress)
+
+
+class LivenessMonitor:
+    """Per-ticket progress ledgers over the existing event stream."""
+
+    def __init__(self, hang_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive")
+        self.hang_timeout = float(hang_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ledgers: Dict[str, JobLedger] = {}
+        self._ticket_of: Dict[str, str] = {}   # job_id -> ticket
+
+    def track(self, ticket: str, job_id: str, worker: int) -> None:
+        """Start watching a freshly dispatched ticket.
+
+        Dispatch time counts as progress: a worker that never even
+        reaches ``loop_start`` (hung on design load, crash-looping on
+        attach) goes hung one ``hang_timeout`` after dispatch.
+        """
+        now = self._clock()
+        with self._lock:
+            self._ledgers[ticket] = JobLedger(
+                ticket=ticket, job_id=job_id, worker=worker,
+                started=now, last_progress=now,
+            )
+            self._ticket_of[job_id] = ticket
+
+    def observe(self, message: Dict[str, Any]) -> None:
+        """Fold one worker message into its ledger (unknown ids are
+        ignored — late events of finished tickets are harmless)."""
+        if message.get("event") not in PROGRESS_KINDS:
+            return
+        job_id = message.get("job_id")
+        with self._lock:
+            ticket = self._ticket_of.get(job_id)
+            ledger = self._ledgers.get(ticket) if ticket else None
+            if ledger is None:
+                return
+            ledger.last_progress = self._clock()
+            iteration = message.get("iteration")
+            if iteration is not None:
+                ledger.iteration = max(ledger.iteration, int(iteration))
+            if message.get("event") == "heartbeat":
+                ledger.heartbeats += 1
+
+    def touch(self, ticket: str) -> None:
+        """Out-of-band progress (e.g. the worker answered ``_picked``)."""
+        with self._lock:
+            ledger = self._ledgers.get(ticket)
+            if ledger is not None:
+                ledger.last_progress = self._clock()
+
+    def forget(self, ticket: str) -> None:
+        with self._lock:
+            ledger = self._ledgers.pop(ticket, None)
+            if ledger is not None \
+                    and self._ticket_of.get(ledger.job_id) == ticket:
+                del self._ticket_of[ledger.job_id]
+
+    # -- queries ------------------------------------------------------
+
+    def hung(self) -> List[JobLedger]:
+        """Ledgers silent for longer than ``hang_timeout``.
+
+        A slow-but-progressing job keeps refreshing ``last_progress``
+        on every heartbeat and never appears here.
+        """
+        now = self._clock()
+        with self._lock:
+            return [ledger for ledger in self._ledgers.values()
+                    if ledger.idle_for(now) > self.hang_timeout]
+
+    def ledger(self, ticket: str) -> Optional[JobLedger]:
+        with self._lock:
+            return self._ledgers.get(ticket)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        now = self._clock()
+        with self._lock:
+            return {
+                ticket: {
+                    "job_id": ledger.job_id,
+                    "worker": ledger.worker,
+                    "iteration": ledger.iteration,
+                    "heartbeats": ledger.heartbeats,
+                    "idle_s": round(ledger.idle_for(now), 4),
+                }
+                for ticket, ledger in self._ledgers.items()
+            }
+
+
+class WorkerHealth:
+    """EWMA health score per worker (1 = healthy, 0 = dead on arrival)."""
+
+    def __init__(self, alpha: float = 0.5,
+                 quarantine_below: float = 0.35) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.quarantine_below = float(quarantine_below)
+        self._lock = threading.Lock()
+        self._scores: Dict[int, float] = {}
+
+    def record(self, worker_id: int, ok: bool) -> float:
+        """Fold one outcome in; returns the updated score."""
+        outcome = 1.0 if ok else 0.0
+        with self._lock:
+            previous = self._scores.get(worker_id, 1.0)
+            score = (1.0 - self.alpha) * previous + self.alpha * outcome
+            self._scores[worker_id] = score
+        return score
+
+    def score(self, worker_id: int) -> float:
+        with self._lock:
+            return self._scores.get(worker_id, 1.0)
+
+    def flapping(self, worker_id: int) -> bool:
+        return self.score(worker_id) < self.quarantine_below
+
+    def reset(self, worker_id: int) -> None:
+        """Fresh start after a replace/restore decision."""
+        with self._lock:
+            self._scores.pop(worker_id, None)
+
+    def snapshot(self) -> Dict[int, float]:
+        with self._lock:
+            return {wid: round(score, 4)
+                    for wid, score in self._scores.items()}

@@ -1,0 +1,242 @@
+"""The daemon's supervisor: one object that owns self-healing state.
+
+:class:`Supervisor` composes the supervision primitives for
+:class:`~repro.service.daemon.PlacementService`:
+
+* a :class:`~repro.supervision.liveness.LivenessMonitor` (hung-job
+  detection feeding early preemption with checkpoint resume),
+* a :class:`~repro.supervision.liveness.WorkerHealth` EWMA plus the
+  quarantine ledger (out of rotation → canary probe → restore or
+  replace),
+* three named :class:`~repro.supervision.breakers.CircuitBreaker`\\ s —
+  ``cache`` (ResultCache I/O → cache-bypass), ``design-store``
+  (shared-memory publish/attach → cold-attach) and ``journal`` (fsync
+  path → buffered journaling),
+* a :class:`~repro.supervision.brownout.BrownoutController` shedding
+  low-priority admissions while degraded.
+
+The service state machine is derived, never stored:
+``draining`` once :meth:`drain` was called, else ``degraded`` while
+any breaker is non-closed or any worker is quarantined, else ``ok``.
+
+Every state-changing decision is reported through ``on_event(kind,
+job_id, **payload)`` (the daemon passes its event router), so breaker
+trips, quarantines, preemptions and shed submissions are all on the
+same JSONL stream as the placement events — chaos tests assert against
+the stream, operators tail it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.supervision.breakers import CircuitBreaker
+from repro.supervision.brownout import BrownoutController, BrownoutShed
+from repro.supervision.liveness import LivenessMonitor, WorkerHealth
+
+#: The dependencies wrapped by a breaker, in reporting order.
+BREAKER_NAMES = ("cache", "design-store", "journal")
+
+
+@dataclass
+class SupervisionConfig:
+    """Tuning knobs for the daemon's self-healing layer."""
+
+    hang_timeout: float = 30.0       # silence before a job is hung
+    preempt_retries: int = 2         # hang preemptions per ticket
+    health_alpha: float = 0.5        # worker-health EWMA weight
+    quarantine_below: float = 0.35   # health score that quarantines
+    canary_delay: float = 0.25       # quarantine → canary probe wait
+    breaker_threshold: int = 3       # consecutive failures per trip
+    breaker_cooldown: float = 2.0    # open → half-open wait
+    slow_op_seconds: Optional[float] = None  # I/O slower than this fails
+    shed_below_priority: int = 1     # brownout: shed priorities below
+    shed_retry_after: float = 2.0    # Retry-After hint for shed submits
+    journal_buffer: int = 256        # degraded-journal loss window
+
+
+class Supervisor:
+    """Composes liveness, health, breakers and brownout for the daemon."""
+
+    def __init__(
+        self,
+        config: Optional[SupervisionConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Optional[Callable[..., Any]] = None,
+    ) -> None:
+        self.config = config or SupervisionConfig()
+        self._clock = clock
+        self._on_event = on_event
+        self.liveness = LivenessMonitor(
+            hang_timeout=self.config.hang_timeout, clock=clock)
+        self.health = WorkerHealth(
+            alpha=self.config.health_alpha,
+            quarantine_below=self.config.quarantine_below)
+        self.brownout = BrownoutController(
+            shed_below_priority=self.config.shed_below_priority,
+            retry_after=self.config.shed_retry_after)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+                clock=clock,
+                on_transition=self._breaker_transition,
+            )
+            for name in BREAKER_NAMES
+        }
+        self._lock = threading.Lock()
+        self._quarantined: Dict[int, float] = {}   # worker -> probe-due ts
+        self._canaries: Dict[str, int] = {}        # canary ticket -> worker
+        self._canary_ordinal = 0
+        self._preemptions = 0
+        self._quarantines = 0
+        self._probes = 0
+        self._restores = 0
+        self._replacements = 0
+
+    # -- event plumbing ----------------------------------------------
+
+    def _emit(self, kind: str, job_id: str, **payload: Any) -> None:
+        if self._on_event is not None:
+            self._on_event(kind, job_id, **payload)
+
+    def _breaker_transition(self, name: str, old: str, new: str) -> None:
+        self._emit("breaker", "service", name=name, old=old, new=new)
+
+    # -- service state -------------------------------------------------
+
+    def degraded(self) -> bool:
+        if any(breaker.state != "closed"
+               for breaker in self.breakers.values()):
+            return True
+        with self._lock:
+            return bool(self._quarantined)
+
+    def service_state(self) -> str:
+        return self.brownout.state(self.degraded())
+
+    def drain(self) -> None:
+        self.brownout.drain()
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, priority: int, job_id: str = "?",
+              tenant: str = "default") -> None:
+        """Gate one submission; raises
+        :class:`~repro.supervision.brownout.BrownoutShed` (and emits a
+        ``shed`` event) when the brownout policy refuses it."""
+        try:
+            self.brownout.admit(priority, self.degraded())
+        except BrownoutShed as shed:
+            self._emit("shed", job_id, state=shed.state,
+                       priority=priority, tenant=tenant,
+                       retry_after_s=shed.retry_after)
+            raise
+
+    # -- preemption / worker outcomes ---------------------------------
+
+    def note_preemption(self) -> None:
+        with self._lock:
+            self._preemptions += 1
+
+    def note_outcome(self, worker_id: int, ok: bool) -> bool:
+        """Fold one worker outcome in; True when the worker just
+        crossed into flapping territory and should be quarantined."""
+        self.health.record(worker_id, ok)
+        if ok or not self.health.flapping(worker_id):
+            return False
+        with self._lock:
+            return worker_id not in self._quarantined
+
+    # -- quarantine ledger --------------------------------------------
+
+    def begin_quarantine(self, worker_id: int) -> None:
+        with self._lock:
+            self._quarantined[worker_id] = (
+                self._clock() + self.config.canary_delay)
+            self._quarantines += 1
+        self._emit("quarantine", "service", action="enter",
+                   worker=worker_id,
+                   score=round(self.health.score(worker_id), 4))
+
+    def probe_due(self) -> List[int]:
+        """Quarantined workers whose canary probe is due and not yet
+        outstanding."""
+        now = self._clock()
+        with self._lock:
+            probing = set(self._canaries.values())
+            return [worker for worker, due in self._quarantined.items()
+                    if now >= due and worker not in probing]
+
+    def begin_probe(self, ticket: str, worker_id: int) -> None:
+        with self._lock:
+            self._canaries[ticket] = worker_id
+            self._probes += 1
+            self._canary_ordinal += 1
+        self._emit("quarantine", "service", action="probe",
+                   worker=worker_id, ticket=ticket)
+
+    def next_canary_ordinal(self) -> int:
+        with self._lock:
+            return self._canary_ordinal
+
+    def canary_worker(self, ticket: str) -> Optional[int]:
+        with self._lock:
+            return self._canaries.get(ticket)
+
+    def outstanding_canaries(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._canaries)
+
+    def end_quarantine(self, ticket: Optional[str], worker_id: int,
+                       healthy: bool) -> None:
+        """Resolve a probe: restore the worker (healthy canary) or
+        count a replacement (the daemon respawns it either way)."""
+        with self._lock:
+            if ticket is not None:
+                self._canaries.pop(ticket, None)
+            self._quarantined.pop(worker_id, None)
+            if healthy:
+                self._restores += 1
+            else:
+                self._replacements += 1
+        self.health.reset(worker_id)
+        self._emit("quarantine", "service",
+                   action="restore" if healthy else "replace",
+                   worker=worker_id, ticket=ticket)
+
+    def quarantined_workers(self) -> List[int]:
+        with self._lock:
+            return sorted(self._quarantined)
+
+    # -- reporting -----------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            counters = {
+                "preemptions": self._preemptions,
+                "quarantines": self._quarantines,
+                "probes": self._probes,
+                "restores": self._restores,
+                "replacements": self._replacements,
+            }
+        counters["breaker_trips"] = sum(
+            breaker.trips for breaker in self.breakers.values())
+        counters["shed"] = self.brownout.shed
+        return counters
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "state": self.service_state(),
+            "breakers": {name: breaker.to_dict()
+                         for name, breaker in self.breakers.items()},
+            "worker_health": self.health.snapshot(),
+            "quarantined": self.quarantined_workers(),
+            "liveness": self.liveness.snapshot(),
+            "brownout": self.brownout.to_dict(),
+            "counters": self.counters(),
+        }

@@ -1,0 +1,114 @@
+"""Service fault plans and the deterministic chaos soak."""
+
+import pytest
+
+from repro.faults.service import (
+    JOB_BOUND_KINDS,
+    SERVICE_FAULT_KINDS,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+    seed_for_run,
+)
+from repro.supervision import ChaosConfig, chaos_fingerprint, run_chaos
+
+
+class TestServiceFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(kind="gremlins")
+
+    def test_round_trip(self):
+        spec = ServiceFaultSpec(kind="slow-io", target="cache-put",
+                                seconds=0.5, count=3)
+        assert ServiceFaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestServiceFaultPlan:
+    def test_same_run_id_same_schedule(self):
+        one = ServiceFaultPlan.sample("chaos-42", jobs=8)
+        two = ServiceFaultPlan.sample("chaos-42", jobs=8)
+        assert one.to_dict() == two.to_dict()
+        assert one.seed == seed_for_run("chaos-42")
+
+    def test_different_run_id_different_schedule(self):
+        one = ServiceFaultPlan.sample("chaos-1", jobs=8)
+        two = ServiceFaultPlan.sample("chaos-2", jobs=8)
+        assert one.to_dict() != two.to_dict()
+
+    def test_job_bound_kinds_get_distinct_indices(self):
+        plan = ServiceFaultPlan.sample("chaos-0", jobs=20)
+        indices = [spec.job_index for spec in plan.faults
+                   if spec.kind in JOB_BOUND_KINDS]
+        assert len(indices) == len(JOB_BOUND_KINDS)
+        assert len(set(indices)) == len(indices)
+        assert all(0 <= i < 20 for i in indices)
+
+    def test_iterations_land_mid_run(self):
+        plan = ServiceFaultPlan.sample("chaos-0", jobs=20,
+                                       max_iteration=30)
+        for spec in plan.specs_of("hang", "crash"):
+            assert 15 <= spec.iteration < 29
+
+    def test_loop_plan_embeds_only_that_jobs_faults(self):
+        plan = ServiceFaultPlan.sample("chaos-0", jobs=20)
+        hang = plan.specs_of("hang")[0]
+        loop = plan.loop_plan(hang.job_index)
+        assert loop is not None
+        assert [f.kind for f in loop.faults] == ["hang"]
+        clean = [i for i in range(20)
+                 if i not in {s.job_index for s in plan.faults}]
+        assert plan.loop_plan(clean[0]) is None
+
+    def test_io_hook_budget_exhausts(self):
+        plan = ServiceFaultPlan.sample("chaos-0", jobs=4,
+                                       slow_io_seconds=0.0, slow_io_ops=2)
+        hook = plan.io_hook("cache-put")
+        for _ in range(5):
+            hook("cache-put")
+            hook("journal-append")   # filtered out by the targets arg
+        slow = [e for e in plan.injection_log() if e["kind"] == "slow-io"]
+        assert len(slow) == 2
+        assert all(e["target"] == "cache-put" for e in slow)
+
+    def test_dispatch_chaos_budget(self):
+        plan = ServiceFaultPlan.sample("chaos-0", jobs=4,
+                                       crash_attach_count=2)
+        spec = plan.specs_of("crash-on-attach")[0]
+        plan.bind_job(spec.job_index, "job-victim")
+        assert plan.dispatch_chaos("job-other", 0) is None
+        first = plan.dispatch_chaos("job-victim", 0)
+        assert first == {"crash_on_attach": True, "exitcode": spec.exitcode}
+        assert plan.dispatch_chaos("job-victim", 1) is not None
+        assert plan.dispatch_chaos("job-victim", 2) is None  # budget spent
+        assert plan.injected_kinds() == ["crash-on-attach",
+                                         "crash-on-attach"]
+
+    def test_round_trip(self):
+        plan = ServiceFaultPlan.sample("chaos-9", jobs=6)
+        again = ServiceFaultPlan.from_dict(plan.to_dict())
+        assert again.to_dict() == plan.to_dict()
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    def test_small_soak_is_clean(self, tmp_path):
+        config = ChaosConfig(
+            seed=7, jobs=4, workers=2, cells=64, iterations=16,
+            checkpoint_every=4, deadline=25.0, hang_timeout=2.0,
+            soak_timeout=150.0, state_dir=str(tmp_path / "chaos"),
+        )
+        report = run_chaos(config)
+        assert report.ok, report.violations
+        assert len(report.tickets) >= config.jobs
+        assert all(state in ("done", "cancelled")
+                   for state in report.tickets.values())
+        # Resume identity: every faulted/twin pair bit-identical.
+        assert report.pairs and all(p["identical"] for p in report.pairs)
+        if not report.inline:
+            # The hung job was preempted well inside the deadline.
+            assert report.preemption["latency_s"] < config.deadline
+            assert report.quarantine["restored"]
+            assert report.restart.get("resumed", 0) >= 1
+        assert report.cache_check.get("recovered")
+        assert report.shed.get("raised")
+        assert chaos_fingerprint(report)

@@ -17,6 +17,7 @@ from repro.service.daemon import make_server
 FAKE = "tests.runtime_helpers:fake_pipeline"
 SLEEPY = "tests.runtime_helpers:sleepy_pipeline"
 CRASHY = "tests.runtime_helpers:crashy_pipeline"
+KILLER = "tests.runtime_helpers:killer_pipeline"
 
 
 def make_spec(seed=1, **overrides):
@@ -50,11 +51,20 @@ def daemon(tmp_path):
 class TestHttpApi:
     def test_health_and_stats(self, daemon):
         _, client = daemon
-        assert client.healthz()["ok"]
+        health = client.healthz()
+        assert health["ok"]
+        assert health["status"] == "ok"
+        assert health["breakers"] == {"cache": "closed",
+                                      "design-store": "closed",
+                                      "journal": "closed"}
+        assert health["quarantined"] == []
         stats = client.stats()
         assert stats["jobs"] == 0
         assert stats["workers"]["total"] == 2
-        assert stats["cache"] == {"hits": 0, "misses": 0, "evictions": 0}
+        for key in ("hits", "misses", "evictions", "bypassed"):
+            assert stats["cache"][key] == 0
+        assert stats["cache"]["breaker"]["state"] == "closed"
+        assert stats["supervisor"]["state"] == "ok"
 
     def test_submit_wait_report_round_trip(self, daemon):
         _, client = daemon
@@ -185,6 +195,55 @@ class TestHttpApi:
         assert kinds[0] == "queued"
         assert "finished" in kinds
         assert all(ev["ticket"] == entry["ticket"] for ev in events)
+
+
+class TestSupervisionApi:
+    def test_draining_healthz_503_and_shed(self, daemon):
+        service, client = daemon
+        service.supervisor.drain()
+        with pytest.raises(ServiceError) as err:
+            client.healthz()
+        assert err.value.status == 503
+        assert err.value.body["status"] == "draining"
+        assert not err.value.body["ok"]
+        with pytest.raises(ServiceError) as err:
+            client.submit(make_spec(seed=31), priority=5)
+        assert err.value.status == 503
+        assert err.value.body["state"] == "draining"
+        assert err.value.retry_after is not None \
+            and err.value.retry_after >= 1
+
+    def test_degraded_sheds_low_priority_only(self, daemon):
+        service, client = daemon
+        breaker = service.supervisor.breakers["cache"]
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        health = client.healthz()               # degraded still answers 200
+        assert health["status"] == "degraded" and not health["ok"]
+        assert health["breakers"]["cache"] == "open"
+        assert "last_fsync_age_s" in health["journal"]
+        with pytest.raises(ServiceError) as err:
+            client.submit(make_spec(seed=32), priority=0)
+        assert err.value.status == 503
+        assert err.value.body["state"] == "degraded"
+        entry = client.submit(make_spec(seed=32), priority=1)
+        assert client.wait(entry["ticket"], timeout=90)["state"] == "done"
+        assert client.stats()["supervisor"]["counters"]["shed"] == 1
+
+    def test_crash_retry_event_surfaces_backoff(self, daemon):
+        _, client = daemon
+        entry = client.submit(make_spec(seed=33, pipeline=KILLER,
+                                        retries=1))
+        final = client.wait(entry["ticket"], timeout=90)
+        assert final["state"] == "failed"       # both attempts die
+        retries = [ev for ev in client.events(entry["ticket"])
+                   if ev["kind"] == "retry"]
+        assert retries, "worker crash produced no retry event"
+        for ev in retries:
+            assert ev["reason"] == "crash"
+            assert ev["backoff"] >= 0
+            assert ev["max_backoff"] is None or ev["max_backoff"] > 0
+            assert ev["attempt"] >= 1
 
 
 class TestJournal:

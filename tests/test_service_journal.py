@@ -1,0 +1,182 @@
+"""Journal durability, degraded buffering, and corruption recovery."""
+
+import json
+import os
+
+from repro.service.journal import Journal, read_journal
+from repro.supervision import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _submit(ticket, job_id="job-x"):
+    return {"op": "submit", "ticket": ticket,
+            "job": {"job_id": job_id, "design": "fft_1"},
+            "priority": 0, "tenant": None, "group": None}
+
+
+def _terminal(ticket, state="done"):
+    return {"op": "terminal", "ticket": ticket, "state": state,
+            "job_id": "job-x"}
+
+
+class TestJournalDurability:
+    def test_append_reaches_disk(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path, clock=FakeClock(5.0))
+        assert journal.append(_submit("t1"))
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["op"] == "submit" and record["ts"] == 5.0
+        assert journal.last_fsync_age() == 0.0
+
+    def test_oserror_buffers_and_trips(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker("journal", failure_threshold=1,
+                                 cooldown=10.0, clock=clock)
+        fail = {"on": True}
+
+        def hook(op):
+            if fail["on"]:
+                raise OSError("fsync lost the disk")
+
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path, breaker=breaker, fault_hook=hook,
+                          clock=clock)
+        assert not journal.append(_submit("t1"))
+        assert breaker.state == "open"
+        assert journal.buffered == 1
+        # While open: straight to the buffer, no disk attempt.
+        assert not journal.append(_submit("t2"))
+        assert journal.buffered == 2
+        assert not os.path.exists(path)
+        # Disk heals; after cooldown the half-open probe flushes the
+        # whole backlog in order.
+        fail["on"] = False
+        clock.advance(10.0)
+        assert journal.append(_terminal("t1"))
+        assert breaker.state == "closed"
+        assert journal.buffered == 0
+        tickets = [json.loads(line)["ticket"]
+                   for line in open(path).read().splitlines()]
+        assert tickets == ["t1", "t2", "t1"]
+
+    def test_bounded_loss_window(self, tmp_path):
+        breaker = CircuitBreaker("journal", failure_threshold=1,
+                                 cooldown=1e9, clock=FakeClock())
+        breaker.record_failure()               # pin open
+        journal = Journal(str(tmp_path / "j.jsonl"), breaker=breaker,
+                          max_buffered=2, clock=FakeClock())
+        for i in range(5):
+            journal.append(_submit(f"t{i}"))
+        assert journal.buffered == 2           # oldest spilled
+        assert journal.dropped == 3
+        assert journal.stats()["dropped"] == 3
+
+    def test_slow_fsync_is_durable_but_counts(self, tmp_path):
+        import time as _time
+
+        breaker = CircuitBreaker("journal", failure_threshold=1,
+                                 cooldown=1e9, clock=FakeClock())
+        journal = Journal(str(tmp_path / "j.jsonl"), breaker=breaker,
+                          fault_hook=lambda op: _time.sleep(0.05),
+                          slow_op_seconds=0.01, clock=FakeClock())
+        assert journal.append(_submit("t1"))   # landed...
+        assert breaker.state == "open"         # ...but tripped the breaker
+
+    def test_flush_drains_backlog(self, tmp_path):
+        breaker = CircuitBreaker("journal", failure_threshold=1,
+                                 cooldown=1e9, clock=FakeClock())
+        breaker.record_failure()
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, breaker=breaker, clock=FakeClock())
+        journal.append(_submit("t1"))
+        assert journal.flush()
+        assert journal.buffered == 0
+        assert json.loads(open(path).read())["ticket"] == "t1"
+
+
+def _write_lines(path, lines):
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+
+
+class TestCorruptionRecovery:
+    """Satellite (d): every corruption class folds into one consistent
+    ticket table."""
+
+    def test_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        whole = json.dumps(_submit("t2"))
+        _write_lines(path, [
+            json.dumps(_submit("t1")),
+            json.dumps(_terminal("t1")),
+            whole[: len(whole) // 2],          # torn mid-write by a crash
+        ])
+        replay = read_journal(path)
+        assert replay.pending() == []
+        assert replay.dropped == 1
+        assert "t1" in replay.finished
+
+    def test_interleaved_partial_record(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        _write_lines(path, [
+            json.dumps(_submit("t1")),
+            json.dumps({"op": "submit", "ticket": "t2"}),   # no job payload
+            json.dumps({"op": "terminal"}),                 # no ticket
+            json.dumps(_submit("t3")),
+        ])
+        replay = read_journal(path)
+        assert replay.pending() == ["t1", "t3"]
+        assert replay.dropped == 2
+
+    def test_duplicated_terminal_record(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        _write_lines(path, [
+            json.dumps(_submit("t1")),
+            json.dumps(_terminal("t1")),
+            json.dumps(_terminal("t1")),       # replayed buffer duplicate
+        ])
+        replay = read_journal(path)
+        assert replay.pending() == []
+        assert replay.duplicate_terminals == 1
+        assert replay.dropped == 0
+
+    def test_unknown_op_and_non_dict_lines(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        _write_lines(path, [
+            json.dumps(_submit("t1")),
+            json.dumps({"op": "vacuum"}),
+            json.dumps([1, 2, 3]),
+            "",
+        ])
+        replay = read_journal(path)
+        assert replay.pending() == ["t1"]
+        assert replay.dropped == 2
+
+    def test_pending_preserves_submission_order(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        _write_lines(path, [
+            json.dumps(_submit("b")),
+            json.dumps(_submit("a")),
+            json.dumps(_submit("c")),
+            json.dumps(_terminal("a")),
+        ])
+        replay = read_journal(path)
+        assert replay.pending() == ["b", "c"]
+
+    def test_missing_file(self, tmp_path):
+        replay = read_journal(str(tmp_path / "nope.jsonl"))
+        assert replay.pending() == []
+        assert replay.dropped == 0

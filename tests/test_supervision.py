@@ -1,0 +1,331 @@
+"""repro.supervision: breakers, liveness, health, brownout, supervisor."""
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import JobResult, PlacementJob
+from repro.runtime.pool import backoff_delay
+from repro.supervision import (
+    BrownoutController,
+    BrownoutShed,
+    CircuitBreaker,
+    GuardedResultCache,
+    LivenessMonitor,
+    SupervisionConfig,
+    Supervisor,
+    WorkerHealth,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=3,
+                                 cooldown=5.0, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"       # not yet
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker("dep", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"       # streak broken
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=1,
+                                 cooldown=2.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(2.0)
+        assert breaker.allow()                 # the probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=1,
+                                 cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_transitions_are_reported(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            "dep", failure_threshold=1, cooldown=1.0, clock=clock,
+            on_transition=lambda name, old, new: seen.append(
+                (name, old, new)))
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [("dep", "closed", "open"),
+                        ("dep", "open", "half-open"),
+                        ("dep", "half-open", "closed")]
+
+
+def _job(seed=1):
+    return PlacementJob(design="fft_1", cells=48, seed=seed,
+                        params={"max_iterations": 4, "min_iterations": 2})
+
+
+def _result(job):
+    return JobResult(job_id=job.job_id, status="done", seed=1,
+                     hpwl=10.0, seconds=0.1,
+                     x=[1.0, 2.0], y=[3.0, 4.0])
+
+
+class TestGuardedResultCache:
+    def test_bypass_while_open(self, tmp_path):
+        breaker = CircuitBreaker("cache", failure_threshold=1,
+                                 cooldown=60.0, clock=FakeClock())
+        guarded = GuardedResultCache(ResultCache(str(tmp_path)), breaker)
+        breaker.record_failure()               # open
+        job = _job()
+        guarded.put(job, _result(job))
+        assert guarded.get(job) is None        # bypass: no store happened
+        assert guarded.bypassed == 2
+        assert guarded.stats()["breaker"]["state"] == "open"
+
+    def test_oserror_counts_as_failure(self, tmp_path):
+        breaker = CircuitBreaker("cache", failure_threshold=1,
+                                 cooldown=60.0, clock=FakeClock())
+
+        def hook(op):
+            raise OSError("disk on fire")
+
+        guarded = GuardedResultCache(ResultCache(str(tmp_path)), breaker,
+                                     fault_hook=hook)
+        assert guarded.get(_job()) is None
+        assert breaker.state == "open"
+
+    def test_slow_op_counts_as_failure_but_still_returns(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker("cache", failure_threshold=1,
+                                 cooldown=60.0)
+
+        def hook(op):
+            clock.advance(1.0)                 # "the I/O took a second"
+
+        guarded = GuardedResultCache(ResultCache(str(tmp_path)), breaker,
+                                     slow_op_seconds=0.5, fault_hook=hook,
+                                     clock=clock)
+        job = _job()
+        guarded.put(job, _result(job))         # slow but landed
+        assert breaker.state == "open"
+        assert guarded.cache.get(job) is not None  # the write went through
+
+
+class TestLivenessMonitor:
+    def test_hung_versus_slow_but_progressing(self):
+        clock = FakeClock()
+        monitor = LivenessMonitor(hang_timeout=10.0, clock=clock)
+        monitor.track("t1", "job-a", worker=0)
+        monitor.track("t2", "job-b", worker=1)
+        clock.advance(8.0)
+        # job-a heartbeats (slow, but progressing); job-b is silent.
+        monitor.observe({"event": "heartbeat", "job_id": "job-a",
+                         "iteration": 5})
+        clock.advance(4.0)
+        hung = monitor.hung()
+        assert [ledger.ticket for ledger in hung] == ["t2"]
+        assert monitor.ledger("t1").iteration == 5
+        assert monitor.ledger("t1").heartbeats == 1
+
+    def test_dispatch_counts_as_progress(self):
+        clock = FakeClock()
+        monitor = LivenessMonitor(hang_timeout=5.0, clock=clock)
+        monitor.track("t1", "job-a", worker=0)
+        clock.advance(5.1)                     # never reached loop_start
+        assert [ledger.ticket for ledger in monitor.hung()] == ["t1"]
+
+    def test_forget_and_unknown_events_are_harmless(self):
+        monitor = LivenessMonitor(hang_timeout=5.0, clock=FakeClock())
+        monitor.track("t1", "job-a", worker=0)
+        monitor.forget("t1")
+        monitor.observe({"event": "heartbeat", "job_id": "job-a"})
+        monitor.observe({"event": "heartbeat", "job_id": "who-dis"})
+        assert monitor.snapshot() == {}
+
+    def test_non_progress_kinds_do_not_refresh(self):
+        clock = FakeClock()
+        monitor = LivenessMonitor(hang_timeout=5.0, clock=clock)
+        monitor.track("t1", "job-a", worker=0)
+        clock.advance(6.0)
+        monitor.observe({"event": "queued", "job_id": "job-a"})
+        assert [ledger.ticket for ledger in monitor.hung()] == ["t1"]
+
+
+class TestWorkerHealth:
+    def test_two_consecutive_failures_flap(self):
+        health = WorkerHealth(alpha=0.5, quarantine_below=0.35)
+        assert health.score(0) == 1.0
+        health.record(0, False)
+        assert not health.flapping(0)          # one bad outcome survives
+        health.record(0, False)
+        assert health.flapping(0)
+
+    def test_recovery_pulls_the_score_back(self):
+        health = WorkerHealth(alpha=0.5, quarantine_below=0.35)
+        health.record(0, False)
+        health.record(0, True)
+        health.record(0, False)
+        assert not health.flapping(0)          # alternation never flaps
+
+    def test_reset(self):
+        health = WorkerHealth()
+        health.record(0, False)
+        health.record(0, False)
+        health.reset(0)
+        assert health.score(0) == 1.0
+
+
+class TestBrownout:
+    def test_ok_admits_everything(self):
+        brownout = BrownoutController()
+        brownout.admit(0, degraded=False)
+        assert brownout.shed == 0
+
+    def test_degraded_sheds_low_priority(self):
+        brownout = BrownoutController(shed_below_priority=1,
+                                      retry_after=3.0)
+        with pytest.raises(BrownoutShed) as err:
+            brownout.admit(0, degraded=True)
+        assert err.value.state == "degraded"
+        assert err.value.retry_after == 3.0
+        brownout.admit(1, degraded=True)       # priority 1 still runs
+        assert brownout.shed == 1
+
+    def test_draining_sheds_everything(self):
+        brownout = BrownoutController()
+        brownout.drain()
+        with pytest.raises(BrownoutShed) as err:
+            brownout.admit(99, degraded=False)
+        assert err.value.state == "draining"
+
+
+class TestSupervisor:
+    def make(self, clock=None):
+        events = []
+        supervisor = Supervisor(
+            SupervisionConfig(hang_timeout=5.0, canary_delay=1.0,
+                              breaker_threshold=1, breaker_cooldown=60.0),
+            clock=clock or FakeClock(),
+            on_event=lambda kind, job_id, **payload: events.append(
+                (kind, payload)),
+        )
+        return supervisor, events
+
+    def test_state_machine(self):
+        supervisor, events = self.make()
+        assert supervisor.service_state() == "ok"
+        supervisor.breakers["cache"].record_failure()
+        assert supervisor.service_state() == "degraded"
+        assert ("breaker", {"name": "cache", "old": "closed",
+                            "new": "open"}) in events
+        supervisor.drain()
+        assert supervisor.service_state() == "draining"
+
+    def test_degraded_admission_sheds_and_emits(self):
+        supervisor, events = self.make()
+        supervisor.breakers["journal"].record_failure()
+        with pytest.raises(BrownoutShed):
+            supervisor.admit(0, job_id="cheap")
+        assert supervisor.admit(3, job_id="vip") is None
+        shed = [payload for kind, payload in events if kind == "shed"]
+        assert len(shed) == 1 and shed[0]["state"] == "degraded"
+        assert supervisor.counters()["shed"] == 1
+
+    def test_quarantine_cycle(self):
+        clock = FakeClock()
+        supervisor, events = self.make(clock=clock)
+        assert not supervisor.note_outcome(0, False)
+        assert supervisor.note_outcome(0, False)   # now flapping
+        supervisor.begin_quarantine(0)
+        assert supervisor.quarantined_workers() == [0]
+        assert supervisor.service_state() == "degraded"
+        assert supervisor.probe_due() == []        # canary_delay pending
+        clock.advance(1.0)
+        assert supervisor.probe_due() == [0]
+        ticket = f"canary:0:{supervisor.next_canary_ordinal()}"
+        supervisor.begin_probe(ticket, 0)
+        assert supervisor.probe_due() == []        # probe outstanding
+        assert supervisor.canary_worker(ticket) == 0
+        supervisor.end_quarantine(ticket, 0, healthy=True)
+        assert supervisor.quarantined_workers() == []
+        assert supervisor.health.score(0) == 1.0   # fresh start
+        counters = supervisor.counters()
+        assert counters["quarantines"] == 1
+        assert counters["probes"] == 1
+        assert counters["restores"] == 1
+        actions = [payload["action"] for kind, payload in events
+                   if kind == "quarantine"]
+        assert actions == ["enter", "probe", "restore"]
+
+    def test_flapping_worker_not_requarantined_while_quarantined(self):
+        supervisor, _ = self.make()
+        supervisor.note_outcome(0, False)
+        assert supervisor.note_outcome(0, False)
+        supervisor.begin_quarantine(0)
+        assert not supervisor.note_outcome(0, False)   # already in
+
+
+class TestSummaryFooter:
+    def _table(self, supervision):
+        from repro.runtime.batch import summary_table
+        job = _job()
+        return summary_table([job], [_result(job)],
+                             supervision=supervision)
+
+    def test_footer_appears_when_counters_nonzero(self):
+        table = self._table({"preemptions": 2, "quarantines": 1,
+                             "breaker_trips": 3, "shed": 4})
+        assert ("supervision: 2 preemption(s), 1 quarantine(s), "
+                "3 breaker trip(s), 4 shed submit(s)") in table
+
+    def test_footer_absent_when_quiet(self):
+        quiet = self._table({"preemptions": 0, "quarantines": 0,
+                             "breaker_trips": 0, "shed": 0})
+        assert "supervision:" not in quiet
+        assert "supervision:" not in self._table(None)
+
+
+class TestBackoffCeiling:
+    def test_cap_applies_after_jitter(self):
+        uncapped = backoff_delay("job", 12, 0.5)
+        capped = backoff_delay("job", 12, 0.5, max_delay=2.0)
+        assert uncapped > 2.0
+        assert capped == 2.0
+
+    def test_under_the_cap_is_unchanged(self):
+        assert backoff_delay("job", 1, 0.5, max_delay=60.0) == \
+            backoff_delay("job", 1, 0.5)
+
+    def test_deterministic_per_job(self):
+        assert backoff_delay("a", 3, 0.25, max_delay=10.0) == \
+            backoff_delay("a", 3, 0.25, max_delay=10.0)
